@@ -1,0 +1,65 @@
+// Ablation for §4.3's analysis: when does DINC-hash beat INC-hash?
+//
+// "The improvement of INC-hash over MR-hash is only significant when K is
+// small... DINC-hash mitigates this in the case when, although K may be
+// large, some keys are considerably more frequent than other keys."
+// The FREQUENT guarantee gives nothing "if there are no keys whose
+// relative frequency is more than 1/(s+1)".
+//
+// We sweep the user-popularity Zipf exponent and report reduce spill for
+// INC vs DINC on user click counting with a key space >> memory.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/jobs.h"
+
+int main(int argc, char** argv) {
+  using namespace onepass;
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+
+  std::printf("=== ablation: key-popularity skew vs INC/DINC spill "
+              "(click counting, K >> memory) ===\n\n");
+  std::printf("%8s %16s %16s %14s\n", "skew", "INC spill(MB)",
+              "DINC spill(MB)", "DINC/INC");
+
+  for (double skew : {0.0, 0.4, 0.8, 1.0, 1.2}) {
+    ClickStreamConfig clicks;
+    clicks.num_clicks = static_cast<uint64_t>(500'000 * flags.scale);
+    clicks.num_users = 100'000;  // key space far beyond reduce memory
+    clicks.user_skew = skew;
+    clicks.clicks_per_second = 50;
+    clicks.seed = 42;
+    // Disable session burstiness: i.i.d. draws isolate the *global*
+    // frequency skew, which is what §4.3's FREQUENT analysis speaks to.
+    clicks.mean_session_clicks = 1;
+    ChunkStore input((256 << 10), bench::PaperCluster().nodes);
+    GenerateClickStream(clicks, &input);
+
+    auto run = [&](EngineKind kind) {
+      JobConfig cfg = bench::ScaledJobConfig(kind);
+      // Tight enough that the observed key space exceeds memory at every
+      // skew (high skew shrinks the number of distinct keys that appear).
+      cfg.reduce_memory_bytes = 16 << 10;
+      cfg.map_side_combine = false;  // stress the reduce side
+      cfg.expected_keys_per_reducer = 2500;
+      auto r = bench::MustRun(ClickCountJob(), cfg, input);
+      return r.ok() ? r->metrics.reduce_spill_write_bytes : 0;
+    };
+    const uint64_t inc = run(EngineKind::kIncHash);
+    const uint64_t dinc = run(EngineKind::kDincHash);
+    std::printf("%8.1f %16s %16s %13.2fx\n", skew, bench::Mb(inc).c_str(),
+                bench::Mb(dinc).c_str(),
+                inc > 0 ? static_cast<double>(dinc) / inc : 0.0);
+  }
+
+  std::printf(
+      "\npaper shape check: with no frequent keys DINC = INC (FREQUENT "
+      "gives no guarantee,\n§4.3); the advantage appears and grows with "
+      "skew. It stays modest here because hot\nkeys arrive early and "
+      "first-come residency captures them too — exactly the paper's\n"
+      "trigram observation (§6.2). DINC's large wins need hot keys that "
+      "churn or emerge\nlate (sessionization's expiring users, via the "
+      "eviction hook — see bench_table4).\n");
+  return 0;
+}

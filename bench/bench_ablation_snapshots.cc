@@ -1,0 +1,74 @@
+// Ablation for §3.3(4): MapReduce Online's snapshot mechanism vs
+// incremental processing.
+//
+// Paper: "MapReduce Online has an extension to periodically output
+// snapshots (e.g., when reducers have received 25%, 50%, 75% of the
+// data). However, this is done by repeating the merge operation for each
+// snapshot, not by incremental processing. It can incur high I/O overhead
+// and significantly increased running time."
+//
+// We run pipelined sort-merge with 0 and 3 snapshots, and INC-hash (which
+// emits continuously for free), on sessionization.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/jobs.h"
+
+int main(int argc, char** argv) {
+  using namespace onepass;
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+
+  std::printf("=== §3.3(4) ablation: snapshots by repeated merge vs "
+              "incremental output ===\n\n");
+
+  const ClickStreamConfig clicks = bench::ScaledClicks(0.5 * flags.scale);
+  JobConfig base = bench::ScaledJobConfig(EngineKind::kSortMerge);
+  base.merge_factor = 8;
+  base.reduce_memory_bytes = 128 << 10;
+  base.pipelining = true;
+  base.pipeline_push_bytes = 128 << 10;
+  ChunkStore input(base.chunk_bytes, base.cluster.nodes);
+  GenerateClickStream(clicks, &input);
+
+  auto run_sm = [&](int snapshots) {
+    JobConfig cfg = base;
+    cfg.snapshots = snapshots;
+    return bench::MustRun(SessionizationJob(), cfg, input);
+  };
+  auto hop0 = run_sm(0);
+  auto hop3 = run_sm(3);
+
+  JobConfig inc_cfg = bench::ScaledJobConfig(EngineKind::kIncHash);
+  inc_cfg.expected_keys_per_reducer = 700;
+  auto inc = bench::MustRun(SessionizationJob(), inc_cfg, input);
+  if (!hop0.ok() || !hop3.ok() || !inc.ok()) return 1;
+
+  std::printf("%-30s %12s %14s %16s\n", "", "time(s)", "spill r+w (MB)",
+              "early output(%)");
+  auto row = [&](const char* name, const JobResult& r) {
+    const double early =
+        r.metrics.output_records > 0
+            ? 100.0 * static_cast<double>(r.metrics.early_output_records) /
+                  static_cast<double>(r.metrics.output_records)
+            : 0.0;
+    std::printf("%-30s %12.2f %14s %16.1f\n", name, r.running_time,
+                bench::Mb(r.metrics.reduce_spill_write_bytes +
+                          r.metrics.reduce_spill_read_bytes)
+                    .c_str(),
+                early);
+  };
+  row("HOP, no snapshots", *hop0);
+  row("HOP + 3 snapshots", *hop3);
+  row("INC-hash (continuous)", *inc);
+
+  std::printf("\nsnapshot volume written: %s MB across %llu snapshots\n",
+              bench::Mb(hop3->metrics.snapshot_bytes).c_str(),
+              static_cast<unsigned long long>(
+                  hop3->metrics.snapshot_count));
+  std::printf(
+      "\npaper shape check: snapshots add substantial I/O and running "
+      "time to HOP, while\nINC-hash's continuous early output costs "
+      "nothing extra.\n");
+  return 0;
+}

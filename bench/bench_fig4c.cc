@@ -1,0 +1,77 @@
+// Reproduces Fig. 4(c): incremental map/reduce progress of stock vs
+// model-optimized Hadoop, against the "optimal" reduce progress (= the map
+// progress). With --util also prints Fig. 4(d,e): CPU utilization and
+// iowait of optimized Hadoop.
+//
+// Paper: optimized Hadoop (C=64MB, one-pass merge, R=4) cut running time
+// 4860 s -> 4187 s (~14%), but its reduce progress still plateaus at ~33%
+// while the maps run and lags far behind the optimal line afterwards.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/jobs.h"
+
+int main(int argc, char** argv) {
+  using namespace onepass;
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+
+  std::printf(
+      "=== Fig. 4(c): progress of stock vs optimized Hadoop "
+      "(sessionization) ===\n\n");
+
+  const ClickStreamConfig clicks = bench::ScaledClicks(flags.scale);
+
+  // Stock: small chunks would be fine, but the default config uses an
+  // aggressive multi-pass merge (F=8) and a tight shuffle buffer.
+  JobConfig stock = bench::ScaledJobConfig(EngineKind::kSortMerge);
+  stock.merge_factor = 8;
+  stock.reduce_memory_bytes = 128 << 10;
+  ChunkStore stock_input(stock.chunk_bytes, stock.cluster.nodes);
+  GenerateClickStream(clicks, &stock_input);
+  auto stock_r = bench::MustRun(SessionizationJob(), stock, stock_input);
+
+  // Optimized per the model: largest chunk that fits the map buffer,
+  // one-pass merge, R = reduce slots.
+  JobConfig opt = bench::ScaledJobConfig(EngineKind::kSortMerge);
+  opt.chunk_bytes = 384 << 10;  // C*Km ~ 440KB <= Bm = 512KB
+  opt.merge_factor = 32;        // one-pass
+  opt.reduce_memory_bytes = 128 << 10;
+  ChunkStore opt_input(opt.chunk_bytes, opt.cluster.nodes);
+  GenerateClickStream(clicks, &opt_input);
+  auto opt_r = bench::MustRun(SessionizationJob(), opt, opt_input);
+
+  if (!stock_r.ok() || !opt_r.ok()) return 1;
+
+  std::printf("stock:     %.2f s   optimized: %.2f s   (%.0f%% faster; "
+              "paper: 14%%)\n\n",
+              stock_r->running_time, opt_r->running_time,
+              100.0 * (stock_r->running_time - opt_r->running_time) /
+                  stock_r->running_time);
+
+  // The "optimal reduce" line of the figure is the map progress itself.
+  bench::PrintProgress(
+      {"stock map%", "stock red%", "opt map%", "opt red%", "optimal red%"},
+      {stock_r->map_progress, stock_r->reduce_progress, opt_r->map_progress,
+       opt_r->reduce_progress, opt_r->map_progress},
+      22);
+
+  if (flags.util) {
+    std::printf(
+        "\n--- Fig. 4(d,e): optimized Hadoop CPU utilization / iowait "
+        "---\n  time(s)        cpu%%      iowait%%\n");
+    for (int i = 0; i <= 22; ++i) {
+      const double t = opt_r->running_time * i / 22;
+      std::printf("%9.2f  %10.1f  %11.1f\n", t,
+                  100 * opt_r->cpu_util.ValueAt(t),
+                  100 * opt_r->iowait.ValueAt(t));
+    }
+  }
+
+  std::printf(
+      "\npaper shape check: tuning helps total time, but optimized "
+      "Hadoop's reduce progress\nstill flattens at ~33%% until the maps "
+      "finish — the gap to the optimal line is the\nmotivation for the "
+      "hash platform.\n");
+  return 0;
+}

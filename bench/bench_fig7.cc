@@ -1,0 +1,170 @@
+// Reproduces Fig. 7: map/reduce progress curves for the hash engines
+// (paper §6, Definition 1).
+//
+//  (a) sessionization: SM and MR-hash reduce progress blocks at 33% until
+//      the maps finish; INC-hash tracks the map progress until its memory
+//      fills, then slows.
+//  (b) user click counting: SM steps (combiner fires on buffer fills),
+//      MR-hash flat at 33%, INC-hash climbs smoothly to 66% (no early
+//      output possible).
+//  (c) frequent user identification: INC-hash's reduce progress fully
+//      keeps up with the maps (early output at the threshold).
+//  (d) INC-hash sessionization with 0.5/1/2 KB states: larger states ->
+//      memory fills earlier -> reduce diverges from map sooner.
+//  (e) DINC-hash sessionization (2 KB): reduce progress closely follows
+//      map progress; almost no post-map tail.
+//  (f) trigram counting: INC and DINC close together, both near the map
+//      curve (trigrams are only mildly skewed).
+//
+// Usage: bench_fig7 [--plot a|b|c|d|e|f] (default: all)
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/jobs.h"
+
+namespace onepass {
+namespace {
+
+JobConfig Config(EngineKind kind, bool combine, uint64_t expected_bytes,
+                 uint64_t expected_keys = 1200) {
+  JobConfig cfg = bench::ScaledJobConfig(kind);
+  cfg.map_side_combine = combine;
+  cfg.merge_factor = 32;
+  cfg.expected_keys_per_reducer = expected_keys;
+  cfg.expected_bytes_per_reducer = expected_bytes;
+  return cfg;
+}
+
+struct Curve {
+  std::string name;
+  sim::StepSeries map;
+  sim::StepSeries reduce;
+  double time = 0;
+};
+
+Curve RunCurve(const std::string& name, EngineKind kind, const JobSpec& spec,
+               bool combine, uint64_t expected_bytes,
+               const ChunkStore& input, uint64_t expected_keys = 1200) {
+  JobConfig cfg = Config(kind, combine, expected_bytes, expected_keys);
+  auto r = bench::MustRun(spec, cfg, input);
+  Curve c;
+  c.name = name;
+  if (r.ok()) {
+    c.map = r->map_progress;
+    c.reduce = r->reduce_progress;
+    c.time = r->running_time;
+  }
+  return c;
+}
+
+void PrintCurves(const char* title, const std::vector<Curve>& curves) {
+  std::printf("\n--- %s ---\n", title);
+  std::vector<std::string> names;
+  std::vector<sim::StepSeries> series;
+  for (const Curve& c : curves) {
+    names.push_back(c.name + " map%");
+    series.push_back(c.map);
+    names.push_back(c.name + " red%");
+    series.push_back(c.reduce);
+  }
+  bench::PrintProgress(names, series, 20);
+  std::printf("running times:");
+  for (const Curve& c : curves) {
+    std::printf("  %s=%.1fs", c.name.c_str(), c.time);
+  }
+  std::printf("\n");
+}
+
+bool Want(const bench::Flags& flags, const char* plot) {
+  return flags.plot.empty() || flags.plot == plot;
+}
+
+}  // namespace
+}  // namespace onepass
+
+int main(int argc, char** argv) {
+  using namespace onepass;
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+
+  std::printf("=== Fig. 7: progress with the hash implementations ===\n");
+
+  const ClickStreamConfig clicks = bench::ScaledClicks(flags.scale);
+  ChunkStore input((256 << 10), bench::PaperCluster().nodes);
+  GenerateClickStream(clicks, &input);
+
+  if (Want(flags, "a")) {
+    PrintCurves(
+        "(a) sessionization: SM vs MR-hash vs INC-hash",
+        {RunCurve("SM", EngineKind::kSortMerge, SessionizationJob(), false,
+                  5 << 20, input),
+         RunCurve("MR", EngineKind::kMRHash, SessionizationJob(), false,
+                  5 << 20, input),
+         RunCurve("INC", EngineKind::kIncHash, SessionizationJob(), false,
+                  5 << 20, input)});
+  }
+  if (Want(flags, "b")) {
+    PrintCurves(
+        "(b) user click counting",
+        {RunCurve("SM", EngineKind::kSortMerge, ClickCountJob(), true,
+                  128 << 10, input),
+         RunCurve("MR", EngineKind::kMRHash, ClickCountJob(), true,
+                  128 << 10, input),
+         RunCurve("INC", EngineKind::kIncHash, ClickCountJob(), true,
+                  128 << 10, input)});
+  }
+  if (Want(flags, "c")) {
+    PrintCurves(
+        "(c) frequent user identification (>= 50 clicks)",
+        {RunCurve("SM", EngineKind::kSortMerge, FrequentUserJob(50), true,
+                  128 << 10, input),
+         RunCurve("MR", EngineKind::kMRHash, FrequentUserJob(50), true,
+                  128 << 10, input),
+         RunCurve("INC", EngineKind::kIncHash, FrequentUserJob(50), true,
+                  128 << 10, input)});
+  }
+  if (Want(flags, "d")) {
+    PrintCurves(
+        "(d) INC-hash sessionization, state size 0.5/1/2 KB",
+        {RunCurve("0.5KB", EngineKind::kIncHash, SessionizationJob(512),
+                  false, 5 << 20, input),
+         RunCurve("1KB", EngineKind::kIncHash, SessionizationJob(1024),
+                  false, 5 << 20, input),
+         RunCurve("2KB", EngineKind::kIncHash, SessionizationJob(2048),
+                  false, 5 << 20, input)});
+  }
+  if (Want(flags, "e")) {
+    PrintCurves(
+        "(e) DINC-hash sessionization (2 KB states)",
+        {RunCurve("DINC", EngineKind::kDincHash, SessionizationJob(2048),
+                  false, 5 << 20, input)});
+  }
+  if (Want(flags, "f")) {
+    const DocumentCorpusConfig docs = bench::ScaledDocs(flags.scale);
+    ChunkStore doc_input((256 << 10), bench::PaperCluster().nodes);
+    GenerateDocuments(docs, &doc_input);
+    // Large key space: the distinct trigrams far exceed reduce memory.
+    PrintCurves(
+        "(f) trigram counting (threshold 1000 at paper scale; scaled "
+        "to 50 here)",
+        {RunCurve("INC", EngineKind::kIncHash, TrigramCountJob(50), true,
+                  5 << 20, doc_input, 60'000),
+         RunCurve("DINC", EngineKind::kDincHash, TrigramCountJob(50), true,
+                  5 << 20, doc_input, 60'000)});
+    // The paper's §6.2 epilogue: 1-pass sort-merge takes 9023 s vs the
+    // hash engines' 4100-4400 s on this workload.
+    Curve sm = RunCurve("SM", EngineKind::kSortMerge, TrigramCountJob(50),
+                        true, 5 << 20, doc_input, 60'000);
+    std::printf(
+        "1-pass sort-merge on the same workload: %.1f s (paper: 9023 s vs "
+        "4100-4400 s for the hash engines)\n",
+        sm.time);
+  }
+
+  std::printf(
+      "\npaper shape check: (a,b) SM/MR reduce stuck at ~33%% until maps "
+      "finish; (c) INC reduce\ntracks map; (d) larger states diverge "
+      "earlier; (e) DINC follows map with no tail;\n(f) INC and DINC "
+      "close together.\n");
+  return 0;
+}

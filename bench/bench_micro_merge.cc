@@ -1,0 +1,68 @@
+// Microbenchmark: k-way sorted merge (the reduce side of sort-merge) as a
+// function of fan-in, vs hash-table grouping of the same data — the CPU
+// side of the paper's sort-merge critique.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/sorted_merge.h"
+#include "src/util/kv_buffer.h"
+#include "src/util/random.h"
+#include "src/workloads/clickstream.h"
+
+namespace onepass {
+namespace {
+
+std::vector<KvBuffer> MakeSortedRuns(int runs, int records_per_run) {
+  Xoshiro256StarStar rng(11);
+  ZipfGenerator users(20'000, 0.8);
+  std::vector<KvBuffer> out(runs);
+  for (int r = 0; r < runs; ++r) {
+    std::vector<std::string> keys;
+    keys.reserve(records_per_run);
+    for (int i = 0; i < records_per_run; ++i) {
+      keys.push_back(UserKey(users.Next(&rng)));
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const auto& k : keys) out[r].Append(k, "0123456789abcdef");
+  }
+  return out;
+}
+
+void BM_KWayMerge(benchmark::State& state) {
+  const int fan_in = static_cast<int>(state.range(0));
+  const auto runs = MakeSortedRuns(fan_in, (1 << 17) / fan_in);
+  for (auto _ : state) {
+    std::vector<const KvBuffer*> inputs;
+    for (const auto& r : runs) inputs.push_back(&r);
+    SortedKvMerger merger(std::move(inputs));
+    std::string_view k, v;
+    uint64_t n = 0;
+    while (merger.Next(&k, &v)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_KWayMerge)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_HashGroupSameData(benchmark::State& state) {
+  const int fan_in = static_cast<int>(state.range(0));
+  const auto runs = MakeSortedRuns(fan_in, (1 << 17) / fan_in);
+  for (auto _ : state) {
+    std::unordered_map<std::string_view, uint64_t> groups;
+    for (const auto& r : runs) {
+      KvBufferReader reader(r);
+      std::string_view k, v;
+      while (reader.Next(&k, &v)) ++groups[k];
+    }
+    benchmark::DoNotOptimize(groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_HashGroupSameData)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,117 @@
+// Reproduces Table 3: optimized Hadoop (1-pass sort-merge) vs MR-hash vs
+// INC-hash on sessionization, user click counting, and frequent user
+// identification.
+//
+// Paper (236 GB WorldCup stream):
+//   Sessionization        1-Pass SM   MR-hash   INC-hash
+//   Running time (s)      4424        3577      2258
+//   Map CPU / node (s)    936         566       571
+//   Reduce CPU / node (s) 1104        1033      565
+//   Map output (GB)       245         245       245
+//   Reduce spill (GB)     250         256       51
+//
+//   User click counting   1430        1100      1113   (reduce spill ~0
+//   Frequent users        1435        1153      1135    for both hash
+//                                                       engines)
+//
+// Shape targets: SM slowest / INC fastest on sessionization; map CPU
+// roughly halves without the sort; INC's spill is a small fraction of
+// SM/MR's; counting workloads spill ~0 with the hash engines.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/jobs.h"
+
+namespace onepass {
+namespace {
+
+JobConfig EngineConfig(EngineKind kind, bool combine,
+                       uint64_t expected_bytes) {
+  JobConfig cfg = bench::ScaledJobConfig(kind);
+  cfg.map_side_combine = combine;
+  // Optimized Hadoop: one-pass merge (F >= number of reduce-side runs).
+  cfg.merge_factor = 32;
+  cfg.expected_keys_per_reducer = 1200;   // ~48K users / 40 reducers
+  cfg.expected_bytes_per_reducer = expected_bytes;
+  return cfg;
+}
+
+struct Row {
+  double time = 0;
+  double map_cpu = 0;
+  double reduce_cpu = 0;
+  uint64_t map_out = 0;
+  uint64_t spill = 0;
+};
+
+Row Run(EngineKind kind, const JobSpec& spec, bool combine,
+        const ChunkStore& input, uint64_t expected_bytes) {
+  JobConfig cfg = EngineConfig(kind, combine, expected_bytes);
+  auto r = bench::MustRun(spec, cfg, input);
+  Row row;
+  if (!r.ok()) return row;
+  row.time = r->running_time;
+  row.map_cpu = r->map_cpu_s / cfg.cluster.nodes;
+  row.reduce_cpu = r->reduce_cpu_s / cfg.cluster.nodes;
+  row.map_out = r->metrics.map_output_bytes;
+  row.spill = r->metrics.reduce_spill_write_bytes;
+  return row;
+}
+
+void PrintBlock(const char* title, const Row& sm, const Row& mr,
+                const Row& inc) {
+  std::printf("\n%s%32s %14s %14s\n", title, "1-Pass SM", "MR-hash",
+              "INC-hash");
+  bench::PrintRow("Running time (s)", bench::Secs(sm.time),
+                  bench::Secs(mr.time), bench::Secs(inc.time));
+  bench::PrintRow("Map CPU per node (s)", bench::Secs(sm.map_cpu),
+                  bench::Secs(mr.map_cpu), bench::Secs(inc.map_cpu));
+  bench::PrintRow("Reduce CPU per node (s)", bench::Secs(sm.reduce_cpu),
+                  bench::Secs(mr.reduce_cpu), bench::Secs(inc.reduce_cpu));
+  bench::PrintRow("Map output / shuffle (MB)", bench::Mb(sm.map_out),
+                  bench::Mb(mr.map_out), bench::Mb(inc.map_out));
+  bench::PrintRow("Reduce spill (MB)", bench::Mb(sm.spill),
+                  bench::Mb(mr.spill), bench::Mb(inc.spill));
+}
+
+}  // namespace
+}  // namespace onepass
+
+int main(int argc, char** argv) {
+  using namespace onepass;
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+
+  std::printf(
+      "=== Table 3: optimized sort-merge vs MR-hash vs INC-hash "
+      "(~1/1000 scale) ===\n");
+
+  const ClickStreamConfig clicks = bench::ScaledClicks(flags.scale);
+  ChunkStore input((256 << 10), bench::PaperCluster().nodes);
+  GenerateClickStream(clicks, &input);
+
+  // Sessionization: no combiner (every click must be kept).
+  PrintBlock("Sessionization",
+             Run(EngineKind::kSortMerge, SessionizationJob(), false, input, 5 << 20),
+             Run(EngineKind::kMRHash, SessionizationJob(), false, input, 5 << 20),
+             Run(EngineKind::kIncHash, SessionizationJob(), false, input, 5 << 20));
+
+  // User click counting: combiner applies.
+  PrintBlock("User click counting",
+             Run(EngineKind::kSortMerge, ClickCountJob(), true, input, 128 << 10),
+             Run(EngineKind::kMRHash, ClickCountJob(), true, input, 128 << 10),
+             Run(EngineKind::kIncHash, ClickCountJob(), true, input, 128 << 10));
+
+  // Frequent user identification (>= 50 clicks), early output allowed.
+  PrintBlock("Frequent user identification",
+             Run(EngineKind::kSortMerge, FrequentUserJob(50), true, input, 128 << 10),
+             Run(EngineKind::kMRHash, FrequentUserJob(50), true, input, 128 << 10),
+             Run(EngineKind::kIncHash, FrequentUserJob(50), true, input, 128 << 10));
+
+  std::printf(
+      "\npaper shape check: SM slowest and INC fastest on sessionization; "
+      "map CPU drops\nroughly 2x without the sort; INC spill is a small "
+      "fraction of SM/MR spill;\ncounting workloads spill ~0 with hash "
+      "engines.\n");
+  return 0;
+}

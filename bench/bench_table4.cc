@@ -1,0 +1,107 @@
+// Reproduces Table 4: sessionization with INC-hash (0.5 KB state), INC-hash
+// (2 KB state), and DINC-hash (2 KB state).
+//
+// Paper:
+//                      INC (0.5KB)   INC (2KB)   DINC (2KB)
+//   Running time (s)   2258          3271        2067
+//   Reduce spill (GB)  51            203         0.1
+//
+// Plus the §6.2 headline: DINC reducers finish as soon as the mappers do
+// (34.5 min) with ~0.1 GB of spill, vs stock Hadoop's 81 min and 370 GB —
+// three orders of magnitude less internal data spill.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/jobs.h"
+
+namespace onepass {
+namespace {
+
+struct Row {
+  double time = 0;
+  uint64_t spill = 0;
+  double map_finish = 0;
+};
+
+Row Run(EngineKind kind, uint64_t state_bytes, const ChunkStore& input) {
+  JobConfig cfg = bench::ScaledJobConfig(kind);
+  cfg.merge_factor = 32;
+  cfg.expected_keys_per_reducer = 1200;
+  cfg.expected_bytes_per_reducer = 5 << 20;
+  auto r = bench::MustRun(SessionizationJob(state_bytes), cfg, input);
+  Row row;
+  if (!r.ok()) return row;
+  row.time = r->running_time;
+  row.spill = r->metrics.reduce_spill_write_bytes;
+  row.map_finish = r->map_finish_time;
+  return row;
+}
+
+Row RunStock(const ChunkStore& input) {
+  JobConfig cfg = bench::ScaledJobConfig(EngineKind::kSortMerge);
+  cfg.merge_factor = 8;
+  cfg.reduce_memory_bytes = 128 << 10;
+  auto r = bench::MustRun(SessionizationJob(), cfg, input);
+  Row row;
+  if (!r.ok()) return row;
+  row.time = r->running_time;
+  row.spill = r->metrics.reduce_spill_write_bytes;
+  row.map_finish = r->map_finish_time;
+  return row;
+}
+
+}  // namespace
+}  // namespace onepass
+
+int main(int argc, char** argv) {
+  using namespace onepass;
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+
+  std::printf(
+      "=== Table 4: sessionization, INC vs DINC under varying state size "
+      "===\n\n");
+
+  const ClickStreamConfig clicks = bench::ScaledClicks(flags.scale);
+  ChunkStore input((256 << 10), bench::PaperCluster().nodes);
+  GenerateClickStream(clicks, &input);
+
+  const Row inc_small = Run(EngineKind::kIncHash, 512, input);
+  const Row inc_big = Run(EngineKind::kIncHash, 2048, input);
+  const Row dinc = Run(EngineKind::kDincHash, 2048, input);
+
+  bench::PrintRow("", "INC (0.5KB)", "INC (2KB)", "DINC (2KB)");
+  bench::PrintRow("Running time (s)", bench::Secs(inc_small.time),
+                  bench::Secs(inc_big.time), bench::Secs(dinc.time));
+  bench::PrintRow("Reduce spill (MB)", bench::Mb(inc_small.spill),
+                  bench::Mb(inc_big.spill), bench::Mb(dinc.spill));
+
+  // §6.2 epilogue: DINC vs stock Hadoop.
+  const Row stock = RunStock(input);
+  std::printf(
+      "\n--- §6.2 headline: DINC-hash vs stock Hadoop (sort-merge, F=8) "
+      "---\n");
+  std::printf("stock Hadoop: running time %.1f s, reduce spill %s MB\n",
+              stock.time, bench::Mb(stock.spill).c_str());
+  std::printf(
+      "DINC-hash:    running time %.1f s (maps finished at %.1f s), "
+      "reduce spill %s MB\n",
+      dinc.time, dinc.map_finish, bench::Mb(dinc.spill).c_str());
+  const double spill_ratio =
+      dinc.spill > 0
+          ? static_cast<double>(stock.spill) / static_cast<double>(dinc.spill)
+          : 0;
+  std::printf(
+      "spill reduction: %.0fx (paper: 370 GB -> 0.1 GB, ~3 orders of "
+      "magnitude)\n",
+      spill_ratio);
+  std::printf(
+      "DINC reducers finish %.2f s after the last mapper (paper: \"as soon "
+      "as all mappers finish\")\n",
+      dinc.time - dinc.map_finish);
+  std::printf(
+      "\npaper shape check: spill(INC 2KB) >> spill(INC 0.5KB) >> "
+      "spill(DINC) ~ 0;\nDINC is the fastest and ends with the maps.\n");
+  (void)flags;
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Minimal logging and CHECK macros.
+//
+// CHECK* macros guard programmer invariants and abort with a message on
+// violation; they are always on (the cost is negligible for this library).
+// LOG(level) writes a line to stderr; levels below the global threshold are
+// compiled to a no-op stream.
+
+#ifndef ONEPASS_COMMON_LOGGING_H_
+#define ONEPASS_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace onepass {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets / gets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace onepass
+
+#define ONEPASS_LOG(level)                                              \
+  ::onepass::internal::LogMessage(::onepass::LogLevel::k##level,        \
+                                  __FILE__, __LINE__)
+
+#define CHECK(condition)                                                \
+  if (!(condition))                                                     \
+  ::onepass::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define CHECK_OP_(a, b, op)                                             \
+  CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define CHECK_EQ(a, b) CHECK_OP_(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP_(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP_(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP_(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP_(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP_(a, b, >=)
+
+// Aborts if a Status expression is not OK. For use in tests, examples, and
+// benches where propagating the error has no value.
+#define CHECK_OK(expr)                                                  \
+  do {                                                                  \
+    ::onepass::Status _st = (expr);                                     \
+    CHECK(_st.ok()) << _st.ToString();                                  \
+  } while (0)
+
+#endif  // ONEPASS_COMMON_LOGGING_H_

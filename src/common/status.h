@@ -1,0 +1,198 @@
+// Status and Result<T>: the library-wide error-handling idiom.
+//
+// Following the Arrow / RocksDB convention, fallible operations return a
+// Status (or Result<T> when they produce a value). Exceptions are not used on
+// library paths; CHECK-style macros abort on programmer errors.
+
+#ifndef ONEPASS_COMMON_STATUS_H_
+#define ONEPASS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace onepass {
+
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kResourceExhausted = 4,
+  kFailedPrecondition = 5,
+  kOutOfRange = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kIOError = 9,
+  kCorruption = 10,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+// A Status holds either success ("OK") or an error code plus message.
+// The OK state is represented by a null rep so that passing around OK
+// statuses is free of allocation.
+class [[nodiscard]] Status {
+ public:
+  // Creates an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so Status is cheap to copy; error statuses are rare and small.
+  std::shared_ptr<const Rep> rep_;
+};
+
+// Result<T> holds either a value or an error Status (never an OK status).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Constructs from a value (implicit, to allow `return value;`).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  // Constructs from an error status. Aborts if `status` is OK.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(var_).ok()) {
+      Abort("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  // Value accessors. Abort if this Result holds an error.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) Abort(std::get<Status>(var_).ToString());
+  }
+  [[noreturn]] static void Abort(const std::string& msg);
+
+  std::variant<T, Status> var_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithMessage(const char* what, const std::string& msg);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Abort(const std::string& msg) {
+  internal::AbortWithMessage("Result", msg);
+}
+
+}  // namespace onepass
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is an error.
+#define RETURN_IF_ERROR(expr)                      \
+  do {                                             \
+    ::onepass::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+// Evaluates `rexpr` (a Result<T> expression); on error returns its status,
+// otherwise moves the value into `lhs`.
+#define ASSIGN_OR_RETURN(lhs, rexpr)               \
+  ASSIGN_OR_RETURN_IMPL_(                          \
+      ONEPASS_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                           \
+  if (!result.ok()) return result.status();        \
+  lhs = std::move(result).value()
+
+#define ONEPASS_CONCAT_INNER_(a, b) a##b
+#define ONEPASS_CONCAT_(a, b) ONEPASS_CONCAT_INNER_(a, b)
+
+#endif  // ONEPASS_COMMON_STATUS_H_

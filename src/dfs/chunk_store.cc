@@ -1,0 +1,33 @@
+#include "src/dfs/chunk_store.h"
+
+#include "src/common/logging.h"
+
+namespace onepass {
+
+ChunkStore::ChunkStore(uint64_t chunk_bytes, int nodes)
+    : chunk_bytes_(chunk_bytes), nodes_(nodes) {
+  CHECK_GT(chunk_bytes, 0u);
+  CHECK_GE(nodes, 1);
+}
+
+void ChunkStore::Append(std::string_view key, std::string_view value) {
+  current_.Append(key, value);
+  total_bytes_ += RecordBytes(key, value);
+  ++total_records_;
+  if (current_.bytes() >= chunk_bytes_) CutChunk();
+}
+
+void ChunkStore::Seal() {
+  if (!current_.empty()) CutChunk();
+}
+
+void ChunkStore::CutChunk() {
+  Chunk c;
+  c.node = next_node_;
+  next_node_ = (next_node_ + 1) % nodes_;
+  c.records = std::move(current_);
+  current_ = KvBuffer();
+  chunks_.push_back(std::move(c));
+}
+
+}  // namespace onepass

@@ -1,0 +1,54 @@
+// A miniature distributed-file-system namespace for job input.
+//
+// Mirrors HDFS's role in the paper (§2.2): input is stored as fixed-size
+// chunks ("blocks", 64 MB in stock Hadoop) and each chunk's home node
+// determines where its map task runs (block-level, data-local scheduling).
+// Chunks are placed round-robin across nodes.
+
+#ifndef ONEPASS_DFS_CHUNK_STORE_H_
+#define ONEPASS_DFS_CHUNK_STORE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/util/kv_buffer.h"
+
+namespace onepass {
+
+struct Chunk {
+  int node = 0;       // home node (map task locality)
+  KvBuffer records;   // input records of this chunk
+};
+
+class ChunkStore {
+ public:
+  // chunk_bytes: the DFS block size (the paper's C); nodes: cluster size.
+  ChunkStore(uint64_t chunk_bytes, int nodes);
+
+  // Appends an input record; cuts a new chunk when the current one reaches
+  // the block size. Records are not split across chunks.
+  void Append(std::string_view key, std::string_view value);
+
+  // Finishes the in-progress chunk. Call once after the last Append.
+  void Seal();
+
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_records() const { return total_records_; }
+
+ private:
+  void CutChunk();
+
+  uint64_t chunk_bytes_;
+  int nodes_;
+  int next_node_ = 0;
+  KvBuffer current_;
+  std::vector<Chunk> chunks_;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_records_ = 0;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_DFS_CHUNK_STORE_H_

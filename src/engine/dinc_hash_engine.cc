@@ -1,0 +1,273 @@
+#include "src/engine/dinc_hash_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/engine/inc_hash_engine.h"
+
+namespace onepass {
+
+namespace {
+constexpr int kMaxRecursionDepth = 16;
+constexpr int kDefaultBuckets = 16;
+// How many of the coldest monitored slots the proactive eviction hook
+// examines per miss (amortized O(1) per tuple).
+constexpr int kExpirySweep = 4;
+}  // namespace
+
+DincHashEngine::DincHashEngine(const EngineContext& ctx)
+    : GroupByEngine(ctx), h3_(ctx.hashes.At(2)) {
+  CHECK(ctx.inc != nullptr) << "DINC-hash requires an IncrementalReducer";
+  const JobConfig& cfg = *ctx.config;
+  const uint64_t entry_cost = ctx.inc->StateBytesHint() + 16 /*avg key*/ +
+                              cfg.resident_entry_overhead;
+  // Pick h so each bucket's distinct keys fit in memory when read back
+  // (the paper: "setting h as small as possible increases s").
+  num_buckets_ =
+      cfg.expected_keys_per_reducer > 0
+          ? IncHashEngine::ChooseNumBuckets(cfg.expected_keys_per_reducer,
+                                            cfg.reduce_memory_bytes,
+                                            entry_cost,
+                                            cfg.bucket_page_bytes)
+          : kDefaultBuckets;
+  const uint64_t page = IncHashEngine::ClampedPageBytes(
+      cfg.bucket_page_bytes, cfg.reduce_memory_bytes, num_buckets_);
+  const uint64_t reserved = std::min<uint64_t>(
+      cfg.reduce_memory_bytes, static_cast<uint64_t>(num_buckets_) * page);
+  capacity_entries_ =
+      std::max<uint64_t>(1, (cfg.reduce_memory_bytes - reserved) / entry_cost);
+  sketch_ = std::make_unique<FrequentSketch>(capacity_entries_);
+  states_.resize(capacity_entries_);
+  buckets_ = std::make_unique<BucketFileManager>(num_buckets_, page,
+                                                 ctx_.trace, ctx_.metrics);
+}
+
+void DincHashEngine::SpillState(std::string_view key, std::string* state) {
+  if (ctx_.inc->TryDiscard(key, state, ctx_.out)) return;
+  buckets_->Add(static_cast<int>(h3_.Bucket(key, num_buckets_)), key,
+                *state);
+}
+
+Status DincHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
+  const CostModel& costs = ctx_.config->costs;
+  IncrementalReducer* inc = ctx_.inc;
+  ctx_.out->set_streaming(true);
+  KvBufferReader reader(segment);
+  std::string_view key, value;
+  uint64_t n = 0, combines = 0;
+  std::string tmp_state;
+  while (reader.Next(&key, &value)) {
+    ++n;
+    // Tuples arrive as key-state pairs (init ran map-side); otherwise
+    // initialize here.
+    std::string_view state = value;
+    if (!ctx_.values_are_states) {
+      tmp_state = inc->Init(key, value);
+      state = tmp_state;
+    }
+    const int found = sketch_->Find(key);
+    if (found >= 0) {
+      // Monitored: combine in memory.
+      sketch_->Hit(found);
+      inc->Combine(key, &states_[found], state);
+      inc->OnUpdate(key, &states_[found], ctx_.out);
+      ++combines;
+      ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
+                      /*d_reduce_work=*/1);
+      continue;
+    }
+    if (!sketch_->HasFreeSlot()) {
+      // Proactive eviction hook (§6.2): scan a few of the coldest slots
+      // and let the workload discard finished states (e.g. all-expired
+      // sessions are emitted, not spilled), freeing a slot for the new
+      // key before the FREQUENT policy has to spill anything.
+      for (int c : sketch_->ColdestSlots(kExpirySweep)) {
+        if (sketch_->Count(c) <= 1 &&
+            inc->TryDiscard(sketch_->Key(c), &states_[c], ctx_.out)) {
+          states_[c].clear();
+          sketch_->Release(c);
+          break;
+        }
+      }
+    }
+    if (sketch_->HasFreeSlot()) {
+      const int slot = sketch_->InsertIntoFree(key);
+      states_[slot].assign(state.data(), state.size());
+      inc->OnUpdate(key, &states_[slot], ctx_.out);
+      ++combines;
+      ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
+                      /*d_reduce_work=*/1);
+      continue;
+    }
+    if (sketch_->MinCount() == 0) {
+      // Classic FREQUENT eviction: displace a zero-count slot; its state
+      // is discarded or spilled.
+      const int slot = sketch_->MinSlot();
+      std::string old = std::move(states_[slot]);
+      const std::string evicted_key = sketch_->ReplaceSlot(slot, key);
+      SpillState(evicted_key, &old);
+      states_[slot].assign(state.data(), state.size());
+      inc->OnUpdate(key, &states_[slot], ctx_.out);
+      ++combines;
+      ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
+                      /*d_reduce_work=*/1);
+      continue;
+    }
+    // All counters > 0: decrement everyone, spill the tuple.
+    sketch_->DecrementAll();
+    buckets_->Add(static_cast<int>(h3_.Bucket(key, num_buckets_)), key,
+                  state);
+  }
+  ctx_.metrics->reduce_input_records += n;
+  ctx_.metrics->combine_invocations += combines;
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(n),
+                  OpTag::kShuffle);
+  ctx_.out->set_streaming(false);
+  return Status::OK();
+}
+
+Status DincHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
+                                     int depth) {
+  // Beyond the recursion bound (pathological hash collisions), finish in
+  // memory regardless of the budget rather than looping.
+  const bool force_in_memory = depth > kMaxRecursionDepth;
+  const JobConfig& cfg = *ctx_.config;
+  const CostModel& costs = cfg.costs;
+  IncrementalReducer* inc = ctx_.inc;
+  const uint64_t entry_cost = inc->StateBytesHint() + 16 +
+                              cfg.resident_entry_overhead;
+  const uint64_t capacity_bytes = capacity_entries_ * entry_cost;
+
+  std::unordered_map<std::string, std::string> table;
+  uint64_t bytes_used = 0, combines = 0;
+  bool overflow = false;
+  {
+    KvBufferReader reader(data);
+    std::string_view key, state;
+    while (reader.Next(&key, &state)) {
+      auto it = table.find(std::string(key));
+      if (it != table.end()) {
+        inc->Combine(key, &it->second, state);
+        ++combines;
+        continue;
+      }
+      const uint64_t entry = key.size() + inc->StateBytesHint() +
+                             cfg.resident_entry_overhead;
+      if (!force_in_memory && bytes_used + entry > capacity_bytes &&
+          !table.empty()) {
+        overflow = true;
+        break;
+      }
+      table.emplace(std::string(key), std::string(state));
+      bytes_used += entry;
+      ++combines;
+    }
+  }
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()) +
+                      costs.combine_record_s * static_cast<double>(combines),
+                  OpTag::kReduceFn);
+
+  if (!overflow) {
+    ctx_.metrics->combine_invocations += combines;
+    uint64_t fn_bytes = 0;
+    for (auto& [k, state] : table) {
+      inc->Finalize(k, state, ctx_.out);
+      fn_bytes += k.size() + state.size();
+      ctx_.trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+    }
+    ctx_.metrics->reduce_groups += table.size();
+    ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
+                    OpTag::kReduceFn);
+    return Status::OK();
+  }
+
+  table.clear();
+  const int sub = 4;
+  BucketFileManager subs(sub, cfg.bucket_page_bytes, ctx_.trace,
+                         ctx_.metrics);
+  const UniversalHash h = ctx_.hashes.At(level + 1);
+  KvBufferReader reader(data);
+  std::string_view key, state;
+  while (reader.Next(&key, &state)) {
+    subs.Add(static_cast<int>(h.Bucket(key, sub)), key, state);
+  }
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()),
+                  OpTag::kReduceFn);
+  data.Clear();
+  subs.FlushAll();
+  for (int b = 0; b < sub; ++b) {
+    KvBuffer sb = subs.TakeBucket(b);
+    if (sb.empty()) continue;
+    RETURN_IF_ERROR(ProcessBucket(std::move(sb), level + 1, depth + 1));
+  }
+  return Status::OK();
+}
+
+Status DincHashEngine::Finish() {
+  const CostModel& costs = ctx_.config->costs;
+  const JobConfig& cfg = *ctx_.config;
+  IncrementalReducer* inc = ctx_.inc;
+
+  if (cfg.dinc_coverage_threshold > 0) {
+    // Approximate early termination: return the partial computation for
+    // keys whose coverage lower bound reaches phi; skip the disk-resident
+    // buckets entirely.
+    uint64_t fn_bytes = 0;
+    for (size_t slot = 0; slot < capacity_entries_; ++slot) {
+      const int s = static_cast<int>(slot);
+      if (!sketch_->SlotOccupied(s)) continue;
+      if (sketch_->CoverageLowerBound(s) >= cfg.dinc_coverage_threshold) {
+        const std::string_view key = sketch_->Key(s);
+        inc->Finalize(key, states_[slot], ctx_.out);
+        fn_bytes += key.size() + states_[slot].size();
+        ++covered_keys_;
+        ctx_.trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+      }
+    }
+    ctx_.metrics->reduce_groups += covered_keys_;
+    ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
+                    OpTag::kReduceFn);
+    ctx_.out->Flush();
+    return Status::OK();
+  }
+
+  if (inc->FlushResidentStatesAtEnd()) {
+    // Exact mode for algebraic aggregates: a monitored key may also have
+    // tuples in the buckets (from periods it was unmonitored), so its
+    // resident state must merge with them there.
+    for (size_t slot = 0; slot < capacity_entries_; ++slot) {
+      const int s = static_cast<int>(slot);
+      if (!sketch_->SlotOccupied(s)) continue;
+      SpillState(sketch_->Key(s), &states_[slot]);
+      states_[slot].clear();
+    }
+  } else {
+    // The workload's Finalize is locally correct (e.g. sessionization):
+    // finalize resident states straight from memory.
+    uint64_t fn_bytes = 0, groups = 0;
+    for (size_t slot = 0; slot < capacity_entries_; ++slot) {
+      const int s = static_cast<int>(slot);
+      if (!sketch_->SlotOccupied(s)) continue;
+      const std::string_view key = sketch_->Key(s);
+      inc->Finalize(key, states_[slot], ctx_.out);
+      fn_bytes += key.size() + states_[slot].size();
+      ++groups;
+      ctx_.trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+    }
+    ctx_.metrics->reduce_groups += groups;
+    ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
+                    OpTag::kReduceFn);
+  }
+
+  buckets_->FlushAll();
+  for (int b = 0; b < num_buckets_; ++b) {
+    KvBuffer data = buckets_->TakeBucket(b);
+    if (data.empty()) continue;
+    RETURN_IF_ERROR(ProcessBucket(std::move(data), /*level=*/2, 0));
+  }
+  ctx_.out->Flush();
+  return Status::OK();
+}
+
+}  // namespace onepass

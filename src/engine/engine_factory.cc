@@ -1,0 +1,41 @@
+#include "src/engine/dinc_hash_engine.h"
+#include "src/engine/group_by_engine.h"
+#include "src/engine/inc_hash_engine.h"
+#include "src/engine/mr_hash_engine.h"
+#include "src/engine/sort_merge_engine.h"
+
+namespace onepass {
+
+Result<std::unique_ptr<GroupByEngine>> CreateGroupByEngine(
+    EngineKind kind, const EngineContext& ctx) {
+  switch (kind) {
+    case EngineKind::kSortMerge:
+      if (ctx.reducer == nullptr &&
+          !(ctx.inc != nullptr && ctx.values_are_states)) {
+        return Status::InvalidArgument(
+            "sort-merge needs a Reducer (or an IncrementalReducer with "
+            "map-side init)");
+      }
+      return std::unique_ptr<GroupByEngine>(new SortMergeEngine(ctx));
+    case EngineKind::kMRHash:
+      if (ctx.reducer == nullptr) {
+        return Status::InvalidArgument("MR-hash needs a Reducer");
+      }
+      return std::unique_ptr<GroupByEngine>(new MRHashEngine(ctx));
+    case EngineKind::kIncHash:
+      if (ctx.inc == nullptr) {
+        return Status::InvalidArgument(
+            "INC-hash needs an IncrementalReducer");
+      }
+      return std::unique_ptr<GroupByEngine>(new IncHashEngine(ctx));
+    case EngineKind::kDincHash:
+      if (ctx.inc == nullptr) {
+        return Status::InvalidArgument(
+            "DINC-hash needs an IncrementalReducer");
+      }
+      return std::unique_ptr<GroupByEngine>(new DincHashEngine(ctx));
+  }
+  return Status::InvalidArgument("unknown engine kind");
+}
+
+}  // namespace onepass

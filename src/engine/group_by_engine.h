@@ -1,0 +1,103 @@
+// GroupByEngine: the pluggable reduce-side group-by implementation.
+//
+// A reduce task feeds its engine one shuffle delivery (a KvBuffer segment
+// from a finished map task) at a time via Consume(), then calls Finish()
+// once all input has arrived. The engine implements "group data by key,
+// then apply the reduce function to each group" — this is exactly the
+// component the paper swaps out: Hadoop's sort-merge vs the hash-based
+// family (MR-hash / INC-hash / DINC-hash).
+//
+// Engines run on the real data plane: they move actual bytes through
+// buffers, spill files, and merges, while charging every CPU and I/O cost
+// to the task's CostTrace for the simulated time plane.
+
+#ifndef ONEPASS_ENGINE_GROUP_BY_ENGINE_H_
+#define ONEPASS_ENGINE_GROUP_BY_ENGINE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mr/api.h"
+#include "src/mr/config.h"
+#include "src/mr/cost_trace.h"
+#include "src/mr/metrics.h"
+#include "src/mr/output.h"
+#include "src/util/hash.h"
+#include "src/util/kv_buffer.h"
+
+namespace onepass {
+
+struct EngineContext {
+  TraceRecorder* trace = nullptr;
+  JobMetrics* metrics = nullptr;
+  OutputCollector* out = nullptr;
+  const JobConfig* config = nullptr;
+  // Per-job independent hash family; levels 1+ belong to the reduce side
+  // (level 0 is the map-side partitioner h1).
+  UniversalHashFamily hashes{0};
+  // Exactly one of these is set, matching the engine's API contract.
+  Reducer* reducer = nullptr;
+  IncrementalReducer* inc = nullptr;
+  // True when the map side already applied the initialize function, so the
+  // incoming "values" are states that Combine() can fold directly.
+  bool values_are_states = false;
+};
+
+class GroupByEngine {
+ public:
+  explicit GroupByEngine(const EngineContext& ctx) : ctx_(ctx) {}
+  virtual ~GroupByEngine() = default;
+
+  GroupByEngine(const GroupByEngine&) = delete;
+  GroupByEngine& operator=(const GroupByEngine&) = delete;
+
+  // Feeds one shuffle delivery. `sorted` is true when the segment is
+  // key-ordered (sort-merge map output).
+  virtual Status Consume(const KvBuffer& segment, bool sorted) = 0;
+
+  // Completes the group-by after the last delivery: drains spills, applies
+  // the reduce/finalize function to every group, and emits all output.
+  virtual Status Finish() = 0;
+
+  // Produces a snapshot of the answer over the data received so far
+  // (MapReduce Online's periodic snapshots, §3.3(4)). Non-destructive.
+  // The sort-merge implementation re-runs the merge over everything
+  // received — the expensive, non-incremental behaviour the paper calls
+  // out; incremental engines emit continuously and need no snapshots, so
+  // the default is a no-op.
+  virtual Status Snapshot() { return Status::OK(); }
+
+ protected:
+  EngineContext ctx_;
+};
+
+// Creates the engine implementing `kind`. The context must carry a Reducer
+// for kSortMerge/kMRHash and an IncrementalReducer for kIncHash/kDincHash
+// (kSortMerge may additionally carry an IncrementalReducer to act as the
+// reduce-side combiner).
+Result<std::unique_ptr<GroupByEngine>> CreateGroupByEngine(
+    EngineKind kind, const EngineContext& ctx);
+
+// ValueIterator over a vector of views (used when a key's values have been
+// collected in memory).
+class VectorValueIterator : public ValueIterator {
+ public:
+  explicit VectorValueIterator(const std::vector<std::string_view>* values)
+      : values_(values) {}
+
+  bool Next(std::string_view* value) override {
+    if (pos_ >= values_->size()) return false;
+    *value = (*values_)[pos_++];
+    return true;
+  }
+
+ private:
+  const std::vector<std::string_view>* values_;
+  size_t pos_ = 0;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_ENGINE_GROUP_BY_ENGINE_H_

@@ -1,0 +1,240 @@
+#include "src/engine/inc_hash_engine.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace onepass {
+
+namespace {
+constexpr int kMaxRecursionDepth = 16;
+constexpr int kDefaultBuckets = 16;
+}  // namespace
+
+uint64_t IncHashEngine::ClampedPageBytes(uint64_t page_bytes,
+                                         uint64_t memory_bytes, int h) {
+  // Write buffers never take more than half the memory; keep pages at
+  // least 512 bytes so flushes stay page-sized.
+  const uint64_t cap = memory_bytes / (2 * std::max(1, h));
+  return std::max<uint64_t>(512, std::min(page_bytes, cap));
+}
+
+int IncHashEngine::ChooseNumBuckets(uint64_t expected_keys,
+                                    uint64_t memory_bytes,
+                                    uint64_t entry_cost,
+                                    uint64_t page_bytes) {
+  // Capacity in resident entries with h pages reserved for write buffers:
+  // pick the smallest h with expected_keys/h <= capacity(h), so each bucket
+  // file's distinct keys fit in memory when read back (§4.3's h = K/(B*n_p)
+  // sizing). Pages are clamped so buffers never crowd out the state table.
+  int last_feasible = 1;
+  for (int h = 1; h < 1 << 20; ++h) {
+    const uint64_t page = ClampedPageBytes(page_bytes, memory_bytes, h);
+    const uint64_t reserved = static_cast<uint64_t>(h) * page;
+    if (reserved >= memory_bytes) break;  // no room left for states
+    const uint64_t capacity = (memory_bytes - reserved) / entry_cost;
+    if (capacity == 0) break;
+    last_feasible = h;
+    if (expected_keys / static_cast<uint64_t>(h) <= capacity) return h;
+  }
+  // Memory is too small to make every bucket fit; use the most buckets the
+  // memory allows (recursion handles oversized buckets).
+  return last_feasible;
+}
+
+IncHashEngine::IncHashEngine(const EngineContext& ctx)
+    : GroupByEngine(ctx), h3_(ctx.hashes.At(2)) {
+  CHECK(ctx.inc != nullptr) << "INC-hash requires an IncrementalReducer";
+  const JobConfig& cfg = *ctx.config;
+  const uint64_t entry_cost = ctx.inc->StateBytesHint() + 16 /*avg key*/ +
+                              cfg.resident_entry_overhead;
+  num_buckets_ =
+      cfg.expected_keys_per_reducer > 0
+          ? ChooseNumBuckets(cfg.expected_keys_per_reducer,
+                             cfg.reduce_memory_bytes, entry_cost,
+                             cfg.bucket_page_bytes)
+          : kDefaultBuckets;
+  const uint64_t page = ClampedPageBytes(cfg.bucket_page_bytes,
+                                         cfg.reduce_memory_bytes,
+                                         num_buckets_);
+  const uint64_t reserved = std::min<uint64_t>(
+      cfg.reduce_memory_bytes, static_cast<uint64_t>(num_buckets_) * page);
+  capacity_bytes_ = cfg.reduce_memory_bytes - reserved;
+  buckets_ = std::make_unique<BucketFileManager>(num_buckets_, page,
+                                                 ctx_.trace, ctx_.metrics);
+}
+
+Status IncHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
+  const CostModel& costs = ctx_.config->costs;
+  IncrementalReducer* inc = ctx_.inc;
+  ctx_.out->set_streaming(true);
+  KvBufferReader reader(segment);
+  std::string_view key, value;
+  uint64_t n = 0, combines = 0, spills = 0;
+  while (reader.Next(&key, &value)) {
+    ++n;
+    auto it = states_.find(std::string(key));
+    if (it != states_.end()) {
+      const uint64_t before = it->second.size();
+      if (ctx_.values_are_states) {
+        inc->Combine(key, &it->second, value);
+      } else {
+        const std::string state = inc->Init(key, value);
+        inc->Combine(key, &it->second, state);
+      }
+      inc->OnUpdate(key, &it->second, ctx_.out);
+      // States are budgeted at their hint size; growth beyond the hint is
+      // still tracked so memory accounting cannot be gamed.
+      if (it->second.size() > inc->StateBytesHint() &&
+          it->second.size() > before) {
+        resident_bytes_ += it->second.size() - std::max<uint64_t>(
+                                                   before,
+                                                   inc->StateBytesHint());
+      }
+      ++combines;
+      ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
+                      /*d_reduce_work=*/1);
+    } else {
+      const uint64_t entry = key.size() + inc->StateBytesHint() +
+                             ctx_.config->resident_entry_overhead;
+      if (resident_bytes_ + entry <= capacity_bytes_) {
+        std::string state = ctx_.values_are_states
+                                ? std::string(value)
+                                : inc->Init(key, value);
+        inc->OnUpdate(key, &state, ctx_.out);
+        states_.emplace(std::string(key), std::move(state));
+        resident_bytes_ += entry;
+        ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
+                        /*d_reduce_work=*/1);
+        ++combines;
+      } else {
+        // Overflow tuple: stage to the appropriate disk bucket.
+        ++spills;
+        if (ctx_.values_are_states) {
+          buckets_->Add(static_cast<int>(h3_.Bucket(key, num_buckets_)),
+                        key, value);
+        } else {
+          const std::string state = inc->Init(key, value);
+          buckets_->Add(static_cast<int>(h3_.Bucket(key, num_buckets_)),
+                        key, state);
+        }
+      }
+    }
+  }
+  ctx_.metrics->reduce_input_records += n;
+  ctx_.metrics->combine_invocations += combines;
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(n),
+                  OpTag::kShuffle);
+  ctx_.out->set_streaming(false);
+  (void)spills;
+  return Status::OK();
+}
+
+Status IncHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
+                                    int depth) {
+  // Beyond the recursion bound (pathological hash collisions), finish in
+  // memory regardless of the budget rather than looping.
+  const bool force_in_memory = depth > kMaxRecursionDepth;
+  const JobConfig& cfg = *ctx_.config;
+  const CostModel& costs = cfg.costs;
+  IncrementalReducer* inc = ctx_.inc;
+
+  // Attempt to build the full state table in memory.
+  std::unordered_map<std::string, std::string> table;
+  uint64_t bytes_used = 0;
+  uint64_t combines = 0;
+  bool overflow = false;
+  {
+    KvBufferReader reader(data);
+    std::string_view key, state;
+    while (reader.Next(&key, &state)) {
+      auto it = table.find(std::string(key));
+      if (it != table.end()) {
+        inc->Combine(key, &it->second, state);
+        ++combines;
+        continue;
+      }
+      const uint64_t entry = key.size() + inc->StateBytesHint() +
+                             cfg.resident_entry_overhead;
+      if (!force_in_memory && bytes_used + entry > capacity_bytes_ &&
+          !table.empty()) {
+        overflow = true;
+        break;
+      }
+      table.emplace(std::string(key), std::string(state));
+      bytes_used += entry;
+      ++combines;
+    }
+  }
+  // CPU for the attempt is spent either way.
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()) +
+                      costs.combine_record_s * static_cast<double>(combines),
+                  OpTag::kReduceFn);
+
+  if (!overflow) {
+    ctx_.metrics->combine_invocations += combines;
+    uint64_t fn_bytes = 0;
+    for (auto& [k, state] : table) {
+      inc->Finalize(k, state, ctx_.out);
+      fn_bytes += k.size() + state.size();
+      ctx_.trace->Cpu(0.0, OpTag::kReduceFn,
+                      /*d_reduce_work=*/1);
+    }
+    ctx_.metrics->reduce_groups += table.size();
+    ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
+                    OpTag::kReduceFn);
+    return Status::OK();
+  }
+
+  // The bucket's keys exceed memory: repartition with the next hash level.
+  table.clear();
+  const int sub = 4;
+  BucketFileManager subs(sub, cfg.bucket_page_bytes, ctx_.trace,
+                         ctx_.metrics);
+  const UniversalHash h = ctx_.hashes.At(level + 1);
+  KvBufferReader reader(data);
+  std::string_view key, state;
+  while (reader.Next(&key, &state)) {
+    subs.Add(static_cast<int>(h.Bucket(key, sub)), key, state);
+  }
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()),
+                  OpTag::kReduceFn);
+  data.Clear();
+  subs.FlushAll();
+  for (int b = 0; b < sub; ++b) {
+    KvBuffer sb = subs.TakeBucket(b);
+    if (sb.empty()) continue;
+    RETURN_IF_ERROR(ProcessBucket(std::move(sb), level + 1, depth + 1));
+  }
+  return Status::OK();
+}
+
+Status IncHashEngine::Finish() {
+  const CostModel& costs = ctx_.config->costs;
+  IncrementalReducer* inc = ctx_.inc;
+  // Resident keys never spilled a tuple, so finalizing them from memory is
+  // exact — and immediate, which is what lets INC-hash emit results the
+  // moment the maps finish.
+  uint64_t fn_bytes = 0;
+  for (auto& [key, state] : states_) {
+    inc->Finalize(key, state, ctx_.out);
+    fn_bytes += key.size() + state.size();
+    ctx_.trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+  }
+  ctx_.metrics->reduce_groups += states_.size();
+  ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
+                  OpTag::kReduceFn);
+  states_.clear();
+  resident_bytes_ = 0;
+
+  buckets_->FlushAll();
+  for (int b = 0; b < num_buckets_; ++b) {
+    KvBuffer data = buckets_->TakeBucket(b);
+    if (data.empty()) continue;
+    RETURN_IF_ERROR(ProcessBucket(std::move(data), /*level=*/2, 0));
+  }
+  ctx_.out->Flush();
+  return Status::OK();
+}
+
+}  // namespace onepass

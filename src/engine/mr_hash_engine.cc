@@ -1,0 +1,206 @@
+#include "src/engine/mr_hash_engine.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/engine/inc_hash_engine.h"
+
+namespace onepass {
+
+namespace {
+constexpr int kMaxRecursionDepth = 16;
+constexpr int kDefaultBuckets = 16;
+}  // namespace
+
+int MRHashEngine::ChooseNumBuckets(uint64_t expected_bytes,
+                                   uint64_t memory_bytes,
+                                   uint64_t page_bytes) {
+  // Keep a safety margin for the in-memory group-by table built over D1.
+  const double fill = 0.8;
+  const double usable = fill * static_cast<double>(memory_bytes);
+  if (static_cast<double>(expected_bytes) <= usable) return 0;
+  // Smallest h with (expected - D1)/h <= usable, where D1 = usable minus
+  // the h (clamped) write-buffer pages.
+  int last_feasible = 1;
+  for (int h = 1; h < 1 << 20; ++h) {
+    const double page = static_cast<double>(
+        IncHashEngine::ClampedPageBytes(page_bytes, memory_bytes, h));
+    const double d1 = usable - static_cast<double>(h) * page;
+    if (d1 <= 0) break;
+    last_feasible = h;
+    const double per_bucket =
+        (static_cast<double>(expected_bytes) - d1) / static_cast<double>(h);
+    if (per_bucket <= usable) return h;
+  }
+  return last_feasible;
+}
+
+MRHashEngine::MRHashEngine(const EngineContext& ctx)
+    : GroupByEngine(ctx), h2_(ctx.hashes.At(1)) {
+  const JobConfig& cfg = *ctx.config;
+  const uint64_t expected = cfg.expected_bytes_per_reducer;
+  num_disk_buckets_ =
+      expected > 0 ? ChooseNumBuckets(expected, cfg.reduce_memory_bytes,
+                                      cfg.bucket_page_bytes)
+                   : kDefaultBuckets;
+  const uint64_t page =
+      num_disk_buckets_ > 0
+          ? IncHashEngine::ClampedPageBytes(cfg.bucket_page_bytes,
+                                            cfg.reduce_memory_bytes,
+                                            num_disk_buckets_)
+          : 0;
+  d1_capacity_bytes_ =
+      cfg.reduce_memory_bytes -
+      std::min<uint64_t>(cfg.reduce_memory_bytes,
+                         static_cast<uint64_t>(num_disk_buckets_) * page);
+  if (num_disk_buckets_ > 0) {
+    buckets_ = std::make_unique<BucketFileManager>(num_disk_buckets_, page,
+                                                   ctx_.trace, ctx_.metrics);
+  }
+}
+
+Status MRHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
+  const CostModel& costs = ctx_.config->costs;
+  KvBufferReader reader(segment);
+  std::string_view key, value;
+  uint64_t n = 0;
+  while (reader.Next(&key, &value)) {
+    ++n;
+    // Bucket 0 is D1 (in memory); 1..h map to disk buckets.
+    const uint64_t bucket =
+        num_disk_buckets_ == 0
+            ? 0
+            : h2_.Bucket(key, static_cast<uint64_t>(num_disk_buckets_) + 1);
+    if (bucket == 0) {
+      if (num_disk_buckets_ == 0) {
+        // No disk buckets were provisioned; keep growing D1 (models an
+        // under-estimated input; recursion handles oversized disk buckets
+        // the same way).
+        d1_.Append(key, value);
+      } else if (!d1_demoted_ &&
+                 d1_.bytes() + RecordBytes(key, value) <=
+                     d1_capacity_bytes_) {
+        d1_.Append(key, value);
+      } else {
+        // D1 under-provisioned: demote the whole bucket to disk so every
+        // record of a bucket-0 key lives in one place (a key split between
+        // memory and disk would be reduced twice).
+        if (!d1_demoted_) {
+          d1_demoted_ = true;
+          KvBufferReader d1_reader(d1_);
+          std::string_view dk, dv;
+          while (d1_reader.Next(&dk, &dv)) buckets_->Add(0, dk, dv);
+          d1_.Clear();
+        }
+        buckets_->Add(0, key, value);
+      }
+    } else {
+      buckets_->Add(static_cast<int>(bucket - 1), key, value);
+    }
+  }
+  ctx_.metrics->reduce_input_records += n;
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(n),
+                  OpTag::kShuffle);
+  return Status::OK();
+}
+
+void MRHashEngine::ProcessInMemory(const KvBuffer& data, uint64_t level) {
+  // Group by key with the level's hash function (h3, h5, ...): an
+  // unordered_map keyed by the key bytes, seeded per level.
+  const CostModel& costs = ctx_.config->costs;
+  std::unordered_map<std::string_view, std::vector<std::string_view>> groups;
+  groups.reserve(static_cast<size_t>(data.count()));
+  KvBufferReader reader(data);
+  std::string_view key, value;
+  while (reader.Next(&key, &value)) {
+    groups[key].push_back(value);
+  }
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()),
+                  OpTag::kReduceFn);
+  uint64_t fn_bytes = 0;
+  for (auto& [k, values] : groups) {
+    VectorValueIterator it(&values);
+    ctx_.reducer->Reduce(k, &it, ctx_.out);
+    fn_bytes += k.size();
+    for (auto v : values) fn_bytes += v.size();
+    ctx_.trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+  }
+  ctx_.metrics->reduce_groups += groups.size();
+  ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
+                  OpTag::kReduceFn);
+  (void)level;
+}
+
+Status MRHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
+                                   int depth) {
+  const JobConfig& cfg = *ctx_.config;
+  if (data.bytes() <= static_cast<uint64_t>(0.8 * cfg.reduce_memory_bytes)) {
+    ProcessInMemory(data, level);
+    return Status::OK();
+  }
+  // Recursive partitioning cannot split a single key, and pathological
+  // collisions could stall progress; in either case fall back to an
+  // in-memory pass (the values-list API needs the key's values together
+  // anyway — this models the reducer growing its working set, which is
+  // what any real hybrid-hash implementation must do for oversized keys).
+  bool single_key = true;
+  {
+    KvBufferReader probe(data);
+    std::string_view first_key, k, v;
+    if (probe.Next(&first_key, &v)) {
+      while (probe.Next(&k, &v)) {
+        if (k != first_key) {
+          single_key = false;
+          break;
+        }
+      }
+    }
+  }
+  if (single_key || depth > kMaxRecursionDepth) {
+    ProcessInMemory(data, level);
+    return Status::OK();
+  }
+  // Recursive partitioning with the next independent hash function.
+  const int sub = ChooseNumBuckets(data.bytes(), cfg.reduce_memory_bytes,
+                                   cfg.bucket_page_bytes) +
+                  1;
+  BucketFileManager subs(sub, cfg.bucket_page_bytes, ctx_.trace,
+                         ctx_.metrics);
+  const UniversalHash h = ctx_.hashes.At(level);
+  KvBufferReader reader(data);
+  std::string_view key, value;
+  while (reader.Next(&key, &value)) {
+    subs.Add(static_cast<int>(h.Bucket(key, sub)), key, value);
+  }
+  ctx_.trace->Cpu(
+      cfg.costs.hash_record_s * static_cast<double>(data.count()),
+      OpTag::kReduceFn);
+  data.Clear();
+  subs.FlushAll();
+  for (int b = 0; b < sub; ++b) {
+    KvBuffer sb = subs.TakeBucket(b);
+    if (sb.empty()) continue;
+    RETURN_IF_ERROR(ProcessBucket(std::move(sb), level + 1, depth + 1));
+  }
+  return Status::OK();
+}
+
+Status MRHashEngine::Finish() {
+  // Phase 1: the memory-resident bucket.
+  ProcessInMemory(d1_, /*level=*/2);
+  d1_.Clear();
+  // Phase 2: disk buckets, one at a time, recursing as needed.
+  if (buckets_ != nullptr) {
+    buckets_->FlushAll();
+    for (int b = 0; b < buckets_->num_buckets(); ++b) {
+      KvBuffer data = buckets_->TakeBucket(b);
+      if (data.empty()) continue;
+      RETURN_IF_ERROR(ProcessBucket(std::move(data), /*level=*/3, 0));
+    }
+  }
+  ctx_.out->Flush();
+  return Status::OK();
+}
+
+}  // namespace onepass

@@ -1,0 +1,60 @@
+// SortMergeEngine: the Hadoop baseline reduce side (§2.2).
+//
+// Sorted map-output segments accumulate in the shuffle buffer (B_r bytes).
+// When the buffer fills, the segments are merged into one sorted run and
+// spilled to disk (applying the combine function first when the workload
+// has one, as Hadoop does). A background multi-pass merge combines the
+// smallest F on-disk runs whenever 2F-1 files exist (the paper's Fig. 3
+// policy, shared with the analytical model via MergeScheduler).
+//
+// Only at Finish() — after ALL input has arrived and the multi-pass merge
+// has produced at most 2F-1 runs — does the final merge stream records in
+// key order into the reduce function. This is precisely the blocking
+// behaviour the paper attacks: no reduce work, and no output, can happen
+// before the merge completes.
+
+#ifndef ONEPASS_ENGINE_SORT_MERGE_ENGINE_H_
+#define ONEPASS_ENGINE_SORT_MERGE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/group_by_engine.h"
+#include "src/model/merge_tree.h"
+#include "src/util/kv_buffer.h"
+
+namespace onepass {
+
+class SortMergeEngine : public GroupByEngine {
+ public:
+  explicit SortMergeEngine(const EngineContext& ctx);
+
+  Status Consume(const KvBuffer& segment, bool sorted) override;
+  Status Finish() override;
+  // Re-merges everything received so far and applies the reduce function,
+  // writing a snapshot answer (charged as I/O + CPU, discarded from the
+  // data plane). Does not modify the engine's state.
+  Status Snapshot() override;
+
+ private:
+  // Merges the buffered segments into one sorted run (combining if
+  // enabled) and spills it to disk; may trigger a background merge.
+  void SpillBuffered();
+  // Collapses a group's values into one combined state (combiner path).
+  std::string CombineGroup(std::string_view key,
+                           const std::vector<std::string_view>& values,
+                           uint64_t* combines);
+
+  // In-memory sorted segments awaiting merge.
+  std::vector<KvBuffer> buffered_;
+  uint64_t buffered_bytes_ = 0;
+  // On-disk sorted runs, indexed by MergeScheduler file id. Entries
+  // consumed by background merges are cleared.
+  std::vector<KvBuffer> runs_;
+  MergeScheduler scheduler_;
+  bool use_combiner_;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_ENGINE_SORT_MERGE_ENGINE_H_

@@ -1,0 +1,17 @@
+#include "src/model/cost_model.h"
+
+#include <cmath>
+
+namespace onepass {
+
+double CostModel::SortCost(uint64_t n) const {
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  return sort_cmp_s * dn * std::log2(dn);
+}
+
+double CostModel::MergeCost(uint64_t n) const {
+  return merge_record_s * static_cast<double>(n);
+}
+
+}  // namespace onepass

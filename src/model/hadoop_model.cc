@@ -1,0 +1,111 @@
+#include "src/model/hadoop_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace onepass {
+
+double LambdaF(double n, double b, double f) {
+  CHECK_GT(f, 1.0);
+  if (n <= 0) return 0.0;
+  // A background merge first fires when the 2F-1'th spill file appears;
+  // with fewer runs the exact volume (each initial run written once) is
+  // n*b.
+  if (n <= 2 * f - 2) return n * b;
+  const double closed =
+      (n * n / (2 * f * (f - 1)) + 1.5 * n - f * f / (2 * (f - 1))) * b;
+  // The closed form can undershoot the trivial floor for n just above the
+  // threshold; never report less volume than the initial runs themselves.
+  return std::max(closed, n * b);
+}
+
+ByteCosts HadoopModel::Bytes(const HadoopSettings& s) const {
+  ByteCosts u;
+  const double n = h_.n_nodes;
+  u.map_input = w_.d_bytes / n;                              // U1
+  u.map_output = w_.d_bytes * w_.k_m / n;                    // U3
+  u.reduce_output = w_.d_bytes * w_.k_m * w_.k_r / n;        // U5
+
+  // U2: map internal spills (external sort) when C*K_m > B_m.
+  const double map_out_per_task = s.c * w_.k_m;
+  if (map_out_per_task > h_.b_m) {
+    const double runs = map_out_per_task / h_.b_m;
+    u.map_spill = 2.0 * (w_.d_bytes / (s.c * n)) * LambdaF(runs, h_.b_m, s.f);
+  }
+
+  // U4: reduce internal spills from the multi-pass merge. The paper's model
+  // assumes no combine function, so reduce input rarely fits in memory; when
+  // it does (beta <= 1) there is no spill.
+  const double beta = w_.d_bytes * w_.k_m / (n * s.r * h_.b_r);
+  if (beta > 1.0) {
+    u.reduce_spill = 2.0 * s.r * LambdaF(beta, h_.b_r, s.f);
+  }
+  return u;
+}
+
+double HadoopModel::Requests(const HadoopSettings& s) const {
+  // Proposition 3.2 (Eq. 3).
+  const double n = h_.n_nodes;
+  const double alpha = s.c * w_.k_m / h_.b_m;
+  const double beta = w_.d_bytes * w_.k_m / (n * s.r * h_.b_r);
+  const double sqf1 = std::sqrt(s.f) + 1.0;
+
+  double map_part = alpha + 1.0;
+  if (s.c * w_.k_m > h_.b_m) {
+    map_part += LambdaF(alpha, 1.0, s.f) * sqf1 * sqf1 + alpha - 1.0;
+  }
+  map_part *= w_.d_bytes / (s.c * n);
+
+  double reduce_part = beta * w_.k_r * sqf1 - beta * std::sqrt(s.f);
+  if (beta > 1.0) {
+    reduce_part += LambdaF(beta, 1.0, s.f) * sqf1 * sqf1;
+  }
+  reduce_part *= s.r;
+
+  return map_part + std::max(reduce_part, 0.0);
+}
+
+double HadoopModel::StartupCost(const HadoopSettings& s) const {
+  return costs_.task_start_s * w_.d_bytes / (s.c * h_.n_nodes);
+}
+
+double HadoopModel::TimeMeasurement(const HadoopSettings& s) const {
+  return costs_.disk_byte_s * Bytes(s).total() +
+         costs_.disk_seek_s * Requests(s) + StartupCost(s);
+}
+
+OptimalSettings OptimizeHadoopSettings(
+    const HadoopModel& model, const std::vector<double>& chunk_sizes,
+    const std::vector<double>& merge_factors, int r) {
+  OptimalSettings best;
+  best.time = std::numeric_limits<double>::infinity();
+  for (double c : chunk_sizes) {
+    for (double f : merge_factors) {
+      HadoopSettings s{r, c, f};
+      const double t = model.TimeMeasurement(s);
+      if (t < best.time) {
+        best.time = t;
+        best.settings = s;
+      }
+    }
+  }
+  return best;
+}
+
+double RecommendChunkSize(const HadoopWorkload& w, const HadoopHardware& h,
+                          const std::vector<double>& chunk_sizes) {
+  double best = 0;
+  for (double c : chunk_sizes) {
+    if (c * w.k_m <= h.b_m && c > best) best = c;
+  }
+  // If every candidate spills, fall back to the smallest one.
+  if (best == 0 && !chunk_sizes.empty()) {
+    best = chunk_sizes[0];
+    for (double c : chunk_sizes) best = std::min(best, c);
+  }
+  return best;
+}
+
+}  // namespace onepass

@@ -1,0 +1,111 @@
+// The paper's analytical model of Hadoop (§3.1, Propositions 3.1 and 3.2).
+//
+// Given a workload (D, K_m, K_r), hardware (N, B_m, B_r) and settings
+// (R, C, F), the model predicts:
+//   U — bytes read + written per node (Eq. 1), decomposed into the five
+//       I/O types of Table 2 (map input, map internal spills, map output,
+//       reduce internal spills, reduce output);
+//   S — number of sequential I/O requests per node (Eq. 3);
+//   T — the combined time measurement (Eq. 4):
+//       T = c_byte * U + c_seek * S + c_start * D/(C*N).
+//
+// The model is used to *tune* Hadoop (chunk size C, merge factor F, reducers
+// per node R) — §3.2 — and bench_fig4a/fig4b compare its predictions with
+// our simulator's measured running time, reproducing Fig. 4(a)/(b).
+
+#ifndef ONEPASS_MODEL_HADOOP_MODEL_H_
+#define ONEPASS_MODEL_HADOOP_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/cost_model.h"
+
+namespace onepass {
+
+// lambda_F(n, b) from Eq. 2: the per-file byte volume created by multi-pass
+// merge of n initial sorted runs of b bytes each with merge factor F.
+// The closed form is derived for the asymptotic tree regime; for n small
+// enough that no background merge happens (n <= 2F-1) the exact volume is
+// simply n*b, and we clamp to that floor so the model stays sensible at
+// small scale.
+double LambdaF(double n, double b, double f);
+
+struct HadoopWorkload {
+  double d_bytes = 0;  // input data size D
+  double k_m = 1.0;    // map output/input ratio
+  double k_r = 1.0;    // reduce output/input ratio
+};
+
+struct HadoopHardware {
+  int n_nodes = 10;       // N
+  double b_m = 0;         // map output buffer per task, bytes
+  double b_r = 0;         // shuffle buffer per reduce task, bytes
+};
+
+struct HadoopSettings {
+  int r = 4;              // reduce tasks per node
+  double c = 64 << 20;    // map input chunk size, bytes
+  double f = 10;          // merge factor
+};
+
+// Per-node byte I/O decomposition (Table 2's five U_i types).
+struct ByteCosts {
+  double map_input = 0;      // U1
+  double map_spill = 0;      // U2
+  double map_output = 0;     // U3
+  double reduce_spill = 0;   // U4
+  double reduce_output = 0;  // U5
+  double total() const {
+    return map_input + map_spill + map_output + reduce_spill + reduce_output;
+  }
+};
+
+class HadoopModel {
+ public:
+  HadoopModel(HadoopWorkload w, HadoopHardware h, CostModel costs = {})
+      : w_(w), h_(h), costs_(costs) {}
+
+  // Proposition 3.1: bytes read and written per node.
+  ByteCosts Bytes(const HadoopSettings& s) const;
+
+  // Proposition 3.2: number of sequential I/O requests per node.
+  double Requests(const HadoopSettings& s) const;
+
+  // Eq. 4: T = c_byte*U + c_seek*S + c_start*D/(C*N).
+  double TimeMeasurement(const HadoopSettings& s) const;
+
+  // Map startup cost per node: c_start * D/(C*N).
+  double StartupCost(const HadoopSettings& s) const;
+
+  const HadoopWorkload& workload() const { return w_; }
+  const HadoopHardware& hardware() const { return h_; }
+
+ private:
+  HadoopWorkload w_;
+  HadoopHardware h_;
+  CostModel costs_;
+};
+
+// Result of a grid search over (C, F).
+struct OptimalSettings {
+  HadoopSettings settings;
+  double time = 0;
+};
+
+// Scans the cross product of candidate chunk sizes and merge factors and
+// returns the settings minimizing TimeMeasurement. R is held fixed (the
+// model is insensitive to R; §3.2(3) recommends R = reduce slots).
+OptimalSettings OptimizeHadoopSettings(const HadoopModel& model,
+                                       const std::vector<double>& chunk_sizes,
+                                       const std::vector<double>& merge_factors,
+                                       int r);
+
+// The paper's §3.2(1) closed-form recommendation: the largest chunk C with
+// C*K_m <= B_m (map output fits the sort buffer, no map-side spill).
+double RecommendChunkSize(const HadoopWorkload& w, const HadoopHardware& h,
+                          const std::vector<double>& chunk_sizes);
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MODEL_HADOOP_MODEL_H_

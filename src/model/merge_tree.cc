@@ -1,0 +1,69 @@
+#include "src/model/merge_tree.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace onepass {
+
+MergeScheduler::MergeScheduler(int merge_factor) : f_(merge_factor) {
+  CHECK_GE(merge_factor, 2);
+}
+
+MergeScheduler::MergeEvent MergeScheduler::AddRun(double bytes) {
+  const int id = static_cast<int>(sizes_.size());
+  sizes_.push_back(bytes);
+  live_.push_back(id);
+
+  MergeEvent ev;
+  if (static_cast<int>(live_.size()) < 2 * f_ - 1) return ev;
+
+  // Merge the smallest F live files.
+  std::vector<int> order = live_;
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return sizes_[a] < sizes_[b];
+  });
+  ev.merged = true;
+  ev.inputs.assign(order.begin(), order.begin() + f_);
+  double total = 0;
+  for (int in : ev.inputs) total += sizes_[in];
+  const int out_id = static_cast<int>(sizes_.size());
+  sizes_.push_back(total);
+  ev.output_id = out_id;
+  ev.output_bytes = total;
+
+  // Update the live set: remove inputs, add output.
+  std::vector<int> next_live;
+  next_live.reserve(live_.size() - f_ + 1);
+  for (int id2 : live_) {
+    if (std::find(ev.inputs.begin(), ev.inputs.end(), id2) ==
+        ev.inputs.end()) {
+      next_live.push_back(id2);
+    }
+  }
+  next_live.push_back(out_id);
+  live_ = std::move(next_live);
+  return ev;
+}
+
+std::vector<int> MergeScheduler::FinalInputs() const { return live_; }
+
+MergeTreeStats SimulateMergeTree(int n, double b, int f) {
+  MergeTreeStats stats;
+  MergeScheduler sched(f);
+  for (int i = 0; i < n; ++i) {
+    stats.total_file_bytes += b;
+    auto ev = sched.AddRun(b);
+    if (ev.merged) {
+      stats.total_file_bytes += ev.output_bytes;
+      stats.background_merge_bytes += ev.output_bytes;
+      ++stats.background_merges;
+    }
+  }
+  for (int id : sched.FinalInputs()) {
+    stats.final_inputs.push_back(sched.FileBytes(id));
+  }
+  return stats;
+}
+
+}  // namespace onepass

@@ -1,0 +1,71 @@
+// Exact simulation of Hadoop's multi-pass merge file tree (paper Fig. 3).
+//
+// Policy: initial sorted runs are spilled to disk as they are produced;
+// whenever the number of on-disk files reaches 2F-1, a background thread
+// merges the *smallest* F files into one. After the last initial run, the
+// (at most 2F-1) remaining files feed the final merge, whose output streams
+// into the reduce function and is NOT written back to disk.
+//
+// This module exists to validate the closed-form lambda_F of Eq. 2 (see
+// tests/merge_tree_test.cc) and to drive the sort-merge engine's reduce-side
+// merge schedule.
+
+#ifndef ONEPASS_MODEL_MERGE_TREE_H_
+#define ONEPASS_MODEL_MERGE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace onepass {
+
+struct MergeTreeStats {
+  // Sum of sizes of every file ever created (initial runs + merged files).
+  // Total disk traffic of the multi-pass phase is 2x this (each file is
+  // written once and read once; Eq. 2's lambda_F approximates it).
+  double total_file_bytes = 0;
+  // Bytes merged by background (non-final) merges only.
+  double background_merge_bytes = 0;
+  // Number of background merge operations.
+  int background_merges = 0;
+  // Sizes of the files left for the final merge.
+  std::vector<double> final_inputs;
+};
+
+// Simulates merging `n` initial runs of `b` bytes each with merge factor
+// `f`. Exact counterpart of lambda_F(n, b): total_file_bytes.
+MergeTreeStats SimulateMergeTree(int n, double b, int f);
+
+// Incremental version used by the sort-merge engine: feed runs one at a
+// time; background merges fire per the policy above.
+class MergeScheduler {
+ public:
+  explicit MergeScheduler(int merge_factor);
+
+  // Reports a new on-disk run of `bytes`. If this triggers a background
+  // merge, returns the indices (into the caller's file list, mirrored by
+  // `files()`) that were merged; otherwise returns an empty vector.
+  struct MergeEvent {
+    bool merged = false;
+    std::vector<int> inputs;   // file ids consumed
+    int output_id = -1;        // file id of the merged result
+    double output_bytes = 0;
+  };
+  MergeEvent AddRun(double bytes);
+
+  // Called when input ends; Hadoop completes the multi-pass merge until at
+  // most 2F-1 files remain (they already do, by the invariant), then the
+  // final merge streams them to reduce. Returns the surviving file ids.
+  std::vector<int> FinalInputs() const;
+
+  double FileBytes(int id) const { return sizes_[id]; }
+  int live_files() const { return static_cast<int>(live_.size()); }
+
+ private:
+  int f_;
+  std::vector<double> sizes_;  // by file id, includes dead files
+  std::vector<int> live_;      // ids of files currently on disk
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MODEL_MERGE_TREE_H_

@@ -1,0 +1,715 @@
+#include "src/mr/cluster.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/engine/group_by_engine.h"
+#include "src/mr/cost_trace.h"
+#include "src/mr/map_runner.h"
+#include "src/mr/output.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/resources.h"
+#include "src/util/hash.h"
+
+namespace onepass {
+namespace {
+
+// Task-activity categories for the Fig. 2(a)-style timeline.
+enum class Activity { kMap, kShuffle, kMerge, kReduce, kNone };
+
+Activity Categorize(bool is_map_task, OpTag tag) {
+  if (is_map_task) return Activity::kMap;
+  switch (tag) {
+    case OpTag::kShuffle:
+      return Activity::kShuffle;
+    case OpTag::kReduceSpill:
+    case OpTag::kReduceMerge:
+      return Activity::kMerge;
+    case OpTag::kCombine:
+    case OpTag::kReduceFn:
+    case OpTag::kOutput:
+      return Activity::kReduce;
+    default:
+      return Activity::kNone;
+  }
+}
+
+struct DeliveryRef {
+  int map_task = 0;
+  uint32_t push = 0;
+  uint64_t bytes = 0;  // this reducer's partition share
+};
+
+// Replays map (and optionally reduce) cost traces on the simulated cluster.
+class Replayer {
+ public:
+  struct MapTaskIn {
+    int node = 0;
+    const CostTrace* trace = nullptr;
+    // gate op index -> push index, for push-ready bookkeeping.
+    std::map<uint32_t, uint32_t> gates;
+    uint32_t num_pushes = 0;
+  };
+  struct ReduceTaskIn {
+    int node = 0;
+    const CostTrace* trace = nullptr;
+    std::vector<DeliveryRef> deliveries;
+  };
+  struct Totals {
+    uint64_t shuffle_bytes = 0;
+    uint64_t reduce_work = 0;
+    uint64_t output_bytes = 0;
+  };
+
+  Replayer(const JobConfig& config, std::vector<MapTaskIn> maps,
+           std::vector<ReduceTaskIn> reduces, Totals totals)
+      : config_(config),
+        maps_(std::move(maps)),
+        reduces_(std::move(reduces)),
+        totals_(totals) {
+    const ClusterConfig& cl = config.cluster;
+    for (int n = 0; n < cl.nodes; ++n) {
+      nodes_.push_back(std::make_unique<NodeRes>(&engine_, cl, n));
+    }
+    map_states_.resize(maps_.size());
+    reduce_start_.assign(reduces_.size(), 0.0);
+    push_ready_.resize(maps_.size());
+    for (size_t m = 0; m < maps_.size(); ++m) {
+      push_ready_[m].assign(maps_[m].num_pushes, -1.0);
+    }
+    reduce_states_.resize(reduces_.size());
+    map_finish_times_.assign(maps_.size(), 0.0);
+  }
+
+  void Run() {
+    // Enqueue every task, then fill the initial slot waves.
+    for (size_t m = 0; m < maps_.size(); ++m) {
+      nodes_[maps_[m].node]->pending_maps.push_back(static_cast<int>(m));
+    }
+    for (size_t r = 0; r < reduces_.size(); ++r) {
+      nodes_[reduces_[r].node]->pending_reduces.push_back(
+          static_cast<int>(r));
+    }
+    // Pop before starting: a task with an empty trace completes
+    // synchronously inside Start*, and its completion handler pulls the
+    // next pending task itself.
+    for (auto& node : nodes_) {
+      while (node->free_map_slots > 0 && !node->pending_maps.empty()) {
+        const int m = node->pending_maps.front();
+        node->pending_maps.pop_front();
+        --node->free_map_slots;
+        StartMap(m);
+      }
+      while (node->free_reduce_slots > 0 && !node->pending_reduces.empty()) {
+        const int r = node->pending_reduces.front();
+        node->pending_reduces.pop_front();
+        --node->free_reduce_slots;
+        StartReduce(r);
+      }
+    }
+    end_time_ = engine_.Run();
+    CHECK_EQ(maps_done_, maps_.size());
+    CHECK_EQ(reduces_done_, reduces_.size());
+  }
+
+  // --- results ---
+  double end_time() const { return end_time_; }
+  double map_finish_time() const { return last_map_finish_; }
+  const std::vector<double>& map_finish_times() const {
+    return map_finish_times_;
+  }
+  double push_ready_time(int m, uint32_t p) const {
+    return push_ready_[m][p];
+  }
+  uint64_t shuffle_from_disk_bytes() const {
+    return shuffle_from_disk_bytes_;
+  }
+
+  // Fills the timeline/progress portion of `result`.
+  void ExportSeries(JobResult* result) const {
+    result->map_progress = map_progress_;
+    result->reduce_progress = reduce_progress_;
+    result->shuffle_progress = shuffle_series_;
+    result->reduce_work_progress = work_series_;
+    result->output_progress = output_series_;
+    result->active_map = active_[0];
+    result->active_shuffle = active_[1];
+    result->active_merge = active_[2];
+    result->active_reduce = active_[3];
+
+    // Cluster-average utilization and iowait.
+    const double bin = config_.timeline_bin_s;
+    const double horizon = std::max(end_time_, bin);
+    sim::BinnedSeries util, wait;
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      sim::BinnedSeries u =
+          sim::UtilizationSeries(nodes_[n]->cpu, bin, horizon);
+      sim::BinnedSeries w =
+          sim::IowaitSeries(nodes_[n]->cpu, nodes_[n]->hdd, bin, horizon);
+      if (nodes_[n]->ssd != nullptr) {
+        sim::BinnedSeries w2 =
+            sim::IowaitSeries(nodes_[n]->cpu, *nodes_[n]->ssd, bin, horizon);
+        for (size_t i = 0; i < w.values.size(); ++i) {
+          w.values[i] = std::max(w.values[i], w2.values[i]);
+        }
+      }
+      if (n == 0) {
+        util = u;
+        wait = w;
+      } else {
+        for (size_t i = 0; i < util.values.size(); ++i) {
+          util.values[i] += u.values[i];
+          wait.values[i] += w.values[i];
+        }
+      }
+    }
+    for (auto& v : util.values) v /= static_cast<double>(nodes_.size());
+    for (auto& v : wait.values) v /= static_cast<double>(nodes_.size());
+    result->cpu_util = util;
+    result->iowait = wait;
+  }
+
+ private:
+  struct NodeRes {
+    NodeRes(sim::Engine* engine, const ClusterConfig& cl, int id)
+        : cpu(engine, cl.cores_per_node, "cpu" + std::to_string(id)),
+          hdd(engine, 1, "hdd" + std::to_string(id)),
+          nic(engine, 1, "nic" + std::to_string(id)),
+          free_map_slots(cl.map_slots),
+          free_reduce_slots(cl.reduce_slots) {
+      if (cl.separate_intermediate_device) {
+        ssd = std::make_unique<sim::Server>(engine, 1,
+                                            "ssd" + std::to_string(id));
+      }
+    }
+    sim::Server cpu;
+    sim::Server hdd;
+    std::unique_ptr<sim::Server> ssd;
+    sim::Server nic;
+    std::deque<int> pending_maps;
+    std::deque<int> pending_reduces;
+    int free_map_slots;
+    int free_reduce_slots;
+  };
+
+  struct MapState {
+    size_t op_idx = 0;
+    bool running = false;
+  };
+  // A reduce task runs two concurrent streams, like Hadoop's copier
+  // threads vs its merge thread: the *fetch* stream pulls deliveries as
+  // soon as their producing map publishes them (network + possible disk
+  // re-read), while the *consume* stream executes the engine's per-
+  // delivery work strictly in order, gated on the fetch of its section.
+  struct ReduceState {
+    uint32_t fetch_section = 0;    // next delivery to fetch
+    uint32_t consume_section = 0;  // next section to consume
+    size_t op_idx = 0;             // current op within consume_section
+    bool in_section = false;       // op_idx initialized for this section
+    bool consume_blocked = false;  // waiting for a fetch to complete
+    std::vector<bool> fetched;
+    bool running = false;
+  };
+
+  sim::Server* Route(int node, const TraceOp& op) {
+    NodeRes& res = *nodes_[node];
+    switch (op.resource) {
+      case OpResource::kCpu:
+        return &res.cpu;
+      case OpResource::kNet:
+        return &res.nic;
+      case OpResource::kDisk:
+        if (res.ssd != nullptr && op.tag != OpTag::kMapInput &&
+            op.tag != OpTag::kOutput) {
+          return res.ssd.get();
+        }
+        return &res.hdd;
+    }
+    return &res.cpu;
+  }
+
+  double Duration(const TraceOp& op) const {
+    const CostModel& c = config_.costs;
+    switch (op.resource) {
+      case OpResource::kCpu:
+        return op.cpu_s;
+      case OpResource::kDisk:
+        return op.requests * c.disk_seek_s +
+               static_cast<double>(op.bytes) * c.disk_byte_s;
+      case OpResource::kNet:
+        return static_cast<double>(op.bytes) * c.net_byte_s;
+    }
+    return 0;
+  }
+
+  void SetActive(Activity a, int delta) {
+    if (a == Activity::kNone) return;
+    const int i = static_cast<int>(a);
+    active_count_[i] += delta;
+    active_[i].Add(engine_.now(), active_count_[i]);
+  }
+
+  void ApplyDeltas(const TraceOp& op) {
+    bool changed = false;
+    if (op.d_shuffle_bytes > 0 && totals_.shuffle_bytes > 0) {
+      cum_shuffle_ += op.d_shuffle_bytes;
+      shuffle_series_.Add(engine_.now(),
+                          static_cast<double>(cum_shuffle_) /
+                              static_cast<double>(totals_.shuffle_bytes));
+      changed = true;
+    }
+    if (op.d_reduce_work > 0 && totals_.reduce_work > 0) {
+      cum_work_ += op.d_reduce_work;
+      work_series_.Add(engine_.now(),
+                       static_cast<double>(cum_work_) /
+                           static_cast<double>(totals_.reduce_work));
+      changed = true;
+    }
+    if (op.d_output_bytes > 0 && totals_.output_bytes > 0) {
+      cum_output_ += op.d_output_bytes;
+      output_series_.Add(engine_.now(),
+                         static_cast<double>(cum_output_) /
+                             static_cast<double>(totals_.output_bytes));
+      changed = true;
+    }
+    if (changed) RecordReduceProgress();
+  }
+
+  void RecordReduceProgress() {
+    // Definition 1: 1/3 shuffle + 1/3 combine/reduce-fn + 1/3 output.
+    double p = 0;
+    if (totals_.shuffle_bytes > 0) {
+      p += static_cast<double>(cum_shuffle_) /
+           static_cast<double>(totals_.shuffle_bytes);
+    }
+    if (totals_.reduce_work > 0) {
+      p += static_cast<double>(cum_work_) /
+           static_cast<double>(totals_.reduce_work);
+    }
+    if (totals_.output_bytes > 0) {
+      p += static_cast<double>(cum_output_) /
+           static_cast<double>(totals_.output_bytes);
+    }
+    reduce_progress_.Add(engine_.now(), 100.0 * p / 3.0);
+  }
+
+  // ---- map side ----
+
+  void StartMap(int m) {
+    map_states_[m].running = true;
+    SetActive(Activity::kMap, +1);
+    RunNextMapOp(m);
+  }
+
+  void RunNextMapOp(int m) {
+    MapState& st = map_states_[m];
+    const CostTrace& trace = *maps_[m].trace;
+    if (st.op_idx >= trace.ops.size()) {
+      MapDone(m);
+      return;
+    }
+    const size_t idx = st.op_idx++;
+    const TraceOp& op = trace.ops[idx];
+    Route(maps_[m].node, op)->Submit(Duration(op), [this, m, idx]() {
+      const TraceOp& done_op = maps_[m].trace->ops[idx];
+      ApplyDeltas(done_op);
+      auto it = maps_[m].gates.find(static_cast<uint32_t>(idx));
+      if (it != maps_[m].gates.end()) {
+        PushReady(m, it->second);
+      }
+      RunNextMapOp(m);
+    });
+  }
+
+  void MapDone(int m) {
+    MapState& st = map_states_[m];
+    st.running = false;
+    SetActive(Activity::kMap, -1);
+    ++maps_done_;
+    map_finish_times_[m] = engine_.now();
+    last_map_finish_ = std::max(last_map_finish_, engine_.now());
+    map_progress_.Add(engine_.now(), 100.0 * static_cast<double>(maps_done_) /
+                                         static_cast<double>(maps_.size()));
+    NodeRes& node = *nodes_[maps_[m].node];
+    if (!node.pending_maps.empty()) {
+      const int next = node.pending_maps.front();
+      node.pending_maps.pop_front();
+      StartMap(next);
+    } else {
+      ++node.free_map_slots;
+    }
+  }
+
+  void PushReady(int m, uint32_t p) {
+    push_ready_[m][p] = engine_.now();
+    const auto key = std::make_pair(m, p);
+    auto it = push_waiters_.find(key);
+    if (it != push_waiters_.end()) {
+      std::vector<int> waiters = std::move(it->second);
+      push_waiters_.erase(it);
+      for (int r : waiters) StartFetch(r);
+    }
+  }
+
+  // ---- reduce side ----
+
+  void StartReduce(int r) {
+    ReduceState& st = reduce_states_[r];
+    st.running = true;
+    st.fetched.assign(reduces_[r].deliveries.size(), false);
+    reduce_start_[r] = engine_.now();
+    StartFetch(r);
+    TryConsume(r);
+  }
+
+  // Fetch stream: pulls delivery fetch_section as soon as its push is
+  // published. The data-plane trace records each delivery section's first
+  // op as the network fetch; the replay may prepend a disk read on the
+  // mapper's node when the output has been evicted from its memory.
+  void StartFetch(int r) {
+    ReduceState& st = reduce_states_[r];
+    const ReduceTaskIn& task = reduces_[r];
+    if (st.fetch_section >= task.deliveries.size()) return;
+    const uint32_t s = st.fetch_section;
+    const DeliveryRef& d = task.deliveries[s];
+    const double ready = push_ready_[d.map_task][d.push];
+    if (ready < 0) {
+      push_waiters_[{d.map_task, d.push}].push_back(r);
+      return;
+    }
+    const CostTrace& trace = *task.trace;
+    const TraceOp& net_op = trace.ops[trace.section_starts[s]];
+    CHECK(net_op.resource == OpResource::kNet);
+    auto do_net = [this, r, s, &net_op]() {
+      SetActive(Activity::kShuffle, +1);
+      Route(reduces_[r].node, net_op)
+          ->Submit(Duration(net_op), [this, r, s]() {
+            SetActive(Activity::kShuffle, -1);
+            const CostTrace& t = *reduces_[r].trace;
+            ApplyDeltas(t.ops[t.section_starts[s]]);
+            ReduceState& state = reduce_states_[r];
+            state.fetched[s] = true;
+            ++state.fetch_section;
+            StartFetch(r);
+            if (state.consume_blocked) {
+              state.consume_blocked = false;
+              TryConsume(r);
+            }
+          });
+    };
+    // Fetch penalty: a reducer that was not yet running when the map
+    // output was published (a second-wave reducer) finds it evicted from
+    // the mapper's memory and re-reads it from disk. Reducers that were
+    // already running fetch eagerly, so they read from memory.
+    if (d.bytes > 0 &&
+        reduce_start_[r] > ready + config_.costs.map_output_retention_s) {
+      shuffle_from_disk_bytes_ += d.bytes;
+      TraceOp read;
+      read.resource = OpResource::kDisk;
+      read.tag = OpTag::kShuffle;
+      read.bytes = d.bytes;
+      read.is_read = true;
+      const int src_node = maps_[d.map_task].node;
+      SetActive(Activity::kShuffle, +1);
+      Route(src_node, read)->Submit(Duration(read), [this, do_net]() {
+        SetActive(Activity::kShuffle, -1);
+        do_net();
+      });
+      return;
+    }
+    do_net();
+  }
+
+  // Consume stream: runs each section's engine work in order; delivery
+  // sections wait for their fetch; the final section (engine Finish)
+  // runs after every delivery has been consumed.
+  void TryConsume(int r) {
+    ReduceState& st = reduce_states_[r];
+    const ReduceTaskIn& task = reduces_[r];
+    const CostTrace& trace = *task.trace;
+    const uint32_t num_sections = trace.num_sections();
+    if (st.consume_section >= num_sections) {
+      ReduceDone(r);
+      return;
+    }
+    const bool is_delivery = st.consume_section < task.deliveries.size();
+    if (is_delivery && !st.fetched[st.consume_section]) {
+      st.consume_blocked = true;
+      return;
+    }
+    if (!st.in_section) {
+      // Skip the net fetch op (handled by the fetch stream).
+      st.op_idx = trace.section_starts[st.consume_section] +
+                  (is_delivery ? 1 : 0);
+      st.in_section = true;
+    }
+    const uint32_t next_section_start =
+        st.consume_section + 1 < num_sections
+            ? trace.section_starts[st.consume_section + 1]
+            : static_cast<uint32_t>(trace.ops.size());
+    if (st.op_idx >= next_section_start) {
+      ++st.consume_section;
+      st.in_section = false;
+      TryConsume(r);
+      return;
+    }
+    const size_t idx = st.op_idx++;
+    const TraceOp& op = trace.ops[idx];
+    const Activity act = Categorize(/*is_map_task=*/false, op.tag);
+    SetActive(act, +1);
+    Route(task.node, op)->Submit(Duration(op), [this, r, idx, act]() {
+      SetActive(act, -1);
+      ApplyDeltas(reduces_[r].trace->ops[idx]);
+      TryConsume(r);
+    });
+  }
+
+  void ReduceDone(int r) {
+    reduce_states_[r].running = false;
+    ++reduces_done_;
+    NodeRes& node = *nodes_[reduces_[r].node];
+    if (!node.pending_reduces.empty()) {
+      const int next = node.pending_reduces.front();
+      node.pending_reduces.pop_front();
+      StartReduce(next);
+    } else {
+      ++node.free_reduce_slots;
+    }
+  }
+
+  const JobConfig& config_;
+  std::vector<MapTaskIn> maps_;
+  std::vector<ReduceTaskIn> reduces_;
+  Totals totals_;
+
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<NodeRes>> nodes_;
+  std::vector<MapState> map_states_;
+  std::vector<ReduceState> reduce_states_;
+  std::vector<double> reduce_start_;
+  std::vector<std::vector<double>> push_ready_;
+  std::map<std::pair<int, uint32_t>, std::vector<int>> push_waiters_;
+  std::vector<double> map_finish_times_;
+
+  size_t maps_done_ = 0;
+  size_t reduces_done_ = 0;
+  double last_map_finish_ = 0;
+  double end_time_ = 0;
+  uint64_t shuffle_from_disk_bytes_ = 0;
+
+  uint64_t cum_shuffle_ = 0, cum_work_ = 0, cum_output_ = 0;
+  sim::StepSeries map_progress_, reduce_progress_;
+  sim::StepSeries shuffle_series_, work_series_, output_series_;
+  sim::StepSeries active_[4];
+  int active_count_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace
+
+Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
+                                       const JobConfig& config,
+                                       const ChunkStore& input) {
+  if (!spec.mapper) {
+    return Status::InvalidArgument("job needs a mapper factory");
+  }
+  const ClusterConfig& cl = config.cluster;
+  if (cl.nodes < 1 || cl.cores_per_node < 1 || cl.map_slots < 1 ||
+      cl.reduce_slots < 1) {
+    return Status::InvalidArgument("invalid cluster shape");
+  }
+  if (config.reducers_per_node < 1) {
+    return Status::InvalidArgument("need at least one reducer per node");
+  }
+
+  const bool has_inc = static_cast<bool>(spec.inc);
+  if ((config.engine == EngineKind::kIncHash ||
+       config.engine == EngineKind::kDincHash) &&
+      !has_inc) {
+    return Status::InvalidArgument(
+        "incremental engines need an IncrementalReducer factory");
+  }
+  if ((config.engine == EngineKind::kSortMerge ||
+       config.engine == EngineKind::kMRHash) &&
+      !spec.reducer && !(has_inc && config.map_side_combine)) {
+    return Status::InvalidArgument(
+        "sort-merge / MR-hash need a Reducer factory");
+  }
+
+  const int total_reducers = cl.nodes * config.reducers_per_node;
+  const UniversalHashFamily hashes(config.seed);
+  const UniversalHash h1 = hashes.At(0);
+  const MapOutputMode mode = SelectMapOutputMode(config, has_inc);
+  const bool values_are_states = ModeProducesStates(mode);
+
+  JobResult result;
+  result.map_tasks = static_cast<int>(input.chunks().size());
+  result.reduce_tasks = total_reducers;
+
+  // ---- Phase 1: map data plane ----
+  std::vector<MapTaskOutput> map_outs;
+  map_outs.reserve(input.chunks().size());
+  for (const Chunk& chunk : input.chunks()) {
+    std::unique_ptr<Mapper> mapper = spec.mapper();
+    std::unique_ptr<IncrementalReducer> inc =
+        has_inc ? spec.inc() : nullptr;
+    MapRunner runner(config, mode, h1, total_reducers, mapper.get(),
+                     inc.get());
+    ASSIGN_OR_RETURN(MapTaskOutput mo, runner.Run(chunk.records));
+    result.metrics.Merge(mo.metrics);
+    map_outs.push_back(std::move(mo));
+  }
+
+  auto make_map_inputs = [&]() {
+    std::vector<Replayer::MapTaskIn> ins(map_outs.size());
+    for (size_t m = 0; m < map_outs.size(); ++m) {
+      ins[m].node = input.chunks()[m].node;
+      ins[m].trace = &map_outs[m].trace;
+      ins[m].num_pushes = static_cast<uint32_t>(map_outs[m].pushes.size());
+      for (uint32_t p = 0; p < ins[m].num_pushes; ++p) {
+        ins[m].gates[map_outs[m].pushes[p].gate_op] = p;
+      }
+    }
+    return ins;
+  };
+
+  // ---- Phase 2: provisional replay fixes the delivery order ----
+  std::vector<std::pair<int, uint32_t>> delivery_order;
+  {
+    Replayer provisional(config, make_map_inputs(), {}, {});
+    provisional.Run();
+    std::vector<std::pair<double, std::pair<int, uint32_t>>> order;
+    for (size_t m = 0; m < map_outs.size(); ++m) {
+      for (uint32_t p = 0; p < map_outs[m].pushes.size(); ++p) {
+        order.push_back({provisional.push_ready_time(static_cast<int>(m), p),
+                         {static_cast<int>(m), p}});
+      }
+    }
+    std::sort(order.begin(), order.end());
+    delivery_order.reserve(order.size());
+    for (auto& [t, mp] : order) delivery_order.push_back(mp);
+  }
+
+  // ---- Phase 3: reduce data plane ----
+  struct ReduceTaskData {
+    CostTrace trace;
+    std::unique_ptr<TraceRecorder> recorder;
+    JobMetrics metrics;
+    std::unique_ptr<Reducer> reducer;
+    std::unique_ptr<IncrementalReducer> inc;
+    std::unique_ptr<OutputCollector> out;
+    std::unique_ptr<GroupByEngine> engine;
+    std::vector<DeliveryRef> deliveries;
+  };
+  std::vector<std::unique_ptr<ReduceTaskData>> reduce_tasks;
+  reduce_tasks.reserve(total_reducers);
+  for (int r = 0; r < total_reducers; ++r) {
+    auto task = std::make_unique<ReduceTaskData>();
+    task->recorder = std::make_unique<TraceRecorder>(&task->trace);
+    TraceRecorder& trace = *task->recorder;
+    if (spec.reducer) task->reducer = spec.reducer();
+    if (has_inc) task->inc = spec.inc();
+    task->out = std::make_unique<OutputCollector>(
+        &trace, &task->metrics,
+        config.collect_outputs ? &result.outputs : nullptr);
+
+    EngineContext ctx;
+    ctx.trace = &trace;
+    ctx.metrics = &task->metrics;
+    ctx.out = task->out.get();
+    ctx.config = &config;
+    ctx.hashes = hashes;
+    ctx.reducer = task->reducer.get();
+    ctx.inc = task->inc.get();
+    ctx.values_are_states = values_are_states;
+    ASSIGN_OR_RETURN(task->engine,
+                     CreateGroupByEngine(config.engine, ctx));
+
+    // Snapshot thresholds (§3.3(4)): after each 1/(N+1) of deliveries.
+    std::vector<size_t> snapshot_at;
+    if (config.snapshots > 0 && !delivery_order.empty()) {
+      for (int k = 1; k <= config.snapshots; ++k) {
+        snapshot_at.push_back(delivery_order.size() * k /
+                              (config.snapshots + 1));
+      }
+    }
+    size_t delivery_index = 0;
+    for (const auto& [m, p] : delivery_order) {
+      const KvBuffer& segment = map_outs[m].pushes[p].partitions[r];
+      DeliveryRef d;
+      d.map_task = m;
+      d.push = p;
+      d.bytes = segment.bytes();
+      task->deliveries.push_back(d);
+      trace.BeginSection();
+      trace.Net(segment.bytes(), OpTag::kShuffle,
+                /*d_shuffle_bytes=*/segment.bytes());
+      task->metrics.shuffle_bytes += segment.bytes();
+      RETURN_IF_ERROR(task->engine->Consume(segment, map_outs[m].sorted));
+      ++delivery_index;
+      if (std::find(snapshot_at.begin(), snapshot_at.end(),
+                    delivery_index) != snapshot_at.end()) {
+        RETURN_IF_ERROR(task->engine->Snapshot());
+      }
+    }
+    trace.BeginSection();
+    RETURN_IF_ERROR(task->engine->Finish());
+    task->out->Flush();
+    result.metrics.Merge(task->metrics);
+    reduce_tasks.push_back(std::move(task));
+  }
+
+  // Free intermediate data before the full replay (the traces remain).
+  // Note: delivery gating references map_outs' traces, so keep those.
+  for (auto& mo : map_outs) {
+    for (auto& push : mo.pushes) {
+      push.partitions.clear();
+    }
+  }
+
+  // ---- Phase 4: full replay ----
+  Replayer::Totals totals;
+  auto scan_trace = [&](const CostTrace& t) {
+    for (const TraceOp& op : t.ops) {
+      totals.shuffle_bytes += op.d_shuffle_bytes;
+      totals.reduce_work += op.d_reduce_work;
+      totals.output_bytes += op.d_output_bytes;
+    }
+  };
+  for (const auto& mo : map_outs) scan_trace(mo.trace);
+  for (const auto& t : reduce_tasks) scan_trace(t->trace);
+
+  std::vector<Replayer::ReduceTaskIn> reduce_ins(reduce_tasks.size());
+  for (size_t r = 0; r < reduce_tasks.size(); ++r) {
+    reduce_ins[r].node =
+        static_cast<int>(r) / config.reducers_per_node;
+    reduce_ins[r].trace = &reduce_tasks[r]->trace;
+    reduce_ins[r].deliveries = reduce_tasks[r]->deliveries;
+  }
+
+  Replayer replay(config, make_map_inputs(), std::move(reduce_ins), totals);
+  replay.Run();
+
+  result.running_time = replay.end_time();
+  result.map_finish_time = replay.map_finish_time();
+  result.shuffle_from_disk_bytes = replay.shuffle_from_disk_bytes();
+  replay.ExportSeries(&result);
+
+  // CPU attribution.
+  for (const auto& mo : map_outs) {
+    for (const TraceOp& op : mo.trace.ops) {
+      if (op.resource == OpResource::kCpu) result.map_cpu_s += op.cpu_s;
+    }
+  }
+  for (const auto& t : reduce_tasks) {
+    for (const TraceOp& op : t->trace.ops) {
+      if (op.resource == OpResource::kCpu) result.reduce_cpu_s += op.cpu_s;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace onepass

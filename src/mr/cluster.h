@@ -1,0 +1,95 @@
+// LocalCluster: runs a MapReduce job end to end.
+//
+// Execution is split into a *data plane* and a *time plane* (DESIGN.md §5):
+//
+//   1. Every map task executes for real (MapRunner), producing actual
+//      per-partition output bytes and a cost trace.
+//   2. A provisional map-only replay on the simulated cluster fixes the
+//      map completion order (and push times under pipelining), which
+//      determines the order reducers receive shuffle deliveries in.
+//   3. Every reduce task executes for real: its GroupByEngine consumes the
+//      deliveries in that order and finishes, producing real output and a
+//      sectioned cost trace.
+//   4. The full replay schedules all map and reduce traces on the
+//      simulated nodes (slots, CPU cores, disks, NICs); reduce sections
+//      gate on the simulated completion of the map push that feeds them.
+//      The replay yields the running time, the paper's incremental
+//      map/reduce progress curves (Definition 1), CPU utilization and
+//      iowait timelines, and the Fig. 2(a)-style task activity series.
+//
+// Data ("who computed what, how many bytes spilled") is exact and
+// engine-authoritative; time is simulated from the calibrated CostModel.
+
+#ifndef ONEPASS_MR_CLUSTER_H_
+#define ONEPASS_MR_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dfs/chunk_store.h"
+#include "src/mr/api.h"
+#include "src/mr/config.h"
+#include "src/mr/metrics.h"
+#include "src/mr/types.h"
+#include "src/sim/timeline.h"
+
+namespace onepass {
+
+// A runnable query: the map function plus one (or both) reduce contracts.
+struct JobSpec {
+  std::string name;
+  MapperFactory mapper;
+  ReducerFactory reducer;              // values-list API (SM, MR-hash)
+  IncrementalReducerFactory inc;       // init/cb/fn API (INC, DINC, combiner)
+};
+
+struct JobResult {
+  JobMetrics metrics;
+
+  double running_time = 0;     // simulated seconds, job start to last task
+  double map_finish_time = 0;  // when the last map task completed
+  int map_tasks = 0;
+  int reduce_tasks = 0;
+
+  // Progress curves in percent (paper Definition 1).
+  sim::StepSeries map_progress;
+  sim::StepSeries reduce_progress;
+  // The three reduce-progress components, each in [0, 1].
+  sim::StepSeries shuffle_progress;
+  sim::StepSeries reduce_work_progress;
+  sim::StepSeries output_progress;
+
+  // Cluster-average CPU utilization and iowait (Fig. 2(b,c)-style).
+  sim::BinnedSeries cpu_util;
+  sim::BinnedSeries iowait;
+
+  // Active-task counts by operation (Fig. 2(a)-style timeline).
+  sim::StepSeries active_map;
+  sim::StepSeries active_shuffle;
+  sim::StepSeries active_merge;
+  sim::StepSeries active_reduce;
+
+  // Map output fetched from the mapper's disk because the reducer started
+  // too late to catch it in memory (the R > slots second-wave penalty).
+  uint64_t shuffle_from_disk_bytes = 0;
+
+  // CPU attribution (totals across the cluster; divide by N for per node).
+  double map_cpu_s = 0;
+  double reduce_cpu_s = 0;
+
+  // Full output records (only when config.collect_outputs).
+  std::vector<Record> outputs;
+};
+
+class LocalCluster {
+ public:
+  // Runs `spec` over `input` under `config`. The input's chunking must
+  // match config.chunk_bytes (build it with MakeInput or ChunkStore).
+  static Result<JobResult> RunJob(const JobSpec& spec, const JobConfig& config,
+                                  const ChunkStore& input);
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MR_CLUSTER_H_

@@ -1,0 +1,19 @@
+#include "src/mr/config.h"
+
+namespace onepass {
+
+std::string_view EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSortMerge:
+      return "sort-merge";
+    case EngineKind::kMRHash:
+      return "MR-hash";
+    case EngineKind::kIncHash:
+      return "INC-hash";
+    case EngineKind::kDincHash:
+      return "DINC-hash";
+  }
+  return "unknown";
+}
+
+}  // namespace onepass

@@ -1,0 +1,97 @@
+// Job and cluster configuration.
+
+#ifndef ONEPASS_MR_CONFIG_H_
+#define ONEPASS_MR_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/model/cost_model.h"
+
+namespace onepass {
+
+// Which reduce-side group-by implementation a job uses (§2.2, §4).
+enum class EngineKind : uint8_t {
+  kSortMerge,  // Hadoop baseline: sort map output, multi-pass merge reduce
+  kMRHash,     // §4.1: hybrid-hash partitioning, values-list reduce
+  kIncHash,    // §4.2: in-memory key->state table, first-come residency
+  kDincHash,   // §4.3: FREQUENT-monitored hot keys
+};
+
+std::string_view EngineKindName(EngineKind kind);
+
+struct ClusterConfig {
+  int nodes = 10;           // N
+  int cores_per_node = 4;
+  int map_slots = 4;        // concurrent map tasks per node
+  int reduce_slots = 4;     // concurrent reduce tasks per node
+  // Fig. 2(d): give intermediate data its own device so HDFS input/output
+  // does not contend with spills (the paper's SSD experiment).
+  bool separate_intermediate_device = false;
+};
+
+struct JobConfig {
+  ClusterConfig cluster;
+  EngineKind engine = EngineKind::kSortMerge;
+
+  // MapReduce Online-style pipelining (§2.2/§3.3): mappers push output
+  // eagerly at spill granularity instead of publishing once at task end.
+  // Only meaningful for the sort-merge engine.
+  bool pipelining = false;
+  // Pipelining transmission granularity ("controlled by a parameter" in
+  // HOP): the map cuts and pushes a sorted run every this many output
+  // bytes. 0 = use the map buffer size (push only on natural spills).
+  uint64_t pipeline_push_bytes = 64 << 10;
+  // MapReduce Online's periodic snapshots (§3.3(4)): if N > 0, each
+  // sort-merge reducer produces a snapshot answer after receiving each
+  // 1/(N+1) fraction of its deliveries (e.g. N=3 -> at 25/50/75%) by
+  // re-running the merge over everything so far — the costly,
+  // non-incremental alternative to INC-hash's continuous output.
+  int snapshots = 0;
+
+  // Hadoop parameters (Table 2, part 1).
+  uint64_t chunk_bytes = 4 << 20;       // C, map input chunk size
+  int merge_factor = 10;                // F
+  int reducers_per_node = 4;            // R
+
+  // Hardware description (Table 2, part 3).
+  uint64_t map_buffer_bytes = 1 << 20;     // B_m per map task
+  uint64_t reduce_memory_bytes = 4 << 20;  // B_r per reduce task
+
+  // Whether the map side applies the IncrementalReducer as a combiner
+  // (building an in-memory hash table of states, §5 "Hash-based Map
+  // Output"). Off for workloads whose state does not compress (e.g.
+  // sessionization, where every click must be kept).
+  bool map_side_combine = false;
+
+  // Engine knobs.
+  // Write-buffer page per disk bucket. Engines clamp the effective page so
+  // that write buffers never consume more than half the reduce memory.
+  uint64_t bucket_page_bytes = 16 << 10;
+  // Estimated distinct keys per reducer; sizes the bucket count h for
+  // INC/DINC (0 = use a default).
+  uint64_t expected_keys_per_reducer = 0;
+  // Estimated reduce input bytes per reducer; sizes MR-hash's bucket count
+  // (0 = use a default).
+  uint64_t expected_bytes_per_reducer = 0;
+  // DINC-hash coverage threshold phi in (0,1]: if set, the job terminates
+  // at end of input returning states with coverage lower bound >= phi and
+  // skipping the disk-resident buckets (approximate early answers, §4.3).
+  double dinc_coverage_threshold = 0;
+
+  // Per-entry bookkeeping overhead charged against reduce memory for each
+  // resident key (hash-table slot, counter, pointers).
+  uint64_t resident_entry_overhead = 32;
+
+  // Simulation.
+  CostModel costs;
+  uint64_t seed = 42;
+  // Collect full job output into JobResult::outputs (tests only; large).
+  bool collect_outputs = false;
+  // Timeline sampling bin for utilization/iowait series, seconds.
+  double timeline_bin_s = 30.0;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MR_CONFIG_H_

@@ -1,0 +1,71 @@
+#include "src/mr/job_builder.h"
+
+namespace onepass {
+
+Status JobBuilder::Validate() const {
+  if (!spec_.mapper) {
+    return Status::InvalidArgument("job '" + spec_.name +
+                                   "' has no mapper factory");
+  }
+  const bool has_inc = static_cast<bool>(spec_.inc);
+  const bool has_reducer = static_cast<bool>(spec_.reducer);
+  switch (config_.engine) {
+    case EngineKind::kIncHash:
+    case EngineKind::kDincHash:
+      if (!has_inc) {
+        return Status::InvalidArgument(
+            "engine " + std::string(EngineKindName(config_.engine)) +
+            " requires an IncrementalReducer (init/cb/fn)");
+      }
+      break;
+    case EngineKind::kSortMerge:
+      if (!has_reducer && !(has_inc && config_.map_side_combine)) {
+        return Status::InvalidArgument(
+            "sort-merge requires a Reducer, or an IncrementalReducer "
+            "with map-side combining");
+      }
+      break;
+    case EngineKind::kMRHash:
+      if (!has_reducer) {
+        return Status::InvalidArgument("MR-hash requires a Reducer");
+      }
+      break;
+  }
+  if (config_.chunk_bytes == 0 || config_.map_buffer_bytes == 0 ||
+      config_.reduce_memory_bytes == 0) {
+    return Status::InvalidArgument("buffer and chunk sizes must be > 0");
+  }
+  if (config_.merge_factor < 2) {
+    return Status::InvalidArgument("merge factor must be >= 2");
+  }
+  if (config_.dinc_coverage_threshold < 0 ||
+      config_.dinc_coverage_threshold > 1) {
+    return Status::InvalidArgument("coverage threshold must be in [0, 1]");
+  }
+  if (config_.dinc_coverage_threshold > 0 &&
+      config_.engine != EngineKind::kDincHash) {
+    return Status::InvalidArgument(
+        "coverage-based early termination is a DINC-hash feature");
+  }
+  if (config_.pipelining && config_.engine != EngineKind::kSortMerge) {
+    return Status::InvalidArgument(
+        "pipelining applies to the sort-merge engine (hash engines are "
+        "already incremental)");
+  }
+  if (config_.snapshots < 0) {
+    return Status::InvalidArgument("snapshots must be >= 0");
+  }
+  const ClusterConfig& cl = config_.cluster;
+  if (cl.nodes < 1 || cl.cores_per_node < 1 || cl.map_slots < 1 ||
+      cl.reduce_slots < 1 || config_.reducers_per_node < 1) {
+    return Status::InvalidArgument("invalid cluster shape");
+  }
+  return Status::OK();
+}
+
+Result<JobResult> JobBuilder::Run(const ChunkStore& input) const {
+  RETURN_IF_ERROR(Validate());
+  return LocalCluster::RunJob(spec_, config_, input);
+}
+
+}  // namespace onepass

@@ -1,0 +1,140 @@
+// JobBuilder: a fluent front door to the platform.
+//
+//   auto result = JobBuilder("clicks per user")
+//                     .WithMapper([] { return std::make_unique<M>(); })
+//                     .WithIncrementalReducer([] { ... })
+//                     .Engine(EngineKind::kIncHash)
+//                     .MapSideCombine(true)
+//                     .ReduceMemoryBytes(512 << 10)
+//                     .Run(input);
+//
+// Run() validates the configuration up front and returns descriptive
+// errors instead of failing deep inside the job.
+
+#ifndef ONEPASS_MR_JOB_BUILDER_H_
+#define ONEPASS_MR_JOB_BUILDER_H_
+
+#include <string>
+#include <utility>
+
+#include "src/mr/cluster.h"
+
+namespace onepass {
+
+class JobBuilder {
+ public:
+  explicit JobBuilder(std::string name) { spec_.name = std::move(name); }
+
+  // --- functions ---
+  JobBuilder& WithMapper(MapperFactory f) {
+    spec_.mapper = std::move(f);
+    return *this;
+  }
+  JobBuilder& WithReducer(ReducerFactory f) {
+    spec_.reducer = std::move(f);
+    return *this;
+  }
+  JobBuilder& WithIncrementalReducer(IncrementalReducerFactory f) {
+    spec_.inc = std::move(f);
+    return *this;
+  }
+
+  // --- engine & cluster ---
+  JobBuilder& Engine(EngineKind kind) {
+    config_.engine = kind;
+    return *this;
+  }
+  JobBuilder& Cluster(int nodes, int cores_per_node, int map_slots,
+                      int reduce_slots) {
+    config_.cluster.nodes = nodes;
+    config_.cluster.cores_per_node = cores_per_node;
+    config_.cluster.map_slots = map_slots;
+    config_.cluster.reduce_slots = reduce_slots;
+    return *this;
+  }
+  JobBuilder& SeparateIntermediateDevice(bool on = true) {
+    config_.cluster.separate_intermediate_device = on;
+    return *this;
+  }
+
+  // --- Hadoop parameters (Table 2) ---
+  JobBuilder& ChunkBytes(uint64_t c) {
+    config_.chunk_bytes = c;
+    return *this;
+  }
+  JobBuilder& MergeFactor(int f) {
+    config_.merge_factor = f;
+    return *this;
+  }
+  JobBuilder& ReducersPerNode(int r) {
+    config_.reducers_per_node = r;
+    return *this;
+  }
+  JobBuilder& MapBufferBytes(uint64_t b) {
+    config_.map_buffer_bytes = b;
+    return *this;
+  }
+  JobBuilder& ReduceMemoryBytes(uint64_t b) {
+    config_.reduce_memory_bytes = b;
+    return *this;
+  }
+
+  // --- engine knobs ---
+  JobBuilder& MapSideCombine(bool on = true) {
+    config_.map_side_combine = on;
+    return *this;
+  }
+  JobBuilder& ExpectedKeysPerReducer(uint64_t k) {
+    config_.expected_keys_per_reducer = k;
+    return *this;
+  }
+  JobBuilder& ExpectedBytesPerReducer(uint64_t b) {
+    config_.expected_bytes_per_reducer = b;
+    return *this;
+  }
+  JobBuilder& CoverageThreshold(double phi) {
+    config_.dinc_coverage_threshold = phi;
+    return *this;
+  }
+  JobBuilder& Pipelining(uint64_t push_bytes) {
+    config_.pipelining = true;
+    config_.pipeline_push_bytes = push_bytes;
+    return *this;
+  }
+  JobBuilder& Snapshots(int n) {
+    config_.snapshots = n;
+    return *this;
+  }
+
+  // --- misc ---
+  JobBuilder& Costs(const CostModel& costs) {
+    config_.costs = costs;
+    return *this;
+  }
+  JobBuilder& Seed(uint64_t seed) {
+    config_.seed = seed;
+    return *this;
+  }
+  JobBuilder& CollectOutputs(bool on = true) {
+    config_.collect_outputs = on;
+    return *this;
+  }
+
+  const JobSpec& spec() const { return spec_; }
+  const JobConfig& config() const { return config_; }
+
+  // Checks the builder for inconsistencies (missing factories, API /
+  // engine mismatches, nonsensical sizes) without running anything.
+  Status Validate() const;
+
+  // Validates, then runs on the simulated cluster.
+  Result<JobResult> Run(const ChunkStore& input) const;
+
+ private:
+  JobSpec spec_;
+  JobConfig config_;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MR_JOB_BUILDER_H_

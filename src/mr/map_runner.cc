@@ -1,0 +1,444 @@
+#include "src/mr/map_runner.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/engine/sorted_merge.h"
+#include "src/model/merge_tree.h"
+#include "src/util/arena.h"
+
+namespace onepass {
+
+namespace {
+
+// Collects the mapper's emitted pairs with partition tags. Bytes live in an
+// arena so entries are cheap to sort.
+class CollectingEmitter : public Emitter {
+ public:
+  struct Entry {
+    uint32_t part;
+    std::string_view key;
+    std::string_view value;
+  };
+
+  CollectingEmitter(const UniversalHash* partitioner, int total_partitions)
+      : partitioner_(partitioner), total_partitions_(total_partitions) {}
+
+  void Emit(std::string_view key, std::string_view value) override {
+    Entry e;
+    e.part = static_cast<uint32_t>(
+        partitioner_->Bucket(key, total_partitions_));
+    e.key = arena_.Copy(key);
+    e.value = arena_.Copy(value);
+    entries_.push_back(e);
+    bytes_ += RecordBytes(key, value);
+    ++records_;
+  }
+
+  std::vector<Entry>& entries() { return entries_; }
+  uint64_t bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
+
+  void Reset() {
+    entries_.clear();
+    arena_.Reset();
+    bytes_ = 0;
+  }
+
+ private:
+  const UniversalHash* partitioner_;
+  int total_partitions_;
+  Arena arena_;
+  std::vector<Entry> entries_;
+  uint64_t bytes_ = 0;
+  uint64_t records_ = 0;
+};
+
+// Routes emitted pairs straight into per-partition buffers (hash paths),
+// optionally applying initialize() per record.
+class PartitionEmitter : public Emitter {
+ public:
+  PartitionEmitter(const UniversalHash* partitioner,
+                   std::vector<KvBuffer>* partitions,
+                   IncrementalReducer* init_per_record)
+      : partitioner_(partitioner),
+        partitions_(partitions),
+        init_(init_per_record) {}
+
+  void Emit(std::string_view key, std::string_view value) override {
+    const auto part = partitioner_->Bucket(key, partitions_->size());
+    if (init_ != nullptr) {
+      const std::string state = init_->Init(key, value);
+      (*partitions_)[part].Append(key, state);
+      bytes_ += RecordBytes(key, state);
+    } else {
+      (*partitions_)[part].Append(key, value);
+      bytes_ += RecordBytes(key, value);
+    }
+    ++records_;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  const UniversalHash* partitioner_;
+  std::vector<KvBuffer>* partitions_;
+  IncrementalReducer* init_;
+  uint64_t bytes_ = 0;
+  uint64_t records_ = 0;
+};
+
+// Map-side combiner: in-memory hash table of key -> state (§5's Hash-based
+// Map Output component).
+class CombiningEmitter : public Emitter {
+ public:
+  explicit CombiningEmitter(IncrementalReducer* inc) : inc_(inc) {}
+
+  void Emit(std::string_view key, std::string_view value) override {
+    ++records_;
+    auto it = table_.find(std::string(key));
+    if (it == table_.end()) {
+      std::string state = inc_->Init(key, value);
+      bytes_ += key.size() + state.size() + 32;
+      table_.emplace(std::string(key), std::move(state));
+    } else {
+      const std::string state = inc_->Init(key, value);
+      inc_->Combine(key, &it->second, state);
+      ++combines_;
+    }
+  }
+
+  // Moves the table's contents into per-partition buffers and clears it.
+  void FlushTo(const UniversalHash& partitioner,
+               std::vector<KvBuffer>* partitions, uint64_t* out_bytes,
+               uint64_t* out_records) {
+    for (auto& [key, state] : table_) {
+      const auto part = partitioner.Bucket(key, partitions->size());
+      (*partitions)[part].Append(key, state);
+      *out_bytes += RecordBytes(key, state);
+      ++*out_records;
+    }
+    table_.clear();
+    bytes_ = 0;
+  }
+
+  uint64_t table_bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
+  uint64_t combines() const { return combines_; }
+
+ private:
+  IncrementalReducer* inc_;
+  std::unordered_map<std::string, std::string> table_;
+  uint64_t bytes_ = 0;
+  uint64_t records_ = 0;
+  uint64_t combines_ = 0;
+};
+
+bool EntryLess(const CollectingEmitter::Entry& a,
+               const CollectingEmitter::Entry& b) {
+  if (a.part != b.part) return a.part < b.part;
+  return a.key < b.key;
+}
+
+uint32_t WriteRequests(uint64_t bytes) {
+  return std::max<uint32_t>(1, static_cast<uint32_t>(bytes >> 20));
+}
+
+}  // namespace
+
+MapOutputMode SelectMapOutputMode(const JobConfig& config, bool has_inc) {
+  const bool combine = config.map_side_combine && has_inc;
+  switch (config.engine) {
+    case EngineKind::kSortMerge:
+      return combine ? MapOutputMode::kSortCombine : MapOutputMode::kSortRaw;
+    case EngineKind::kMRHash:
+      return combine ? MapOutputMode::kHashCombine : MapOutputMode::kHashRaw;
+    case EngineKind::kIncHash:
+    case EngineKind::kDincHash:
+      CHECK(has_inc) << "incremental engines need an IncrementalReducer";
+      return combine ? MapOutputMode::kHashCombine : MapOutputMode::kHashInit;
+  }
+  return MapOutputMode::kSortRaw;
+}
+
+MapRunner::MapRunner(const JobConfig& config, MapOutputMode mode,
+                     UniversalHash partitioner, int total_partitions,
+                     Mapper* mapper, IncrementalReducer* inc)
+    : config_(config),
+      mode_(mode),
+      partitioner_(partitioner),
+      total_partitions_(total_partitions),
+      mapper_(mapper),
+      inc_(inc) {
+  CHECK(mapper != nullptr);
+  if (ModeProducesStates(mode)) CHECK(inc != nullptr);
+}
+
+Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk) {
+  MapTaskOutput out;
+  TraceRecorder trace(&out.trace);
+  const CostModel& costs = config_.costs;
+
+  // Task startup + input chunk read.
+  trace.Cpu(costs.task_start_s, OpTag::kStartup);
+  trace.DiskRead(chunk.bytes(), OpTag::kMapInput);
+  out.metrics.map_input_bytes += chunk.bytes();
+  out.metrics.map_input_records += chunk.count();
+
+  const double map_fn_cost =
+      costs.map_fn_byte_s * static_cast<double>(chunk.bytes());
+
+  switch (mode_) {
+    case MapOutputMode::kSortRaw:
+    case MapOutputMode::kSortCombine:
+      RunSortPath(chunk, map_fn_cost, &trace, &out);
+      break;
+    case MapOutputMode::kHashRaw:
+    case MapOutputMode::kHashInit: {
+      std::vector<KvBuffer> parts(total_partitions_);
+      PartitionEmitter emitter(
+          &partitioner_, &parts,
+          mode_ == MapOutputMode::kHashInit ? inc_ : nullptr);
+      KvBufferReader reader(chunk);
+      std::string_view k, v;
+      while (reader.Next(&k, &v)) mapper_->Map(k, v, &emitter);
+      trace.Cpu(map_fn_cost, OpTag::kMapFn);
+      const double per_record =
+          mode_ == MapOutputMode::kHashInit
+              ? costs.hash_record_s + costs.combine_record_s
+              : costs.hash_record_s;
+      trace.Cpu(per_record * static_cast<double>(emitter.records()),
+                OpTag::kMapFn);
+      const uint64_t bytes = emitter.bytes();
+      trace.DiskWrite(bytes, OpTag::kMapOutput, WriteRequests(bytes));
+      out.metrics.map_output_bytes += bytes;
+      out.metrics.map_output_records += emitter.records();
+      PushSegment push;
+      push.gate_op = static_cast<uint32_t>(out.trace.ops.size() - 1);
+      push.partitions = std::move(parts);
+      push.bytes = bytes;
+      out.pushes.push_back(std::move(push));
+      out.sorted = false;
+      break;
+    }
+    case MapOutputMode::kHashCombine: {
+      std::vector<KvBuffer> parts(total_partitions_);
+      CombiningEmitter emitter(inc_);
+      uint64_t out_bytes = 0, out_records = 0;
+      KvBufferReader reader(chunk);
+      std::string_view k, v;
+      while (reader.Next(&k, &v)) {
+        mapper_->Map(k, v, &emitter);
+        if (emitter.table_bytes() >= config_.map_buffer_bytes) {
+          emitter.FlushTo(partitioner_, &parts, &out_bytes, &out_records);
+        }
+      }
+      emitter.FlushTo(partitioner_, &parts, &out_bytes, &out_records);
+      trace.Cpu(map_fn_cost, OpTag::kMapFn);
+      trace.Cpu((costs.hash_record_s + costs.combine_record_s) *
+                    static_cast<double>(emitter.records()),
+                OpTag::kMapFn);
+      trace.DiskWrite(out_bytes, OpTag::kMapOutput,
+                      WriteRequests(out_bytes));
+      out.metrics.map_output_bytes += out_bytes;
+      out.metrics.map_output_records += out_records;
+      PushSegment push;
+      push.gate_op = static_cast<uint32_t>(out.trace.ops.size() - 1);
+      push.partitions = std::move(parts);
+      push.bytes = out_bytes;
+      out.pushes.push_back(std::move(push));
+      out.sorted = false;
+      break;
+    }
+  }
+
+  return out;
+}
+
+void MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
+                            TraceRecorder* trace, MapTaskOutput* out) {
+  const CostModel& costs = config_.costs;
+  const bool combine = mode_ == MapOutputMode::kSortCombine;
+  CollectingEmitter emitter(&partitioner_, total_partitions_);
+  // Sorted runs; each run holds per-partition sorted buffers.
+  std::vector<std::vector<KvBuffer>> runs;
+  std::vector<uint64_t> run_bytes;
+
+  // Sorts the buffered entries (combining key groups if enabled) and emits
+  // them either as an on-disk run, a pipelined push, or the final output.
+  enum class CutKind { kSpill, kFinalOutput };
+  auto sort_and_cut = [&](CutKind kind) {
+    auto& entries = emitter.entries();
+    std::sort(entries.begin(), entries.end(), EntryLess);
+    trace->Cpu(costs.SortCost(entries.size()), OpTag::kSort);
+    std::vector<KvBuffer> parts(total_partitions_);
+    uint64_t bytes = 0, records = 0, combines = 0;
+    size_t i = 0;
+    while (i < entries.size()) {
+      size_t j = i + 1;
+      while (combine && j < entries.size() &&
+             entries[j].part == entries[i].part &&
+             entries[j].key == entries[i].key) {
+        ++j;
+      }
+      if (combine && j > i + 1) {
+        std::string state = inc_->Init(entries[i].key, entries[i].value);
+        for (size_t k = i + 1; k < j; ++k) {
+          const std::string s2 = inc_->Init(entries[k].key,
+                                            entries[k].value);
+          inc_->Combine(entries[i].key, &state, s2);
+          ++combines;
+        }
+        parts[entries[i].part].Append(entries[i].key, state);
+        bytes += RecordBytes(entries[i].key, state);
+      } else if (combine) {
+        const std::string state = inc_->Init(entries[i].key,
+                                             entries[i].value);
+        parts[entries[i].part].Append(entries[i].key, state);
+        bytes += RecordBytes(entries[i].key, state);
+      } else {
+        parts[entries[i].part].Append(entries[i].key, entries[i].value);
+        bytes += RecordBytes(entries[i].key, entries[i].value);
+      }
+      ++records;
+      i = j;
+    }
+    if (combine) {
+      trace->Cpu(2.0 * costs.combine_record_s *
+                     static_cast<double>(entries.size()),
+                 OpTag::kMapFn);
+    }
+    emitter.Reset();
+
+    const bool publish =
+        config_.pipelining || kind == CutKind::kFinalOutput;
+    const OpTag write_tag =
+        publish ? OpTag::kMapOutput : OpTag::kMapSpill;
+    trace->DiskWrite(bytes, write_tag, WriteRequests(bytes));
+    if (publish) {
+      out->metrics.map_output_bytes += bytes;
+      out->metrics.map_output_records += records;
+      PushSegment push;
+      push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
+      push.partitions = std::move(parts);
+      push.bytes = bytes;
+      out->pushes.push_back(std::move(push));
+    } else {
+      out->metrics.map_spill_write_bytes += bytes;
+      runs.push_back(std::move(parts));
+      run_bytes.push_back(bytes);
+    }
+  };
+
+  KvBufferReader reader(chunk);
+  std::string_view k, v;
+  const double fn_per_record =
+      chunk.count() > 0 ? map_fn_cost / static_cast<double>(chunk.count())
+                        : 0.0;
+  uint64_t cut_bytes = config_.map_buffer_bytes;
+  if (config_.pipelining && config_.pipeline_push_bytes > 0) {
+    cut_bytes = std::min(cut_bytes, config_.pipeline_push_bytes);
+  }
+  while (reader.Next(&k, &v)) {
+    mapper_->Map(k, v, &emitter);
+    trace->Cpu(fn_per_record, OpTag::kMapFn);
+    if (emitter.bytes() >= cut_bytes) {
+      sort_and_cut(CutKind::kSpill);
+    }
+  }
+  out->sorted = true;
+
+  if (config_.pipelining) {
+    // Pipelining: every cut (including the remainder) was already pushed.
+    sort_and_cut(CutKind::kFinalOutput);
+    return;
+  }
+
+  if (runs.empty()) {
+    // The whole chunk's output fit in the map buffer: the sorted buffer is
+    // the map output (the paper's recommended operating point for C).
+    sort_and_cut(CutKind::kFinalOutput);
+    return;
+  }
+
+  // External sort: cut the remainder as one more run, then merge all runs
+  // into the final map output. Physically a single k-way merge; extra
+  // passes beyond the merge factor are accounted via the exact merge tree.
+  sort_and_cut(CutKind::kSpill);
+  const int n_runs = static_cast<int>(runs.size());
+  uint64_t total_run_bytes = 0;
+  for (uint64_t b : run_bytes) total_run_bytes += b;
+
+  std::vector<KvBuffer> final_parts(total_partitions_);
+  uint64_t out_bytes = 0, out_records = 0, total_records = 0, combines = 0;
+  for (int p = 0; p < total_partitions_; ++p) {
+    std::vector<const KvBuffer*> inputs;
+    for (auto& run : runs) {
+      if (!run[p].empty()) inputs.push_back(&run[p]);
+    }
+    if (inputs.empty()) continue;
+    SortedKvMerger merger(std::move(inputs));
+    if (combine) {
+      std::string_view key;
+      std::vector<std::string_view> values;
+      while (merger.NextGroup(&key, &values)) {
+        if (values.size() == 1) {
+          final_parts[p].Append(key, values[0]);
+        } else {
+          std::string state(values[0]);
+          for (size_t i2 = 1; i2 < values.size(); ++i2) {
+            inc_->Combine(key, &state, values[i2]);
+            ++combines;
+          }
+          final_parts[p].Append(key, state);
+        }
+      }
+    } else {
+      std::string_view key, value;
+      while (merger.Next(&key, &value)) final_parts[p].Append(key, value);
+    }
+    total_records += merger.records_merged();
+    out_records += final_parts[p].count();
+    out_bytes += final_parts[p].bytes();
+  }
+
+  trace->DiskRead(total_run_bytes, OpTag::kMapMerge,
+                  std::max<uint32_t>(1, n_runs));
+  out->metrics.map_spill_read_bytes += total_run_bytes;
+  trace->Cpu(costs.MergeCost(total_records) +
+                 costs.combine_record_s * static_cast<double>(combines),
+             OpTag::kMapMerge);
+  if (n_runs > config_.merge_factor) {
+    const double avg_run = static_cast<double>(total_run_bytes) / n_runs;
+    const MergeTreeStats stats =
+        SimulateMergeTree(n_runs, avg_run, config_.merge_factor);
+    const uint64_t extra =
+        static_cast<uint64_t>(stats.background_merge_bytes);
+    if (extra > 0) {
+      trace->DiskWrite(extra, OpTag::kMapMerge);
+      trace->DiskRead(extra, OpTag::kMapMerge);
+      out->metrics.map_spill_write_bytes += extra;
+      out->metrics.map_spill_read_bytes += extra;
+      const double rec_bytes =
+          total_records > 0
+              ? static_cast<double>(total_run_bytes) / total_records
+              : 64.0;
+      trace->Cpu(
+          costs.MergeCost(static_cast<uint64_t>(extra / rec_bytes)),
+          OpTag::kMapMerge);
+    }
+  }
+  trace->DiskWrite(out_bytes, OpTag::kMapOutput, WriteRequests(out_bytes));
+  out->metrics.map_output_bytes += out_bytes;
+  out->metrics.map_output_records += out_records;
+  PushSegment push;
+  push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
+  push.partitions = std::move(final_parts);
+  push.bytes = out_bytes;
+  out->pushes.push_back(std::move(push));
+}
+
+}  // namespace onepass

@@ -1,0 +1,97 @@
+// MapRunner: executes one map task on the data plane.
+//
+// Two output organizations, matching §2.2 vs §5 of the paper:
+//
+//  * Sort path (Hadoop/sort-merge): emitted pairs buffer up to B_m bytes,
+//    are sorted by (partition, key) and spilled as sorted runs; runs are
+//    merged (multi-pass with factor F) into the final map output file. The
+//    sort is the map-side CPU cost the hash engines eliminate. With a
+//    combiner, key groups are collapsed at every sort/merge point.
+//
+//  * Hash path (our platform): no sort. Without a combiner, records are
+//    grouped by partition id in one scan; with one, an in-memory hash
+//    table applies initialize/combine and emits key-state pairs; for
+//    incremental engines without a combiner, initialize still runs per
+//    record so reducers receive states.
+//
+// Pipelining (MapReduce Online): on the sort path, each spill is pushed to
+// the reducers as soon as it is written (gate = the spill's write op) and
+// the map-side merge is skipped — the merge work moves to the reducers,
+// reproducing §3.3's "pipelining only rebalances the sort-merge work".
+
+#ifndef ONEPASS_MR_MAP_RUNNER_H_
+#define ONEPASS_MR_MAP_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mr/api.h"
+#include "src/mr/config.h"
+#include "src/mr/cost_trace.h"
+#include "src/mr/metrics.h"
+#include "src/util/hash.h"
+#include "src/util/kv_buffer.h"
+
+namespace onepass {
+
+// How the map side organizes its output.
+enum class MapOutputMode : uint8_t {
+  kSortRaw,      // sort by (partition, key); raw values
+  kSortCombine,  // sort + combiner at spills/merges; values become states
+  kHashRaw,      // group by partition only; raw values
+  kHashInit,     // group by partition; initialize() per record
+  kHashCombine,  // in-memory hash table of states (map-side combine)
+};
+
+// Returns the mode a job's configuration implies.
+MapOutputMode SelectMapOutputMode(const JobConfig& config, bool has_inc);
+
+// True when the mode produces state-valued output.
+inline bool ModeProducesStates(MapOutputMode mode) {
+  return mode == MapOutputMode::kSortCombine ||
+         mode == MapOutputMode::kHashInit ||
+         mode == MapOutputMode::kHashCombine;
+}
+
+// One publishable unit of map output. Non-pipelined tasks have exactly one
+// push; pipelined tasks publish one per spill.
+struct PushSegment {
+  // Completion of trace op `gate_op` makes this push fetchable.
+  uint32_t gate_op = 0;
+  std::vector<KvBuffer> partitions;  // indexed by reducer partition
+  uint64_t bytes = 0;
+};
+
+struct MapTaskOutput {
+  CostTrace trace;
+  JobMetrics metrics;
+  std::vector<PushSegment> pushes;
+  bool sorted = false;  // segments are key-ordered (sort path)
+};
+
+class MapRunner {
+ public:
+  // `partitioner` is h1; `total_partitions` = N*R reducers.
+  MapRunner(const JobConfig& config, MapOutputMode mode,
+            UniversalHash partitioner, int total_partitions, Mapper* mapper,
+            IncrementalReducer* inc);
+
+  // Runs the map function over one input chunk.
+  Result<MapTaskOutput> Run(const KvBuffer& chunk);
+
+ private:
+  void RunSortPath(const KvBuffer& chunk, double map_fn_cost,
+                   TraceRecorder* trace, MapTaskOutput* out);
+
+  const JobConfig& config_;
+  MapOutputMode mode_;
+  UniversalHash partitioner_;
+  int total_partitions_;
+  Mapper* mapper_;
+  IncrementalReducer* inc_;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MR_MAP_RUNNER_H_

@@ -1,0 +1,59 @@
+#include "src/mr/metrics.h"
+
+#include <cstdio>
+
+namespace onepass {
+
+void JobMetrics::Merge(const JobMetrics& o) {
+  map_input_bytes += o.map_input_bytes;
+  map_spill_write_bytes += o.map_spill_write_bytes;
+  map_spill_read_bytes += o.map_spill_read_bytes;
+  map_output_bytes += o.map_output_bytes;
+  shuffle_bytes += o.shuffle_bytes;
+  reduce_spill_write_bytes += o.reduce_spill_write_bytes;
+  reduce_spill_read_bytes += o.reduce_spill_read_bytes;
+  reduce_output_bytes += o.reduce_output_bytes;
+  map_input_records += o.map_input_records;
+  map_output_records += o.map_output_records;
+  reduce_input_records += o.reduce_input_records;
+  combine_invocations += o.combine_invocations;
+  reduce_groups += o.reduce_groups;
+  output_records += o.output_records;
+  early_output_records += o.early_output_records;
+  snapshot_bytes += o.snapshot_bytes;
+  snapshot_count += o.snapshot_count;
+  map_cpu_s += o.map_cpu_s;
+  reduce_cpu_s += o.reduce_cpu_s;
+}
+
+std::string JobMetrics::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "map input:       %12llu bytes, %llu records\n"
+      "map spill:       %12llu bytes written, %llu read\n"
+      "map output:      %12llu bytes, %llu records\n"
+      "shuffle:         %12llu bytes\n"
+      "reduce spill:    %12llu bytes written, %llu read\n"
+      "reduce output:   %12llu bytes, %llu records (%llu early)\n"
+      "reduce work:     %llu combines, %llu groups\n"
+      "cpu:             map %.1f s, reduce %.1f s",
+      static_cast<unsigned long long>(map_input_bytes),
+      static_cast<unsigned long long>(map_input_records),
+      static_cast<unsigned long long>(map_spill_write_bytes),
+      static_cast<unsigned long long>(map_spill_read_bytes),
+      static_cast<unsigned long long>(map_output_bytes),
+      static_cast<unsigned long long>(map_output_records),
+      static_cast<unsigned long long>(shuffle_bytes),
+      static_cast<unsigned long long>(reduce_spill_write_bytes),
+      static_cast<unsigned long long>(reduce_spill_read_bytes),
+      static_cast<unsigned long long>(reduce_output_bytes),
+      static_cast<unsigned long long>(output_records),
+      static_cast<unsigned long long>(early_output_records),
+      static_cast<unsigned long long>(combine_invocations),
+      static_cast<unsigned long long>(reduce_groups), map_cpu_s,
+      reduce_cpu_s);
+  return buf;
+}
+
+}  // namespace onepass

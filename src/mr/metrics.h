@@ -1,0 +1,50 @@
+// Job metrics: measured byte counts (the five I/O types of Table 2),
+// work counters, and CPU attribution.
+//
+// These are *measured* on the data plane — every spilled page, merged run,
+// and output block increments them as real bytes move — and reported by the
+// bench harnesses for Tables 1, 3, and 4.
+
+#ifndef ONEPASS_MR_METRICS_H_
+#define ONEPASS_MR_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace onepass {
+
+struct JobMetrics {
+  // --- Bytes (Table 2's U components; written and read tracked apart) ---
+  uint64_t map_input_bytes = 0;        // U1
+  uint64_t map_spill_write_bytes = 0;  // U2 (writes)
+  uint64_t map_spill_read_bytes = 0;   // U2 (reads)
+  uint64_t map_output_bytes = 0;       // U3
+  uint64_t shuffle_bytes = 0;          // network traffic (== U3 in total)
+  uint64_t reduce_spill_write_bytes = 0;  // U4 (writes)
+  uint64_t reduce_spill_read_bytes = 0;   // U4 (reads)
+  uint64_t reduce_output_bytes = 0;    // U5
+
+  // --- Record / work counters ---
+  uint64_t map_input_records = 0;
+  uint64_t map_output_records = 0;
+  uint64_t reduce_input_records = 0;
+  uint64_t combine_invocations = 0;   // reduce-side state updates
+  uint64_t reduce_groups = 0;         // keys fed to reduce()/finalize()
+  uint64_t output_records = 0;
+  uint64_t early_output_records = 0;  // emitted before end of input
+  uint64_t snapshot_bytes = 0;        // HOP-style snapshot output volume
+  uint64_t snapshot_count = 0;
+
+  // --- CPU seconds (data-plane modeled cost, summed over tasks) ---
+  double map_cpu_s = 0;
+  double reduce_cpu_s = 0;
+
+  void Merge(const JobMetrics& o);
+
+  // Human-readable multi-line summary.
+  std::string ToString() const;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MR_METRICS_H_

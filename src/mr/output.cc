@@ -1,0 +1,28 @@
+#include "src/mr/output.h"
+
+#include "src/util/kv_buffer.h"
+
+namespace onepass {
+
+void OutputCollector::Emit(std::string_view key, std::string_view value) {
+  const uint64_t rb = RecordBytes(key, value);
+  pending_bytes_ += rb;
+  bytes_ += rb;
+  ++records_;
+  metrics_->reduce_output_bytes += rb;
+  ++metrics_->output_records;
+  if (streaming_) ++metrics_->early_output_records;
+  if (sink_ != nullptr) {
+    sink_->push_back(Record{std::string(key), std::string(value)});
+  }
+  if (pending_bytes_ >= flush_bytes_) Flush();
+}
+
+void OutputCollector::Flush() {
+  if (pending_bytes_ == 0) return;
+  trace_->DiskWrite(pending_bytes_, OpTag::kOutput, /*requests=*/1,
+                    /*d_output_bytes=*/pending_bytes_);
+  pending_bytes_ = 0;
+}
+
+}  // namespace onepass

@@ -1,0 +1,58 @@
+// OutputCollector: the Emitter implementation for reduce output.
+//
+// Emitted records are buffered and "written to DFS" in blocks: each flush
+// records a disk write op carrying an output-progress delta, so the
+// progress replay sees output appear exactly when the write lands in
+// simulated time (the third term of the paper's reduce-progress metric).
+
+#ifndef ONEPASS_MR_OUTPUT_H_
+#define ONEPASS_MR_OUTPUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mr/api.h"
+#include "src/mr/cost_trace.h"
+#include "src/mr/metrics.h"
+#include "src/mr/types.h"
+
+namespace onepass {
+
+class OutputCollector : public Emitter {
+ public:
+  static constexpr uint64_t kDefaultFlushBytes = 256 << 10;
+
+  OutputCollector(TraceRecorder* trace, JobMetrics* metrics,
+                  std::vector<Record>* sink,  // nullable: collect outputs
+                  uint64_t flush_bytes = kDefaultFlushBytes)
+      : trace_(trace),
+        metrics_(metrics),
+        sink_(sink),
+        flush_bytes_(flush_bytes) {}
+
+  void Emit(std::string_view key, std::string_view value) override;
+
+  // Flushes the remaining buffered output. Call at task end.
+  void Flush();
+
+  // Marks subsequent emissions as streaming/early output (before end of
+  // input); used for the early-output accounting in §6.
+  void set_streaming(bool streaming) { streaming_ = streaming; }
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  TraceRecorder* trace_;
+  JobMetrics* metrics_;
+  std::vector<Record>* sink_;
+  uint64_t flush_bytes_;
+  uint64_t pending_bytes_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t records_ = 0;
+  bool streaming_ = false;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MR_OUTPUT_H_

@@ -1,0 +1,25 @@
+// Basic record types shared across the MapReduce framework.
+
+#ifndef ONEPASS_MR_TYPES_H_
+#define ONEPASS_MR_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace onepass {
+
+// An owning (key, value) pair. Hot paths use string_views over KvBuffer
+// bytes; Record is for inputs, outputs, and tests.
+struct Record {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+  friend auto operator<=>(const Record& a, const Record& b) = default;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MR_TYPES_H_

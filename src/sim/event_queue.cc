@@ -1,0 +1,25 @@
+#include "src/sim/event_queue.h"
+
+#include "src/common/logging.h"
+
+namespace onepass::sim {
+
+void Engine::ScheduleAt(double time, Callback cb) {
+  CHECK_GE(time, now_);
+  queue_.push(Event{time, next_seq_++, std::move(cb)});
+}
+
+double Engine::Run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; move the callback out via a copy
+    // of the event (callbacks are small).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.cb();
+  }
+  return now_;
+}
+
+}  // namespace onepass::sim

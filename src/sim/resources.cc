@@ -1,0 +1,49 @@
+#include "src/sim/resources.h"
+
+#include "src/common/logging.h"
+
+namespace onepass::sim {
+
+Server::Server(Engine* engine, int capacity, std::string name)
+    : engine_(engine), capacity_(capacity), name_(std::move(name)) {
+  CHECK_GE(capacity, 1);
+  samples_.push_back({0.0, 0, 0});
+}
+
+void Server::Submit(double duration, Engine::Callback done) {
+  CHECK_GE(duration, 0.0);
+  queue_.push_back(Job{duration, std::move(done)});
+  RecordSample();
+  if (busy_ < capacity_) StartNext();
+}
+
+void Server::StartNext() {
+  CHECK(!queue_.empty());
+  CHECK_LT(busy_, capacity_);
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  ++busy_;
+  busy_time_ += job.duration;
+  RecordSample();
+  engine_->ScheduleAfter(
+      job.duration, [this, done = std::move(job.done)]() mutable {
+        --busy_;
+        RecordSample();
+        // Start a waiting job before delivering the completion, so resource
+        // handoff does not depend on what the callback schedules.
+        if (!queue_.empty() && busy_ < capacity_) StartNext();
+        done();
+      });
+}
+
+void Server::RecordSample() {
+  const double t = engine_->now();
+  if (!samples_.empty() && samples_.back().time == t) {
+    samples_.back().busy = busy_;
+    samples_.back().queued = queued();
+  } else {
+    samples_.push_back({t, busy_, queued()});
+  }
+}
+
+}  // namespace onepass::sim

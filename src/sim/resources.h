@@ -1,0 +1,69 @@
+// Simulated resources: k-server FCFS queues with busy-interval tracking.
+//
+// Each cluster node owns a CPU pool (capacity = cores), one or two disk
+// queues (capacity 1: HDD, and optionally an SSD for the Fig. 2(d)
+// experiment), and a NIC (capacity 1). Tasks submit work items (service
+// durations) and are called back on completion.
+//
+// Busy-count change events are recorded so that utilization and iowait
+// timelines can be computed after the run (src/sim/timeline.h).
+
+#ifndef ONEPASS_SIM_RESOURCES_H_
+#define ONEPASS_SIM_RESOURCES_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace onepass::sim {
+
+// A resource with `capacity` identical servers and a FIFO queue.
+class Server {
+ public:
+  Server(Engine* engine, int capacity, std::string name);
+
+  // Enqueues a job with the given service duration; `done` fires when the
+  // job finishes service.
+  void Submit(double duration, Engine::Callback done);
+
+  int capacity() const { return capacity_; }
+  int busy() const { return busy_; }
+  int queued() const { return static_cast<int>(queue_.size()); }
+
+  // (time, busy_servers, queue_length) at every state change, in time order.
+  struct Sample {
+    double time;
+    int busy;
+    int queued;
+  };
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  // Total service time delivered (sum of all job durations completed).
+  double busy_time() const { return busy_time_; }
+
+ private:
+  struct Job {
+    double duration;
+    Engine::Callback done;
+  };
+
+  void StartNext();
+  void RecordSample();
+
+  Engine* engine_;
+  int capacity_;
+  std::string name_;
+  int busy_ = 0;
+  std::deque<Job> queue_;
+  std::vector<Sample> samples_;
+  double busy_time_ = 0;
+};
+
+}  // namespace onepass::sim
+
+#endif  // ONEPASS_SIM_RESOURCES_H_

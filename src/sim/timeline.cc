@@ -1,0 +1,148 @@
+#include "src/sim/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace onepass::sim {
+
+namespace {
+
+// Integrates a piecewise-constant function given by state-change samples
+// into uniform bins; `extract` maps a sample to the function value.
+template <typename Extract>
+BinnedSeries Integrate(const std::vector<Server::Sample>& samples,
+                       double bin_seconds, double horizon, Extract extract) {
+  BinnedSeries out;
+  out.bin_seconds = bin_seconds;
+  const int bins = std::max(1, static_cast<int>(std::ceil(horizon / bin_seconds)));
+  out.values.assign(bins, 0.0);
+  if (samples.empty()) return out;
+
+  // Bin boundaries are computed by index (not by accumulating segment
+  // lengths), so floating-point drift can neither spin the loop nor drop
+  // mass. The integration range is capped at the bin grid's end.
+  const double range_end = bins * bin_seconds;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double t0 = samples[i].time;
+    const double t1 =
+        (i + 1 < samples.size()) ? samples[i + 1].time : horizon;
+    if (t1 <= t0) continue;
+    const double v = extract(samples[i]);
+    // Spread v over [a, b).
+    const double a = t0;
+    const double b = std::min({t1, horizon, range_end});
+    if (a >= b) continue;
+    const int first =
+        std::clamp(static_cast<int>(a / bin_seconds), 0, bins - 1);
+    const int last =
+        std::clamp(static_cast<int>(b / bin_seconds), 0, bins - 1);
+    for (int k = first; k <= last; ++k) {
+      const double lo = std::max(a, k * bin_seconds);
+      const double hi = std::min(b, (k + 1) * bin_seconds);
+      if (hi > lo) out.values[k] += v * (hi - lo);
+    }
+  }
+  for (auto& v : out.values) v /= bin_seconds;
+  return out;
+}
+
+}  // namespace
+
+double BinnedSeries::ValueAt(double time) const {
+  if (values.empty() || bin_seconds <= 0) return 0.0;
+  int bin = static_cast<int>(time / bin_seconds);
+  bin = std::clamp(bin, 0, static_cast<int>(values.size()) - 1);
+  return values[bin];
+}
+
+BinnedSeries UtilizationSeries(const Server& server, double bin_seconds,
+                               double horizon) {
+  const double cap = server.capacity();
+  return Integrate(server.samples(), bin_seconds, horizon,
+                   [cap](const Server::Sample& s) { return s.busy / cap; });
+}
+
+BinnedSeries IowaitSeries(const Server& cpu, const Server& disk,
+                          double bin_seconds, double horizon) {
+  // Merge the two sample streams into a combined piecewise-constant
+  // indicator: disk active && cpu has an idle core.
+  const auto& cs = cpu.samples();
+  const auto& ds = disk.samples();
+  std::vector<Server::Sample> merged;
+  merged.reserve(cs.size() + ds.size());
+  size_t i = 0, j = 0;
+  int cpu_busy = 0, disk_busy = 0, disk_q = 0;
+  auto emit = [&](double t) {
+    const bool active = (disk_busy > 0 || disk_q > 0);
+    const bool idle_core = cpu_busy < cpu.capacity();
+    merged.push_back({t, (active && idle_core) ? 1 : 0, 0});
+  };
+  while (i < cs.size() || j < ds.size()) {
+    double t;
+    if (j >= ds.size() || (i < cs.size() && cs[i].time <= ds[j].time)) {
+      t = cs[i].time;
+      cpu_busy = cs[i].busy;
+      ++i;
+    } else {
+      t = ds[j].time;
+      disk_busy = ds[j].busy;
+      disk_q = ds[j].queued;
+      ++j;
+    }
+    emit(t);
+  }
+  return Integrate(merged, bin_seconds, horizon,
+                   [](const Server::Sample& s) {
+                     return static_cast<double>(s.busy);
+                   });
+}
+
+void StepSeries::Add(double time, double value) {
+  if (!times.empty() && times.back() == time) {
+    values.back() = value;
+    return;
+  }
+  CHECK(times.empty() || time >= times.back());
+  times.push_back(time);
+  values.push_back(value);
+}
+
+double StepSeries::ValueAt(double time) const {
+  auto it = std::upper_bound(times.begin(), times.end(), time);
+  if (it == times.begin()) return 0.0;
+  return values[static_cast<size_t>(it - times.begin()) - 1];
+}
+
+std::string RenderSeriesTable(const std::vector<std::string>& names,
+                              const std::vector<StepSeries>& series,
+                              int num_rows) {
+  CHECK_EQ(names.size(), series.size());
+  double horizon = 0;
+  for (const auto& s : series) {
+    if (!s.times.empty()) horizon = std::max(horizon, s.times.back());
+  }
+  std::string out = "  time(s)";
+  for (const auto& n : names) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %14s", n.c_str());
+    out += buf;
+  }
+  out += "\n";
+  for (int r = 0; r <= num_rows; ++r) {
+    const double t = horizon * r / num_rows;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%9.1f", t);
+    out += buf;
+    for (const auto& s : series) {
+      std::snprintf(buf, sizeof(buf), " %14.3f", s.ValueAt(t));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace onepass::sim

@@ -1,0 +1,144 @@
+#include "src/sketch/frequent.h"
+
+#include "src/common/logging.h"
+
+namespace onepass {
+
+FrequentSketch::FrequentSketch(size_t capacity) {
+  CHECK_GE(capacity, 1u);
+  slots_.resize(capacity);
+  free_slots_.reserve(capacity);
+  for (int i = static_cast<int>(capacity) - 1; i >= 0; --i) {
+    free_slots_.push_back(i);
+  }
+}
+
+void FrequentSketch::Hit(int slot) {
+  ++offers_;
+  Slot& s = slots_[slot];
+  CHECK(s.occupied);
+  by_count_.erase({s.raw, slot});
+  ++s.raw;
+  ++s.t;
+  by_count_.insert({s.raw, slot});
+}
+
+int FrequentSketch::InsertIntoFree(std::string_view key) {
+  CHECK(!free_slots_.empty());
+  ++offers_;
+  const int slot = free_slots_.back();
+  free_slots_.pop_back();
+  Slot& s = slots_[slot];
+  s.key.assign(key.data(), key.size());
+  s.raw = delta_ + 1;
+  s.t = 1;
+  s.occupied = true;
+  index_.emplace(s.key, slot);
+  by_count_.insert({s.raw, slot});
+  return slot;
+}
+
+int FrequentSketch::MinSlot() const {
+  return by_count_.empty() ? -1 : by_count_.begin()->second;
+}
+
+uint64_t FrequentSketch::MinCount() const {
+  CHECK(!by_count_.empty());
+  return Effective(slots_[by_count_.begin()->second]);
+}
+
+std::string FrequentSketch::ReplaceSlot(int slot, std::string_view key) {
+  ++offers_;
+  Slot& s = slots_[slot];
+  CHECK(s.occupied);
+  by_count_.erase({s.raw, slot});
+  std::string displaced = std::move(s.key);
+  index_.erase(displaced);
+  s.key.assign(key.data(), key.size());
+  s.raw = delta_ + 1;
+  s.t = 1;
+  index_.emplace(s.key, slot);
+  by_count_.insert({s.raw, slot});
+  return displaced;
+}
+
+void FrequentSketch::DecrementAll() {
+  ++offers_;
+  // Legal only when every effective count is positive.
+  CHECK(by_count_.empty() || MinCount() > 0);
+  ++delta_;
+}
+
+std::vector<int> FrequentSketch::ColdestSlots(int n) const {
+  std::vector<int> out;
+  out.reserve(n);
+  for (auto it = by_count_.begin(); it != by_count_.end() && n > 0;
+       ++it, --n) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+FrequentSketch::OfferResult FrequentSketch::Offer(std::string_view key) {
+  OfferResult result;
+  const int found = Find(key);
+  if (found >= 0) {
+    Hit(found);
+    result.action = Action::kUpdated;
+    result.slot = found;
+    return result;
+  }
+  if (HasFreeSlot()) {
+    result.action = Action::kInserted;
+    result.slot = InsertIntoFree(key);
+    return result;
+  }
+  const int min_slot = MinSlot();
+  if (MinCount() == 0) {
+    result.action = Action::kEvicted;
+    result.slot = min_slot;
+    result.evicted_key = ReplaceSlot(min_slot, key);
+    return result;
+  }
+  DecrementAll();
+  result.action = Action::kRejected;
+  return result;
+}
+
+int FrequentSketch::Find(std::string_view key) const {
+  auto it = index_.find(std::string(key));
+  return it == index_.end() ? -1 : it->second;
+}
+
+uint64_t FrequentSketch::Count(int slot) const {
+  CHECK(slots_[slot].occupied);
+  return Effective(slots_[slot]);
+}
+
+double FrequentSketch::CoverageLowerBound(int slot) const {
+  const double t = static_cast<double>(slots_[slot].t);
+  const double m_over_s1 =
+      static_cast<double>(offers_) / static_cast<double>(capacity() + 1);
+  if (t == 0.0) return 0.0;
+  return t / (t + m_over_s1);
+}
+
+void FrequentSketch::Release(int slot) {
+  Slot& s = slots_[slot];
+  CHECK(s.occupied);
+  by_count_.erase({s.raw, slot});
+  index_.erase(s.key);
+  s.key.clear();
+  s.raw = 0;
+  s.t = 0;
+  s.occupied = false;
+  free_slots_.push_back(slot);
+}
+
+uint64_t FrequentSketch::EstimateCount(std::string_view key) const {
+  const int slot = Find(key);
+  if (slot < 0) return 0;
+  return Effective(slots_[slot]);
+}
+
+}  // namespace onepass

@@ -1,0 +1,143 @@
+// FREQUENT (Misra–Gries) sketch with slot payload support.
+//
+// DINC-hash (§4.3 of the paper) monitors "hot" keys with the FREQUENT
+// algorithm [Misra & Gries 82; Berinde et al. 09]: s slots hold
+// (counter c[i], key k[i]) plus the state s[i] of the partial reduce
+// computation. On an arriving tuple:
+//   - key monitored            -> increment c, combine into state;
+//   - not monitored, some c==0 -> evict that slot, insert key with c=1;
+//   - not monitored, all c>0   -> decrement every counter, spill the tuple.
+//
+// The classic guarantee: a key with true frequency f is combined in memory
+// at least max(0, f - M/(s+1)) times, where M is the number of offers.
+//
+// Decrement-all is O(1) amortized via a global offset: effective count =
+// raw count - delta_, and "decrement all" is delta_ += 1 (legal exactly when
+// no effective count is 0). A multiset over raw counts tracks the minimum so
+// eviction candidates are found in O(log s).
+//
+// The sketch tracks per-slot `t` counters — tuples combined since the key
+// was last inserted — which DINC uses for coverage estimation:
+//   gamma = t / (t + M/(s+1))  <=  t / f  =  coverage   (a safe
+// under-estimate; see §4.3 "Approximate Answers and Coverage Estimation").
+//
+// Slot payloads (reduce states) live with the *caller*, indexed by the slot
+// id this class reports, so the sketch itself stays byte-agnostic.
+
+#ifndef ONEPASS_SKETCH_FREQUENT_H_
+#define ONEPASS_SKETCH_FREQUENT_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace onepass {
+
+class FrequentSketch {
+ public:
+  enum class Action {
+    kUpdated,   // key already monitored; counter incremented
+    kInserted,  // key inserted into a free slot
+    kEvicted,   // a zero-count slot was evicted and the key inserted there
+    kRejected,  // all counters > 0; every counter decremented; caller spills
+  };
+
+  struct OfferResult {
+    Action action = Action::kRejected;
+    // Slot holding the key after the offer (kUpdated/kInserted/kEvicted);
+    // -1 for kRejected.
+    int slot = -1;
+    // For kEvicted: the key that was displaced (caller owns its payload).
+    std::string evicted_key;
+  };
+
+  // capacity: s, the number of monitored slots (>= 1).
+  explicit FrequentSketch(size_t capacity);
+
+  // Feeds one occurrence of `key` to the sketch. Composition of the
+  // primitives below with the classic FREQUENT policy.
+  OfferResult Offer(std::string_view key);
+
+  // --- primitives (each counts as one offer where noted) ---
+  // DINC-hash composes these directly so it can interleave its proactive
+  // eviction hook (discard expired states) with the FREQUENT policy.
+
+  // Increments a monitored slot's counter (one offer).
+  void Hit(int slot);
+  // Inserts `key` into a free slot; requires HasFreeSlot() (one offer).
+  int InsertIntoFree(std::string_view key);
+  bool HasFreeSlot() const { return !free_slots_.empty(); }
+  // The occupied slot with the minimum effective count (-1 if none).
+  int MinSlot() const;
+  // Effective count of MinSlot() (undefined when no slot is occupied).
+  uint64_t MinCount() const;
+  // Replaces `slot`'s key with `key`, resetting its counter to 1 and its
+  // coverage counter (one offer). Returns the displaced key.
+  std::string ReplaceSlot(int slot, std::string_view key);
+  // Decrements every counter by one; legal only when MinCount() > 0
+  // (one offer — the rejected tuple).
+  void DecrementAll();
+  // Up to `n` occupied slots in ascending effective-count order.
+  std::vector<int> ColdestSlots(int n) const;
+
+  // Looks up the slot of `key`, or -1 if not monitored.
+  int Find(std::string_view key) const;
+
+  // Effective (Misra–Gries) counter of a slot. An upper bound on the true
+  // frequency error is offers()/(capacity()+1).
+  uint64_t Count(int slot) const;
+
+  // Tuples combined for the slot's key since its last insertion.
+  uint64_t CoverageCount(int slot) const { return slots_[slot].t; }
+
+  // The paper's safe coverage under-estimate gamma for a slot:
+  //   t / (t + M/(s+1)).
+  double CoverageLowerBound(int slot) const;
+
+  // Key stored at a slot ("" if the slot was never used).
+  std::string_view Key(int slot) const { return slots_[slot].key; }
+
+  bool SlotOccupied(int slot) const { return slots_[slot].occupied; }
+
+  // Removes `slot`'s key from the sketch, leaving the slot free with an
+  // effective count of zero. Used by DINC eviction hooks (e.g. expired
+  // sessions are emitted and dropped rather than spilled).
+  void Release(int slot);
+
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const { return index_.size(); }
+  // Total number of offers so far (the paper's M).
+  uint64_t offers() const { return offers_; }
+  // Number of decrement-all events.
+  uint64_t decrements() const { return delta_; }
+
+  // Frequency estimate for any key: the effective counter if monitored,
+  // else 0. True frequency f satisfies est <= f <= est + offers()/(s+1).
+  uint64_t EstimateCount(std::string_view key) const;
+
+ private:
+  struct Slot {
+    std::string key;
+    uint64_t raw = 0;  // effective count = raw - delta_
+    uint64_t t = 0;    // combines since last insertion
+    bool occupied = false;
+  };
+
+  uint64_t Effective(const Slot& s) const { return s.raw - delta_; }
+
+  std::vector<Slot> slots_;
+  std::unordered_map<std::string, int> index_;
+  // (raw count, slot) for every occupied slot; begin() is the minimum.
+  std::set<std::pair<uint64_t, int>> by_count_;
+  std::vector<int> free_slots_;
+  uint64_t delta_ = 0;
+  uint64_t offers_ = 0;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_SKETCH_FREQUENT_H_

@@ -1,0 +1,75 @@
+#include "src/sketch/space_saving.h"
+
+#include "src/common/logging.h"
+
+namespace onepass {
+
+SpaceSavingSketch::SpaceSavingSketch(size_t capacity) {
+  CHECK_GE(capacity, 1u);
+  slots_.resize(capacity);
+  free_slots_.reserve(capacity);
+  for (int i = static_cast<int>(capacity) - 1; i >= 0; --i) {
+    free_slots_.push_back(i);
+  }
+}
+
+SpaceSavingSketch::OfferResult SpaceSavingSketch::Offer(
+    std::string_view key) {
+  ++offers_;
+  OfferResult result;
+
+  auto it = index_.find(std::string(key));
+  if (it != index_.end()) {
+    const int slot = it->second;
+    Slot& s = slots_[slot];
+    by_count_.erase({s.count, slot});
+    ++s.count;
+    by_count_.insert({s.count, slot});
+    result.slot = slot;
+    return result;
+  }
+
+  if (!free_slots_.empty()) {
+    const int slot = free_slots_.back();
+    free_slots_.pop_back();
+    Slot& s = slots_[slot];
+    s.key.assign(key.data(), key.size());
+    s.count = 1;
+    s.error = 0;
+    s.occupied = true;
+    index_.emplace(s.key, slot);
+    by_count_.insert({s.count, slot});
+    result.slot = slot;
+    return result;
+  }
+
+  // Displace the minimum-count key; the newcomer inherits min+1 with error
+  // min.
+  const auto min_it = by_count_.begin();
+  const int slot = min_it->second;
+  Slot& s = slots_[slot];
+  const uint64_t min_count = s.count;
+  by_count_.erase(min_it);
+  result.evicted = true;
+  result.evicted_key = std::move(s.key);
+  index_.erase(result.evicted_key);
+  s.key.assign(key.data(), key.size());
+  s.count = min_count + 1;
+  s.error = min_count;
+  index_.emplace(s.key, slot);
+  by_count_.insert({s.count, slot});
+  result.slot = slot;
+  return result;
+}
+
+uint64_t SpaceSavingSketch::EstimateCount(std::string_view key) const {
+  auto it = index_.find(std::string(key));
+  return it == index_.end() ? 0 : slots_[it->second].count;
+}
+
+int SpaceSavingSketch::Find(std::string_view key) const {
+  auto it = index_.find(std::string(key));
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace onepass

@@ -1,0 +1,66 @@
+// SpaceSaving sketch (Metwally et al. 2005).
+//
+// Included as a comparison point for FREQUENT: the paper (§4.3) notes that
+// generic "sketch-based" frequency estimators are unsuitable for DINC-hash
+// because they do not explicitly maintain a hot-key set — SpaceSaving *does*
+// maintain one, so it is the natural alternative, and our ablation bench
+// (bench_micro_sketch) and property tests compare the two on skewed streams.
+
+#ifndef ONEPASS_SKETCH_SPACE_SAVING_H_
+#define ONEPASS_SKETCH_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace onepass {
+
+class SpaceSavingSketch {
+ public:
+  explicit SpaceSavingSketch(size_t capacity);
+
+  struct OfferResult {
+    bool evicted = false;       // true if a key was displaced
+    std::string evicted_key;    // valid when evicted
+    int slot = -1;              // slot now holding the offered key
+  };
+
+  // Feeds one occurrence of `key`.
+  OfferResult Offer(std::string_view key);
+
+  // Estimated count (upper bound on true frequency). 0 if not tracked.
+  uint64_t EstimateCount(std::string_view key) const;
+
+  // Overestimation bound for the key at `slot` (its inherited error).
+  uint64_t Error(int slot) const { return slots_[slot].error; }
+
+  int Find(std::string_view key) const;
+  std::string_view Key(int slot) const { return slots_[slot].key; }
+  uint64_t Count(int slot) const { return slots_[slot].count; }
+
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const { return index_.size(); }
+  uint64_t offers() const { return offers_; }
+
+ private:
+  struct Slot {
+    std::string key;
+    uint64_t count = 0;
+    uint64_t error = 0;
+    bool occupied = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::unordered_map<std::string, int> index_;
+  std::set<std::pair<uint64_t, int>> by_count_;
+  std::vector<int> free_slots_;
+  uint64_t offers_ = 0;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_SKETCH_SPACE_SAVING_H_

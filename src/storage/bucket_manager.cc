@@ -1,0 +1,54 @@
+#include "src/storage/bucket_manager.h"
+
+#include "src/common/logging.h"
+
+namespace onepass {
+
+BucketFileManager::BucketFileManager(int num_buckets, uint64_t page_bytes,
+                                     TraceRecorder* trace,
+                                     JobMetrics* metrics)
+    : page_bytes_(page_bytes), trace_(trace), metrics_(metrics) {
+  CHECK_GE(num_buckets, 1);
+  pages_.resize(num_buckets);
+  files_.resize(num_buckets);
+}
+
+void BucketFileManager::Add(int bucket, std::string_view key,
+                            std::string_view value) {
+  KvBuffer& page = pages_[bucket];
+  const uint64_t before = page.bytes();
+  page.Append(key, value);
+  buffered_bytes_ += page.bytes() - before;
+  ++spilled_records_;
+  if (page.bytes() >= page_bytes_) FlushPage(bucket);
+}
+
+void BucketFileManager::FlushAll() {
+  for (int b = 0; b < num_buckets(); ++b) {
+    if (!pages_[b].empty()) FlushPage(b);
+  }
+}
+
+void BucketFileManager::FlushPage(int bucket) {
+  KvBuffer& page = pages_[bucket];
+  const uint64_t bytes = page.bytes();
+  trace_->DiskWrite(bytes, OpTag::kReduceSpill);
+  metrics_->reduce_spill_write_bytes += bytes;
+  spilled_bytes_ += bytes;
+  buffered_bytes_ -= bytes;
+  files_[bucket].AppendAll(page);
+  page.Clear();
+}
+
+KvBuffer BucketFileManager::TakeBucket(int bucket) {
+  CHECK(pages_[bucket].empty()) << "FlushAll must run before TakeBucket";
+  KvBuffer result = std::move(files_[bucket]);
+  files_[bucket] = KvBuffer();
+  if (result.bytes() > 0) {
+    trace_->DiskRead(result.bytes(), OpTag::kReduceSpill);
+    metrics_->reduce_spill_read_bytes += result.bytes();
+  }
+  return result;
+}
+
+}  // namespace onepass

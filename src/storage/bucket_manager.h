@@ -1,0 +1,71 @@
+// BucketFileManager: the reduce-side disk bucket files with paged write
+// buffers.
+//
+// All three hash engines stage overflow tuples into h on-disk bucket files
+// (§4.1–4.3). Each bucket has a write-buffer page; tuples append to the
+// page and the page is flushed to the bucket's file when full (one
+// sequential I/O request per flush). Bytes written/read are charged to the
+// owning task's CostTrace and to JobMetrics as reduce spill.
+//
+// "Disk" content is held in memory (the platform's time plane is simulated;
+// see DESIGN.md), but the byte accounting is exact.
+
+#ifndef ONEPASS_STORAGE_BUCKET_MANAGER_H_
+#define ONEPASS_STORAGE_BUCKET_MANAGER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/mr/cost_trace.h"
+#include "src/mr/metrics.h"
+#include "src/util/kv_buffer.h"
+
+namespace onepass {
+
+class BucketFileManager {
+ public:
+  // num_buckets: h; page_bytes: write-buffer size per bucket.
+  BucketFileManager(int num_buckets, uint64_t page_bytes,
+                    TraceRecorder* trace, JobMetrics* metrics);
+
+  // Appends a tuple to `bucket`'s write buffer, flushing the page to disk
+  // if it is full.
+  void Add(int bucket, std::string_view key, std::string_view value);
+
+  // Flushes every non-empty page. Call at end of input.
+  void FlushAll();
+
+  // Reads a bucket's file back from disk (charges the read) and returns
+  // its contents, clearing the stored file. FlushAll must have been called.
+  KvBuffer TakeBucket(int bucket);
+
+  int num_buckets() const { return static_cast<int>(files_.size()); }
+  uint64_t bucket_file_bytes(int bucket) const {
+    return files_[bucket].bytes();
+  }
+  uint64_t bucket_file_records(int bucket) const {
+    return files_[bucket].count();
+  }
+  // Memory held by unflushed write-buffer pages.
+  uint64_t buffered_bytes() const { return buffered_bytes_; }
+  // Total bytes spilled through this manager.
+  uint64_t spilled_bytes() const { return spilled_bytes_; }
+  uint64_t spilled_records() const { return spilled_records_; }
+
+ private:
+  void FlushPage(int bucket);
+
+  uint64_t page_bytes_;
+  TraceRecorder* trace_;
+  JobMetrics* metrics_;
+  std::vector<KvBuffer> pages_;
+  std::vector<KvBuffer> files_;
+  uint64_t buffered_bytes_ = 0;
+  uint64_t spilled_bytes_ = 0;
+  uint64_t spilled_records_ = 0;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_STORAGE_BUCKET_MANAGER_H_

@@ -1,0 +1,31 @@
+#include "src/util/arena.h"
+
+#include <algorithm>
+
+namespace onepass {
+
+char* Arena::Allocate(size_t n) {
+  if (n == 0) n = 1;
+  if (n > remaining_) {
+    const size_t block = std::max(n, block_size_);
+    blocks_.push_back(std::make_unique<char[]>(block));
+    cur_ = blocks_.back().get();
+    remaining_ = block;
+    bytes_reserved_ += block;
+  }
+  char* result = cur_;
+  cur_ += n;
+  remaining_ -= n;
+  bytes_allocated_ += n;
+  return result;
+}
+
+void Arena::Reset() {
+  blocks_.clear();
+  cur_ = nullptr;
+  remaining_ = 0;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace onepass

@@ -1,0 +1,60 @@
+// Arena: block-based bump allocator.
+//
+// The paper's prototype (§5) avoids per-record JVM object churn by packing
+// key data structures into byte arrays with its own memory managers. Arena
+// is the C++ analogue: key/state bytes owned by hash tables and buffers are
+// bump-allocated here, so engines track memory in bytes, not objects.
+
+#ifndef ONEPASS_UTIL_ARENA_H_
+#define ONEPASS_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace onepass {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockSize = 64 * 1024;
+
+  explicit Arena(size_t block_size = kDefaultBlockSize)
+      : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Allocates `n` bytes (unaligned is fine for byte strings).
+  char* Allocate(size_t n);
+
+  // Copies `data` into the arena and returns a view of the stable copy.
+  std::string_view Copy(std::string_view data) {
+    char* p = Allocate(data.size());
+    std::memcpy(p, data.data(), data.size());
+    return {p, data.size()};
+  }
+
+  // Total bytes handed out by Allocate.
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  // Total bytes reserved from the system (>= bytes_allocated).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  // Releases all blocks. Invalidates every pointer previously returned.
+  void Reset();
+
+ private:
+  size_t block_size_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cur_ = nullptr;
+  size_t remaining_ = 0;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_UTIL_ARENA_H_

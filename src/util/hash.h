@@ -1,0 +1,74 @@
+// Hash functions used throughout the platform.
+//
+// The paper's framework (§4.1) relies on a *series of independent hash
+// functions* h1, h2, h3, ... — h1 partitions map output across reducers, h2
+// splits a reducer's input into buckets, h3 groups within a memory-resident
+// bucket, h4+ drive recursive partitioning. "We use standard universal
+// hashing to ensure that the hash functions are independent of each other."
+//
+// UniversalHashFamily reproduces that: every level i yields a Carter–Wegman
+// style hash seeded independently, so the bucket assignment at level i is
+// (approximately) independent of the assignment at level j != i.
+
+#ifndef ONEPASS_UTIL_HASH_H_
+#define ONEPASS_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace onepass {
+
+// Strong 64-bit mix of a 64-bit value (SplitMix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// 64-bit hash of a byte string with a seed (FNV-1a core + strong finalizer).
+// Deterministic across platforms.
+uint64_t HashBytes(std::string_view data, uint64_t seed = 0);
+
+// One member of a universal family: hashes byte strings to [0, 2^64) using
+// multiply-shift over a seeded 64-bit digest.
+class UniversalHash {
+ public:
+  // a must be odd; (a, b) are the multiply-shift parameters.
+  UniversalHash(uint64_t a, uint64_t b, uint64_t seed)
+      : a_(a | 1), b_(b), seed_(seed) {}
+
+  uint64_t operator()(std::string_view key) const {
+    const uint64_t x = HashBytes(key, seed_);
+    return a_ * x + b_;
+  }
+
+  // Hash reduced to a bucket index in [0, buckets).
+  uint64_t Bucket(std::string_view key, uint64_t buckets) const {
+    // Multiply-shift to the top bits, then map to range (fastrange).
+    const uint64_t h = (*this)(key);
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(h) * buckets) >> 64);
+  }
+
+ private:
+  uint64_t a_;
+  uint64_t b_;
+  uint64_t seed_;
+};
+
+// An indexed family of pairwise-independent hash functions. Level 0 plays
+// the role of the paper's h1 (partitioner), level 1 of h2, and so on.
+class UniversalHashFamily {
+ public:
+  explicit UniversalHashFamily(uint64_t seed) : seed_(seed) {}
+
+  // Returns the hash function at `level`. Cheap; safe to call repeatedly.
+  UniversalHash At(uint64_t level) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_UTIL_HASH_H_

@@ -1,0 +1,106 @@
+// KvBuffer: a flat, append-only buffer of (key, value) byte-string pairs.
+//
+// This is the platform's unit of intermediate data: map output partitions,
+// shuffle segments, spill-file payloads, and disk buckets are all KvBuffers.
+// Records are stored contiguously as varint-length-prefixed key/value bytes,
+// so `bytes()` is the honest serialized size that the simulated disk and
+// network account for.
+
+#ifndef ONEPASS_UTIL_KV_BUFFER_H_
+#define ONEPASS_UTIL_KV_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/util/coding.h"
+
+namespace onepass {
+
+class KvBuffer {
+ public:
+  KvBuffer() = default;
+
+  // Appends one record. Views into the buffer remain valid until the buffer
+  // is destroyed or cleared (std::string may reallocate, so do not hold
+  // views across Append calls).
+  void Append(std::string_view key, std::string_view value) {
+    PutLengthPrefixed(&data_, key);
+    PutLengthPrefixed(&data_, value);
+    ++count_;
+  }
+
+  // Appends every record of `other`.
+  void AppendAll(const KvBuffer& other) {
+    data_.append(other.data_);
+    count_ += other.count_;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t bytes() const { return data_.size(); }
+  bool empty() const { return count_ == 0; }
+
+  void Clear() {
+    data_.clear();
+    count_ = 0;
+  }
+
+  // Trades away the contents, leaving this buffer empty.
+  std::string ReleaseData() {
+    count_ = 0;
+    return std::move(data_);
+  }
+
+  const std::string& data() const { return data_; }
+
+  // Reconstructs a buffer from serialized bytes (e.g. read back from a
+  // spill file). `count` must match what was serialized.
+  static KvBuffer FromData(std::string data, uint64_t count) {
+    KvBuffer b;
+    b.data_ = std::move(data);
+    b.count_ = count;
+    return b;
+  }
+
+ private:
+  std::string data_;
+  uint64_t count_ = 0;
+};
+
+// Sequential reader over a KvBuffer (or raw serialized record bytes).
+// Typical use:
+//   KvBufferReader r(buf);
+//   std::string_view k, v;
+//   while (r.Next(&k, &v)) { ... }
+class KvBufferReader {
+ public:
+  explicit KvBufferReader(const KvBuffer& buf) : rest_(buf.data()) {}
+  explicit KvBufferReader(std::string_view raw) : rest_(raw) {}
+
+  // Advances to the next record. Returns false at end (or on corruption,
+  // which cannot happen for in-process buffers).
+  bool Next(std::string_view* key, std::string_view* value) {
+    if (rest_.empty()) return false;
+    if (!GetLengthPrefixed(&rest_, key)) return false;
+    return GetLengthPrefixed(&rest_, value);
+  }
+
+  bool AtEnd() const { return rest_.empty(); }
+
+  // Bytes not yet consumed.
+  size_t remaining_bytes() const { return rest_.size(); }
+
+ private:
+  std::string_view rest_;
+};
+
+// Serialized size of one record as KvBuffer stores it.
+inline uint64_t RecordBytes(std::string_view key, std::string_view value) {
+  return static_cast<uint64_t>(VarintLength(key.size()) + key.size() +
+                               VarintLength(value.size()) + value.size());
+}
+
+}  // namespace onepass
+
+#endif  // ONEPASS_UTIL_KV_BUFFER_H_

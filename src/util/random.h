@@ -1,0 +1,92 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All randomness in the library flows through these generators so that every
+// experiment is reproducible from a seed. We provide:
+//   - SplitMix64: seed expansion / cheap stateless mixing.
+//   - Xoshiro256StarStar: the main generator (fast, high quality).
+//   - ZipfGenerator: Zipf(s) distributed integers in [0, n), used to model
+//     skewed key popularity (user ids in click streams, words in documents).
+
+#ifndef ONEPASS_UTIL_RANDOM_H_
+#define ONEPASS_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace onepass {
+
+// SplitMix64 step: returns the next value and advances the state.
+// Public-domain algorithm by Sebastiano Vigna.
+inline uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** generator. Deterministic given the seed; not thread-safe.
+class Xoshiro256StarStar {
+ public:
+  explicit Xoshiro256StarStar(uint64_t seed) { Seed(seed); }
+
+  // Re-seeds the generator (expands the seed with SplitMix64).
+  void Seed(uint64_t seed);
+
+  // Next 64 uniformly distributed bits.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift
+  // rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli(p).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Generates Zipf(s)-distributed ranks in [0, n). Rank 0 is the most popular.
+//
+// Uses the rejection-inversion method of Hörmann & Derflinger (1996), which
+// is O(1) per sample with no O(n) setup table, so very large key universes
+// (e.g. trigram spaces) are cheap.
+class ZipfGenerator {
+ public:
+  // n: universe size (>= 1); s: skew exponent (s >= 0; s=0 is uniform).
+  ZipfGenerator(uint64_t n, double s);
+
+  // Returns a rank in [0, n).
+  uint64_t Next(Xoshiro256StarStar* rng);
+
+  uint64_t universe() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;  // s_ == 0 shortcut unused; kept for clarity.
+};
+
+// Fisher-Yates shuffles `v` in place using `rng`.
+template <typename T>
+void Shuffle(std::vector<T>* v, Xoshiro256StarStar* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng->NextBounded(i));
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+}  // namespace onepass
+
+#endif  // ONEPASS_UTIL_RANDOM_H_

@@ -1,0 +1,33 @@
+// Synthetic document corpus generator (GOV2 stand-in; see DESIGN.md §2).
+//
+// Each input record is a "line" of `words_per_record` space-separated
+// words drawn from a Zipf'd vocabulary. Trigram counting over this corpus
+// exercises the large-key-state-space regime of §6.2: the number of
+// distinct trigrams vastly exceeds reduce memory, and — unlike user ids —
+// trigram frequencies are comparatively even (the product of three Zipf
+// draws flattens the head), which is exactly why the paper sees INC-hash
+// and DINC-hash performing similarly there.
+
+#ifndef ONEPASS_WORKLOADS_DOCUMENTS_H_
+#define ONEPASS_WORKLOADS_DOCUMENTS_H_
+
+#include <cstdint>
+
+#include "src/dfs/chunk_store.h"
+
+namespace onepass {
+
+struct DocumentCorpusConfig {
+  uint64_t num_records = 100'000;
+  int words_per_record = 20;
+  uint64_t vocabulary = 50'000;
+  double word_skew = 0.9;  // Zipf exponent over the vocabulary
+  uint64_t seed = 5678;
+};
+
+// Generates the corpus into a chunk store (key = "", value = the line).
+void GenerateDocuments(const DocumentCorpusConfig& config, ChunkStore* out);
+
+}  // namespace onepass
+
+#endif  // ONEPASS_WORKLOADS_DOCUMENTS_H_

@@ -1,0 +1,90 @@
+#include "src/workloads/jobs.h"
+
+#include <memory>
+
+#include "src/workloads/count_workloads.h"
+#include "src/workloads/windows.h"
+
+namespace onepass {
+
+JobSpec SessionizationJob(uint64_t state_bytes, size_t payload_bytes) {
+  JobSpec spec;
+  spec.name = "sessionization";
+  spec.mapper = [payload_bytes]() {
+    return std::make_unique<SessionizationMapper>(payload_bytes);
+  };
+  spec.reducer = [payload_bytes]() {
+    return std::make_unique<SessionizationReducer>(payload_bytes);
+  };
+  spec.inc = [state_bytes, payload_bytes]() {
+    return std::make_unique<SessionizationIncReducer>(state_bytes,
+                                                      payload_bytes);
+  };
+  return spec;
+}
+
+JobSpec ClickCountJob() {
+  JobSpec spec;
+  spec.name = "user click counting";
+  spec.mapper = []() {
+    return std::make_unique<ClickCountMapper>(ClickKeyField::kUser);
+  };
+  spec.reducer = []() { return std::make_unique<CountingListReducer>(0); };
+  spec.inc = []() { return std::make_unique<CountingIncReducer>(0); };
+  return spec;
+}
+
+JobSpec FrequentUserJob(uint64_t threshold) {
+  JobSpec spec;
+  spec.name = "frequent user identification";
+  spec.mapper = []() {
+    return std::make_unique<ClickCountMapper>(ClickKeyField::kUser);
+  };
+  spec.reducer = [threshold]() {
+    return std::make_unique<CountingListReducer>(threshold);
+  };
+  spec.inc = [threshold]() {
+    return std::make_unique<CountingIncReducer>(threshold);
+  };
+  return spec;
+}
+
+JobSpec PageFrequencyJob() {
+  JobSpec spec;
+  spec.name = "page frequency";
+  spec.mapper = []() {
+    return std::make_unique<ClickCountMapper>(ClickKeyField::kUrl);
+  };
+  spec.reducer = []() { return std::make_unique<CountingListReducer>(0); };
+  spec.inc = []() { return std::make_unique<CountingIncReducer>(0); };
+  return spec;
+}
+
+JobSpec WindowedClickCountJob(uint64_t window_seconds,
+                              uint64_t lateness_seconds) {
+  JobSpec spec;
+  spec.name = "windowed click counting";
+  spec.mapper = [window_seconds]() {
+    return std::make_unique<WindowedClickMapper>(window_seconds);
+  };
+  spec.inc = [window_seconds, lateness_seconds]() {
+    return std::make_unique<WindowedCountReducer>(window_seconds,
+                                                  lateness_seconds);
+  };
+  return spec;
+}
+
+JobSpec TrigramCountJob(uint64_t threshold) {
+  JobSpec spec;
+  spec.name = "trigram counting";
+  spec.mapper = []() { return std::make_unique<TrigramMapper>(); };
+  spec.reducer = [threshold]() {
+    return std::make_unique<CountingListReducer>(threshold);
+  };
+  spec.inc = [threshold]() {
+    return std::make_unique<CountingIncReducer>(threshold);
+  };
+  return spec;
+}
+
+}  // namespace onepass

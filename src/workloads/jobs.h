@@ -1,0 +1,39 @@
+// Ready-made JobSpecs for the paper's evaluation workloads (§6).
+
+#ifndef ONEPASS_WORKLOADS_JOBS_H_
+#define ONEPASS_WORKLOADS_JOBS_H_
+
+#include <cstdint>
+
+#include "src/mr/cluster.h"
+#include "src/workloads/sessionization.h"
+
+namespace onepass {
+
+// Sessionization over a click stream. `state_bytes` is the INC/DINC
+// per-user click buffer (the paper evaluates 0.5 KB / 1 KB / 2 KB).
+JobSpec SessionizationJob(uint64_t state_bytes = 512,
+                          size_t payload_bytes = kDefaultClickPayloadBytes);
+
+// Count clicks per user.
+JobSpec ClickCountJob();
+
+// Users with at least `threshold` clicks (paper: 50); supports early
+// output the moment a user crosses the threshold.
+JobSpec FrequentUserJob(uint64_t threshold = 50);
+
+// Count visits per url (Table 1's "page frequency").
+JobSpec PageFrequencyJob();
+
+// Word trigrams appearing at least `threshold` times (paper: 1000).
+JobSpec TrigramCountJob(uint64_t threshold = 1000);
+
+// Tumbling-window clicks-per-user over the stream (the paper's §8
+// future-work direction, built on INC/DINC-hash). Closed windows stream
+// out while the job is still reading input.
+JobSpec WindowedClickCountJob(uint64_t window_seconds = 3600,
+                              uint64_t lateness_seconds = 600);
+
+}  // namespace onepass
+
+#endif  // ONEPASS_WORKLOADS_JOBS_H_

@@ -1,0 +1,85 @@
+#include "src/workloads/reference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/workloads/clickstream.h"
+#include "src/workloads/sessionization.h"
+
+namespace onepass {
+
+std::vector<Record> ReferenceSessionization(const ChunkStore& input,
+                                            size_t payload_bytes) {
+  std::unordered_map<uint64_t, std::vector<Click>> by_user;
+  for (const Chunk& chunk : input.chunks()) {
+    KvBufferReader reader(chunk.records);
+    std::string_view k, v;
+    while (reader.Next(&k, &v)) {
+      Click c;
+      if (DecodeClick(v, &c)) by_user[c.user].push_back(c);
+    }
+  }
+  std::vector<Record> out;
+  for (auto& [user, clicks] : by_user) {
+    std::stable_sort(clicks.begin(), clicks.end(),
+                     [](const Click& a, const Click& b) {
+                       return a.ts < b.ts;
+                     });
+    uint64_t session = clicks.front().ts;
+    uint64_t prev = clicks.front().ts;
+    for (const Click& c : clicks) {
+      if (c.ts > prev + kSessionGapSeconds) session = c.ts;
+      out.push_back(Record{
+          UserKey(user),
+          EncodeSessionOutput(session, c.ts, c.url, payload_bytes)});
+      prev = c.ts;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::map<std::string, uint64_t> ReferenceClickCounts(const ChunkStore& input,
+                                                     ClickKeyField field) {
+  std::map<std::string, uint64_t> counts;
+  for (const Chunk& chunk : input.chunks()) {
+    KvBufferReader reader(chunk.records);
+    std::string_view k, v;
+    while (reader.Next(&k, &v)) {
+      Click c;
+      if (!DecodeClick(v, &c)) continue;
+      const std::string key =
+          field == ClickKeyField::kUser ? UserKey(c.user) : UrlKey(c.url);
+      ++counts[key];
+    }
+  }
+  return counts;
+}
+
+std::map<std::string, uint64_t> ReferenceTrigramCounts(
+    const ChunkStore& input) {
+  std::map<std::string, uint64_t> counts;
+  for (const Chunk& chunk : input.chunks()) {
+    KvBufferReader reader(chunk.records);
+    std::string_view k, v;
+    while (reader.Next(&k, &v)) {
+      // Same single-space tokenization as TrigramMapper.
+      std::vector<std::pair<size_t, size_t>> words;
+      size_t start = 0;
+      for (size_t i = 0; i <= v.size(); ++i) {
+        if (i == v.size() || v[i] == ' ') {
+          if (i > start) words.push_back({start, i});
+          start = i + 1;
+        }
+      }
+      for (size_t w = 2; w < words.size(); ++w) {
+        const size_t b = words[w - 2].first;
+        const size_t e = words[w].second;
+        ++counts[std::string(v.substr(b, e - b))];
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace onepass

@@ -1,0 +1,38 @@
+// Reference implementations: straightforward single-threaded semantics of
+// every workload, computed directly over the raw input. The engines'
+// outputs are checked against these in the integration tests — the central
+// correctness property that all four group-by implementations compute the
+// same query.
+
+#ifndef ONEPASS_WORKLOADS_REFERENCE_H_
+#define ONEPASS_WORKLOADS_REFERENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dfs/chunk_store.h"
+#include "src/mr/types.h"
+#include "src/workloads/count_workloads.h"
+
+namespace onepass {
+
+// Sessionization with perfect global ordering: for every user, clicks
+// sorted by ts, sessions split at >5 min gaps, one output record per click
+// tagged with the session id (first ts of the session). Records are
+// returned sorted for comparison.
+std::vector<Record> ReferenceSessionization(const ChunkStore& input,
+                                            size_t payload_bytes);
+
+// Exact per-key click counts (user or url).
+std::map<std::string, uint64_t> ReferenceClickCounts(const ChunkStore& input,
+                                                     ClickKeyField field);
+
+// Exact trigram counts over a document corpus.
+std::map<std::string, uint64_t> ReferenceTrigramCounts(
+    const ChunkStore& input);
+
+}  // namespace onepass
+
+#endif  // ONEPASS_WORKLOADS_REFERENCE_H_

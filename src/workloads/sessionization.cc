@@ -1,0 +1,233 @@
+#include "src/workloads/sessionization.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/util/coding.h"
+
+namespace onepass {
+
+namespace {
+
+struct Entry {
+  uint64_t ts;
+  uint32_t url;
+};
+
+// State accessors. Layout: [count: fixed32][count * entry], entry =
+// [ts: fixed64][url: fixed32][padding to payload_bytes].
+uint32_t StateCount(std::string_view state) {
+  return state.size() >= 4 ? DecodeFixed32(state.data()) : 0;
+}
+
+Entry StateEntry(std::string_view state, size_t payload_bytes, uint32_t i) {
+  const char* p = state.data() + 4 + i * payload_bytes;
+  return Entry{DecodeFixed64(p), DecodeFixed32(p + 8)};
+}
+
+void AppendStateEntry(std::string* state, size_t payload_bytes,
+                      const Entry& e) {
+  if (state->empty()) PutFixed32(state, 0);
+  const size_t pos = state->size();
+  PutFixed64(state, e.ts);
+  PutFixed32(state, e.url);
+  if (state->size() - pos < payload_bytes) {
+    state->resize(pos + payload_bytes, 'x');
+  }
+  const uint32_t count = DecodeFixed32(state->data()) + 1;
+  std::string hdr;
+  PutFixed32(&hdr, count);
+  state->replace(0, 4, hdr);
+}
+
+std::vector<Entry> StateEntries(std::string_view state,
+                                size_t payload_bytes) {
+  const uint32_t n = StateCount(state);
+  std::vector<Entry> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out.push_back(StateEntry(state, payload_bytes, i));
+  }
+  return out;
+}
+
+void RebuildState(std::string* state, size_t payload_bytes,
+                  const std::vector<Entry>& entries) {
+  state->clear();
+  for (const Entry& e : entries) AppendStateEntry(state, payload_bytes, e);
+  if (state->empty()) PutFixed32(state, 0);
+}
+
+// Emits entries [begin, end) as sessions split at >5 min gaps. Entries
+// must be ts-sorted. Returns the session id (first ts) of the last session
+// emitted, for continuity bookkeeping by callers that need it.
+void EmitSessions(std::string_view key, const std::vector<Entry>& entries,
+                  size_t begin, size_t end, size_t payload_bytes,
+                  Emitter* out) {
+  if (begin >= end) return;
+  uint64_t session = entries[begin].ts;
+  uint64_t prev = entries[begin].ts;
+  for (size_t i = begin; i < end; ++i) {
+    if (entries[i].ts > prev + kSessionGapSeconds) session = entries[i].ts;
+    out->Emit(key, EncodeSessionOutput(session, entries[i].ts,
+                                       entries[i].url, payload_bytes));
+    prev = entries[i].ts;
+  }
+}
+
+}  // namespace
+
+std::string EncodeClickPayload(uint64_t ts, uint32_t url,
+                               size_t payload_bytes) {
+  std::string out;
+  out.reserve(payload_bytes);
+  PutFixed64(&out, ts);
+  PutFixed32(&out, url);
+  if (out.size() < payload_bytes) out.resize(payload_bytes, 'x');
+  return out;
+}
+
+bool DecodeClickPayload(std::string_view data, uint64_t* ts, uint32_t* url) {
+  if (data.size() < 12) return false;
+  *ts = DecodeFixed64(data.data());
+  *url = DecodeFixed32(data.data() + 8);
+  return true;
+}
+
+std::string EncodeSessionOutput(uint64_t session, uint64_t ts, uint32_t url,
+                                size_t payload_bytes) {
+  std::string out;
+  out.reserve(payload_bytes);
+  PutFixed64(&out, session);
+  PutFixed64(&out, ts);
+  PutFixed32(&out, url);
+  if (out.size() < payload_bytes) out.resize(payload_bytes, 'x');
+  return out;
+}
+
+bool DecodeSessionOutput(std::string_view data, uint64_t* session,
+                         uint64_t* ts, uint32_t* url) {
+  if (data.size() < 20) return false;
+  *session = DecodeFixed64(data.data());
+  *ts = DecodeFixed64(data.data() + 8);
+  *url = DecodeFixed32(data.data() + 16);
+  return true;
+}
+
+void SessionizationMapper::Map(std::string_view /*key*/,
+                               std::string_view value, Emitter* out) {
+  Click c;
+  if (!DecodeClick(value, &c)) return;
+  out->Emit(UserKey(c.user), EncodeClickPayload(c.ts, c.url, payload_bytes_));
+}
+
+void SessionizationReducer::Reduce(std::string_view key,
+                                   ValueIterator* values, Emitter* out) {
+  std::vector<Entry> entries;
+  std::string_view v;
+  while (values->Next(&v)) {
+    Entry e;
+    if (DecodeClickPayload(v, &e.ts, &e.url)) entries.push_back(e);
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.ts < b.ts; });
+  EmitSessions(key, entries, 0, entries.size(), payload_bytes_, out);
+}
+
+SessionizationIncReducer::SessionizationIncReducer(uint64_t state_bytes,
+                                                   size_t payload_bytes)
+    : state_bytes_(state_bytes), payload_bytes_(payload_bytes) {
+  CHECK_GE(payload_bytes, 12u);
+  capacity_clicks_ =
+      std::max<size_t>(2, (state_bytes - 4) / payload_bytes);
+}
+
+std::string SessionizationIncReducer::Init(std::string_view /*key*/,
+                                           std::string_view value) {
+  Entry e{0, 0};
+  CHECK(DecodeClickPayload(value, &e.ts, &e.url));
+  watermark_ = std::max(watermark_, e.ts);
+  std::string state;
+  AppendStateEntry(&state, payload_bytes_, e);
+  return state;
+}
+
+void SessionizationIncReducer::Combine(std::string_view /*key*/,
+                                       std::string* state,
+                                       std::string_view other) {
+  // Merge the (usually single-click) other state into ours, keeping the
+  // buffer ts-sorted. Shuffle order is approximately temporal, so the
+  // common case is an append.
+  std::vector<Entry> mine = StateEntries(*state, payload_bytes_);
+  const std::vector<Entry> theirs = StateEntries(other, payload_bytes_);
+  for (const Entry& e : theirs) {
+    watermark_ = std::max(watermark_, e.ts);
+    auto it = std::upper_bound(
+        mine.begin(), mine.end(), e,
+        [](const Entry& a, const Entry& b) { return a.ts < b.ts; });
+    mine.insert(it, e);
+  }
+  RebuildState(state, payload_bytes_, mine);
+}
+
+void SessionizationIncReducer::EmitClosedSessions(std::string_view key,
+                                                  std::string* state,
+                                                  Emitter* out,
+                                                  bool emit_all) {
+  std::vector<Entry> entries = StateEntries(*state, payload_bytes_);
+  if (entries.empty()) return;
+  if (emit_all) {
+    EmitSessions(key, entries, 0, entries.size(), payload_bytes_, out);
+    RebuildState(state, payload_bytes_, {});
+    return;
+  }
+  // Find the start of the trailing open session: the last index i with
+  // entries[i].ts > entries[i-1].ts + gap.
+  size_t open_start = 0;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].ts > entries[i - 1].ts + kSessionGapSeconds) {
+      open_start = i;
+    }
+  }
+  size_t emit_upto = open_start;
+  // Bounded buffer: if the open session alone overflows the buffer,
+  // force-emit its oldest clicks too (they keep their session tag).
+  const size_t keep_limit = capacity_clicks_;
+  if (entries.size() - emit_upto > keep_limit) {
+    emit_upto = entries.size() - keep_limit;
+  }
+  if (emit_upto == 0) return;
+  EmitSessions(key, entries, 0, emit_upto, payload_bytes_, out);
+  entries.erase(entries.begin(),
+                entries.begin() + static_cast<ptrdiff_t>(emit_upto));
+  RebuildState(state, payload_bytes_, entries);
+}
+
+void SessionizationIncReducer::OnUpdate(std::string_view key,
+                                        std::string* state, Emitter* out) {
+  EmitClosedSessions(key, state, out, /*emit_all=*/false);
+}
+
+void SessionizationIncReducer::Finalize(std::string_view key,
+                                        std::string_view state,
+                                        Emitter* out) {
+  std::string copy(state);
+  EmitClosedSessions(key, &copy, out, /*emit_all=*/true);
+}
+
+bool SessionizationIncReducer::TryDiscard(std::string_view key,
+                                          std::string* state, Emitter* out) {
+  const std::vector<Entry> entries = StateEntries(*state, payload_bytes_);
+  if (entries.empty()) return true;
+  // All sessions expired relative to the stream watermark? Then no future
+  // click can join them: emit and discard instead of spilling (§6.2).
+  if (entries.back().ts + kSessionGapSeconds < watermark_) {
+    EmitSessions(key, entries, 0, entries.size(), payload_bytes_, out);
+    state->clear();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace onepass

@@ -1,0 +1,118 @@
+#include "src/workloads/windows.h"
+
+#include <algorithm>
+
+#include "src/util/coding.h"
+#include "src/workloads/clickstream.h"
+
+namespace onepass {
+
+std::string EncodeWindowState(const std::vector<WindowCount>& windows) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(windows.size()));
+  for (const WindowCount& w : windows) {
+    PutFixed64(&out, w.window_start);
+    PutFixed64(&out, w.count);
+  }
+  return out;
+}
+
+std::vector<WindowCount> DecodeWindowState(std::string_view state) {
+  std::vector<WindowCount> out;
+  if (state.size() < 4) return out;
+  const uint32_t n = DecodeFixed32(state.data());
+  if (state.size() < 4 + n * 16ull) return out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const char* p = state.data() + 4 + i * 16;
+    out.push_back({DecodeFixed64(p), DecodeFixed64(p + 8)});
+  }
+  return out;
+}
+
+void WindowedClickMapper::Map(std::string_view /*key*/,
+                              std::string_view value, Emitter* out) {
+  Click c;
+  if (!DecodeClick(value, &c)) return;
+  const uint64_t start = c.ts - c.ts % window_seconds_;
+  out->Emit(UserKey(c.user), EncodeWindowState({{start, 1}}));
+}
+
+WindowedCountReducer::WindowedCountReducer(uint64_t window_seconds,
+                                           uint64_t lateness_seconds)
+    : window_seconds_(window_seconds),
+      lateness_seconds_(lateness_seconds) {}
+
+std::string WindowedCountReducer::Init(std::string_view /*key*/,
+                                       std::string_view value) {
+  // Map output is already window-state encoded; track the watermark.
+  for (const WindowCount& w : DecodeWindowState(value)) {
+    watermark_ = std::max(watermark_, w.window_start);
+  }
+  return std::string(value);
+}
+
+void WindowedCountReducer::Combine(std::string_view /*key*/,
+                                   std::string* state,
+                                   std::string_view other) {
+  std::vector<WindowCount> mine = DecodeWindowState(*state);
+  for (const WindowCount& w : DecodeWindowState(other)) {
+    watermark_ = std::max(watermark_, w.window_start);
+    auto it = std::lower_bound(
+        mine.begin(), mine.end(), w,
+        [](const WindowCount& a, const WindowCount& b) {
+          return a.window_start < b.window_start;
+        });
+    if (it != mine.end() && it->window_start == w.window_start) {
+      it->count += w.count;
+    } else {
+      mine.insert(it, w);
+    }
+  }
+  *state = EncodeWindowState(mine);
+}
+
+void WindowedCountReducer::EmitClosed(std::string_view key,
+                                      std::string* state, Emitter* out,
+                                      bool emit_all) {
+  std::vector<WindowCount> windows = DecodeWindowState(*state);
+  std::vector<WindowCount> open;
+  for (const WindowCount& w : windows) {
+    const bool closed =
+        emit_all ||
+        w.window_start + window_seconds_ + lateness_seconds_ <= watermark_;
+    if (closed) {
+      out->Emit(key, std::to_string(w.window_start) + ":" +
+                         std::to_string(w.count));
+    } else {
+      open.push_back(w);
+    }
+  }
+  if (open.size() != windows.size()) *state = EncodeWindowState(open);
+}
+
+void WindowedCountReducer::OnUpdate(std::string_view key,
+                                    std::string* state, Emitter* out) {
+  EmitClosed(key, state, out, /*emit_all=*/false);
+}
+
+void WindowedCountReducer::Finalize(std::string_view key,
+                                    std::string_view state, Emitter* out) {
+  std::string copy(state);
+  EmitClosed(key, &copy, out, /*emit_all=*/true);
+}
+
+bool WindowedCountReducer::TryDiscard(std::string_view key,
+                                      std::string* state, Emitter* out) {
+  // Discardable when every window in the state is already closed: no
+  // future tuple can extend them (within the lateness bound).
+  for (const WindowCount& w : DecodeWindowState(*state)) {
+    if (w.window_start + window_seconds_ + lateness_seconds_ > watermark_) {
+      return false;
+    }
+  }
+  EmitClosed(key, state, out, /*emit_all=*/true);
+  return true;
+}
+
+}  // namespace onepass

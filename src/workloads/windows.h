@@ -1,0 +1,87 @@
+// Windowed stream aggregation — the paper's §8 future-work direction
+// ("stream query processing with window operations"), built on the
+// INC-hash machinery.
+//
+// WindowedCountReducer counts clicks per (key, tumbling window). Its state
+// holds the open windows' partial counts; OnUpdate closes windows as the
+// task-wide watermark (the largest timestamp seen) passes their end plus
+// an allowed-lateness slack, emitting one record per closed window:
+//   key = user/url key,  value = "<window_start>:<count>".
+//
+// This is exactly the kind of computation INC-hash enables and sort-merge
+// cannot do one-pass: windows for hot keys stream out of memory
+// continuously while the job is still reading input; DINC-hash's eviction
+// hook can discard states whose windows have all closed.
+//
+// State layout: [num_windows: fixed32] then per window
+//   [window_start: fixed64][count: fixed64], sorted by window_start.
+
+#ifndef ONEPASS_WORKLOADS_WINDOWS_H_
+#define ONEPASS_WORKLOADS_WINDOWS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/mr/api.h"
+
+namespace onepass {
+
+struct WindowCount {
+  uint64_t window_start = 0;
+  uint64_t count = 0;
+};
+
+// Window-state encoding helpers (exposed for tests).
+std::string EncodeWindowState(const std::vector<WindowCount>& windows);
+std::vector<WindowCount> DecodeWindowState(std::string_view state);
+
+// Map: key = user key, value = window-state with one count at the click's
+// window. Timestamps come from the click record.
+class WindowedClickMapper : public Mapper {
+ public:
+  explicit WindowedClickMapper(uint64_t window_seconds)
+      : window_seconds_(window_seconds) {}
+  void Map(std::string_view key, std::string_view value,
+           Emitter* out) override;
+
+ private:
+  uint64_t window_seconds_;
+};
+
+class WindowedCountReducer : public IncrementalReducer {
+ public:
+  // window_seconds: tumbling window length; lateness_seconds: how long
+  // past a window's end the watermark must be before it closes (absorbs
+  // the bounded shuffle disorder).
+  WindowedCountReducer(uint64_t window_seconds, uint64_t lateness_seconds);
+
+  std::string Init(std::string_view key, std::string_view value) override;
+  void Combine(std::string_view key, std::string* state,
+               std::string_view other) override;
+  void Finalize(std::string_view key, std::string_view state,
+                Emitter* out) override;
+  void OnUpdate(std::string_view key, std::string* state,
+                Emitter* out) override;
+  bool TryDiscard(std::string_view key, std::string* state,
+                  Emitter* out) override;
+  bool FlushResidentStatesAtEnd() const override { return false; }
+  uint64_t StateBytesHint() const override { return 128; }
+
+  uint64_t watermark() const { return watermark_; }
+
+ private:
+  // Emits and removes every window closed relative to the watermark
+  // (or all of them, at finalize).
+  void EmitClosed(std::string_view key, std::string* state, Emitter* out,
+                  bool emit_all);
+
+  uint64_t window_seconds_;
+  uint64_t lateness_seconds_;
+  uint64_t watermark_ = 0;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_WORKLOADS_WINDOWS_H_

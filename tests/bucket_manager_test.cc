@@ -1,0 +1,70 @@
+#include "src/storage/bucket_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace onepass {
+namespace {
+
+struct Harness {
+  CostTrace trace_storage;
+  TraceRecorder trace{&trace_storage};
+  JobMetrics metrics;
+};
+
+TEST(BucketManagerTest, PagesFlushWhenFull) {
+  Harness h;
+  BucketFileManager mgr(2, /*page_bytes=*/100, &h.trace, &h.metrics);
+  // Small appends stay buffered.
+  mgr.Add(0, "k", std::string(20, 'v'));
+  EXPECT_EQ(mgr.spilled_bytes(), 0u);
+  EXPECT_GT(mgr.buffered_bytes(), 0u);
+  // Crossing the page size flushes.
+  for (int i = 0; i < 10; ++i) mgr.Add(0, "k", std::string(20, 'v'));
+  EXPECT_GT(mgr.spilled_bytes(), 0u);
+  EXPECT_EQ(h.metrics.reduce_spill_write_bytes, mgr.spilled_bytes());
+}
+
+TEST(BucketManagerTest, FlushAllThenTakeRoundTrips) {
+  Harness h;
+  BucketFileManager mgr(4, 64, &h.trace, &h.metrics);
+  for (int i = 0; i < 100; ++i) {
+    mgr.Add(i % 4, "key" + std::to_string(i), "value");
+  }
+  mgr.FlushAll();
+  EXPECT_EQ(mgr.buffered_bytes(), 0u);
+  EXPECT_EQ(mgr.spilled_records(), 100u);
+
+  uint64_t records = 0;
+  for (int b = 0; b < 4; ++b) {
+    KvBuffer data = mgr.TakeBucket(b);
+    records += data.count();
+  }
+  EXPECT_EQ(records, 100u);
+  // Read accounting matches write accounting.
+  EXPECT_EQ(h.metrics.reduce_spill_read_bytes,
+            h.metrics.reduce_spill_write_bytes);
+}
+
+TEST(BucketManagerTest, EveryFlushIsOneRequest) {
+  Harness h;
+  BucketFileManager mgr(1, 128, &h.trace, &h.metrics);
+  for (int i = 0; i < 50; ++i) mgr.Add(0, "k", std::string(30, 'x'));
+  mgr.FlushAll();
+  for (const TraceOp& op : h.trace_storage.ops) {
+    EXPECT_EQ(op.requests, 1u);
+    EXPECT_EQ(op.tag, OpTag::kReduceSpill);
+  }
+  EXPECT_GT(h.trace_storage.ops.size(), 5u);
+}
+
+TEST(BucketManagerTest, TakeEmptyBucketChargesNothing) {
+  Harness h;
+  BucketFileManager mgr(2, 64, &h.trace, &h.metrics);
+  mgr.FlushAll();
+  KvBuffer data = mgr.TakeBucket(1);
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(h.metrics.reduce_spill_read_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,61 @@
+#include "src/dfs/chunk_store.h"
+
+#include <gtest/gtest.h>
+
+namespace onepass {
+namespace {
+
+TEST(ChunkStoreTest, CutsAtChunkSize) {
+  ChunkStore store(100, 3);
+  const std::string value(40, 'v');
+  for (int i = 0; i < 10; ++i) store.Append("k", value);
+  store.Seal();
+  // Each record ~44 bytes; 3 records cross 100 bytes.
+  EXPECT_GE(store.chunks().size(), 3u);
+  EXPECT_EQ(store.total_records(), 10u);
+  uint64_t records = 0, bytes = 0;
+  for (const Chunk& c : store.chunks()) {
+    records += c.records.count();
+    bytes += c.records.bytes();
+  }
+  EXPECT_EQ(records, 10u);
+  EXPECT_EQ(bytes, store.total_bytes());
+}
+
+TEST(ChunkStoreTest, RoundRobinPlacement) {
+  ChunkStore store(10, 4);  // every record cuts a chunk
+  for (int i = 0; i < 8; ++i) store.Append("key", "valuevalue");
+  store.Seal();
+  ASSERT_EQ(store.chunks().size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(store.chunks()[i].node, i % 4);
+  }
+}
+
+TEST(ChunkStoreTest, SealOnEmptyIsNoop) {
+  ChunkStore store(100, 2);
+  store.Seal();
+  EXPECT_TRUE(store.chunks().empty());
+  store.Append("k", "v");
+  store.Seal();
+  store.Seal();  // idempotent
+  EXPECT_EQ(store.chunks().size(), 1u);
+}
+
+TEST(ChunkStoreTest, RecordsNeverSplitAcrossChunks) {
+  ChunkStore store(50, 2);
+  for (int i = 0; i < 20; ++i) {
+    store.Append("key" + std::to_string(i), std::string(30, 'v'));
+  }
+  store.Seal();
+  for (const Chunk& c : store.chunks()) {
+    KvBufferReader reader(c.records);
+    std::string_view k, v;
+    while (reader.Next(&k, &v)) {
+      EXPECT_EQ(v.size(), 30u);  // intact record
+    }
+  }
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,54 @@
+#include "src/mr/config.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/cost_model.h"
+
+namespace onepass {
+namespace {
+
+TEST(ConfigTest, EngineNamesAreDistinct) {
+  EXPECT_EQ(EngineKindName(EngineKind::kSortMerge), "sort-merge");
+  EXPECT_EQ(EngineKindName(EngineKind::kMRHash), "MR-hash");
+  EXPECT_EQ(EngineKindName(EngineKind::kIncHash), "INC-hash");
+  EXPECT_EQ(EngineKindName(EngineKind::kDincHash), "DINC-hash");
+}
+
+TEST(ConfigTest, DefaultsAreSane) {
+  JobConfig cfg;
+  EXPECT_GE(cfg.cluster.nodes, 1);
+  EXPECT_GE(cfg.merge_factor, 2);
+  EXPECT_GT(cfg.chunk_bytes, 0u);
+  EXPECT_GT(cfg.map_buffer_bytes, 0u);
+  EXPECT_GT(cfg.reduce_memory_bytes, 0u);
+  EXPECT_EQ(cfg.dinc_coverage_threshold, 0.0);
+  EXPECT_FALSE(cfg.pipelining);
+  EXPECT_EQ(cfg.snapshots, 0);
+}
+
+TEST(CostModelTest, PaperConstants) {
+  CostModel c;
+  // 80 MB/s sequential disk.
+  EXPECT_NEAR(1.0 / c.disk_byte_s, 80.0 * 1024 * 1024, 1.0);
+  EXPECT_DOUBLE_EQ(c.disk_seek_s, 0.004);
+  EXPECT_DOUBLE_EQ(c.task_start_s, 0.100);
+}
+
+TEST(CostModelTest, SortCostIsNLogN) {
+  CostModel c;
+  EXPECT_DOUBLE_EQ(c.SortCost(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.SortCost(1), 0.0);
+  const double s1k = c.SortCost(1000);
+  const double s2k = c.SortCost(2000);
+  // Superlinear but less than quadratic.
+  EXPECT_GT(s2k, 2 * s1k);
+  EXPECT_LT(s2k, 3 * s1k);
+}
+
+TEST(CostModelTest, MergeCostLinear) {
+  CostModel c;
+  EXPECT_DOUBLE_EQ(c.MergeCost(2000), 2 * c.MergeCost(1000));
+}
+
+}  // namespace
+}  // namespace onepass

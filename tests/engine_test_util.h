@@ -1,0 +1,82 @@
+// Shared scaffolding for group-by engine unit tests: builds an
+// EngineContext with owned trace/metrics/collector, runs an engine over
+// hand-made shuffle segments, and returns its output.
+
+#ifndef ONEPASS_TESTS_ENGINE_TEST_UTIL_H_
+#define ONEPASS_TESTS_ENGINE_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/group_by_engine.h"
+#include "src/mr/types.h"
+
+namespace onepass {
+
+// Owns everything an engine needs. Build, tweak `config`, call Init(),
+// feed segments, Finish(), inspect.
+struct EngineHarness {
+  JobConfig config;
+  CostTrace trace_storage;
+  std::unique_ptr<TraceRecorder> trace;
+  JobMetrics metrics;
+  std::vector<Record> outputs;
+  std::unique_ptr<OutputCollector> out;
+  std::unique_ptr<Reducer> reducer;
+  std::unique_ptr<IncrementalReducer> inc;
+  std::unique_ptr<GroupByEngine> engine;
+
+  EngineHarness() {
+    config.reduce_memory_bytes = 64 << 10;
+    config.bucket_page_bytes = 4 << 10;
+    config.merge_factor = 4;
+    trace = std::make_unique<TraceRecorder>(&trace_storage);
+    out = std::make_unique<OutputCollector>(trace.get(), &metrics,
+                                            &outputs);
+  }
+
+  // Creates the engine. Call after setting config / reducer / inc.
+  Status Init(EngineKind kind, bool values_are_states) {
+    config.engine = kind;
+    EngineContext ctx;
+    ctx.trace = trace.get();
+    ctx.metrics = &metrics;
+    ctx.out = out.get();
+    ctx.config = &config;
+    ctx.hashes = UniversalHashFamily(config.seed);
+    ctx.reducer = reducer.get();
+    ctx.inc = inc.get();
+    ctx.values_are_states = values_are_states;
+    auto result = CreateGroupByEngine(kind, ctx);
+    if (!result.ok()) return result.status();
+    engine = std::move(result).value();
+    return Status::OK();
+  }
+
+  Status Consume(const KvBuffer& segment, bool sorted = false) {
+    trace->BeginSection();
+    return engine->Consume(segment, sorted);
+  }
+
+  Status Finish() {
+    trace->BeginSection();
+    Status s = engine->Finish();
+    out->Flush();
+    return s;
+  }
+};
+
+// Builds a segment from (key, value) pairs, optionally key-sorted.
+inline KvBuffer MakeSegment(
+    std::vector<std::pair<std::string, std::string>> pairs,
+    bool sorted = false) {
+  if (sorted) std::sort(pairs.begin(), pairs.end());
+  KvBuffer buf;
+  for (const auto& [k, v] : pairs) buf.Append(k, v);
+  return buf;
+}
+
+}  // namespace onepass
+
+#endif  // ONEPASS_TESTS_ENGINE_TEST_UTIL_H_

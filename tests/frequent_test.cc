@@ -1,0 +1,182 @@
+// Tests for the FREQUENT (Misra–Gries) sketch, including the theoretical
+// guarantees DINC-hash relies on (§4.3).
+
+#include "src/sketch/frequent.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace onepass {
+namespace {
+
+std::string Key(uint64_t k) { return "k" + std::to_string(k); }
+
+TEST(FrequentTest, InsertAndHit) {
+  FrequentSketch sketch(2);
+  auto r = sketch.Offer("a");
+  EXPECT_EQ(r.action, FrequentSketch::Action::kInserted);
+  r = sketch.Offer("a");
+  EXPECT_EQ(r.action, FrequentSketch::Action::kUpdated);
+  EXPECT_EQ(sketch.EstimateCount("a"), 2u);
+  EXPECT_EQ(sketch.size(), 1u);
+}
+
+TEST(FrequentTest, DecrementAllOnSaturatedMiss) {
+  FrequentSketch sketch(2);
+  sketch.Offer("a");
+  sketch.Offer("a");
+  sketch.Offer("b");
+  // All counters > 0: offering c decrements everyone and rejects.
+  auto r = sketch.Offer("c");
+  EXPECT_EQ(r.action, FrequentSketch::Action::kRejected);
+  EXPECT_EQ(sketch.EstimateCount("a"), 1u);
+  EXPECT_EQ(sketch.EstimateCount("b"), 0u);
+  EXPECT_EQ(sketch.EstimateCount("c"), 0u);  // not monitored
+  // Now b has count 0: next miss evicts it.
+  r = sketch.Offer("d");
+  EXPECT_EQ(r.action, FrequentSketch::Action::kEvicted);
+  EXPECT_EQ(r.evicted_key, "b");
+  EXPECT_EQ(sketch.EstimateCount("d"), 1u);
+}
+
+TEST(FrequentTest, ReleaseFreesSlot) {
+  FrequentSketch sketch(1);
+  auto r = sketch.Offer("a");
+  sketch.Release(r.slot);
+  EXPECT_EQ(sketch.size(), 0u);
+  EXPECT_TRUE(sketch.HasFreeSlot());
+  r = sketch.Offer("b");
+  EXPECT_EQ(r.action, FrequentSketch::Action::kInserted);
+}
+
+TEST(FrequentTest, PrimitivesMatchOfferSemantics) {
+  FrequentSketch a(3), b(3);
+  Xoshiro256StarStar rng(21);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string key = Key(rng.NextBounded(8));
+    a.Offer(key);
+    // Same policy through primitives.
+    const int slot = b.Find(key);
+    if (slot >= 0) {
+      b.Hit(slot);
+    } else if (b.HasFreeSlot()) {
+      b.InsertIntoFree(key);
+    } else if (b.MinCount() == 0) {
+      b.ReplaceSlot(b.MinSlot(), key);
+    } else {
+      b.DecrementAll();
+    }
+  }
+  EXPECT_EQ(a.offers(), b.offers());
+  EXPECT_EQ(a.decrements(), b.decrements());
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(a.EstimateCount(Key(k)), b.EstimateCount(Key(k))) << k;
+  }
+}
+
+// The classic Misra–Gries guarantee: for every key,
+//   f - M/(s+1) <= estimate <= f.
+TEST(FrequentTest, ErrorBoundHoldsOnRandomStreams) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Xoshiro256StarStar rng(seed);
+    ZipfGenerator zipf(500, 1.0);
+    const size_t s = 20;
+    FrequentSketch sketch(s);
+    std::map<std::string, uint64_t> truth;
+    const uint64_t m = 50'000;
+    for (uint64_t i = 0; i < m; ++i) {
+      const std::string key = Key(zipf.Next(&rng));
+      ++truth[key];
+      sketch.Offer(key);
+    }
+    const uint64_t max_err = m / (s + 1);
+    for (const auto& [key, f] : truth) {
+      const uint64_t est = sketch.EstimateCount(key);
+      EXPECT_LE(est, f) << key;
+      EXPECT_GE(est + max_err, f) << key;
+    }
+  }
+}
+
+// The paper's in-memory combine guarantee: at least
+// M' = sum_i max(0, f_i - M/(s+1)) tuples of the top keys are absorbed by
+// monitored slots. We verify via the error bound on hot keys: a key with
+// f > M/(s+1) must still be monitored at the end.
+TEST(FrequentTest, HotKeysStayMonitored) {
+  Xoshiro256StarStar rng(77);
+  ZipfGenerator zipf(10'000, 1.2);
+  const size_t s = 64;
+  FrequentSketch sketch(s);
+  std::map<std::string, uint64_t> truth;
+  const uint64_t m = 200'000;
+  for (uint64_t i = 0; i < m; ++i) {
+    const std::string key = Key(zipf.Next(&rng));
+    ++truth[key];
+    sketch.Offer(key);
+  }
+  const uint64_t threshold = m / (s + 1);
+  for (const auto& [key, f] : truth) {
+    if (f > threshold) {
+      EXPECT_GE(sketch.Find(key), 0) << key << " f=" << f;
+    }
+  }
+}
+
+// Coverage lower bound gamma = t/(t + M/(s+1)) must never exceed the true
+// coverage t/f (§4.3's estimate is safe).
+TEST(FrequentTest, CoverageLowerBoundIsSafe) {
+  Xoshiro256StarStar rng(31);
+  ZipfGenerator zipf(2'000, 1.1);
+  const size_t s = 32;
+  FrequentSketch sketch(s);
+  std::map<std::string, uint64_t> truth;
+  for (uint64_t i = 0; i < 80'000; ++i) {
+    const std::string key = Key(zipf.Next(&rng));
+    ++truth[key];
+    sketch.Offer(key);
+  }
+  for (size_t slot = 0; slot < s; ++slot) {
+    if (!sketch.SlotOccupied(static_cast<int>(slot))) continue;
+    const std::string key(sketch.Key(static_cast<int>(slot)));
+    const double gamma = sketch.CoverageLowerBound(static_cast<int>(slot));
+    const double true_coverage =
+        static_cast<double>(sketch.CoverageCount(static_cast<int>(slot))) /
+        static_cast<double>(truth[key]);
+    EXPECT_LE(gamma, true_coverage + 1e-9) << key;
+    EXPECT_GE(gamma, 0.0);
+    EXPECT_LE(gamma, 1.0);
+  }
+}
+
+TEST(FrequentTest, ColdestSlotsAscending) {
+  FrequentSketch sketch(4);
+  for (int i = 0; i < 1; ++i) sketch.Offer("a");
+  for (int i = 0; i < 3; ++i) sketch.Offer("b");
+  for (int i = 0; i < 7; ++i) sketch.Offer("c");
+  for (int i = 0; i < 2; ++i) sketch.Offer("d");
+  auto cold = sketch.ColdestSlots(4);
+  ASSERT_EQ(cold.size(), 4u);
+  EXPECT_EQ(sketch.Key(cold[0]), "a");
+  EXPECT_EQ(sketch.Key(cold[1]), "d");
+  EXPECT_EQ(sketch.Key(cold[2]), "b");
+  EXPECT_EQ(sketch.Key(cold[3]), "c");
+  // Truncation works.
+  EXPECT_EQ(sketch.ColdestSlots(2).size(), 2u);
+}
+
+TEST(FrequentTest, CapacityOneDegeneratesGracefully) {
+  FrequentSketch sketch(1);
+  for (int i = 0; i < 100; ++i) {
+    sketch.Offer(Key(i % 3));
+  }
+  EXPECT_EQ(sketch.size(), 1u);
+  EXPECT_EQ(sketch.offers(), 100u);
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,134 @@
+// Tests for the analytical Hadoop model (Propositions 3.1/3.2, §3.2's
+// tuning conclusions).
+
+#include "src/model/hadoop_model.h"
+
+#include <gtest/gtest.h>
+
+namespace onepass {
+namespace {
+
+// The paper's §3.2 configuration: D=97GB, Km=Kr=1, N=10, Bm=140MB,
+// Br=260MB, R=4.
+HadoopModel PaperModel() {
+  HadoopWorkload w;
+  w.d_bytes = 97.0 * (1ull << 30);
+  w.k_m = 1.0;
+  w.k_r = 1.0;
+  HadoopHardware h;
+  h.n_nodes = 10;
+  h.b_m = 140.0 * (1 << 20);
+  h.b_r = 260.0 * (1 << 20);
+  return HadoopModel(w, h);
+}
+
+TEST(HadoopModelTest, ByteDecompositionBasics) {
+  const HadoopModel model = PaperModel();
+  HadoopSettings s{4, 64.0 * (1 << 20), 10};
+  const ByteCosts u = model.Bytes(s);
+  const double per_node = 97.0 * (1ull << 30) / 10;
+  EXPECT_DOUBLE_EQ(u.map_input, per_node);
+  EXPECT_DOUBLE_EQ(u.map_output, per_node);      // Km = 1
+  EXPECT_DOUBLE_EQ(u.reduce_output, per_node);   // Kr = 1
+  // C*Km = 64MB < Bm = 140MB: no map spill.
+  EXPECT_DOUBLE_EQ(u.map_spill, 0.0);
+  // Reduce input per reducer = 97GB/40 = 2.4GB >> 260MB: spills.
+  EXPECT_GT(u.reduce_spill, 0.0);
+  EXPECT_GT(u.total(), 3 * per_node);
+}
+
+TEST(HadoopModelTest, MapSpillKicksInWhenChunkExceedsBuffer) {
+  const HadoopModel model = PaperModel();
+  HadoopSettings small{4, 128.0 * (1 << 20), 10};  // 128MB < 140MB buffer
+  HadoopSettings big{4, 256.0 * (1 << 20), 10};    // 256MB > 140MB buffer
+  EXPECT_DOUBLE_EQ(model.Bytes(small).map_spill, 0.0);
+  EXPECT_GT(model.Bytes(big).map_spill, 0.0);
+}
+
+// §3.2(1): the best chunk size is the largest C with C*Km <= Bm — smaller
+// C pays startup, larger C pays the map-side external sort.
+TEST(HadoopModelTest, OptimalChunkIsLargestThatFitsBuffer) {
+  const HadoopModel model = PaperModel();
+  const double mb = 1 << 20;
+  std::vector<double> chunks;
+  for (double c = 8 * mb; c <= 512 * mb; c *= 2) chunks.push_back(c);
+  const double recommended =
+      RecommendChunkSize(model.workload(), model.hardware(), chunks);
+  EXPECT_DOUBLE_EQ(recommended, 128 * mb);  // largest <= 140MB
+
+  const OptimalSettings best =
+      OptimizeHadoopSettings(model, chunks, {4, 8, 16, 32, 64}, 4);
+  EXPECT_DOUBLE_EQ(best.settings.c, recommended);
+}
+
+// §3.2(2): time decreases with F until the merge is one-pass, then stops
+// improving. Use a workload with ~40 initial runs per reducer so F=4..16
+// all incur background merges.
+TEST(HadoopModelTest, LargerMergeFactorHelpsUntilOnePass) {
+  HadoopWorkload w;
+  w.d_bytes = 400.0 * (1ull << 30);  // ~40 runs of 260MB per reducer
+  w.k_m = 1.0;
+  w.k_r = 1.0;
+  HadoopHardware h;
+  h.n_nodes = 10;
+  h.b_m = 140.0 * (1 << 20);
+  h.b_r = 260.0 * (1 << 20);
+  const HadoopModel model(w, h);
+
+  HadoopSettings s{4, 64.0 * (1 << 20), 4};
+  const double t4 = model.TimeMeasurement(s);
+  s.f = 8;
+  const double t8 = model.TimeMeasurement(s);
+  s.f = 16;
+  const double t16 = model.TimeMeasurement(s);
+  EXPECT_GT(t4, t8);
+  EXPECT_GT(t8, t16);
+  // Once the merge is one-pass (F >= ~40 runs), no further byte savings.
+  s.f = 64;
+  const double t64 = model.TimeMeasurement(s);
+  s.f = 128;
+  const double t128 = model.TimeMeasurement(s);
+  EXPECT_NEAR(t64, t128, t64 * 0.1);
+  EXPECT_GT(t16, t64);
+}
+
+// §3.2(3): the model is insensitive to R (it only redistributes work).
+TEST(HadoopModelTest, InsensitiveToReducerCount) {
+  const HadoopModel model = PaperModel();
+  HadoopSettings r4{4, 64.0 * (1 << 20), 16};
+  HadoopSettings r8{8, 64.0 * (1 << 20), 16};
+  const double t4 = model.TimeMeasurement(r4);
+  const double t8 = model.TimeMeasurement(r8);
+  EXPECT_NEAR(t4, t8, t4 * 0.15);
+}
+
+TEST(HadoopModelTest, StartupCostDominatesTinyChunks) {
+  const HadoopModel model = PaperModel();
+  HadoopSettings tiny{4, 1.0 * (1 << 20), 16};
+  HadoopSettings good{4, 128.0 * (1 << 20), 16};
+  EXPECT_GT(model.StartupCost(tiny), 100 * model.StartupCost(good));
+  EXPECT_GT(model.TimeMeasurement(tiny), model.TimeMeasurement(good));
+}
+
+TEST(HadoopModelTest, RequestsPositiveAndGrowWithData) {
+  HadoopWorkload w1{10.0 * (1 << 30), 1.0, 1.0};
+  HadoopWorkload w2{100.0 * (1 << 30), 1.0, 1.0};
+  HadoopHardware h{10, 140.0 * (1 << 20), 260.0 * (1 << 20)};
+  HadoopSettings s{4, 64.0 * (1 << 20), 10};
+  const double s1 = HadoopModel(w1, h).Requests(s);
+  const double s2 = HadoopModel(w2, h).Requests(s);
+  EXPECT_GT(s1, 0.0);
+  EXPECT_GT(s2, s1);
+}
+
+TEST(HadoopModelTest, TimeCombinesAllTerms) {
+  const HadoopModel model = PaperModel();
+  HadoopSettings s{4, 64.0 * (1 << 20), 10};
+  CostModel c;
+  const double t = model.TimeMeasurement(s);
+  const double bytes_term = c.disk_byte_s * model.Bytes(s).total();
+  EXPECT_GT(t, bytes_term);  // seek + startup add on top
+}
+
+}  // namespace
+}  // namespace onepass

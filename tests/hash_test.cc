@@ -1,0 +1,87 @@
+#include "src/util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace onepass {
+namespace {
+
+TEST(HashBytesTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(HashBytes("hello"), HashBytes("hello"));
+  EXPECT_NE(HashBytes("hello"), HashBytes("hellp"));
+  EXPECT_NE(HashBytes("hello", 1), HashBytes("hello", 2));
+  EXPECT_NE(HashBytes(""), HashBytes("x"));
+}
+
+TEST(HashBytesTest, LengthMatters) {
+  // Strings that are prefixes of each other must not collide trivially.
+  EXPECT_NE(HashBytes("aa"), HashBytes("aaa"));
+  EXPECT_NE(HashBytes(std::string(8, 'a')), HashBytes(std::string(16, 'a')));
+}
+
+TEST(UniversalHashTest, BucketInRange) {
+  UniversalHashFamily family(7);
+  const UniversalHash h = family.At(0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(h.Bucket("key" + std::to_string(i), 17), 17u);
+  }
+}
+
+TEST(UniversalHashTest, BucketsRoughlyBalanced) {
+  UniversalHashFamily family(3);
+  const UniversalHash h = family.At(2);
+  const int kBuckets = 16;
+  const int kKeys = 64'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[h.Bucket("user" + std::to_string(i), kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kKeys / kBuckets, kKeys / kBuckets * 0.15);
+  }
+}
+
+// The paper requires the hash levels to be independent: keys colliding at
+// level i must still spread out at level i+1 (otherwise recursive
+// partitioning cannot make progress).
+TEST(UniversalHashTest, LevelsAreIndependent) {
+  UniversalHashFamily family(11);
+  const UniversalHash h2 = family.At(1);
+  const UniversalHash h3 = family.At(2);
+  // Collect keys that land in bucket 0 of 8 at level 1.
+  std::vector<std::string> collided;
+  for (int i = 0; collided.size() < 4000; ++i) {
+    std::string key = "k" + std::to_string(i);
+    if (h2.Bucket(key, 8) == 0) collided.push_back(key);
+  }
+  // They must spread evenly over level 2's buckets.
+  std::vector<int> counts(8, 0);
+  for (const auto& key : collided) ++counts[h3.Bucket(key, 8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, 500, 150);
+  }
+}
+
+TEST(UniversalHashTest, FamilyIsDeterministicBySeed) {
+  UniversalHashFamily a(5), b(5), c(6);
+  EXPECT_EQ(a.At(3)("key"), b.At(3)("key"));
+  EXPECT_NE(a.At(3)("key"), c.At(3)("key"));
+  EXPECT_NE(a.At(3)("key"), a.At(4)("key"));
+}
+
+TEST(Mix64Test, Bijectiveish) {
+  // Distinct inputs produce distinct outputs over a decent sample (Mix64
+  // is a bijection; collisions would be a bug).
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(seen.insert(Mix64(i)).second);
+  }
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,110 @@
+#include "src/mr/job_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/clickstream.h"
+#include "src/workloads/count_workloads.h"
+#include "src/workloads/jobs.h"
+
+namespace onepass {
+namespace {
+
+JobBuilder ValidBuilder() {
+  JobSpec spec = ClickCountJob();
+  JobBuilder b("clicks");
+  b.WithMapper(spec.mapper)
+      .WithReducer(spec.reducer)
+      .WithIncrementalReducer(spec.inc)
+      .Engine(EngineKind::kIncHash)
+      .Cluster(4, 2, 2, 2)
+      .ReducersPerNode(2)
+      .ChunkBytes(64 << 10)
+      .MapSideCombine(true);
+  return b;
+}
+
+TEST(JobBuilderTest, ValidConfigurationPasses) {
+  EXPECT_TRUE(ValidBuilder().Validate().ok());
+}
+
+TEST(JobBuilderTest, MissingMapperFails) {
+  JobBuilder b("nameless");
+  const Status s = b.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("mapper"), std::string_view::npos);
+}
+
+TEST(JobBuilderTest, EngineApiMismatchDetected) {
+  JobBuilder b = ValidBuilder();
+  b.WithIncrementalReducer(nullptr).Engine(EngineKind::kDincHash);
+  EXPECT_TRUE(b.Validate().IsInvalidArgument());
+
+  JobBuilder c = ValidBuilder();
+  c.WithReducer(nullptr)
+      .WithIncrementalReducer(nullptr)
+      .Engine(EngineKind::kMRHash);
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+TEST(JobBuilderTest, SortMergeAcceptsCombinerOnlyJobs) {
+  JobBuilder b = ValidBuilder();
+  b.WithReducer(nullptr).Engine(EngineKind::kSortMerge).MapSideCombine(true);
+  EXPECT_TRUE(b.Validate().ok());
+  b.MapSideCombine(false);
+  EXPECT_TRUE(b.Validate().IsInvalidArgument());
+}
+
+TEST(JobBuilderTest, RangeChecks) {
+  EXPECT_TRUE(
+      ValidBuilder().ChunkBytes(0).Validate().IsInvalidArgument());
+  EXPECT_TRUE(
+      ValidBuilder().MergeFactor(1).Validate().IsInvalidArgument());
+  EXPECT_TRUE(ValidBuilder()
+                  .CoverageThreshold(1.5)
+                  .Validate()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ValidBuilder().Cluster(0, 2, 2, 2).Validate().IsInvalidArgument());
+  EXPECT_TRUE(
+      ValidBuilder().Snapshots(-1).Validate().IsInvalidArgument());
+}
+
+TEST(JobBuilderTest, FeatureEngineMismatches) {
+  // Coverage threshold is DINC-only.
+  EXPECT_TRUE(ValidBuilder()
+                  .Engine(EngineKind::kIncHash)
+                  .CoverageThreshold(0.5)
+                  .Validate()
+                  .IsInvalidArgument());
+  // Pipelining is sort-merge-only.
+  EXPECT_TRUE(ValidBuilder()
+                  .Engine(EngineKind::kIncHash)
+                  .Pipelining(64 << 10)
+                  .Validate()
+                  .IsInvalidArgument());
+}
+
+TEST(JobBuilderTest, RunsEndToEnd) {
+  ClickStreamConfig clicks;
+  clicks.num_clicks = 5'000;
+  clicks.num_users = 100;
+  ChunkStore input(64 << 10, 4);
+  GenerateClickStream(clicks, &input);
+
+  auto r = ValidBuilder().CollectOutputs().Run(input);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // One output per user that actually appeared in the stream.
+  EXPECT_GT(r->outputs.size(), 80u);
+  EXPECT_LE(r->outputs.size(), 100u);
+  EXPECT_EQ(r->outputs.size(), r->metrics.reduce_groups);
+}
+
+TEST(JobBuilderTest, RunSurfacesValidationErrors) {
+  ChunkStore input(64 << 10, 4);
+  input.Seal();
+  JobBuilder b("broken");
+  EXPECT_TRUE(b.Run(input).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,66 @@
+// Smoke tests for the prepackaged JobSpecs: factories produce fresh,
+// working instances.
+
+#include "src/workloads/jobs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/count_workloads.h"
+#include "src/workloads/windows.h"
+
+namespace onepass {
+namespace {
+
+class VectorEmitter : public Emitter {
+ public:
+  void Emit(std::string_view key, std::string_view value) override {
+    records.push_back(Record{std::string(key), std::string(value)});
+  }
+  std::vector<Record> records;
+};
+
+TEST(JobsTest, AllSpecsProvideFactories) {
+  for (const JobSpec& spec :
+       {SessionizationJob(), ClickCountJob(), FrequentUserJob(),
+        PageFrequencyJob(), TrigramCountJob(), WindowedClickCountJob()}) {
+    EXPECT_FALSE(spec.name.empty());
+    ASSERT_TRUE(static_cast<bool>(spec.mapper)) << spec.name;
+    ASSERT_TRUE(static_cast<bool>(spec.inc)) << spec.name;
+    EXPECT_NE(spec.mapper(), nullptr) << spec.name;
+    EXPECT_NE(spec.inc(), nullptr) << spec.name;
+  }
+}
+
+TEST(JobsTest, FactoriesProduceIndependentInstances) {
+  const JobSpec spec = SessionizationJob(512);
+  auto a = spec.inc();
+  auto b = spec.inc();
+  EXPECT_NE(a.get(), b.get());
+  // Instances do not share watermark state.
+  auto* sa = dynamic_cast<SessionizationIncReducer*>(a.get());
+  auto* sb = dynamic_cast<SessionizationIncReducer*>(b.get());
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  std::string s = sa->Init("u", EncodeClickPayload(9999, 1, 64));
+  EXPECT_GT(sa->watermark(), sb->watermark());
+}
+
+TEST(JobsTest, ClickCountMapperUsesConfiguredField) {
+  const Click c{100, 7, 42};
+  const std::string value = EncodeClick(c, 64);
+  VectorEmitter by_user, by_url;
+  ClickCountMapper(ClickKeyField::kUser).Map("", value, &by_user);
+  ClickCountMapper(ClickKeyField::kUrl).Map("", value, &by_url);
+  ASSERT_EQ(by_user.records.size(), 1u);
+  ASSERT_EQ(by_url.records.size(), 1u);
+  EXPECT_EQ(by_user.records[0].key, UserKey(7));
+  EXPECT_EQ(by_url.records[0].key, UrlKey(42));
+}
+
+TEST(JobsTest, StateHintsScaleWithConfiguredSize) {
+  EXPECT_EQ(SessionizationJob(512).inc()->StateBytesHint(), 512u);
+  EXPECT_EQ(SessionizationJob(2048).inc()->StateBytesHint(), 2048u);
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,137 @@
+#include "src/util/kv_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/arena.h"
+
+namespace onepass {
+namespace {
+
+TEST(KvBufferTest, AppendAndRead) {
+  KvBuffer buf;
+  buf.Append("k1", "v1");
+  buf.Append("", "value-with-empty-key");
+  buf.Append("k3", "");
+  EXPECT_EQ(buf.count(), 3u);
+
+  KvBufferReader reader(buf);
+  std::string_view k, v;
+  ASSERT_TRUE(reader.Next(&k, &v));
+  EXPECT_EQ(k, "k1");
+  EXPECT_EQ(v, "v1");
+  ASSERT_TRUE(reader.Next(&k, &v));
+  EXPECT_EQ(k, "");
+  EXPECT_EQ(v, "value-with-empty-key");
+  ASSERT_TRUE(reader.Next(&k, &v));
+  EXPECT_EQ(k, "k3");
+  EXPECT_EQ(v, "");
+  EXPECT_FALSE(reader.Next(&k, &v));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(KvBufferTest, BytesMatchRecordBytes) {
+  KvBuffer buf;
+  uint64_t expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::string k = "key" + std::to_string(i);
+    const std::string v(i, 'v');
+    buf.Append(k, v);
+    expected += RecordBytes(k, v);
+  }
+  EXPECT_EQ(buf.bytes(), expected);
+}
+
+TEST(KvBufferTest, AppendAllConcatenates) {
+  KvBuffer a, b;
+  a.Append("a", "1");
+  b.Append("b", "2");
+  b.Append("c", "3");
+  a.AppendAll(b);
+  EXPECT_EQ(a.count(), 3u);
+  KvBufferReader reader(a);
+  std::string_view k, v;
+  ASSERT_TRUE(reader.Next(&k, &v));
+  EXPECT_EQ(k, "a");
+  ASSERT_TRUE(reader.Next(&k, &v));
+  EXPECT_EQ(k, "b");
+  ASSERT_TRUE(reader.Next(&k, &v));
+  EXPECT_EQ(k, "c");
+}
+
+TEST(KvBufferTest, ClearAndReuse) {
+  KvBuffer buf;
+  buf.Append("k", "v");
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.bytes(), 0u);
+  buf.Append("k2", "v2");
+  EXPECT_EQ(buf.count(), 1u);
+}
+
+TEST(KvBufferTest, ReleaseAndFromDataRoundTrip) {
+  KvBuffer buf;
+  buf.Append("x", "y");
+  buf.Append("z", "w");
+  const uint64_t count = buf.count();
+  std::string data = buf.ReleaseData();
+  EXPECT_EQ(buf.count(), 0u);
+  KvBuffer restored = KvBuffer::FromData(std::move(data), count);
+  EXPECT_EQ(restored.count(), 2u);
+  KvBufferReader reader(restored);
+  std::string_view k, v;
+  ASSERT_TRUE(reader.Next(&k, &v));
+  EXPECT_EQ(k, "x");
+}
+
+TEST(KvBufferTest, LargeValues) {
+  KvBuffer buf;
+  const std::string big(1 << 20, 'B');
+  buf.Append("big", big);
+  KvBufferReader reader(buf);
+  std::string_view k, v;
+  ASSERT_TRUE(reader.Next(&k, &v));
+  EXPECT_EQ(v.size(), big.size());
+}
+
+TEST(ArenaTest, CopyReturnsStableViews) {
+  Arena arena(64);  // tiny blocks to force many allocations
+  std::vector<std::string_view> views;
+  std::vector<std::string> originals;
+  for (int i = 0; i < 200; ++i) {
+    originals.push_back("value-" + std::to_string(i));
+    views.push_back(arena.Copy(originals.back()));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(views[i], originals[i]);
+  }
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(ArenaTest, ResetReclaims) {
+  Arena arena;
+  arena.Allocate(1000);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  // Usable again.
+  EXPECT_NE(arena.Allocate(10), nullptr);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsOwnBlock) {
+  Arena arena(64);
+  char* p = arena.Allocate(10'000);
+  ASSERT_NE(p, nullptr);
+  // Writable across the whole span.
+  p[0] = 'a';
+  p[9999] = 'z';
+  EXPECT_EQ(p[0], 'a');
+}
+
+TEST(ArenaTest, ZeroByteAllocationIsSafe) {
+  Arena arena;
+  EXPECT_NE(arena.Allocate(0), nullptr);
+}
+
+}  // namespace
+}  // namespace onepass

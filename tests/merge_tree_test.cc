@@ -1,0 +1,110 @@
+// Validates the multi-pass merge tree and the closed-form lambda_F (Eq. 2)
+// against each other.
+
+#include "src/model/merge_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/model/hadoop_model.h"
+
+namespace onepass {
+namespace {
+
+TEST(MergeSchedulerTest, NoMergeBelowThreshold) {
+  MergeScheduler sched(4);  // merges when 2F-1 = 7 files exist
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(sched.AddRun(10).merged);
+  }
+  EXPECT_EQ(sched.live_files(), 6);
+}
+
+TEST(MergeSchedulerTest, MergesSmallestFAtThreshold) {
+  MergeScheduler sched(4);
+  // Six runs of varying size, then a seventh triggers a merge of the
+  // smallest four.
+  const double sizes[] = {50, 10, 40, 20, 30, 60};
+  for (double s : sizes) sched.AddRun(s);
+  auto ev = sched.AddRun(5);
+  ASSERT_TRUE(ev.merged);
+  // Smallest four: 5, 10, 20, 30 -> 65.
+  EXPECT_DOUBLE_EQ(ev.output_bytes, 65);
+  EXPECT_EQ(sched.live_files(), 4);  // 40, 50, 60, 65
+}
+
+TEST(MergeSchedulerTest, FinalInputsNeverExceed2FMinus2AfterMerge) {
+  MergeScheduler sched(3);
+  for (int i = 0; i < 100; ++i) {
+    sched.AddRun(1.0);
+    EXPECT_LE(sched.live_files(), 2 * 3 - 1);
+  }
+  EXPECT_LE(static_cast<int>(sched.FinalInputs().size()), 2 * 3 - 1);
+}
+
+TEST(MergeTreeTest, SmallNIsJustInitialRuns) {
+  // n <= 2F-2: no background merge; total file volume = n*b. The 2F-1'th
+  // run triggers the first merge.
+  const auto stats6 = SimulateMergeTree(6, 10.0, 4);
+  EXPECT_EQ(stats6.background_merges, 0);
+  EXPECT_DOUBLE_EQ(stats6.total_file_bytes, 60.0);
+  const auto stats7 = SimulateMergeTree(7, 10.0, 4);
+  EXPECT_EQ(stats7.background_merges, 1);
+}
+
+TEST(MergeTreeTest, ConservationOfBytes) {
+  // The final inputs' total must equal n*b (no bytes lost or duplicated).
+  for (int f : {3, 5, 8}) {
+    for (int n : {10, 37, 100}) {
+      const auto stats = SimulateMergeTree(n, 2.0, f);
+      double total = 0;
+      for (double b : stats.final_inputs) total += b;
+      EXPECT_DOUBLE_EQ(total, 2.0 * n) << "n=" << n << " f=" << f;
+    }
+  }
+}
+
+// Eq. 2's closed form tracks the exact simulated volume in its asymptotic
+// regime (n well above the 2F-1 trigger).
+TEST(MergeTreeTest, LambdaFMatchesSimulationAsymptotically) {
+  for (int f : {4, 8, 16}) {
+    for (int n : {8 * f, 16 * f, 40 * f}) {
+      const auto stats = SimulateMergeTree(n, 1.0, f);
+      const double closed = LambdaF(n, 1.0, f);
+      const double rel =
+          std::abs(closed - stats.total_file_bytes) / stats.total_file_bytes;
+      EXPECT_LT(rel, 0.35) << "n=" << n << " f=" << f << " closed=" << closed
+                           << " exact=" << stats.total_file_bytes;
+    }
+  }
+}
+
+TEST(MergeTreeTest, LargerFMergesFewerBytes) {
+  // The paper's §3.2(2): raising F reduces multi-pass merge volume.
+  const int n = 64;
+  const auto f4 = SimulateMergeTree(n, 1.0, 4);
+  const auto f8 = SimulateMergeTree(n, 1.0, 8);
+  const auto f16 = SimulateMergeTree(n, 1.0, 16);
+  EXPECT_GT(f4.background_merge_bytes, f8.background_merge_bytes);
+  EXPECT_GT(f8.background_merge_bytes, f16.background_merge_bytes);
+  // One-pass regime: F large enough means zero background merges.
+  const auto f64 = SimulateMergeTree(n, 1.0, 64);
+  EXPECT_EQ(f64.background_merges, 0);
+}
+
+TEST(LambdaFTest, FloorsAtInitialRunVolume) {
+  EXPECT_DOUBLE_EQ(LambdaF(0, 100.0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(LambdaF(5, 100.0, 10), 500.0);
+  // Just above threshold: never below n*b.
+  EXPECT_GE(LambdaF(20, 100.0, 10), 2000.0);
+}
+
+TEST(LambdaFTest, MonotoneInN) {
+  double prev = 0;
+  for (int n = 1; n < 200; ++n) {
+    const double v = LambdaF(n, 1.0, 8);
+    EXPECT_GE(v, prev) << n;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,168 @@
+// Unit tests for MR-hash (hybrid-hash partitioning, §4.1).
+
+#include "src/engine/mr_hash_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/engine/inc_hash_engine.h"
+#include "tests/engine_test_util.h"
+
+namespace onepass {
+namespace {
+
+// Counts values per key and checks each key is reduced exactly once.
+class CountOnceReducer : public Reducer {
+ public:
+  void Reduce(std::string_view key, ValueIterator* values,
+              Emitter* out) override {
+    EXPECT_TRUE(seen_.insert(std::string(key)).second)
+        << "key reduced twice: " << key;
+    uint64_t n = 0;
+    std::string_view v;
+    while (values->Next(&v)) ++n;
+    out->Emit(key, std::to_string(n));
+  }
+
+ private:
+  std::set<std::string> seen_;
+};
+
+std::map<std::string, uint64_t> Got(const std::vector<Record>& outputs) {
+  std::map<std::string, uint64_t> m;
+  for (const Record& r : outputs) m[r.key] = std::stoull(r.value);
+  return m;
+}
+
+TEST(MRHashEngineTest, AllInMemoryWhenItFits) {
+  EngineHarness h;
+  h.config.expected_bytes_per_reducer = 1 << 10;  // fits
+  h.reducer = std::make_unique<CountOnceReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kMRHash, false).ok());
+  ASSERT_TRUE(h.Consume(MakeSegment({{"a", "1"}, {"b", "2"}, {"a", "3"}}))
+                  .ok());
+  ASSERT_TRUE(h.Finish().ok());
+  const auto got = Got(h.outputs);
+  EXPECT_EQ(got.at("a"), 2u);
+  EXPECT_EQ(got.at("b"), 1u);
+  EXPECT_EQ(h.metrics.reduce_spill_write_bytes, 0u);
+}
+
+TEST(MRHashEngineTest, SpillsAndRestoresWithTightMemory) {
+  EngineHarness h;
+  h.config.reduce_memory_bytes = 8 << 10;
+  h.config.bucket_page_bytes = 1 << 10;
+  h.config.expected_bytes_per_reducer = 200 << 10;
+  h.reducer = std::make_unique<CountOnceReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kMRHash, false).ok());
+
+  std::map<std::string, uint64_t> expected;
+  for (int seg = 0; seg < 40; ++seg) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int i = 0; i < 25; ++i) {
+      const std::string key = "user" + std::to_string((seg * 25 + i) % 97);
+      pairs.emplace_back(key, std::string(64, 'v'));
+      ++expected[key];
+    }
+    ASSERT_TRUE(h.Consume(MakeSegment(pairs)).ok());
+  }
+  ASSERT_TRUE(h.Finish().ok());
+  EXPECT_GT(h.metrics.reduce_spill_write_bytes, 0u);
+  EXPECT_EQ(Got(h.outputs), expected);
+}
+
+TEST(MRHashEngineTest, HandlesSingleGiantKey) {
+  // One key larger than the entire reduce memory: recursive partitioning
+  // cannot split it; the engine must fall back to an in-memory pass
+  // rather than loop.
+  EngineHarness h;
+  h.config.reduce_memory_bytes = 4 << 10;
+  h.config.bucket_page_bytes = 1 << 10;
+  h.config.expected_bytes_per_reducer = 100 << 10;
+  h.reducer = std::make_unique<CountOnceReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kMRHash, false).ok());
+  for (int seg = 0; seg < 30; ++seg) {
+    ASSERT_TRUE(
+        h.Consume(MakeSegment({{"whale", std::string(500, 'v')}})).ok());
+  }
+  ASSERT_TRUE(h.Finish().ok());
+  const auto got = Got(h.outputs);
+  EXPECT_EQ(got.at("whale"), 30u);
+}
+
+TEST(MRHashEngineTest, D1OverflowDemotesWithoutSplittingKeys) {
+  // Under-estimated input: D1 fills mid-stream. Every key must still be
+  // reduced exactly once (CountOnceReducer enforces it).
+  EngineHarness h;
+  h.config.reduce_memory_bytes = 4 << 10;
+  h.config.bucket_page_bytes = 512;
+  h.config.expected_bytes_per_reducer = 16 << 10;  // 10x under-estimate
+  h.reducer = std::make_unique<CountOnceReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kMRHash, false).ok());
+  std::map<std::string, uint64_t> expected;
+  for (int seg = 0; seg < 64; ++seg) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int i = 0; i < 8; ++i) {
+      const std::string key = "k" + std::to_string((seg + i * 7) % 41);
+      pairs.emplace_back(key, std::string(48, 'x'));
+      ++expected[key];
+    }
+    ASSERT_TRUE(h.Consume(MakeSegment(pairs)).ok());
+  }
+  ASSERT_TRUE(h.Finish().ok());
+  EXPECT_EQ(Got(h.outputs), expected);
+}
+
+TEST(MRHashEngineTest, RequiresListReducer) {
+  EngineHarness h;
+  EXPECT_TRUE(h.Init(EngineKind::kMRHash, false).IsInvalidArgument());
+}
+
+TEST(MRHashChooseBucketsTest, ZeroWhenFits) {
+  EXPECT_EQ(MRHashEngine::ChooseNumBuckets(10 << 10, 64 << 10, 4 << 10), 0);
+}
+
+TEST(MRHashChooseBucketsTest, GrowsWithData) {
+  const int h1 =
+      MRHashEngine::ChooseNumBuckets(1 << 20, 64 << 10, 4 << 10);
+  const int h2 =
+      MRHashEngine::ChooseNumBuckets(8 << 20, 64 << 10, 4 << 10);
+  EXPECT_GT(h1, 0);
+  EXPECT_GT(h2, h1);
+}
+
+TEST(MRHashChooseBucketsTest, EachBucketFitsMemoryWhenFeasible) {
+  const uint64_t memory = 64 << 10;
+  const uint64_t page_cfg = 4 << 10;
+  // Sizes where a single partitioning pass suffices.
+  for (uint64_t data : {128ull << 10, 512ull << 10, 1ull << 20}) {
+    const int h = MRHashEngine::ChooseNumBuckets(data, memory, page_cfg);
+    ASSERT_GT(h, 0);
+    const double usable = 0.8 * memory;
+    const double page = static_cast<double>(
+        IncHashEngine::ClampedPageBytes(page_cfg, memory, h));
+    const double d1 = usable - h * page;
+    ASSERT_GT(d1, 0.0);
+    // Expected per-bucket size (after D1 absorbs its share) must fit.
+    EXPECT_LE((static_cast<double>(data) - d1) / h, usable * 1.001)
+        << "data=" << data;
+  }
+}
+
+TEST(MRHashChooseBucketsTest, OversizedDataFallsBackToMaxBuckets) {
+  // Data beyond one pass's reach (~memory^2/page): the planner returns
+  // the most buckets the memory supports; recursion does the rest.
+  const int h = MRHashEngine::ChooseNumBuckets(1ull << 30, 64 << 10,
+                                               4 << 10);
+  EXPECT_GT(h, 16);
+  // Pages must still fit in memory.
+  const uint64_t page =
+      IncHashEngine::ClampedPageBytes(4 << 10, 64 << 10, h);
+  EXPECT_LT(page * static_cast<uint64_t>(h),
+            static_cast<uint64_t>(0.8 * (64 << 10)));
+}
+
+}  // namespace
+}  // namespace onepass

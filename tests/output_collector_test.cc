@@ -1,0 +1,69 @@
+#include "src/mr/output.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/kv_buffer.h"
+
+namespace onepass {
+namespace {
+
+struct Harness {
+  CostTrace trace_storage;
+  TraceRecorder trace{&trace_storage};
+  JobMetrics metrics;
+  std::vector<Record> sink;
+};
+
+TEST(OutputCollectorTest, CountsRecordsAndBytes) {
+  Harness h;
+  OutputCollector out(&h.trace, &h.metrics, &h.sink);
+  out.Emit("k1", "v1");
+  out.Emit("k2", "v22");
+  out.Flush();
+  EXPECT_EQ(out.records(), 2u);
+  EXPECT_EQ(out.bytes(), RecordBytes("k1", "v1") + RecordBytes("k2", "v22"));
+  EXPECT_EQ(h.metrics.output_records, 2u);
+  EXPECT_EQ(h.metrics.reduce_output_bytes, out.bytes());
+  ASSERT_EQ(h.sink.size(), 2u);
+  EXPECT_EQ(h.sink[0].key, "k1");
+}
+
+TEST(OutputCollectorTest, FlushesInBlocksWithProgressDeltas) {
+  Harness h;
+  OutputCollector out(&h.trace, &h.metrics, nullptr, /*flush_bytes=*/100);
+  for (int i = 0; i < 50; ++i) out.Emit("key", std::string(20, 'v'));
+  out.Flush();
+  uint64_t delta_total = 0;
+  int write_ops = 0;
+  for (const TraceOp& op : h.trace_storage.ops) {
+    ASSERT_EQ(op.tag, OpTag::kOutput);
+    ASSERT_FALSE(op.is_read);
+    delta_total += op.d_output_bytes;
+    ++write_ops;
+  }
+  EXPECT_GT(write_ops, 5);  // many block writes, not one giant one
+  EXPECT_EQ(delta_total, out.bytes());  // deltas account every byte
+}
+
+TEST(OutputCollectorTest, StreamingFlagMarksEarlyOutput) {
+  Harness h;
+  OutputCollector out(&h.trace, &h.metrics, nullptr);
+  out.set_streaming(true);
+  out.Emit("early", "1");
+  out.set_streaming(false);
+  out.Emit("final", "2");
+  out.Flush();
+  EXPECT_EQ(h.metrics.early_output_records, 1u);
+  EXPECT_EQ(h.metrics.output_records, 2u);
+}
+
+TEST(OutputCollectorTest, FlushOnEmptyIsNoop) {
+  Harness h;
+  OutputCollector out(&h.trace, &h.metrics, nullptr);
+  out.Flush();
+  out.Flush();
+  EXPECT_TRUE(h.trace_storage.ops.empty());
+}
+
+}  // namespace
+}  // namespace onepass

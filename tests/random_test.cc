@@ -1,0 +1,127 @@
+#include "src/util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace onepass {
+namespace {
+
+TEST(XoshiroTest, DeterministicBySeed) {
+  Xoshiro256StarStar a(42), b(42), c(43);
+  bool differed = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(XoshiroTest, BoundedStaysInRange) {
+  Xoshiro256StarStar rng(1);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(XoshiroTest, BoundedIsRoughlyUniform) {
+  Xoshiro256StarStar rng(7);
+  const int kBuckets = 10;
+  const int kSamples = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(XoshiroTest, DoubleInUnitInterval) {
+  Xoshiro256StarStar rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(ZipfTest, UniverseOfOneAlwaysZero) {
+  Xoshiro256StarStar rng(5);
+  ZipfGenerator zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  Xoshiro256StarStar rng(5);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf.Next(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+// Empirical frequencies must match the Zipf pmf: f(k) ~ k^-s / H_n(s).
+TEST(ZipfTest, EmpiricalFrequenciesMatchTheory) {
+  const uint64_t n = 1000;
+  const double s = 1.0;
+  Xoshiro256StarStar rng(11);
+  ZipfGenerator zipf(n, s);
+  const int kSamples = 400'000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Next(&rng)];
+
+  double harmonic = 0;
+  for (uint64_t k = 1; k <= n; ++k) harmonic += std::pow(k, -s);
+  for (uint64_t k : {1ull, 2ull, 5ull, 10ull, 50ull}) {
+    const double expected = kSamples * std::pow(k, -s) / harmonic;
+    EXPECT_NEAR(counts[k - 1], expected, expected * 0.15 + 30)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  Xoshiro256StarStar rng(13);
+  auto top10_share = [&](double s) {
+    ZipfGenerator zipf(10'000, s);
+    int top = 0;
+    const int kSamples = 50'000;
+    for (int i = 0; i < kSamples; ++i) {
+      if (zipf.Next(&rng) < 10) ++top;
+    }
+    return static_cast<double>(top) / kSamples;
+  };
+  const double low = top10_share(0.5);
+  const double high = top10_share(1.2);
+  EXPECT_GT(high, low * 2);
+}
+
+TEST(ZipfTest, LargeUniverseIsCheapAndInRange) {
+  Xoshiro256StarStar rng(17);
+  ZipfGenerator zipf(1ull << 40, 1.1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(zipf.Next(&rng), 1ull << 40);
+  }
+}
+
+TEST(ShuffleTest, PermutationPreserved) {
+  Xoshiro256StarStar rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  Shuffle(&v, &rng);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,79 @@
+// Tests for the MapReduce Online snapshot extension (§3.3(4)).
+
+#include <gtest/gtest.h>
+
+#include "src/mr/cluster.h"
+#include "src/workloads/clickstream.h"
+#include "src/workloads/jobs.h"
+#include "tests/engine_test_util.h"
+
+namespace onepass {
+namespace {
+
+TEST(SnapshotTest, EngineSnapshotIsNonDestructive) {
+  EngineHarness h;
+  h.reducer = std::make_unique<SessionizationReducer>(64);
+  ASSERT_TRUE(h.Init(EngineKind::kSortMerge, false).ok());
+  for (int i = 0; i < 20; ++i) {
+    KvBuffer seg;
+    seg.Append("u1", EncodeClickPayload(100 + i, 0, 64));
+    ASSERT_TRUE(h.Consume(seg, true).ok());
+  }
+  ASSERT_TRUE(h.engine->Snapshot().ok());
+  ASSERT_TRUE(h.engine->Snapshot().ok());
+  EXPECT_EQ(h.metrics.snapshot_count, 2u);
+  EXPECT_GT(h.metrics.snapshot_bytes, 0u);
+  // Snapshots do not produce job output records and do not disturb the
+  // final answer.
+  EXPECT_EQ(h.metrics.output_records, 0u);
+  ASSERT_TRUE(h.Finish().ok());
+  EXPECT_EQ(h.outputs.size(), 20u);
+}
+
+TEST(SnapshotTest, HashEnginesNoop) {
+  EngineHarness h;
+  h.inc = std::make_unique<SessionizationIncReducer>(512, 64);
+  ASSERT_TRUE(h.Init(EngineKind::kIncHash, true).ok());
+  ASSERT_TRUE(h.engine->Snapshot().ok());
+  EXPECT_EQ(h.metrics.snapshot_count, 0u);
+}
+
+TEST(SnapshotTest, JobLevelSnapshotsAddIoButKeepAnswers) {
+  ClickStreamConfig clicks;
+  clicks.num_clicks = 20'000;
+  clicks.num_users = 400;
+  clicks.seed = 3;
+  ChunkStore input(64 << 10, 4);
+  GenerateClickStream(clicks, &input);
+
+  JobConfig cfg;
+  cfg.engine = EngineKind::kSortMerge;
+  cfg.cluster.nodes = 4;
+  cfg.reducers_per_node = 2;
+  cfg.cluster.reduce_slots = 2;
+  cfg.chunk_bytes = 64 << 10;
+  cfg.reduce_memory_bytes = 8 << 10;  // spills exist -> snapshots re-read
+  cfg.merge_factor = 4;
+  cfg.collect_outputs = true;
+
+  auto plain = LocalCluster::RunJob(SessionizationJob(), cfg, input);
+  cfg.snapshots = 3;
+  auto snap = LocalCluster::RunJob(SessionizationJob(), cfg, input);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(snap.ok());
+
+  EXPECT_EQ(snap->metrics.snapshot_count, 3u * 8);  // 3 per reducer
+  EXPECT_GT(snap->metrics.snapshot_bytes, 0u);
+  // Each snapshot re-reads the on-disk runs: extra I/O, never less time.
+  EXPECT_GT(snap->metrics.reduce_spill_read_bytes,
+            plain->metrics.reduce_spill_read_bytes);
+  EXPECT_GE(snap->running_time, plain->running_time);
+  auto sorted = [](std::vector<Record> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(plain->outputs), sorted(snap->outputs));
+}
+
+}  // namespace
+}  // namespace onepass

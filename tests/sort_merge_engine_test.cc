@@ -1,0 +1,188 @@
+// Unit tests for the sort-merge (Hadoop baseline) engine.
+
+#include "src/engine/sort_merge_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/workloads/count_workloads.h"
+#include "tests/engine_test_util.h"
+
+namespace onepass {
+namespace {
+
+// A reducer that concatenates its values, proving it saw them together
+// and in order.
+class ConcatReducer : public Reducer {
+ public:
+  void Reduce(std::string_view key, ValueIterator* values,
+              Emitter* out) override {
+    std::string all;
+    std::string_view v;
+    while (values->Next(&v)) {
+      if (!all.empty()) all += ",";
+      all.append(v);
+    }
+    out->Emit(key, all);
+  }
+};
+
+TEST(SortMergeEngineTest, GroupsAcrossSegments) {
+  EngineHarness h;
+  h.reducer = std::make_unique<ConcatReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kSortMerge, false).ok());
+
+  ASSERT_TRUE(h.Consume(MakeSegment({{"a", "1"}, {"b", "2"}}, true), true)
+                  .ok());
+  ASSERT_TRUE(h.Consume(MakeSegment({{"a", "3"}, {"c", "4"}}, true), true)
+                  .ok());
+  ASSERT_TRUE(h.Finish().ok());
+
+  std::map<std::string, std::string> got;
+  for (const Record& r : h.outputs) got[r.key] = r.value;
+  EXPECT_EQ(got["a"], "1,3");
+  EXPECT_EQ(got["b"], "2");
+  EXPECT_EQ(got["c"], "4");
+}
+
+TEST(SortMergeEngineTest, RejectsUnsortedSegments) {
+  EngineHarness h;
+  h.reducer = std::make_unique<ConcatReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kSortMerge, false).ok());
+  EXPECT_TRUE(h.Consume(MakeSegment({{"b", "1"}, {"a", "2"}}), false)
+                  .IsInvalidArgument());
+}
+
+TEST(SortMergeEngineTest, OutputKeysAreSorted) {
+  EngineHarness h;
+  h.reducer = std::make_unique<ConcatReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kSortMerge, false).ok());
+  ASSERT_TRUE(
+      h.Consume(MakeSegment({{"z", "1"}, {"m", "2"}, {"a", "3"}}, true),
+                true)
+          .ok());
+  ASSERT_TRUE(h.Finish().ok());
+  ASSERT_EQ(h.outputs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      h.outputs.begin(), h.outputs.end(),
+      [](const Record& a, const Record& b) { return a.key < b.key; }));
+}
+
+TEST(SortMergeEngineTest, SpillsWhenBufferFullAndStillCorrect) {
+  EngineHarness h;
+  h.config.reduce_memory_bytes = 2 << 10;  // tiny: forces spills
+  h.reducer = std::make_unique<ConcatReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kSortMerge, false).ok());
+
+  std::map<std::string, int> expected_count;
+  for (int seg = 0; seg < 50; ++seg) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int i = 0; i < 10; ++i) {
+      const std::string key = "key" + std::to_string((seg * 3 + i) % 17);
+      pairs.emplace_back(key, std::string(20, 'v'));
+      ++expected_count[key];
+    }
+    ASSERT_TRUE(h.Consume(MakeSegment(pairs, true), true).ok());
+  }
+  ASSERT_TRUE(h.Finish().ok());
+
+  EXPECT_GT(h.metrics.reduce_spill_write_bytes, 0u);
+  // Spilled bytes are read back exactly once plus background merges.
+  EXPECT_GE(h.metrics.reduce_spill_read_bytes,
+            h.metrics.reduce_spill_write_bytes);
+  ASSERT_EQ(h.outputs.size(), expected_count.size());
+  for (const Record& r : h.outputs) {
+    const size_t values =
+        1 + std::count(r.value.begin(), r.value.end(), ',');
+    EXPECT_EQ(static_cast<int>(values), expected_count[r.key]) << r.key;
+  }
+}
+
+TEST(SortMergeEngineTest, BackgroundMergeFollows2FMinus1Policy) {
+  EngineHarness h;
+  h.config.reduce_memory_bytes = 1 << 10;
+  h.config.merge_factor = 2;  // merge every time 3 files exist
+  h.reducer = std::make_unique<ConcatReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kSortMerge, false).ok());
+
+  for (int seg = 0; seg < 40; ++seg) {
+    ASSERT_TRUE(
+        h.Consume(MakeSegment({{"k" + std::to_string(seg % 5),
+                                std::string(400, 'v')}},
+                              true),
+                  true)
+            .ok());
+  }
+  ASSERT_TRUE(h.Finish().ok());
+  // With F=2 there must be multiple merge passes: bytes written exceed
+  // one pass over the data.
+  EXPECT_GT(h.metrics.reduce_spill_write_bytes, 40u * 400u * 3 / 2);
+  EXPECT_EQ(h.outputs.size(), 5u);
+}
+
+TEST(SortMergeEngineTest, CombinerCollapsesAtSpill) {
+  EngineHarness h;
+  h.config.reduce_memory_bytes = 1 << 10;  // force spills
+  h.inc = std::make_unique<CountingIncReducer>(0);
+  ASSERT_TRUE(h.Init(EngineKind::kSortMerge, /*values_are_states=*/true)
+                  .ok());
+
+  // 100 segments x 4 states for 2 keys.
+  for (int seg = 0; seg < 100; ++seg) {
+    ASSERT_TRUE(h.Consume(MakeSegment({{"a", EncodeCountState(1, false)},
+                                       {"a", EncodeCountState(2, false)},
+                                       {"b", EncodeCountState(3, false)},
+                                       {"b", EncodeCountState(4, false)}},
+                                      true),
+                          true)
+                    .ok());
+  }
+  ASSERT_TRUE(h.Finish().ok());
+  ASSERT_EQ(h.outputs.size(), 2u);
+  std::map<std::string, std::string> got;
+  for (const Record& r : h.outputs) got[r.key] = r.value;
+  EXPECT_EQ(got["a"], "300");
+  EXPECT_EQ(got["b"], "700");
+  EXPECT_GT(h.metrics.combine_invocations, 0u);
+  // Combining shrinks the spills to far less than the raw input bytes.
+  uint64_t raw_bytes = 0;
+  raw_bytes = 100ull * 4 * RecordBytes("a", EncodeCountState(1, false));
+  EXPECT_LT(h.metrics.reduce_spill_write_bytes, raw_bytes / 2);
+}
+
+TEST(SortMergeEngineTest, NoReduceWorkBeforeFinish) {
+  // The blocking property the paper attacks: no reduce work and no output
+  // can happen until Finish (all input arrived, merge complete).
+  EngineHarness h;
+  h.reducer = std::make_unique<ConcatReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kSortMerge, false).ok());
+  for (int seg = 0; seg < 20; ++seg) {
+    ASSERT_TRUE(
+        h.Consume(MakeSegment({{"k", std::string(100, 'v')}}, true), true)
+            .ok());
+  }
+  EXPECT_EQ(h.outputs.size(), 0u);
+  EXPECT_EQ(h.metrics.reduce_groups, 0u);
+  uint64_t pre_finish_work = 0;
+  for (const TraceOp& op : h.trace_storage.ops) {
+    pre_finish_work += op.d_reduce_work;
+  }
+  EXPECT_EQ(pre_finish_work, 0u);
+  ASSERT_TRUE(h.Finish().ok());
+  EXPECT_EQ(h.outputs.size(), 1u);
+}
+
+TEST(SortMergeEngineTest, EmptyInputProducesNoOutput) {
+  EngineHarness h;
+  h.reducer = std::make_unique<ConcatReducer>();
+  ASSERT_TRUE(h.Init(EngineKind::kSortMerge, false).ok());
+  ASSERT_TRUE(h.Consume(KvBuffer(), true).ok());
+  ASSERT_TRUE(h.Finish().ok());
+  EXPECT_TRUE(h.outputs.empty());
+  EXPECT_EQ(h.metrics.reduce_spill_write_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,130 @@
+#include "src/engine/sorted_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace onepass {
+namespace {
+
+KvBuffer SortedBuffer(std::vector<std::pair<std::string, std::string>> v) {
+  std::sort(v.begin(), v.end());
+  KvBuffer buf;
+  for (const auto& [k, val] : v) buf.Append(k, val);
+  return buf;
+}
+
+TEST(SortedMergeTest, MergesInGlobalKeyOrder) {
+  const KvBuffer a = SortedBuffer({{"a", "1"}, {"c", "2"}, {"e", "3"}});
+  const KvBuffer b = SortedBuffer({{"b", "4"}, {"d", "5"}});
+  SortedKvMerger merger({&a, &b});
+  std::string expected_keys = "abcde";
+  std::string_view k, v;
+  size_t i = 0;
+  while (merger.Next(&k, &v)) {
+    ASSERT_LT(i, expected_keys.size());
+    EXPECT_EQ(k, std::string(1, expected_keys[i]));
+    ++i;
+  }
+  EXPECT_EQ(i, 5u);
+  EXPECT_EQ(merger.records_merged(), 5u);
+}
+
+TEST(SortedMergeTest, EqualKeysStableByInputIndex) {
+  const KvBuffer a = SortedBuffer({{"k", "from-a"}});
+  const KvBuffer b = SortedBuffer({{"k", "from-b"}});
+  SortedKvMerger merger({&a, &b});
+  std::string_view k, v;
+  ASSERT_TRUE(merger.Next(&k, &v));
+  EXPECT_EQ(v, "from-a");
+  ASSERT_TRUE(merger.Next(&k, &v));
+  EXPECT_EQ(v, "from-b");
+}
+
+TEST(SortedMergeTest, NextGroupCollectsAllValues) {
+  const KvBuffer a = SortedBuffer({{"x", "1"}, {"y", "2"}});
+  const KvBuffer b = SortedBuffer({{"x", "3"}, {"z", "4"}});
+  const KvBuffer c = SortedBuffer({{"x", "5"}});
+  SortedKvMerger merger({&a, &b, &c});
+  std::string_view key;
+  std::vector<std::string_view> values;
+  ASSERT_TRUE(merger.NextGroup(&key, &values));
+  EXPECT_EQ(key, "x");
+  EXPECT_EQ(values.size(), 3u);
+  ASSERT_TRUE(merger.NextGroup(&key, &values));
+  EXPECT_EQ(key, "y");
+  ASSERT_TRUE(merger.NextGroup(&key, &values));
+  EXPECT_EQ(key, "z");
+  EXPECT_FALSE(merger.NextGroup(&key, &values));
+}
+
+TEST(SortedMergeTest, EmptyAndSingleInputs) {
+  const KvBuffer empty;
+  const KvBuffer one = SortedBuffer({{"a", "1"}});
+  {
+    SortedKvMerger merger({&empty});
+    std::string_view k, v;
+    EXPECT_FALSE(merger.Next(&k, &v));
+  }
+  {
+    SortedKvMerger merger({&empty, &one, &empty});
+    std::string_view k, v;
+    ASSERT_TRUE(merger.Next(&k, &v));
+    EXPECT_EQ(k, "a");
+    EXPECT_FALSE(merger.Next(&k, &v));
+  }
+  {
+    SortedKvMerger merger({});
+    std::string_view k, v;
+    EXPECT_FALSE(merger.Next(&k, &v));
+  }
+}
+
+TEST(SortedMergeTest, RandomizedMergeEqualsGlobalSort) {
+  Xoshiro256StarStar rng(123);
+  std::vector<KvBuffer> runs;
+  std::vector<std::pair<std::string, std::string>> all;
+  for (int r = 0; r < 7; ++r) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    const int n = 1 + static_cast<int>(rng.NextBounded(50));
+    for (int i = 0; i < n; ++i) {
+      pairs.emplace_back("key" + std::to_string(rng.NextBounded(30)),
+                         std::to_string(rng.Next() % 1000));
+    }
+    for (const auto& p : pairs) all.push_back(p);
+    runs.push_back(SortedBuffer(std::move(pairs)));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<const KvBuffer*> inputs;
+  for (const auto& r : runs) inputs.push_back(&r);
+  SortedKvMerger merger(std::move(inputs));
+  std::string_view k, v;
+  size_t i = 0;
+  while (merger.Next(&k, &v)) {
+    ASSERT_LT(i, all.size());
+    EXPECT_EQ(k, all[i].first);
+    ++i;
+  }
+  EXPECT_EQ(i, all.size());
+}
+
+TEST(SortedMergeTest, GroupThenNextInterleavingIsConsistent) {
+  const KvBuffer a = SortedBuffer({{"a", "1"}, {"a", "2"}, {"b", "3"}});
+  SortedKvMerger merger({&a});
+  std::string_view key;
+  std::vector<std::string_view> values;
+  ASSERT_TRUE(merger.NextGroup(&key, &values));
+  EXPECT_EQ(values.size(), 2u);
+  std::string_view k, v;
+  ASSERT_TRUE(merger.Next(&k, &v));
+  EXPECT_EQ(k, "b");
+  EXPECT_FALSE(merger.Next(&k, &v));
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,76 @@
+#include "src/sketch/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/util/random.h"
+
+namespace onepass {
+namespace {
+
+std::string Key(uint64_t k) { return "k" + std::to_string(k); }
+
+TEST(SpaceSavingTest, BasicCounts) {
+  SpaceSavingSketch sketch(2);
+  sketch.Offer("a");
+  sketch.Offer("a");
+  sketch.Offer("b");
+  EXPECT_EQ(sketch.EstimateCount("a"), 2u);
+  EXPECT_EQ(sketch.EstimateCount("b"), 1u);
+  EXPECT_EQ(sketch.EstimateCount("c"), 0u);
+}
+
+TEST(SpaceSavingTest, EvictionInheritsMinPlusOne) {
+  SpaceSavingSketch sketch(2);
+  sketch.Offer("a");
+  sketch.Offer("a");
+  sketch.Offer("b");
+  auto r = sketch.Offer("c");
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_key, "b");
+  EXPECT_EQ(sketch.EstimateCount("c"), 2u);  // min(1) + 1
+  EXPECT_EQ(sketch.Error(r.slot), 1u);
+}
+
+// SpaceSaving overestimates: f <= estimate <= f + M/s.
+TEST(SpaceSavingTest, OverestimateBound) {
+  Xoshiro256StarStar rng(3);
+  ZipfGenerator zipf(500, 1.0);
+  const size_t s = 25;
+  SpaceSavingSketch sketch(s);
+  std::map<std::string, uint64_t> truth;
+  const uint64_t m = 40'000;
+  for (uint64_t i = 0; i < m; ++i) {
+    const std::string key = Key(zipf.Next(&rng));
+    ++truth[key];
+    sketch.Offer(key);
+  }
+  for (const auto& [key, f] : truth) {
+    const uint64_t est = sketch.EstimateCount(key);
+    if (est == 0) continue;  // not tracked
+    EXPECT_GE(est, f) << key;
+    EXPECT_LE(est, f + m / s) << key;
+  }
+}
+
+TEST(SpaceSavingTest, HotKeysTracked) {
+  Xoshiro256StarStar rng(5);
+  ZipfGenerator zipf(10'000, 1.2);
+  const size_t s = 64;
+  SpaceSavingSketch sketch(s);
+  std::map<std::string, uint64_t> truth;
+  const uint64_t m = 100'000;
+  for (uint64_t i = 0; i < m; ++i) {
+    const std::string key = Key(zipf.Next(&rng));
+    ++truth[key];
+    sketch.Offer(key);
+  }
+  for (const auto& [key, f] : truth) {
+    if (f > m / s) EXPECT_GE(sketch.Find(key), 0) << key;
+  }
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,100 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace onepass {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad chunk size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad chunk size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad chunk size");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_TRUE(Status::NotFound("x").code() == StatusCode::kNotFound);
+  EXPECT_TRUE(Status::AlreadyExists("x").code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").code() == StatusCode::kCorruption);
+  EXPECT_TRUE(Status::Unimplemented("x").code() ==
+              StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualityHolds) {
+  Status a = Status::IOError("disk");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(b.ok());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(3).ok());
+  EXPECT_TRUE(Chain(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = ParsePositive(0);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsOutOfRange());
+}
+
+TEST(ResultTest, AssignOrReturnThreadsValues) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_TRUE(Doubled(-4).status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,145 @@
+// Tests for the windowed stream aggregation extension (paper §8 future
+// work).
+
+#include "src/workloads/windows.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/mr/cluster.h"
+#include "src/workloads/clickstream.h"
+#include "src/workloads/jobs.h"
+#include "src/workloads/reference.h"
+
+namespace onepass {
+namespace {
+
+class VectorEmitter : public Emitter {
+ public:
+  void Emit(std::string_view key, std::string_view value) override {
+    records.push_back(Record{std::string(key), std::string(value)});
+  }
+  std::vector<Record> records;
+};
+
+TEST(WindowStateTest, EncodeDecodeRoundTrip) {
+  const std::vector<WindowCount> windows = {{0, 3}, {3600, 1}, {7200, 10}};
+  const auto decoded = DecodeWindowState(EncodeWindowState(windows));
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[1].window_start, 3600u);
+  EXPECT_EQ(decoded[2].count, 10u);
+  EXPECT_TRUE(DecodeWindowState("").empty());
+  EXPECT_TRUE(DecodeWindowState("xx").empty());
+}
+
+TEST(WindowedReducerTest, CombineMergesWindows) {
+  WindowedCountReducer red(3600, 0);
+  std::string state = red.Init("u", EncodeWindowState({{0, 1}}));
+  red.Combine("u", &state, EncodeWindowState({{0, 2}}));
+  red.Combine("u", &state, EncodeWindowState({{3600, 5}}));
+  const auto windows = DecodeWindowState(state);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].count, 3u);
+  EXPECT_EQ(windows[1].count, 5u);
+}
+
+TEST(WindowedReducerTest, WatermarkClosesWindows) {
+  WindowedCountReducer red(100, 10);
+  VectorEmitter out;
+  std::string state = red.Init("u", EncodeWindowState({{0, 1}}));
+  red.OnUpdate("u", &state, &out);
+  EXPECT_TRUE(out.records.empty());  // watermark 0: window still open
+
+  // A tuple in window 200 pushes the watermark past 0+100+10.
+  red.Combine("u", &state, red.Init("u", EncodeWindowState({{200, 1}})));
+  red.OnUpdate("u", &state, &out);
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.records[0].value, "0:1");
+  // The open window remains in the state.
+  EXPECT_EQ(DecodeWindowState(state).size(), 1u);
+}
+
+TEST(WindowedReducerTest, FinalizeFlushesOpenWindows) {
+  WindowedCountReducer red(100, 0);
+  VectorEmitter out;
+  std::string state = red.Init("u", EncodeWindowState({{500, 7}}));
+  red.Finalize("u", state, &out);
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.records[0].value, "500:7");
+}
+
+TEST(WindowedReducerTest, TryDiscardOnlyWhenAllWindowsClosed) {
+  WindowedCountReducer red(100, 0);
+  VectorEmitter out;
+  std::string state = red.Init("u", EncodeWindowState({{0, 2}}));
+  EXPECT_FALSE(red.TryDiscard("u", &state, &out));
+  // Advance the watermark via another key's state.
+  std::string other = red.Init("v", EncodeWindowState({{1000, 1}}));
+  EXPECT_TRUE(red.TryDiscard("u", &state, &out));
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.records[0].value, "0:2");
+  (void)other;
+}
+
+// End-to-end: windowed counts through INC-hash and DINC-hash match a
+// directly computed reference.
+class WindowedJobTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(WindowedJobTest, MatchesReference) {
+  ClickStreamConfig clicks;
+  clicks.num_clicks = 25'000;
+  clicks.num_users = 600;
+  clicks.clicks_per_second = 4;  // ~1.7 simulated hours
+  clicks.seed = 17;
+  ChunkStore input(64 << 10, 4);
+  GenerateClickStream(clicks, &input);
+
+  const uint64_t kWindow = 600;
+  JobConfig cfg;
+  cfg.engine = GetParam();
+  cfg.cluster.nodes = 4;
+  cfg.reducers_per_node = 2;
+  cfg.cluster.reduce_slots = 2;
+  cfg.chunk_bytes = 64 << 10;
+  cfg.reduce_memory_bytes = 1 << 20;
+  cfg.expected_keys_per_reducer = 200;
+  cfg.collect_outputs = true;
+  auto r = LocalCluster::RunJob(WindowedClickCountJob(kWindow, 300), cfg,
+                                input);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // Reference: count clicks per (user, window) directly.
+  std::map<std::pair<std::string, uint64_t>, uint64_t> expected;
+  for (const Chunk& chunk : input.chunks()) {
+    KvBufferReader reader(chunk.records);
+    std::string_view k, v;
+    while (reader.Next(&k, &v)) {
+      Click c;
+      ASSERT_TRUE(DecodeClick(v, &c));
+      ++expected[{UserKey(c.user), c.ts - c.ts % kWindow}];
+    }
+  }
+  std::map<std::pair<std::string, uint64_t>, uint64_t> got;
+  for (const Record& rec : r->outputs) {
+    const size_t colon = rec.value.find(':');
+    ASSERT_NE(colon, std::string::npos);
+    const uint64_t window = std::stoull(rec.value.substr(0, colon));
+    got[{rec.key, window}] += std::stoull(rec.value.substr(colon + 1));
+  }
+  EXPECT_EQ(got, expected);
+  // A healthy share of windows closed during the stream.
+  EXPECT_GT(r->metrics.early_output_records, r->metrics.output_records / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, WindowedJobTest,
+                         ::testing::Values(EngineKind::kIncHash,
+                                           EngineKind::kDincHash),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kIncHash
+                                      ? std::string("IncHash")
+                                      : std::string("DincHash");
+                         });
+
+}  // namespace
+}  // namespace onepass
