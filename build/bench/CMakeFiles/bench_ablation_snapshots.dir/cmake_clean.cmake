@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_snapshots.dir/bench_ablation_snapshots.cc.o"
+  "CMakeFiles/bench_ablation_snapshots.dir/bench_ablation_snapshots.cc.o.d"
+  "bench_ablation_snapshots"
+  "bench_ablation_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

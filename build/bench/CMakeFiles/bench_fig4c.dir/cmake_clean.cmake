@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c.dir/bench_fig4c.cc.o"
+  "CMakeFiles/bench_fig4c.dir/bench_fig4c.cc.o.d"
+  "bench_fig4c"
+  "bench_fig4c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

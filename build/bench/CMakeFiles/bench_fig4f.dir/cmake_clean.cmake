@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4f.dir/bench_fig4f.cc.o"
+  "CMakeFiles/bench_fig4f.dir/bench_fig4f.cc.o.d"
+  "bench_fig4f"
+  "bench_fig4f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_bytes.dir/bench_model_bytes.cc.o"
+  "CMakeFiles/bench_model_bytes.dir/bench_model_bytes.cc.o.d"
+  "bench_model_bytes"
+  "bench_model_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_answers.dir/approximate_answers.cc.o"
+  "CMakeFiles/approximate_answers.dir/approximate_answers.cc.o.d"
+  "approximate_answers"
+  "approximate_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_analytics.dir/clickstream_analytics.cc.o"
+  "CMakeFiles/clickstream_analytics.dir/clickstream_analytics.cc.o.d"
+  "clickstream_analytics"
+  "clickstream_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tuning.dir/model_tuning.cc.o"
+  "CMakeFiles/model_tuning.dir/model_tuning.cc.o.d"
+  "model_tuning"
+  "model_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

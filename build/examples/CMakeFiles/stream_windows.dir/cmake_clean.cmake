@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_windows.dir/stream_windows.cc.o"
+  "CMakeFiles/stream_windows.dir/stream_windows.cc.o.d"
+  "stream_windows"
+  "stream_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/onepass.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/onepass.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/onepass.dir/common/status.cc.o" "gcc" "src/CMakeFiles/onepass.dir/common/status.cc.o.d"
+  "/root/repo/src/dfs/chunk_store.cc" "src/CMakeFiles/onepass.dir/dfs/chunk_store.cc.o" "gcc" "src/CMakeFiles/onepass.dir/dfs/chunk_store.cc.o.d"
+  "/root/repo/src/engine/dinc_hash_engine.cc" "src/CMakeFiles/onepass.dir/engine/dinc_hash_engine.cc.o" "gcc" "src/CMakeFiles/onepass.dir/engine/dinc_hash_engine.cc.o.d"
+  "/root/repo/src/engine/engine_factory.cc" "src/CMakeFiles/onepass.dir/engine/engine_factory.cc.o" "gcc" "src/CMakeFiles/onepass.dir/engine/engine_factory.cc.o.d"
+  "/root/repo/src/engine/inc_hash_engine.cc" "src/CMakeFiles/onepass.dir/engine/inc_hash_engine.cc.o" "gcc" "src/CMakeFiles/onepass.dir/engine/inc_hash_engine.cc.o.d"
+  "/root/repo/src/engine/mr_hash_engine.cc" "src/CMakeFiles/onepass.dir/engine/mr_hash_engine.cc.o" "gcc" "src/CMakeFiles/onepass.dir/engine/mr_hash_engine.cc.o.d"
+  "/root/repo/src/engine/sort_merge_engine.cc" "src/CMakeFiles/onepass.dir/engine/sort_merge_engine.cc.o" "gcc" "src/CMakeFiles/onepass.dir/engine/sort_merge_engine.cc.o.d"
+  "/root/repo/src/engine/sorted_merge.cc" "src/CMakeFiles/onepass.dir/engine/sorted_merge.cc.o" "gcc" "src/CMakeFiles/onepass.dir/engine/sorted_merge.cc.o.d"
+  "/root/repo/src/model/cost_model.cc" "src/CMakeFiles/onepass.dir/model/cost_model.cc.o" "gcc" "src/CMakeFiles/onepass.dir/model/cost_model.cc.o.d"
+  "/root/repo/src/model/hadoop_model.cc" "src/CMakeFiles/onepass.dir/model/hadoop_model.cc.o" "gcc" "src/CMakeFiles/onepass.dir/model/hadoop_model.cc.o.d"
+  "/root/repo/src/model/merge_tree.cc" "src/CMakeFiles/onepass.dir/model/merge_tree.cc.o" "gcc" "src/CMakeFiles/onepass.dir/model/merge_tree.cc.o.d"
+  "/root/repo/src/mr/cluster.cc" "src/CMakeFiles/onepass.dir/mr/cluster.cc.o" "gcc" "src/CMakeFiles/onepass.dir/mr/cluster.cc.o.d"
+  "/root/repo/src/mr/config.cc" "src/CMakeFiles/onepass.dir/mr/config.cc.o" "gcc" "src/CMakeFiles/onepass.dir/mr/config.cc.o.d"
+  "/root/repo/src/mr/job_builder.cc" "src/CMakeFiles/onepass.dir/mr/job_builder.cc.o" "gcc" "src/CMakeFiles/onepass.dir/mr/job_builder.cc.o.d"
+  "/root/repo/src/mr/map_runner.cc" "src/CMakeFiles/onepass.dir/mr/map_runner.cc.o" "gcc" "src/CMakeFiles/onepass.dir/mr/map_runner.cc.o.d"
+  "/root/repo/src/mr/metrics.cc" "src/CMakeFiles/onepass.dir/mr/metrics.cc.o" "gcc" "src/CMakeFiles/onepass.dir/mr/metrics.cc.o.d"
+  "/root/repo/src/mr/output.cc" "src/CMakeFiles/onepass.dir/mr/output.cc.o" "gcc" "src/CMakeFiles/onepass.dir/mr/output.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/onepass.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/onepass.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/resources.cc" "src/CMakeFiles/onepass.dir/sim/resources.cc.o" "gcc" "src/CMakeFiles/onepass.dir/sim/resources.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/CMakeFiles/onepass.dir/sim/timeline.cc.o" "gcc" "src/CMakeFiles/onepass.dir/sim/timeline.cc.o.d"
+  "/root/repo/src/sketch/frequent.cc" "src/CMakeFiles/onepass.dir/sketch/frequent.cc.o" "gcc" "src/CMakeFiles/onepass.dir/sketch/frequent.cc.o.d"
+  "/root/repo/src/sketch/space_saving.cc" "src/CMakeFiles/onepass.dir/sketch/space_saving.cc.o" "gcc" "src/CMakeFiles/onepass.dir/sketch/space_saving.cc.o.d"
+  "/root/repo/src/storage/bucket_manager.cc" "src/CMakeFiles/onepass.dir/storage/bucket_manager.cc.o" "gcc" "src/CMakeFiles/onepass.dir/storage/bucket_manager.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/onepass.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/onepass.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/onepass.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/onepass.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/onepass.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/onepass.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/onepass.dir/util/random.cc.o" "gcc" "src/CMakeFiles/onepass.dir/util/random.cc.o.d"
+  "/root/repo/src/workloads/clickstream.cc" "src/CMakeFiles/onepass.dir/workloads/clickstream.cc.o" "gcc" "src/CMakeFiles/onepass.dir/workloads/clickstream.cc.o.d"
+  "/root/repo/src/workloads/count_workloads.cc" "src/CMakeFiles/onepass.dir/workloads/count_workloads.cc.o" "gcc" "src/CMakeFiles/onepass.dir/workloads/count_workloads.cc.o.d"
+  "/root/repo/src/workloads/documents.cc" "src/CMakeFiles/onepass.dir/workloads/documents.cc.o" "gcc" "src/CMakeFiles/onepass.dir/workloads/documents.cc.o.d"
+  "/root/repo/src/workloads/jobs.cc" "src/CMakeFiles/onepass.dir/workloads/jobs.cc.o" "gcc" "src/CMakeFiles/onepass.dir/workloads/jobs.cc.o.d"
+  "/root/repo/src/workloads/reference.cc" "src/CMakeFiles/onepass.dir/workloads/reference.cc.o" "gcc" "src/CMakeFiles/onepass.dir/workloads/reference.cc.o.d"
+  "/root/repo/src/workloads/sessionization.cc" "src/CMakeFiles/onepass.dir/workloads/sessionization.cc.o" "gcc" "src/CMakeFiles/onepass.dir/workloads/sessionization.cc.o.d"
+  "/root/repo/src/workloads/windows.cc" "src/CMakeFiles/onepass.dir/workloads/windows.cc.o" "gcc" "src/CMakeFiles/onepass.dir/workloads/windows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinc_hash_engine_test.dir/dinc_hash_engine_test.cc.o"
+  "CMakeFiles/dinc_hash_engine_test.dir/dinc_hash_engine_test.cc.o.d"
+  "dinc_hash_engine_test"
+  "dinc_hash_engine_test.pdb"
+  "dinc_hash_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinc_hash_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engines_integration_test.dir/engines_integration_test.cc.o"
+  "CMakeFiles/engines_integration_test.dir/engines_integration_test.cc.o.d"
+  "engines_integration_test"
+  "engines_integration_test.pdb"
+  "engines_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engines_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequent_test.dir/frequent_test.cc.o"
+  "CMakeFiles/frequent_test.dir/frequent_test.cc.o.d"
+  "frequent_test"
+  "frequent_test.pdb"
+  "frequent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

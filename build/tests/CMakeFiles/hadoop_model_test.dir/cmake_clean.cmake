@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_model_test.dir/hadoop_model_test.cc.o"
+  "CMakeFiles/hadoop_model_test.dir/hadoop_model_test.cc.o.d"
+  "hadoop_model_test"
+  "hadoop_model_test.pdb"
+  "hadoop_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_hash_engine_test.dir/inc_hash_engine_test.cc.o"
+  "CMakeFiles/inc_hash_engine_test.dir/inc_hash_engine_test.cc.o.d"
+  "inc_hash_engine_test"
+  "inc_hash_engine_test.pdb"
+  "inc_hash_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_hash_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

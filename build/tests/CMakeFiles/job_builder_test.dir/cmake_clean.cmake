@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_builder_test.dir/job_builder_test.cc.o"
+  "CMakeFiles/job_builder_test.dir/job_builder_test.cc.o.d"
+  "job_builder_test"
+  "job_builder_test.pdb"
+  "job_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

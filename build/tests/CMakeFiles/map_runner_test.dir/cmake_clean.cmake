@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_runner_test.dir/map_runner_test.cc.o"
+  "CMakeFiles/map_runner_test.dir/map_runner_test.cc.o.d"
+  "map_runner_test"
+  "map_runner_test.pdb"
+  "map_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_tree_test.dir/merge_tree_test.cc.o"
+  "CMakeFiles/merge_tree_test.dir/merge_tree_test.cc.o.d"
+  "merge_tree_test"
+  "merge_tree_test.pdb"
+  "merge_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

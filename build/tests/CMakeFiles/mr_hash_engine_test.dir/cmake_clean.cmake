@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_hash_engine_test.dir/mr_hash_engine_test.cc.o"
+  "CMakeFiles/mr_hash_engine_test.dir/mr_hash_engine_test.cc.o.d"
+  "mr_hash_engine_test"
+  "mr_hash_engine_test.pdb"
+  "mr_hash_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_hash_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_collector_test.dir/output_collector_test.cc.o"
+  "CMakeFiles/output_collector_test.dir/output_collector_test.cc.o.d"
+  "output_collector_test"
+  "output_collector_test.pdb"
+  "output_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

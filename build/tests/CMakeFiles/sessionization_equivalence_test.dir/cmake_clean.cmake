@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessionization_equivalence_test.dir/sessionization_equivalence_test.cc.o"
+  "CMakeFiles/sessionization_equivalence_test.dir/sessionization_equivalence_test.cc.o.d"
+  "sessionization_equivalence_test"
+  "sessionization_equivalence_test.pdb"
+  "sessionization_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessionization_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

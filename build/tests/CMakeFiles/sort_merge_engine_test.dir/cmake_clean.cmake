@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_merge_engine_test.dir/sort_merge_engine_test.cc.o"
+  "CMakeFiles/sort_merge_engine_test.dir/sort_merge_engine_test.cc.o.d"
+  "sort_merge_engine_test"
+  "sort_merge_engine_test.pdb"
+  "sort_merge_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_merge_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorted_merge_test.dir/sorted_merge_test.cc.o"
+  "CMakeFiles/sorted_merge_test.dir/sorted_merge_test.cc.o.d"
+  "sorted_merge_test"
+  "sorted_merge_test.pdb"
+  "sorted_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorted_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
