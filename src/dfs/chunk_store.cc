@@ -4,8 +4,12 @@
 
 namespace onepass {
 
-ChunkStore::ChunkStore(uint64_t chunk_bytes, int nodes)
-    : chunk_bytes_(chunk_bytes), nodes_(nodes) {
+ChunkStore::ChunkStore(uint64_t chunk_bytes, int nodes, int replication)
+    : chunk_bytes_(chunk_bytes),
+      nodes_(nodes),
+      replication_(replication < 1 ? 1
+                                   : (replication > nodes ? nodes
+                                                          : replication)) {
   CHECK_GT(chunk_bytes, 0u);
   CHECK_GE(nodes, 1);
 }
@@ -24,6 +28,12 @@ void ChunkStore::Seal() {
 void ChunkStore::CutChunk() {
   Chunk c;
   c.node = next_node_;
+  // Replica set: the primary plus the next r-1 distinct nodes, HDFS-style
+  // round-robin placement.
+  c.replicas.reserve(replication_);
+  for (int i = 0; i < replication_; ++i) {
+    c.replicas.push_back((next_node_ + i) % nodes_);
+  }
   next_node_ = (next_node_ + 1) % nodes_;
   c.records = std::move(current_);
   current_ = KvBuffer();

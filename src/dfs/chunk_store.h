@@ -3,7 +3,10 @@
 // Mirrors HDFS's role in the paper (§2.2): input is stored as fixed-size
 // chunks ("blocks", 64 MB in stock Hadoop) and each chunk's home node
 // determines where its map task runs (block-level, data-local scheduling).
-// Chunks are placed round-robin across nodes.
+// Chunks are placed round-robin across nodes; with replication r > 1 each
+// chunk additionally lives on the r-1 distinct nodes following the primary,
+// so a map task whose home node crashes can be re-executed on a surviving
+// replica holder (the MapReduce fault-tolerance contract).
 
 #ifndef ONEPASS_DFS_CHUNK_STORE_H_
 #define ONEPASS_DFS_CHUNK_STORE_H_
@@ -18,13 +21,16 @@ namespace onepass {
 
 struct Chunk {
   int node = 0;       // home node (map task locality)
+  // All nodes holding a copy, primary first; size = replication factor.
+  std::vector<int> replicas;
   KvBuffer records;   // input records of this chunk
 };
 
 class ChunkStore {
  public:
-  // chunk_bytes: the DFS block size (the paper's C); nodes: cluster size.
-  ChunkStore(uint64_t chunk_bytes, int nodes);
+  // chunk_bytes: the DFS block size (the paper's C); nodes: cluster size;
+  // replication: copies per chunk (clamped to [1, nodes]).
+  ChunkStore(uint64_t chunk_bytes, int nodes, int replication = 1);
 
   // Appends an input record; cuts a new chunk when the current one reaches
   // the block size. Records are not split across chunks.
@@ -36,12 +42,14 @@ class ChunkStore {
   const std::vector<Chunk>& chunks() const { return chunks_; }
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_records() const { return total_records_; }
+  int replication() const { return replication_; }
 
  private:
   void CutChunk();
 
   uint64_t chunk_bytes_;
   int nodes_;
+  int replication_;
   int next_node_ = 0;
   KvBuffer current_;
   std::vector<Chunk> chunks_;

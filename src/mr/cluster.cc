@@ -1,16 +1,21 @@
 #include "src/mr/cluster.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "src/common/logging.h"
 #include "src/engine/group_by_engine.h"
 #include "src/mr/cost_trace.h"
 #include "src/mr/map_runner.h"
 #include "src/mr/output.h"
+#include "src/mr/task_tracker.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/resources.h"
 #include "src/util/hash.h"
 
@@ -43,11 +48,31 @@ struct DeliveryRef {
   uint64_t bytes = 0;  // this reducer's partition share
 };
 
-// Replays map (and optionally reduce) cost traces on the simulated cluster.
+// Replays map (and optionally reduce) cost traces on the simulated cluster,
+// under a FaultPlan.
+//
+// Fault tolerance lives entirely in this time plane: tasks are
+// deterministic, so re-executing one after a crash replays the *same* cost
+// trace on another node — the data-plane result is unchanged, only when and
+// where the work happens moves. Each execution of a task is an attempt
+// (TaskTracker); a fail-stop node crash kills the node's running attempts,
+// loses the map outputs it stored, and triggers:
+//   * re-execution of unfinished tasks on surviving nodes (maps only on
+//     surviving replica holders of their input chunk);
+//   * the lost-map-output rule: a *completed* map whose outputs some
+//     unfinished reducer has not yet fetched is re-executed too;
+//   * shuffle fetches that lose their source mid-transfer park until the
+//     map's re-execution republishes the push.
+// Transient faults (disk-read errors, shuffle-fetch failures) retry with
+// exponential backoff; stragglers dilate op durations; speculative backups
+// race the original attempt and the first finisher wins. A task that
+// exhausts max_attempts (or loses every replica of its input) fails the
+// job with a non-OK Status instead of stalling.
 class Replayer {
  public:
   struct MapTaskIn {
-    int node = 0;
+    int node = 0;  // primary replica (initial, data-local placement)
+    std::vector<int> replicas;  // all nodes holding the input chunk
     const CostTrace* trace = nullptr;
     // gate op index -> push index, for push-ready bookkeeping.
     std::map<uint32_t, uint32_t> gates;
@@ -64,68 +89,103 @@ class Replayer {
     uint64_t output_bytes = 0;
   };
 
-  Replayer(const JobConfig& config, std::vector<MapTaskIn> maps,
-           std::vector<ReduceTaskIn> reduces, Totals totals)
+  Replayer(const JobConfig& config, const sim::FaultPlan& plan,
+           std::vector<MapTaskIn> maps, std::vector<ReduceTaskIn> reduces,
+           Totals totals)
       : config_(config),
+        plan_(plan),
         maps_(std::move(maps)),
         reduces_(std::move(reduces)),
-        totals_(totals) {
+        totals_(totals),
+        tracker_(static_cast<int>(maps_.size()),
+                 static_cast<int>(reduces_.size()),
+                 config.faults.max_attempts) {
     const ClusterConfig& cl = config.cluster;
     for (int n = 0; n < cl.nodes; ++n) {
       nodes_.push_back(std::make_unique<NodeRes>(&engine_, cl, n));
     }
+    dead_.assign(nodes_.size(), 0);
     map_states_.resize(maps_.size());
-    reduce_start_.assign(reduces_.size(), 0.0);
-    push_ready_.resize(maps_.size());
-    for (size_t m = 0; m < maps_.size(); ++m) {
-      push_ready_[m].assign(maps_[m].num_pushes, -1.0);
-    }
     reduce_states_.resize(reduces_.size());
-    map_finish_times_.assign(maps_.size(), 0.0);
+    push_ready_.resize(maps_.size());
+    push_src_.resize(maps_.size());
+    gate_of_.resize(maps_.size());
+    map_delta_applied_.resize(maps_.size());
+    for (size_t m = 0; m < maps_.size(); ++m) {
+      if (maps_[m].replicas.empty()) maps_[m].replicas = {maps_[m].node};
+      push_ready_[m].assign(maps_[m].num_pushes, -1.0);
+      push_src_[m].assign(maps_[m].num_pushes, -1);
+      gate_of_[m].assign(maps_[m].num_pushes, 0);
+      for (const auto& [gate, push] : maps_[m].gates) {
+        gate_of_[m][push] = gate;
+      }
+      map_delta_applied_[m].assign(maps_[m].trace->ops.size(), false);
+      map_states_[m].attempts.reserve(
+          static_cast<size_t>(config.faults.max_attempts));
+    }
+    reduce_delta_applied_.resize(reduces_.size());
+    for (size_t r = 0; r < reduces_.size(); ++r) {
+      reduce_delta_applied_[r].assign(reduces_[r].trace->ops.size(), false);
+      reduce_states_[r].attempts.reserve(
+          static_cast<size_t>(config.faults.max_attempts));
+    }
   }
 
-  void Run() {
-    // Enqueue every task, then fill the initial slot waves.
+  Status Run() {
+    // Data-local initial wave: every map on its primary replica, reduces
+    // round-robin as assigned.
     for (size_t m = 0; m < maps_.size(); ++m) {
-      nodes_[maps_[m].node]->pending_maps.push_back(static_cast<int>(m));
+      map_states_[m].queued = true;
+      nodes_[maps_[m].node]->pending_maps.push_back(
+          {static_cast<int>(m), false});
     }
     for (size_t r = 0; r < reduces_.size(); ++r) {
+      reduce_states_[r].queued = true;
       nodes_[reduces_[r].node]->pending_reduces.push_back(
-          static_cast<int>(r));
+          {static_cast<int>(r), false});
     }
-    // Pop before starting: a task with an empty trace completes
-    // synchronously inside Start*, and its completion handler pulls the
-    // next pending task itself.
-    for (auto& node : nodes_) {
-      while (node->free_map_slots > 0 && !node->pending_maps.empty()) {
-        const int m = node->pending_maps.front();
-        node->pending_maps.pop_front();
-        --node->free_map_slots;
-        StartMap(m);
-      }
-      while (node->free_reduce_slots > 0 && !node->pending_reduces.empty()) {
-        const int r = node->pending_reduces.front();
-        node->pending_reduces.pop_front();
-        --node->free_reduce_slots;
-        StartReduce(r);
+    for (const sim::CrashEvent& c : plan_.crashes()) {
+      if (c.time >= 0) {
+        engine_.ScheduleAt(c.time, [this, n = c.node]() { CrashNode(n); });
+      } else {
+        fraction_crashes_.push_back(c);
+        fraction_fired_.push_back(false);
       }
     }
-    end_time_ = engine_.Run();
-    CHECK_EQ(maps_done_, maps_.size());
-    CHECK_EQ(reduces_done_, reduces_.size());
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      PumpNode(static_cast<int>(n));
+    }
+    if (config_.faults.speculative_execution && !JobComplete()) {
+      ScheduleSpeculationTick();
+    }
+    const double horizon = engine_.Run();
+    if (failed_) return status_;
+    if (maps_completed_ != maps_.size() ||
+        reduces_done_ != reduces_.size()) {
+      return Status::Internal("replay stalled: lost data never recovered");
+    }
+    end_time_ = completion_time_ >= 0 ? completion_time_ : horizon;
+    return Status::OK();
   }
 
   // --- results ---
   double end_time() const { return end_time_; }
   double map_finish_time() const { return last_map_finish_; }
-  const std::vector<double>& map_finish_times() const {
-    return map_finish_times_;
-  }
   double push_ready_time(int m, uint32_t p) const {
     return push_ready_[m][p];
   }
   uint64_t shuffle_from_disk_bytes() const {
     return shuffle_from_disk_bytes_;
+  }
+
+  // Folds attempt/recovery counters into `m` (full replay only; the
+  // provisional replay's faults are a scheduling rehearsal, not results).
+  void ExportFaultMetrics(JobMetrics* m) const {
+    tracker_.ExportMetrics(m);
+    m->node_crashes += node_crashes_;
+    m->lost_map_outputs += lost_map_outputs_;
+    m->shuffle_fetch_retries += shuffle_fetch_retries_;
+    m->disk_read_retries += disk_read_retries_;
   }
 
   // Fills the timeline/progress portion of `result`.
@@ -173,6 +233,12 @@ class Replayer {
   }
 
  private:
+  // A task waiting for a slot; speculative entries are backup attempts.
+  struct Pending {
+    int task = 0;
+    bool speculative = false;
+  };
+
   struct NodeRes {
     NodeRes(sim::Engine* engine, const ClusterConfig& cl, int id)
         : cpu(engine, cl.cores_per_node, "cpu" + std::to_string(id)),
@@ -189,29 +255,51 @@ class Replayer {
     sim::Server hdd;
     std::unique_ptr<sim::Server> ssd;
     sim::Server nic;
-    std::deque<int> pending_maps;
-    std::deque<int> pending_reduces;
+    std::deque<Pending> pending_maps;
+    std::deque<Pending> pending_reduces;
     int free_map_slots;
     int free_reduce_slots;
   };
 
-  struct MapState {
+  // One execution of a map task. Killed attempts stay in the vector with
+  // alive = false; their in-flight op completions early-return.
+  struct MapAttempt {
+    int node = 0;
+    double start = 0;
     size_t op_idx = 0;
-    bool running = false;
+    bool alive = false;
   };
-  // A reduce task runs two concurrent streams, like Hadoop's copier
-  // threads vs its merge thread: the *fetch* stream pulls deliveries as
-  // soon as their producing map publishes them (network + possible disk
-  // re-read), while the *consume* stream executes the engine's per-
-  // delivery work strictly in order, gated on the fetch of its section.
-  struct ReduceState {
+  struct MapTaskState {
+    std::vector<MapAttempt> attempts;
+    bool completed = false;    // at least one attempt succeeded
+    bool queued = false;       // a non-speculative Pending entry exists
+    bool spec_queued = false;  // a speculative Pending entry exists
+  };
+
+  // One execution of a reduce task. Runs two concurrent streams, like
+  // Hadoop's copier threads vs its merge thread: the *fetch* stream pulls
+  // deliveries as soon as their producing map publishes them (network +
+  // possible disk re-read), while the *consume* stream executes the
+  // engine's per-delivery work strictly in order, gated on the fetch of
+  // its section.
+  struct ReduceAttempt {
+    int node = 0;
+    double start = 0;
     uint32_t fetch_section = 0;    // next delivery to fetch
     uint32_t consume_section = 0;  // next section to consume
     size_t op_idx = 0;             // current op within consume_section
     bool in_section = false;       // op_idx initialized for this section
     bool consume_blocked = false;  // waiting for a fetch to complete
+    bool alive = false;
     std::vector<bool> fetched;
-    bool running = false;
+    std::vector<uint8_t> fetch_tries;  // failed tries per section
+    int act[4] = {0, 0, 0, 0};  // outstanding activity counts, by Activity
+  };
+  struct ReduceTaskState {
+    std::vector<ReduceAttempt> attempts;
+    bool done = false;
+    bool queued = false;
+    bool spec_queued = false;
   };
 
   sim::Server* Route(int node, const TraceOp& op) {
@@ -231,18 +319,31 @@ class Replayer {
     return &res.cpu;
   }
 
-  double Duration(const TraceOp& op) const {
+  // Op duration on `node`, including the node's straggler dilation.
+  double Duration(const TraceOp& op, int node) const {
     const CostModel& c = config_.costs;
     switch (op.resource) {
       case OpResource::kCpu:
-        return op.cpu_s;
+        return op.cpu_s * plan_.CpuFactor(node);
       case OpResource::kDisk:
-        return op.requests * c.disk_seek_s +
-               static_cast<double>(op.bytes) * c.disk_byte_s;
+        return (op.requests * c.disk_seek_s +
+                static_cast<double>(op.bytes) * c.disk_byte_s) *
+               plan_.DiskFactor(node);
       case OpResource::kNet:
         return static_cast<double>(op.bytes) * c.net_byte_s;
     }
     return 0;
+  }
+
+  // Transient disk-read errors fold into the op's duration: each failure
+  // repeats the read on the same device (deterministic, single Submit).
+  double WithDiskRetries(double dur, const TraceOp& op, bool is_map,
+                         int task, int attempt, size_t idx) {
+    if (op.resource != OpResource::kDisk || !op.is_read) return dur;
+    const int fails = plan_.DiskReadFailures(is_map, task, attempt, idx);
+    if (fails <= 0) return dur;
+    disk_read_retries_ += static_cast<uint64_t>(fails);
+    return dur * (1 + fails);
   }
 
   void SetActive(Activity a, int delta) {
@@ -250,6 +351,36 @@ class Replayer {
     const int i = static_cast<int>(a);
     active_count_[i] += delta;
     active_[i].Add(engine_.now(), active_count_[i]);
+  }
+
+  void ActInc(ReduceAttempt& at, Activity a) {
+    if (a == Activity::kNone) return;
+    ++at.act[static_cast<int>(a)];
+    SetActive(a, +1);
+  }
+  void ActDec(ReduceAttempt& at, Activity a) {
+    if (a == Activity::kNone) return;
+    --at.act[static_cast<int>(a)];
+    SetActive(a, -1);
+  }
+  // Clears a killed attempt's outstanding activity so in-flight op
+  // completions (which early-return) don't leak active-task counts.
+  void FlushActivity(ReduceAttempt& at) {
+    for (int i = 0; i < 4; ++i) {
+      if (at.act[i] != 0) {
+        SetActive(static_cast<Activity>(i), -at.act[i]);
+        at.act[i] = 0;
+      }
+    }
+  }
+
+  // Progress deltas apply at most once per trace op across all attempts of
+  // a task, so re-execution never double-counts progress.
+  void ApplyDeltasOnce(std::vector<bool>& applied, size_t idx,
+                       const TraceOp& op) {
+    if (applied[idx]) return;
+    applied[idx] = true;
+    ApplyDeltas(op);
   }
 
   void ApplyDeltas(const TraceOp& op) {
@@ -296,209 +427,749 @@ class Replayer {
     reduce_progress_.Add(engine_.now(), 100.0 * p / 3.0);
   }
 
-  // ---- map side ----
-
-  void StartMap(int m) {
-    map_states_[m].running = true;
-    SetActive(Activity::kMap, +1);
-    RunNextMapOp(m);
+  void Fail(Status s) {
+    if (!failed_) {
+      failed_ = true;
+      status_ = std::move(s);
+    }
   }
 
-  void RunNextMapOp(int m) {
-    MapState& st = map_states_[m];
-    const CostTrace& trace = *maps_[m].trace;
-    if (st.op_idx >= trace.ops.size()) {
-      MapDone(m);
+  bool JobComplete() const {
+    return maps_completed_ == maps_.size() &&
+           reduces_done_ == reduces_.size();
+  }
+
+  void CheckCompletion() {
+    if (completion_time_ < 0 && JobComplete()) {
+      completion_time_ = engine_.now();
+    }
+  }
+
+  int AliveMapAttempts(int m) const {
+    int alive = 0;
+    for (const MapAttempt& a : map_states_[m].attempts) {
+      if (a.alive) ++alive;
+    }
+    return alive;
+  }
+  int AliveReduceAttempts(int r) const {
+    int alive = 0;
+    for (const ReduceAttempt& a : reduce_states_[r].attempts) {
+      if (a.alive) ++alive;
+    }
+    return alive;
+  }
+
+  bool AllPushesIntact(int m) const {
+    for (uint32_t p = 0; p < maps_[m].num_pushes; ++p) {
+      if (push_ready_[m][p] < 0) return false;
+    }
+    return true;
+  }
+
+  // ---- slots and scheduling ----
+
+  // Surviving replica holder of m's chunk with the lightest map load
+  // (ties: replica order, i.e. the primary first). -1 when all are dead.
+  int PickMapNode(int m, int exclude) const {
+    int best = -1;
+    int best_load = 0;
+    for (int n : maps_[m].replicas) {
+      if (dead_[n] || n == exclude) continue;
+      const NodeRes& node = *nodes_[n];
+      const int load = static_cast<int>(node.pending_maps.size()) +
+                       (config_.cluster.map_slots - node.free_map_slots);
+      if (best < 0 || load < best_load) {
+        best = n;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
+  // Alive node with the lightest reduce load (ties: lowest id). Reduce
+  // state is rebuilt from re-fetched map outputs, so any node qualifies.
+  int PickReduceNode(int exclude) const {
+    int best = -1;
+    int best_load = 0;
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+      if (dead_[n] || n == exclude) continue;
+      const NodeRes& node = *nodes_[n];
+      const int load =
+          static_cast<int>(node.pending_reduces.size()) +
+          (config_.cluster.reduce_slots - node.free_reduce_slots);
+      if (best < 0 || load < best_load) {
+        best = n;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
+  void ReleaseSlot(int node, bool is_map) {
+    if (dead_[node]) return;
+    if (is_map) {
+      ++nodes_[node]->free_map_slots;
+    } else {
+      ++nodes_[node]->free_reduce_slots;
+    }
+    PumpNode(node);
+  }
+
+  bool MapEntryRunnable(const Pending& p) const {
+    const MapTaskState& st = map_states_[p.task];
+    if (!tracker_.CanStart(TaskKind::kMap, p.task)) return false;
+    if (p.speculative) {
+      return !st.completed && AliveMapAttempts(p.task) == 1;
+    }
+    if (AliveMapAttempts(p.task) > 0) return false;
+    return !(st.completed && AllPushesIntact(p.task));
+  }
+
+  bool ReduceEntryRunnable(const Pending& p) const {
+    const ReduceTaskState& st = reduce_states_[p.task];
+    if (st.done) return false;
+    if (!tracker_.CanStart(TaskKind::kReduce, p.task)) return false;
+    if (p.speculative) return AliveReduceAttempts(p.task) == 1;
+    return AliveReduceAttempts(p.task) == 0;
+  }
+
+  // Fills n's free slots from its pending queues, dropping stale entries
+  // (tasks that completed, got re-run elsewhere, or lost their backup
+  // eligibility while queued).
+  void PumpNode(int n) {
+    if (failed_ || dead_[n]) return;
+    NodeRes& node = *nodes_[n];
+    while (node.free_map_slots > 0 && !node.pending_maps.empty()) {
+      const Pending p = node.pending_maps.front();
+      node.pending_maps.pop_front();
+      if (p.speculative) {
+        map_states_[p.task].spec_queued = false;
+      } else {
+        map_states_[p.task].queued = false;
+      }
+      if (!MapEntryRunnable(p)) continue;
+      --node.free_map_slots;
+      StartMapAttempt(p.task, n, p.speculative);
+      if (failed_ || dead_[n]) return;
+    }
+    while (node.free_reduce_slots > 0 && !node.pending_reduces.empty()) {
+      const Pending p = node.pending_reduces.front();
+      node.pending_reduces.pop_front();
+      if (p.speculative) {
+        reduce_states_[p.task].spec_queued = false;
+      } else {
+        reduce_states_[p.task].queued = false;
+      }
+      if (!ReduceEntryRunnable(p)) continue;
+      --node.free_reduce_slots;
+      StartReduceAttempt(p.task, n, p.speculative);
+      if (failed_ || dead_[n]) return;
+    }
+  }
+
+  // Queues a fresh (non-speculative) execution of map m on a surviving
+  // replica holder. No-op if an attempt is already running or queued;
+  // fails the job when the attempt budget or every replica is gone.
+  void ScheduleMapRun(int m) {
+    if (failed_) return;
+    MapTaskState& st = map_states_[m];
+    if (st.queued || AliveMapAttempts(m) > 0) return;
+    if (st.completed && AllPushesIntact(m)) return;
+    if (!tracker_.CanStart(TaskKind::kMap, m)) {
+      Fail(Status::ResourceExhausted("map task " + std::to_string(m) +
+                                     " exceeded max_attempts"));
       return;
     }
-    const size_t idx = st.op_idx++;
-    const TraceOp& op = trace.ops[idx];
-    Route(maps_[m].node, op)->Submit(Duration(op), [this, m, idx]() {
-      const TraceOp& done_op = maps_[m].trace->ops[idx];
-      ApplyDeltas(done_op);
-      auto it = maps_[m].gates.find(static_cast<uint32_t>(idx));
-      if (it != maps_[m].gates.end()) {
-        PushReady(m, it->second);
+    const int n = PickMapNode(m, /*exclude=*/-1);
+    if (n < 0) {
+      Fail(Status::ResourceExhausted(
+          "no surviving replica holds the input chunk of map task " +
+          std::to_string(m) + " (replication " +
+          std::to_string(maps_[m].replicas.size()) + ")"));
+      return;
+    }
+    st.queued = true;
+    nodes_[n]->pending_maps.push_back({m, false});
+    PumpNode(n);
+  }
+
+  void ScheduleReduceRun(int r) {
+    if (failed_) return;
+    ReduceTaskState& st = reduce_states_[r];
+    if (st.done || st.queued || AliveReduceAttempts(r) > 0) return;
+    if (!tracker_.CanStart(TaskKind::kReduce, r)) {
+      Fail(Status::ResourceExhausted("reduce task " + std::to_string(r) +
+                                     " exceeded max_attempts"));
+      return;
+    }
+    const int n = PickReduceNode(/*exclude=*/-1);
+    if (n < 0) {
+      Fail(Status::ResourceExhausted("no alive node for reduce task " +
+                                     std::to_string(r)));
+      return;
+    }
+    // The new attempt refetches everything; make sure every map output it
+    // needs is rematerializing.
+    for (const DeliveryRef& d : reduces_[r].deliveries) {
+      if (push_ready_[d.map_task][d.push] < 0) ScheduleMapRun(d.map_task);
+      if (failed_) return;
+    }
+    st.queued = true;
+    nodes_[n]->pending_reduces.push_back({r, false});
+    PumpNode(n);
+  }
+
+  // ---- speculative execution ----
+
+  // After each task completion: once enough tasks of this kind finished,
+  // give any task whose single running attempt lags the median a backup
+  // attempt on another node. First finisher wins.
+  void MaybeSpeculate(TaskKind kind) {
+    if (failed_ || !config_.faults.speculative_execution) return;
+    const size_t total =
+        kind == TaskKind::kMap ? maps_.size() : reduces_.size();
+    if (total == 0) return;
+    const double done = static_cast<double>(tracker_.successes(kind));
+    if (done < config_.faults.speculation_min_done_fraction *
+                   static_cast<double>(total)) {
+      return;
+    }
+    const double median = tracker_.MedianSuccessDuration(kind);
+    if (median <= 0) return;
+    const double threshold = config_.faults.speculation_slowness * median;
+    for (int t = 0; t < static_cast<int>(total); ++t) {
+      if (kind == TaskKind::kMap ? map_states_[t].completed
+                                 : reduce_states_[t].done) {
+        continue;
       }
-      RunNextMapOp(m);
+      if (!tracker_.CanStart(kind, t)) continue;
+      int running = -1;
+      int alive = 0;
+      double start = 0;
+      int node = -1;
+      if (kind == TaskKind::kMap) {
+        const MapTaskState& st = map_states_[t];
+        if (st.queued || st.spec_queued) continue;
+        for (size_t a = 0; a < st.attempts.size(); ++a) {
+          if (st.attempts[a].alive) {
+            running = static_cast<int>(a);
+            start = st.attempts[a].start;
+            node = st.attempts[a].node;
+            ++alive;
+          }
+        }
+      } else {
+        const ReduceTaskState& st = reduce_states_[t];
+        if (st.queued || st.spec_queued) continue;
+        for (size_t a = 0; a < st.attempts.size(); ++a) {
+          if (st.attempts[a].alive) {
+            running = static_cast<int>(a);
+            start = st.attempts[a].start;
+            node = st.attempts[a].node;
+            ++alive;
+          }
+        }
+      }
+      if (alive != 1 || running < 0) continue;
+      if (engine_.now() - start <= threshold) continue;
+      const int backup = kind == TaskKind::kMap ? PickMapNode(t, node)
+                                                : PickReduceNode(node);
+      if (backup < 0) continue;  // nowhere to run a backup
+      if (kind == TaskKind::kMap) {
+        map_states_[t].spec_queued = true;
+        nodes_[backup]->pending_maps.push_back({t, true});
+      } else {
+        reduce_states_[t].spec_queued = true;
+        nodes_[backup]->pending_reduces.push_back({t, true});
+      }
+      PumpNode(backup);
+      if (failed_) return;
+    }
+  }
+
+  // Completions trigger speculation scans, but a lagging tail with nothing
+  // finishing would never be rescanned — poll too, like Hadoop's
+  // speculator thread.
+  void ScheduleSpeculationTick() {
+    engine_.ScheduleAfter(config_.faults.speculation_check_s, [this]() {
+      if (failed_ || JobComplete()) return;
+      MaybeSpeculate(TaskKind::kMap);
+      MaybeSpeculate(TaskKind::kReduce);
+      if (!failed_ && !JobComplete()) ScheduleSpeculationTick();
     });
   }
 
-  void MapDone(int m) {
-    MapState& st = map_states_[m];
-    st.running = false;
+  // ---- crash handling ----
+
+  void KillMapAttempt(int m, int a) {
+    MapAttempt& at = map_states_[m].attempts[a];
+    at.alive = false;
     SetActive(Activity::kMap, -1);
-    ++maps_done_;
-    map_finish_times_[m] = engine_.now();
-    last_map_finish_ = std::max(last_map_finish_, engine_.now());
-    map_progress_.Add(engine_.now(), 100.0 * static_cast<double>(maps_done_) /
-                                         static_cast<double>(maps_.size()));
-    NodeRes& node = *nodes_[maps_[m].node];
-    if (!node.pending_maps.empty()) {
-      const int next = node.pending_maps.front();
-      node.pending_maps.pop_front();
-      StartMap(next);
-    } else {
-      ++node.free_map_slots;
+    tracker_.Killed(TaskKind::kMap, m, a, engine_.now());
+    ReleaseSlot(at.node, /*is_map=*/true);
+  }
+
+  void KillReduceAttempt(int r, int a) {
+    ReduceAttempt& at = reduce_states_[r].attempts[a];
+    at.alive = false;
+    FlushActivity(at);
+    tracker_.Killed(TaskKind::kReduce, r, a, engine_.now());
+    ReleaseSlot(at.node, /*is_map=*/false);
+  }
+
+  // Lost-map-output rule: after a crash wiped (some of) m's published
+  // pushes, is any unfinished reducer still going to ask for them? A
+  // reducer with no running attempt (pending, queued, or awaiting
+  // rescheduling) needs everything again; a running attempt needs exactly
+  // the sections it has not fetched yet.
+  bool OutputNeeded(int m) const {
+    if (reduces_.empty()) {
+      // Provisional (map-only) replay: push-ready times define the
+      // delivery-order contract, so every output is always "needed".
+      return true;
+    }
+    for (size_t r = 0; r < reduces_.size(); ++r) {
+      const ReduceTaskState& st = reduce_states_[r];
+      if (st.done) continue;
+      for (size_t s = 0; s < reduces_[r].deliveries.size(); ++s) {
+        const DeliveryRef& d = reduces_[r].deliveries[s];
+        if (d.map_task != m || push_ready_[m][d.push] >= 0) continue;
+        if (AliveReduceAttempts(static_cast<int>(r)) == 0) return true;
+        for (const ReduceAttempt& at : st.attempts) {
+          if (at.alive && !at.fetched[s]) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Fail-stop crash of node n: kills its attempts, loses the map outputs
+  // it stored, reschedules what must re-run.
+  void CrashNode(int n) {
+    if (failed_ || dead_[n] || JobComplete()) return;
+    dead_[n] = 1;
+    ++node_crashes_;
+    NodeRes& node = *nodes_[n];
+    // Unstarted tasks queued here go back through the scheduler.
+    std::deque<Pending> orphan_maps = std::move(node.pending_maps);
+    std::deque<Pending> orphan_reduces = std::move(node.pending_reduces);
+    node.pending_maps.clear();
+    node.pending_reduces.clear();
+    for (const Pending& p : orphan_maps) {
+      if (p.speculative) {
+        map_states_[p.task].spec_queued = false;
+      } else {
+        map_states_[p.task].queued = false;
+      }
+    }
+    for (const Pending& p : orphan_reduces) {
+      if (p.speculative) {
+        reduce_states_[p.task].spec_queued = false;
+      } else {
+        reduce_states_[p.task].queued = false;
+      }
+    }
+    // Kill running attempts; reduces first so their fetched state is
+    // settled before the lost-output scan asks who still needs what.
+    for (size_t r = 0; r < reduces_.size(); ++r) {
+      ReduceTaskState& st = reduce_states_[r];
+      for (size_t a = 0; a < st.attempts.size(); ++a) {
+        if (st.attempts[a].alive && st.attempts[a].node == n) {
+          KillReduceAttempt(static_cast<int>(r), static_cast<int>(a));
+        }
+      }
+    }
+    for (size_t m = 0; m < maps_.size(); ++m) {
+      MapTaskState& st = map_states_[m];
+      for (size_t a = 0; a < st.attempts.size(); ++a) {
+        if (st.attempts[a].alive && st.attempts[a].node == n) {
+          KillMapAttempt(static_cast<int>(m), static_cast<int>(a));
+        }
+      }
+    }
+    // Map outputs stored on n are gone. A push a surviving attempt already
+    // produced republishes immediately; the rest revert to unpublished.
+    for (size_t m = 0; m < maps_.size(); ++m) {
+      bool lost_any = false;
+      for (uint32_t p = 0; p < maps_[m].num_pushes; ++p) {
+        if (push_src_[m][p] != n || push_ready_[m][p] < 0) continue;
+        bool republished = false;
+        for (const MapAttempt& at : map_states_[m].attempts) {
+          // op_idx >= gate+2 means the gate op's completion handler ran.
+          if (at.alive && !dead_[at.node] &&
+              at.op_idx >= gate_of_[m][p] + 2) {
+            PushReady(static_cast<int>(m), p, at.node);
+            republished = true;
+            break;
+          }
+        }
+        if (!republished) {
+          push_ready_[m][p] = -1.0;
+          push_src_[m][p] = -1;
+          lost_any = true;
+        }
+      }
+      if (lost_any && OutputNeeded(static_cast<int>(m))) {
+        ScheduleMapRun(static_cast<int>(m));
+        if (failed_) return;
+      }
+    }
+    // Restart whatever the crash left without a running or queued
+    // execution.
+    for (size_t r = 0; r < reduces_.size(); ++r) {
+      const ReduceTaskState& st = reduce_states_[r];
+      if (!st.done && !st.queued &&
+          AliveReduceAttempts(static_cast<int>(r)) == 0) {
+        ScheduleReduceRun(static_cast<int>(r));
+        if (failed_) return;
+      }
+    }
+    for (size_t m = 0; m < maps_.size(); ++m) {
+      const MapTaskState& st = map_states_[m];
+      if (st.queued || AliveMapAttempts(static_cast<int>(m)) > 0) continue;
+      if (!st.completed) {
+        ScheduleMapRun(static_cast<int>(m));
+      } else if (!AllPushesIntact(static_cast<int>(m)) &&
+                 OutputNeeded(static_cast<int>(m))) {
+        ScheduleMapRun(static_cast<int>(m));
+      }
+      if (failed_) return;
     }
   }
 
-  void PushReady(int m, uint32_t p) {
+  void FireFractionCrashes() {
+    const double frac = static_cast<double>(maps_completed_) /
+                        static_cast<double>(maps_.size());
+    for (size_t i = 0; i < fraction_crashes_.size(); ++i) {
+      if (!fraction_fired_[i] &&
+          frac >= fraction_crashes_[i].at_map_fraction - 1e-12) {
+        fraction_fired_[i] = true;
+        CrashNode(fraction_crashes_[i].node);
+      }
+    }
+  }
+
+  // ---- map side ----
+
+  void StartMapAttempt(int m, int node, bool speculative) {
+    MapTaskState& st = map_states_[m];
+    // A completed map only re-runs because its output was lost.
+    if (st.completed && !speculative) ++lost_map_outputs_;
+    const int a = tracker_.StartAttempt(TaskKind::kMap, m, node, speculative,
+                                        engine_.now());
+    CHECK_EQ(static_cast<size_t>(a), st.attempts.size());
+    MapAttempt at;
+    at.node = node;
+    at.start = engine_.now();
+    at.alive = true;
+    st.attempts.push_back(at);
+    SetActive(Activity::kMap, +1);
+    RunNextMapOp(m, a);
+  }
+
+  void RunNextMapOp(int m, int a) {
+    if (failed_) return;
+    MapAttempt& at = map_states_[m].attempts[a];
+    const CostTrace& trace = *maps_[m].trace;
+    if (at.op_idx >= trace.ops.size()) {
+      MapDone(m, a);
+      return;
+    }
+    const size_t idx = at.op_idx++;
+    const TraceOp& op = trace.ops[idx];
+    const double dur = WithDiskRetries(Duration(op, at.node), op,
+                                       /*is_map=*/true, m, a, idx);
+    Route(at.node, op)->Submit(dur, [this, m, a, idx]() {
+      if (failed_) return;
+      MapAttempt& att = map_states_[m].attempts[a];
+      if (!att.alive) return;  // killed mid-op; activity already flushed
+      const TraceOp& done_op = maps_[m].trace->ops[idx];
+      tracker_.AddWork(
+          TaskKind::kMap, m, a,
+          done_op.resource == OpResource::kCpu ? done_op.cpu_s : 0,
+          done_op.resource == OpResource::kCpu ? 0 : done_op.bytes);
+      ApplyDeltasOnce(map_delta_applied_[m], idx, done_op);
+      auto it = maps_[m].gates.find(static_cast<uint32_t>(idx));
+      if (it != maps_[m].gates.end() && push_ready_[m][it->second] < 0) {
+        PushReady(m, it->second, att.node);
+      }
+      RunNextMapOp(m, a);
+    });
+  }
+
+  void MapDone(int m, int a) {
+    MapTaskState& st = map_states_[m];
+    const int node = st.attempts[a].node;
+    st.attempts[a].alive = false;
+    SetActive(Activity::kMap, -1);
+    tracker_.Succeeded(TaskKind::kMap, m, a, engine_.now());
+    // First finisher wins: the backup race is over, losers' partial
+    // outputs are superseded by the winner's complete set.
+    for (size_t o = 0; o < st.attempts.size(); ++o) {
+      if (st.attempts[o].alive) {
+        KillMapAttempt(m, static_cast<int>(o));
+      }
+    }
+    for (uint32_t p = 0; p < maps_[m].num_pushes; ++p) {
+      if (push_ready_[m][p] < 0) {
+        PushReady(m, p, node);
+      } else {
+        push_src_[m][p] = node;
+      }
+    }
+    const bool first = !st.completed;
+    st.completed = true;
+    if (first) {
+      ++maps_completed_;
+      last_map_finish_ = std::max(last_map_finish_, engine_.now());
+      map_progress_.Add(engine_.now(),
+                        100.0 * static_cast<double>(maps_completed_) /
+                            static_cast<double>(maps_.size()));
+    }
+    ReleaseSlot(node, /*is_map=*/true);
+    MaybeSpeculate(TaskKind::kMap);
+    CheckCompletion();
+    if (first) FireFractionCrashes();
+  }
+
+  void PushReady(int m, uint32_t p, int src) {
     push_ready_[m][p] = engine_.now();
+    push_src_[m][p] = src;
     const auto key = std::make_pair(m, p);
     auto it = push_waiters_.find(key);
-    if (it != push_waiters_.end()) {
-      std::vector<int> waiters = std::move(it->second);
-      push_waiters_.erase(it);
-      for (int r : waiters) StartFetch(r);
+    if (it == push_waiters_.end()) return;
+    std::vector<std::pair<int, int>> waiters = std::move(it->second);
+    push_waiters_.erase(it);
+    for (const auto& [r, a] : waiters) {
+      if (reduce_states_[r].attempts[a].alive) StartFetch(r, a);
     }
   }
 
   // ---- reduce side ----
 
-  void StartReduce(int r) {
-    ReduceState& st = reduce_states_[r];
-    st.running = true;
-    st.fetched.assign(reduces_[r].deliveries.size(), false);
-    reduce_start_[r] = engine_.now();
-    StartFetch(r);
-    TryConsume(r);
+  void StartReduceAttempt(int r, int node, bool speculative) {
+    ReduceTaskState& st = reduce_states_[r];
+    const int a = tracker_.StartAttempt(TaskKind::kReduce, r, node,
+                                        speculative, engine_.now());
+    CHECK_EQ(static_cast<size_t>(a), st.attempts.size());
+    ReduceAttempt at;
+    at.node = node;
+    at.start = engine_.now();
+    at.alive = true;
+    at.fetched.assign(reduces_[r].deliveries.size(), false);
+    at.fetch_tries.assign(reduces_[r].deliveries.size(), 0);
+    st.attempts.push_back(std::move(at));
+    StartFetch(r, a);
+    TryConsume(r, a);
   }
 
   // Fetch stream: pulls delivery fetch_section as soon as its push is
   // published. The data-plane trace records each delivery section's first
   // op as the network fetch; the replay may prepend a disk read on the
-  // mapper's node when the output has been evicted from its memory.
-  void StartFetch(int r) {
-    ReduceState& st = reduce_states_[r];
+  // holder's node when the output has been evicted from its memory.
+  void StartFetch(int r, int a) {
+    if (failed_) return;
+    ReduceAttempt& at = reduce_states_[r].attempts[a];
+    if (!at.alive) return;
     const ReduceTaskIn& task = reduces_[r];
-    if (st.fetch_section >= task.deliveries.size()) return;
-    const uint32_t s = st.fetch_section;
+    if (at.fetch_section >= task.deliveries.size()) return;
+    const uint32_t s = at.fetch_section;
     const DeliveryRef& d = task.deliveries[s];
     const double ready = push_ready_[d.map_task][d.push];
     if (ready < 0) {
-      push_waiters_[{d.map_task, d.push}].push_back(r);
+      push_waiters_[{d.map_task, d.push}].push_back({r, a});
       return;
     }
-    const CostTrace& trace = *task.trace;
-    const TraceOp& net_op = trace.ops[trace.section_starts[s]];
-    CHECK(net_op.resource == OpResource::kNet);
-    auto do_net = [this, r, s, &net_op]() {
-      SetActive(Activity::kShuffle, +1);
-      Route(reduces_[r].node, net_op)
-          ->Submit(Duration(net_op), [this, r, s]() {
-            SetActive(Activity::kShuffle, -1);
-            const CostTrace& t = *reduces_[r].trace;
-            ApplyDeltas(t.ops[t.section_starts[s]]);
-            ReduceState& state = reduce_states_[r];
-            state.fetched[s] = true;
-            ++state.fetch_section;
-            StartFetch(r);
-            if (state.consume_blocked) {
-              state.consume_blocked = false;
-              TryConsume(r);
-            }
-          });
-    };
-    // Fetch penalty: a reducer that was not yet running when the map
-    // output was published (a second-wave reducer) finds it evicted from
-    // the mapper's memory and re-reads it from disk. Reducers that were
-    // already running fetch eagerly, so they read from memory.
+    // Fetch penalty: an attempt that was not yet running when the map
+    // output was published (a second-wave or restarted reducer) finds it
+    // evicted from the holder's memory and re-reads it from disk.
     if (d.bytes > 0 &&
-        reduce_start_[r] > ready + config_.costs.map_output_retention_s) {
+        at.start > ready + config_.costs.map_output_retention_s) {
       shuffle_from_disk_bytes_ += d.bytes;
       TraceOp read;
       read.resource = OpResource::kDisk;
       read.tag = OpTag::kShuffle;
       read.bytes = d.bytes;
       read.is_read = true;
-      const int src_node = maps_[d.map_task].node;
-      SetActive(Activity::kShuffle, +1);
-      Route(src_node, read)->Submit(Duration(read), [this, do_net]() {
-        SetActive(Activity::kShuffle, -1);
-        do_net();
-      });
+      const int src_node = push_src_[d.map_task][d.push];
+      ActInc(at, Activity::kShuffle);
+      Route(src_node, read)
+          ->Submit(Duration(read, src_node), [this, r, a, s]() {
+            if (failed_) return;
+            ReduceAttempt& att = reduce_states_[r].attempts[a];
+            if (!att.alive) return;
+            ActDec(att, Activity::kShuffle);
+            FetchOverNet(r, a, s);
+          });
       return;
     }
-    do_net();
+    FetchOverNet(r, a, s);
+  }
+
+  void FetchOverNet(int r, int a, uint32_t s) {
+    ReduceAttempt& at = reduce_states_[r].attempts[a];
+    const ReduceTaskIn& task = reduces_[r];
+    const TraceOp& net_op = task.trace->ops[task.trace->section_starts[s]];
+    CHECK(net_op.resource == OpResource::kNet);
+    ActInc(at, Activity::kShuffle);
+    Route(at.node, net_op)
+        ->Submit(Duration(net_op, at.node), [this, r, a, s]() {
+          if (failed_) return;
+          ReduceAttempt& att = reduce_states_[r].attempts[a];
+          if (!att.alive) return;
+          ActDec(att, Activity::kShuffle);
+          const ReduceTaskIn& t = reduces_[r];
+          const DeliveryRef& d = t.deliveries[s];
+          // Source crashed mid-transfer: park until the map re-executes.
+          if (push_ready_[d.map_task][d.push] < 0) {
+            StartFetch(r, a);
+            return;
+          }
+          // Transient fetch failure: back off exponentially, retry.
+          const int fails = plan_.FetchFailures(r, d.map_task, d.push);
+          if (static_cast<int>(att.fetch_tries[s]) < fails) {
+            const int try_i = att.fetch_tries[s]++;
+            ++shuffle_fetch_retries_;
+            const double backoff =
+                config_.faults.fetch_backoff_s * static_cast<double>(1 << try_i);
+            engine_.ScheduleAfter(backoff, [this, r, a, s]() {
+              if (failed_) return;
+              ReduceAttempt& att2 = reduce_states_[r].attempts[a];
+              if (!att2.alive) return;
+              const DeliveryRef& d2 = reduces_[r].deliveries[s];
+              if (push_ready_[d2.map_task][d2.push] < 0) {
+                StartFetch(r, a);  // source died during the backoff
+                return;
+              }
+              FetchOverNet(r, a, s);
+            });
+            return;
+          }
+          const size_t idx = t.trace->section_starts[s];
+          const TraceOp& done_op = t.trace->ops[idx];
+          tracker_.AddWork(TaskKind::kReduce, r, a, 0, done_op.bytes);
+          ApplyDeltasOnce(reduce_delta_applied_[r], idx, done_op);
+          att.fetched[s] = true;
+          ++att.fetch_section;
+          StartFetch(r, a);
+          if (att.consume_blocked) {
+            att.consume_blocked = false;
+            TryConsume(r, a);
+          }
+        });
   }
 
   // Consume stream: runs each section's engine work in order; delivery
   // sections wait for their fetch; the final section (engine Finish)
   // runs after every delivery has been consumed.
-  void TryConsume(int r) {
-    ReduceState& st = reduce_states_[r];
+  void TryConsume(int r, int a) {
+    if (failed_) return;
+    ReduceAttempt& at = reduce_states_[r].attempts[a];
+    if (!at.alive) return;
     const ReduceTaskIn& task = reduces_[r];
     const CostTrace& trace = *task.trace;
     const uint32_t num_sections = trace.num_sections();
-    if (st.consume_section >= num_sections) {
-      ReduceDone(r);
+    if (at.consume_section >= num_sections) {
+      ReduceDone(r, a);
       return;
     }
-    const bool is_delivery = st.consume_section < task.deliveries.size();
-    if (is_delivery && !st.fetched[st.consume_section]) {
-      st.consume_blocked = true;
+    const bool is_delivery = at.consume_section < task.deliveries.size();
+    if (is_delivery && !at.fetched[at.consume_section]) {
+      at.consume_blocked = true;
       return;
     }
-    if (!st.in_section) {
+    if (!at.in_section) {
       // Skip the net fetch op (handled by the fetch stream).
-      st.op_idx = trace.section_starts[st.consume_section] +
-                  (is_delivery ? 1 : 0);
-      st.in_section = true;
+      at.op_idx =
+          trace.section_starts[at.consume_section] + (is_delivery ? 1 : 0);
+      at.in_section = true;
     }
     const uint32_t next_section_start =
-        st.consume_section + 1 < num_sections
-            ? trace.section_starts[st.consume_section + 1]
+        at.consume_section + 1 < num_sections
+            ? trace.section_starts[at.consume_section + 1]
             : static_cast<uint32_t>(trace.ops.size());
-    if (st.op_idx >= next_section_start) {
-      ++st.consume_section;
-      st.in_section = false;
-      TryConsume(r);
+    if (at.op_idx >= next_section_start) {
+      ++at.consume_section;
+      at.in_section = false;
+      TryConsume(r, a);
       return;
     }
-    const size_t idx = st.op_idx++;
+    const size_t idx = at.op_idx++;
     const TraceOp& op = trace.ops[idx];
     const Activity act = Categorize(/*is_map_task=*/false, op.tag);
-    SetActive(act, +1);
-    Route(task.node, op)->Submit(Duration(op), [this, r, idx, act]() {
-      SetActive(act, -1);
-      ApplyDeltas(reduces_[r].trace->ops[idx]);
-      TryConsume(r);
+    const double dur = WithDiskRetries(Duration(op, at.node), op,
+                                       /*is_map=*/false, r, a, idx);
+    ActInc(at, act);
+    Route(at.node, op)->Submit(dur, [this, r, a, idx, act]() {
+      if (failed_) return;
+      ReduceAttempt& att = reduce_states_[r].attempts[a];
+      if (!att.alive) return;
+      ActDec(att, act);
+      const TraceOp& done_op = reduces_[r].trace->ops[idx];
+      tracker_.AddWork(
+          TaskKind::kReduce, r, a,
+          done_op.resource == OpResource::kCpu ? done_op.cpu_s : 0,
+          done_op.resource == OpResource::kCpu ? 0 : done_op.bytes);
+      ApplyDeltasOnce(reduce_delta_applied_[r], idx, done_op);
+      TryConsume(r, a);
     });
   }
 
-  void ReduceDone(int r) {
-    reduce_states_[r].running = false;
-    ++reduces_done_;
-    NodeRes& node = *nodes_[reduces_[r].node];
-    if (!node.pending_reduces.empty()) {
-      const int next = node.pending_reduces.front();
-      node.pending_reduces.pop_front();
-      StartReduce(next);
-    } else {
-      ++node.free_reduce_slots;
+  void ReduceDone(int r, int a) {
+    ReduceTaskState& st = reduce_states_[r];
+    const int node = st.attempts[a].node;
+    st.attempts[a].alive = false;
+    tracker_.Succeeded(TaskKind::kReduce, r, a, engine_.now());
+    for (size_t o = 0; o < st.attempts.size(); ++o) {
+      if (st.attempts[o].alive) {
+        KillReduceAttempt(r, static_cast<int>(o));
+      }
     }
+    const bool first = !st.done;
+    st.done = true;
+    if (first) ++reduces_done_;
+    ReleaseSlot(node, /*is_map=*/false);
+    MaybeSpeculate(TaskKind::kReduce);
+    CheckCompletion();
   }
 
   const JobConfig& config_;
+  const sim::FaultPlan& plan_;
   std::vector<MapTaskIn> maps_;
   std::vector<ReduceTaskIn> reduces_;
   Totals totals_;
+  TaskTracker tracker_;
 
   sim::Engine engine_;
   std::vector<std::unique_ptr<NodeRes>> nodes_;
-  std::vector<MapState> map_states_;
-  std::vector<ReduceState> reduce_states_;
-  std::vector<double> reduce_start_;
+  std::vector<char> dead_;
+  std::vector<MapTaskState> map_states_;
+  std::vector<ReduceTaskState> reduce_states_;
   std::vector<std::vector<double>> push_ready_;
-  std::map<std::pair<int, uint32_t>, std::vector<int>> push_waiters_;
-  std::vector<double> map_finish_times_;
+  std::vector<std::vector<int>> push_src_;   // node holding each push
+  std::vector<std::vector<uint32_t>> gate_of_;  // push -> gate op index
+  // Waiting fetch streams, keyed by (map task, push): (reduce, attempt).
+  std::map<std::pair<int, uint32_t>, std::vector<std::pair<int, int>>>
+      push_waiters_;
+  std::vector<std::vector<bool>> map_delta_applied_;
+  std::vector<std::vector<bool>> reduce_delta_applied_;
+  std::vector<sim::CrashEvent> fraction_crashes_;
+  std::vector<bool> fraction_fired_;
 
-  size_t maps_done_ = 0;
+  size_t maps_completed_ = 0;
   size_t reduces_done_ = 0;
   double last_map_finish_ = 0;
+  double completion_time_ = -1;
   double end_time_ = 0;
+  bool failed_ = false;
+  Status status_ = Status::OK();
+
   uint64_t shuffle_from_disk_bytes_ = 0;
+  uint64_t node_crashes_ = 0;
+  uint64_t lost_map_outputs_ = 0;
+  uint64_t shuffle_fetch_retries_ = 0;
+  uint64_t disk_read_retries_ = 0;
 
   uint64_t cum_shuffle_ = 0, cum_work_ = 0, cum_output_ = 0;
   sim::StepSeries map_progress_, reduce_progress_;
@@ -512,17 +1183,11 @@ class Replayer {
 Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
                                        const JobConfig& config,
                                        const ChunkStore& input) {
+  RETURN_IF_ERROR(config.Validate());
   if (!spec.mapper) {
     return Status::InvalidArgument("job needs a mapper factory");
   }
   const ClusterConfig& cl = config.cluster;
-  if (cl.nodes < 1 || cl.cores_per_node < 1 || cl.map_slots < 1 ||
-      cl.reduce_slots < 1) {
-    return Status::InvalidArgument("invalid cluster shape");
-  }
-  if (config.reducers_per_node < 1) {
-    return Status::InvalidArgument("need at least one reducer per node");
-  }
 
   const bool has_inc = static_cast<bool>(spec.inc);
   if ((config.engine == EngineKind::kIncHash ||
@@ -543,6 +1208,7 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
   const UniversalHash h1 = hashes.At(0);
   const MapOutputMode mode = SelectMapOutputMode(config, has_inc);
   const bool values_are_states = ModeProducesStates(mode);
+  const sim::FaultPlan plan(config.faults, config.seed);
 
   JobResult result;
   result.map_tasks = static_cast<int>(input.chunks().size());
@@ -566,6 +1232,7 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
     std::vector<Replayer::MapTaskIn> ins(map_outs.size());
     for (size_t m = 0; m < map_outs.size(); ++m) {
       ins[m].node = input.chunks()[m].node;
+      ins[m].replicas = input.chunks()[m].replicas;
       ins[m].trace = &map_outs[m].trace;
       ins[m].num_pushes = static_cast<uint32_t>(map_outs[m].pushes.size());
       for (uint32_t p = 0; p < ins[m].num_pushes; ++p) {
@@ -576,10 +1243,14 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
   };
 
   // ---- Phase 2: provisional replay fixes the delivery order ----
+  // Runs under the same FaultPlan as the full replay, so crash-forced map
+  // re-executions shift publish times the same way the cluster would see
+  // them. The order is only a consumption-order contract for the reduce
+  // data plane; the full replay below is authoritative for timing.
   std::vector<std::pair<int, uint32_t>> delivery_order;
   {
-    Replayer provisional(config, make_map_inputs(), {}, {});
-    provisional.Run();
+    Replayer provisional(config, plan, make_map_inputs(), {}, {});
+    RETURN_IF_ERROR(provisional.Run());
     std::vector<std::pair<double, std::pair<int, uint32_t>>> order;
     for (size_t m = 0; m < map_outs.size(); ++m) {
       for (uint32_t p = 0; p < map_outs[m].pushes.size(); ++p) {
@@ -689,13 +1360,15 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
     reduce_ins[r].deliveries = reduce_tasks[r]->deliveries;
   }
 
-  Replayer replay(config, make_map_inputs(), std::move(reduce_ins), totals);
-  replay.Run();
+  Replayer replay(config, plan, make_map_inputs(), std::move(reduce_ins),
+                  totals);
+  RETURN_IF_ERROR(replay.Run());
 
   result.running_time = replay.end_time();
   result.map_finish_time = replay.map_finish_time();
   result.shuffle_from_disk_bytes = replay.shuffle_from_disk_bytes();
   replay.ExportSeries(&result);
+  replay.ExportFaultMetrics(&result.metrics);
 
   // CPU attribution.
   for (const auto& mo : map_outs) {

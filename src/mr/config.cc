@@ -1,5 +1,7 @@
 #include "src/mr/config.h"
 
+#include <string>
+
 namespace onepass {
 
 std::string_view EngineKindName(EngineKind kind) {
@@ -14,6 +16,35 @@ std::string_view EngineKindName(EngineKind kind) {
       return "DINC-hash";
   }
   return "unknown";
+}
+
+Status JobConfig::Validate() const {
+  if (cluster.nodes < 1 || cluster.cores_per_node < 1 ||
+      cluster.map_slots < 1 || cluster.reduce_slots < 1) {
+    return Status::InvalidArgument("invalid cluster shape");
+  }
+  if (reducers_per_node < 1) {
+    return Status::InvalidArgument("need at least one reducer per node");
+  }
+  if (merge_factor < 2) {
+    return Status::InvalidArgument("merge_factor must be >= 2");
+  }
+  if (chunk_bytes == 0) {
+    return Status::InvalidArgument("chunk_bytes must be > 0");
+  }
+  if (map_buffer_bytes == 0 || reduce_memory_bytes == 0) {
+    return Status::InvalidArgument("map/reduce buffers must be > 0");
+  }
+  if (dinc_coverage_threshold < 0 || dinc_coverage_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "dinc_coverage_threshold outside (0, 1]");
+  }
+  if (replication < 1 || replication > cluster.nodes) {
+    return Status::InvalidArgument(
+        "replication must be in [1, nodes], got " +
+        std::to_string(replication));
+  }
+  return faults.Validate(cluster.nodes);
 }
 
 }  // namespace onepass

@@ -6,7 +6,9 @@
 #include <cstdint>
 #include <string>
 
+#include "src/common/status.h"
 #include "src/model/cost_model.h"
+#include "src/sim/fault_injector.h"
 
 namespace onepass {
 
@@ -53,6 +55,10 @@ struct JobConfig {
   uint64_t chunk_bytes = 4 << 20;       // C, map input chunk size
   int merge_factor = 10;                // F
   int reducers_per_node = 4;            // R
+  // DFS replication factor r: copies of each input chunk (must match the
+  // ChunkStore the job reads; RunJob falls back to the chunk's primary
+  // when the store was built without replicas).
+  int replication = 1;
 
   // Hardware description (Table 2, part 3).
   uint64_t map_buffer_bytes = 1 << 20;     // B_m per map task
@@ -83,6 +89,10 @@ struct JobConfig {
   // resident key (hash-table slot, counter, pointers).
   uint64_t resident_entry_overhead = 32;
 
+  // Fault injection & recovery (simulated time plane; see
+  // src/sim/fault_injector.h). Default: no faults.
+  sim::FaultConfig faults;
+
   // Simulation.
   CostModel costs;
   uint64_t seed = 42;
@@ -90,6 +100,13 @@ struct JobConfig {
   bool collect_outputs = false;
   // Timeline sampling bin for utilization/iowait series, seconds.
   double timeline_bin_s = 30.0;
+
+  // Rejects configurations no job could run under: empty/negative cluster
+  // shapes, merge_factor < 2, zero chunk or buffer sizes, coverage
+  // thresholds outside (0, 1], replication > nodes, and malformed fault
+  // plans (negative times, out-of-range nodes or rates). Called at the top
+  // of LocalCluster::RunJob.
+  Status Validate() const;
 };
 
 }  // namespace onepass

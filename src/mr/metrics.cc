@@ -22,12 +22,23 @@ void JobMetrics::Merge(const JobMetrics& o) {
   early_output_records += o.early_output_records;
   snapshot_bytes += o.snapshot_bytes;
   snapshot_count += o.snapshot_count;
+  map_task_attempts += o.map_task_attempts;
+  reduce_task_attempts += o.reduce_task_attempts;
+  killed_attempts += o.killed_attempts;
+  speculative_attempts += o.speculative_attempts;
+  speculative_wins += o.speculative_wins;
+  lost_map_outputs += o.lost_map_outputs;
+  node_crashes += o.node_crashes;
+  shuffle_fetch_retries += o.shuffle_fetch_retries;
+  disk_read_retries += o.disk_read_retries;
+  recovery_bytes += o.recovery_bytes;
+  wasted_cpu_s += o.wasted_cpu_s;
   map_cpu_s += o.map_cpu_s;
   reduce_cpu_s += o.reduce_cpu_s;
 }
 
 std::string JobMetrics::ToString() const {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "map input:       %12llu bytes, %llu records\n"
@@ -53,7 +64,29 @@ std::string JobMetrics::ToString() const {
       static_cast<unsigned long long>(combine_invocations),
       static_cast<unsigned long long>(reduce_groups), map_cpu_s,
       reduce_cpu_s);
-  return buf;
+  std::string out = buf;
+  // The recovery block appears only when the job saw faults.
+  if (map_task_attempts + reduce_task_attempts > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nattempts:        map %llu, reduce %llu (%llu killed, %llu "
+        "speculative, %llu spec wins)\n"
+        "recovery:        %llu crashes, %llu lost map outputs, %llu fetch "
+        "retries, %llu disk retries\n"
+        "waste:           %.1f cpu s, %llu recovery bytes",
+        static_cast<unsigned long long>(map_task_attempts),
+        static_cast<unsigned long long>(reduce_task_attempts),
+        static_cast<unsigned long long>(killed_attempts),
+        static_cast<unsigned long long>(speculative_attempts),
+        static_cast<unsigned long long>(speculative_wins),
+        static_cast<unsigned long long>(node_crashes),
+        static_cast<unsigned long long>(lost_map_outputs),
+        static_cast<unsigned long long>(shuffle_fetch_retries),
+        static_cast<unsigned long long>(disk_read_retries), wasted_cpu_s,
+        static_cast<unsigned long long>(recovery_bytes));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace onepass

@@ -35,6 +35,23 @@ struct JobMetrics {
   uint64_t snapshot_bytes = 0;        // HOP-style snapshot output volume
   uint64_t snapshot_count = 0;
 
+  // --- Fault tolerance / recovery (time-plane, from the TaskTracker) ---
+  uint64_t map_task_attempts = 0;     // attempts started (>= map tasks)
+  uint64_t reduce_task_attempts = 0;  // attempts started (>= reduce tasks)
+  uint64_t killed_attempts = 0;       // crash kills + speculation losers
+  uint64_t speculative_attempts = 0;  // backup attempts launched
+  uint64_t speculative_wins = 0;      // backups that finished first
+  uint64_t lost_map_outputs = 0;      // completed maps re-run (lost output)
+  uint64_t node_crashes = 0;
+  uint64_t shuffle_fetch_retries = 0;  // transient fetch failures retried
+  uint64_t disk_read_retries = 0;      // transient disk errors retried
+  // Bytes of disk/network work done by attempts that were later killed —
+  // I/O the cluster must redo. Sort-merge recovery is dominated by this
+  // (spilled runs are replayed); INC/DINC recovery by wasted_cpu_s
+  // (hash state is rebuilt from the re-fetched stream).
+  uint64_t recovery_bytes = 0;
+  double wasted_cpu_s = 0;  // CPU seconds burned by killed attempts
+
   // --- CPU seconds (data-plane modeled cost, summed over tasks) ---
   double map_cpu_s = 0;
   double reduce_cpu_s = 0;

@@ -1,0 +1,123 @@
+#include "src/mr/task_tracker.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace onepass {
+
+TaskTracker::TaskTracker(int num_maps, int num_reduces, int max_attempts)
+    : max_attempts_(max_attempts),
+      maps_(num_maps),
+      reduces_(num_reduces) {
+  CHECK_GE(max_attempts, 1);
+}
+
+TaskTracker::TaskRec& TaskTracker::rec(TaskKind kind, int task) {
+  auto& v = kind == TaskKind::kMap ? maps_ : reduces_;
+  return v[static_cast<size_t>(task)];
+}
+
+const TaskTracker::TaskRec& TaskTracker::rec(TaskKind kind, int task) const {
+  const auto& v = kind == TaskKind::kMap ? maps_ : reduces_;
+  return v[static_cast<size_t>(task)];
+}
+
+TaskAttempt& TaskTracker::at(TaskKind kind, int task, int attempt) {
+  return log_[rec(kind, task).attempt_log_idx[static_cast<size_t>(attempt)]];
+}
+
+const TaskAttempt& TaskTracker::attempt(TaskKind kind, int task,
+                                        int attempt) const {
+  return log_[rec(kind, task).attempt_log_idx[static_cast<size_t>(attempt)]];
+}
+
+bool TaskTracker::CanStart(TaskKind kind, int task) const {
+  return attempts_started(kind, task) < max_attempts_;
+}
+
+int TaskTracker::StartAttempt(TaskKind kind, int task, int node,
+                              bool speculative, double now) {
+  TaskRec& r = rec(kind, task);
+  CHECK_LT(static_cast<int>(r.attempt_log_idx.size()), max_attempts_);
+  TaskAttempt a;
+  a.kind = kind;
+  a.task = task;
+  a.attempt = static_cast<int>(r.attempt_log_idx.size());
+  a.node = node;
+  a.speculative = speculative;
+  a.start_time = now;
+  r.attempt_log_idx.push_back(static_cast<int>(log_.size()));
+  log_.push_back(a);
+  if (speculative) ++speculative_;
+  return a.attempt;
+}
+
+void TaskTracker::AddWork(TaskKind kind, int task, int attempt, double cpu_s,
+                          uint64_t io_bytes) {
+  TaskAttempt& a = at(kind, task, attempt);
+  a.cpu_s += cpu_s;
+  a.io_bytes += io_bytes;
+}
+
+void TaskTracker::Succeeded(TaskKind kind, int task, int attempt,
+                            double now) {
+  TaskAttempt& a = at(kind, task, attempt);
+  CHECK(a.state == AttemptState::kRunning);
+  a.state = AttemptState::kSucceeded;
+  a.end_time = now;
+  success_durations_[static_cast<int>(kind)].push_back(now - a.start_time);
+  if (a.speculative) ++speculative_wins_;
+}
+
+void TaskTracker::Killed(TaskKind kind, int task, int attempt, double now) {
+  TaskAttempt& a = at(kind, task, attempt);
+  CHECK(a.state == AttemptState::kRunning);
+  a.state = AttemptState::kKilled;
+  a.end_time = now;
+  ++killed_;
+  wasted_cpu_s_ += a.cpu_s;
+  recovery_bytes_ += a.io_bytes;
+}
+
+int TaskTracker::attempts_started(TaskKind kind, int task) const {
+  return static_cast<int>(rec(kind, task).attempt_log_idx.size());
+}
+
+int TaskTracker::alive_attempts(TaskKind kind, int task) const {
+  int alive = 0;
+  for (int idx : rec(kind, task).attempt_log_idx) {
+    if (log_[static_cast<size_t>(idx)].state == AttemptState::kRunning) {
+      ++alive;
+    }
+  }
+  return alive;
+}
+
+double TaskTracker::MedianSuccessDuration(TaskKind kind) const {
+  std::vector<double> d = success_durations_[static_cast<int>(kind)];
+  if (d.empty()) return 0;
+  const size_t mid = d.size() / 2;
+  std::nth_element(d.begin(), d.begin() + static_cast<long>(mid), d.end());
+  return d[mid];
+}
+
+int TaskTracker::successes(TaskKind kind) const {
+  return static_cast<int>(success_durations_[static_cast<int>(kind)].size());
+}
+
+void TaskTracker::ExportMetrics(JobMetrics* m) const {
+  for (const TaskRec& r : maps_) {
+    m->map_task_attempts += r.attempt_log_idx.size();
+  }
+  for (const TaskRec& r : reduces_) {
+    m->reduce_task_attempts += r.attempt_log_idx.size();
+  }
+  m->killed_attempts += killed_;
+  m->speculative_attempts += speculative_;
+  m->speculative_wins += speculative_wins_;
+  m->recovery_bytes += recovery_bytes_;
+  m->wasted_cpu_s += wasted_cpu_s_;
+}
+
+}  // namespace onepass

@@ -1,0 +1,101 @@
+// TaskTracker: per-task attempt bookkeeping for fault-tolerant scheduling.
+//
+// Every execution of a task — the original run, a crash-triggered
+// re-execution, or a speculative backup — is an *attempt*. The tracker owns
+// the attempt log (who ran where, when, and how it ended), enforces the
+// per-task attempt budget, accounts the work wasted by killed attempts
+// (the per-engine recovery cost ISSUE 1 asks to surface), and answers the
+// scheduling policy questions the replayer poses: "may this task start
+// another attempt?" and "is this attempt a straggler versus the median?".
+//
+// The tracker is pure bookkeeping over simulated time: it never touches the
+// event queue, so it is trivially deterministic and unit-testable.
+
+#ifndef ONEPASS_MR_TASK_TRACKER_H_
+#define ONEPASS_MR_TASK_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mr/metrics.h"
+
+namespace onepass {
+
+enum class TaskKind : uint8_t { kMap, kReduce };
+
+enum class AttemptState : uint8_t { kRunning, kSucceeded, kKilled };
+
+struct TaskAttempt {
+  TaskKind kind = TaskKind::kMap;
+  int task = 0;       // task index within its kind
+  int attempt = 0;    // 0 = original execution
+  int node = 0;
+  bool speculative = false;
+  AttemptState state = AttemptState::kRunning;
+  double start_time = 0;
+  double end_time = 0;
+  // Work completed so far (accounted as waste if the attempt is killed).
+  double cpu_s = 0;
+  uint64_t io_bytes = 0;  // disk + network payload moved
+};
+
+class TaskTracker {
+ public:
+  TaskTracker(int num_maps, int num_reduces, int max_attempts);
+
+  // Attempt budget: true while the task has started fewer than
+  // max_attempts attempts.
+  bool CanStart(TaskKind kind, int task) const;
+
+  // Records a new running attempt; returns its attempt index. Callers must
+  // check CanStart first (starting past the budget CHECK-fails).
+  int StartAttempt(TaskKind kind, int task, int node, bool speculative,
+                   double now);
+
+  // Accumulates completed work onto a running attempt.
+  void AddWork(TaskKind kind, int task, int attempt, double cpu_s,
+               uint64_t io_bytes);
+
+  void Succeeded(TaskKind kind, int task, int attempt, double now);
+
+  // Marks the attempt killed and charges its work to waste/recovery.
+  void Killed(TaskKind kind, int task, int attempt, double now);
+
+  const TaskAttempt& attempt(TaskKind kind, int task, int attempt) const;
+  int attempts_started(TaskKind kind, int task) const;
+  int alive_attempts(TaskKind kind, int task) const;
+
+  // Median duration of *successful* attempts of this kind so far (0 when
+  // none) — the speculation baseline.
+  double MedianSuccessDuration(TaskKind kind) const;
+  int successes(TaskKind kind) const;
+
+  // Folds the attempt/waste counters into `m` (fault-tolerance block).
+  void ExportMetrics(JobMetrics* m) const;
+
+  // Full attempt log, in start order across both kinds.
+  const std::vector<TaskAttempt>& log() const { return log_; }
+
+ private:
+  struct TaskRec {
+    std::vector<int> attempt_log_idx;  // indices into log_
+  };
+  TaskRec& rec(TaskKind kind, int task);
+  const TaskRec& rec(TaskKind kind, int task) const;
+  TaskAttempt& at(TaskKind kind, int task, int attempt);
+
+  int max_attempts_;
+  std::vector<TaskRec> maps_;
+  std::vector<TaskRec> reduces_;
+  std::vector<TaskAttempt> log_;
+  std::vector<double> success_durations_[2];  // by TaskKind
+  uint64_t killed_ = 0;
+  uint64_t speculative_ = 0;
+  uint64_t speculative_wins_ = 0;
+  uint64_t recovery_bytes_ = 0;
+  double wasted_cpu_s_ = 0;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MR_TASK_TRACKER_H_

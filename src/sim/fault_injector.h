@@ -1,0 +1,122 @@
+// Deterministic fault injection for the simulated time plane.
+//
+// A FaultPlan is a pure function of (FaultConfig, seed): it fixes, before
+// the simulation starts, which nodes crash and when, which nodes straggle
+// (and by how much), and — via counter-based hashing — how many times any
+// given shuffle fetch or disk read fails transiently. No wall clock, no
+// shared RNG state: the same plan replayed against the same cluster yields
+// a byte-identical schedule, which is what makes recovery testable
+// (ISSUE 1's determinism-under-faults property).
+//
+// Fault taxonomy (DESIGN.md §5 "Fault model"):
+//   * Node crash: fail-stop at a simulated time (or when map progress
+//     crosses a fraction). The node's running tasks die, its disk contents
+//     (map outputs, reduce state) are lost, and it never rejoins.
+//   * Transient disk-read error: a read must be retried; costs extra seek
+//     + transfer time on the same device.
+//   * Transient shuffle-fetch failure: a reducer's fetch of one map-output
+//     segment fails; retried with exponential backoff, bounded by
+//     max_fetch_retries (after which the fetch succeeds — "transient").
+//   * Straggler: a node whose CPU and/or disk run slower by a constant
+//     factor, the trigger for speculative execution.
+
+#ifndef ONEPASS_SIM_FAULT_INJECTOR_H_
+#define ONEPASS_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace onepass::sim {
+
+// One scheduled fail-stop crash. Exactly one of `time` (absolute simulated
+// seconds) or `at_map_fraction` (crash when this fraction of map tasks has
+// completed, e.g. 0.5 = mid-map) must be set.
+struct CrashEvent {
+  int node = -1;
+  double time = -1;             // absolute simulated time, or < 0
+  double at_map_fraction = -1;  // in (0, 1], or < 0
+};
+
+// A node that runs slow: op durations on it are multiplied by the factor
+// for the matching resource (>= 1).
+struct StragglerSpec {
+  int node = -1;
+  double cpu_factor = 1.0;
+  double disk_factor = 1.0;
+};
+
+struct FaultConfig {
+  std::vector<CrashEvent> crashes;
+  std::vector<StragglerSpec> stragglers;
+
+  // Per-op transient failure probabilities in [0, 1).
+  double disk_error_rate = 0;
+  double fetch_failure_rate = 0;
+
+  // Shuffle-fetch retry policy: attempt i (0-based) backs off
+  // fetch_backoff_s * 2^i before retrying; a fetch fails at most
+  // max_fetch_retries times before it is forced to succeed.
+  double fetch_backoff_s = 0.05;
+  int max_fetch_retries = 4;
+
+  // Speculative execution: once speculation_min_done_fraction of a phase's
+  // tasks have finished, a running task whose elapsed time exceeds
+  // speculation_slowness x the median duration of finished tasks gets one
+  // backup attempt on another node; the first finisher wins.
+  bool speculative_execution = false;
+  double speculation_slowness = 1.8;
+  double speculation_min_done_fraction = 0.25;
+  // Straggler scan period (simulated seconds). Completions also trigger a
+  // scan; the periodic tick catches a lagging tail with nothing finishing.
+  double speculation_check_s = 0.25;
+
+  // A task (map or reduce) may be attempted at most this many times;
+  // exceeding it fails the job with a non-OK Status.
+  int max_attempts = 4;
+
+  // True if any fault source is enabled (crash, straggler, error rates,
+  // or speculation).
+  bool any() const;
+
+  // Rejects out-of-range nodes/times/rates/factors for an N-node cluster.
+  Status Validate(int nodes) const;
+};
+
+// The resolved, immutable schedule. Cheap to copy.
+class FaultPlan {
+ public:
+  // An empty plan: no faults, every query returns "healthy".
+  FaultPlan() = default;
+
+  FaultPlan(const FaultConfig& config, uint64_t seed);
+
+  const FaultConfig& config() const { return config_; }
+  bool active() const { return config_.any(); }
+
+  const std::vector<CrashEvent>& crashes() const { return config_.crashes; }
+
+  // Straggler slowdown factors for `node` (1.0 when healthy).
+  double CpuFactor(int node) const;
+  double DiskFactor(int node) const;
+
+  // Number of consecutive transient failures (possibly 0) for the fetch of
+  // map `map_task`'s push `push` by reduce task `reduce_task`. Pure in its
+  // arguments; capped at max_fetch_retries.
+  int FetchFailures(int reduce_task, int map_task, uint32_t push) const;
+
+  // Number of consecutive transient failures for disk-read op `op_idx` of
+  // attempt `attempt` of task `task` (`is_map` selects the task space).
+  // Capped at 3 retries so a read always eventually succeeds.
+  int DiskReadFailures(bool is_map, int task, int attempt,
+                       uint64_t op_idx) const;
+
+ private:
+  FaultConfig config_;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace onepass::sim
+
+#endif  // ONEPASS_SIM_FAULT_INJECTOR_H_

@@ -32,6 +32,47 @@ TEST(ChunkStoreTest, RoundRobinPlacement) {
   }
 }
 
+TEST(ChunkStoreTest, DefaultReplicationIsSinglePrimary) {
+  ChunkStore store(10, 4);
+  for (int i = 0; i < 4; ++i) store.Append("key", "valuevalue");
+  store.Seal();
+  EXPECT_EQ(store.replication(), 1);
+  for (const Chunk& c : store.chunks()) {
+    ASSERT_EQ(c.replicas.size(), 1u);
+    EXPECT_EQ(c.replicas[0], c.node);
+  }
+}
+
+TEST(ChunkStoreTest, ReplicasAreDistinctAndPrimaryFirst) {
+  ChunkStore store(10, 4, /*replication=*/3);
+  for (int i = 0; i < 8; ++i) store.Append("key", "valuevalue");
+  store.Seal();
+  EXPECT_EQ(store.replication(), 3);
+  ASSERT_EQ(store.chunks().size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const Chunk& c = store.chunks()[i];
+    ASSERT_EQ(c.replicas.size(), 3u);
+    EXPECT_EQ(c.replicas[0], c.node);  // primary first
+    EXPECT_EQ(c.node, i % 4);          // placement still round-robin
+    for (size_t a = 0; a < c.replicas.size(); ++a) {
+      EXPECT_GE(c.replicas[a], 0);
+      EXPECT_LT(c.replicas[a], 4);
+      for (size_t b = a + 1; b < c.replicas.size(); ++b) {
+        EXPECT_NE(c.replicas[a], c.replicas[b]);  // distinct nodes
+      }
+    }
+  }
+}
+
+TEST(ChunkStoreTest, ReplicationClampedToClusterSize) {
+  ChunkStore store(10, 2, /*replication=*/5);
+  store.Append("key", "valuevalue");
+  store.Seal();
+  EXPECT_EQ(store.replication(), 2);
+  ASSERT_EQ(store.chunks().size(), 1u);
+  EXPECT_EQ(store.chunks()[0].replicas.size(), 2u);
+}
+
 TEST(ChunkStoreTest, SealOnEmptyIsNoop) {
   ChunkStore store(100, 2);
   store.Seal();

@@ -26,6 +26,96 @@ TEST(ConfigTest, DefaultsAreSane) {
   EXPECT_EQ(cfg.snapshots, 0);
 }
 
+TEST(ConfigValidateTest, DefaultsValidate) {
+  EXPECT_TRUE(JobConfig().Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsBadClusterShape) {
+  JobConfig cfg;
+  cfg.cluster.nodes = 0;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg = JobConfig();
+  cfg.cluster.map_slots = 0;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg = JobConfig();
+  cfg.reducers_per_node = 0;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+}
+
+TEST(ConfigValidateTest, RejectsBadKnobs) {
+  JobConfig cfg;
+  cfg.merge_factor = 1;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg = JobConfig();
+  cfg.chunk_bytes = 0;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg = JobConfig();
+  cfg.map_buffer_bytes = 0;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg = JobConfig();
+  cfg.dinc_coverage_threshold = 1.5;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+}
+
+TEST(ConfigValidateTest, RejectsBadReplication) {
+  JobConfig cfg;
+  cfg.replication = 0;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg.replication = cfg.cluster.nodes + 1;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg.replication = cfg.cluster.nodes;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsBadFaultConfig) {
+  JobConfig cfg;
+  sim::CrashEvent crash;
+  crash.node = cfg.cluster.nodes;  // out of range
+  crash.time = 1.0;
+  cfg.faults.crashes = {crash};
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+
+  cfg = JobConfig();
+  crash.node = 0;
+  crash.time = -1;  // neither time nor fraction set
+  crash.at_map_fraction = -1;
+  cfg.faults.crashes = {crash};
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+
+  cfg = JobConfig();
+  crash.time = 1.0;
+  crash.at_map_fraction = 0.5;  // both set
+  cfg.faults.crashes = {crash};
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+
+  cfg = JobConfig();
+  cfg.faults.fetch_failure_rate = 1.0;  // must be < 1
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+
+  cfg = JobConfig();
+  cfg.faults.max_attempts = 0;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+
+  cfg = JobConfig();
+  sim::StragglerSpec slow;
+  slow.node = 1;
+  slow.cpu_factor = 0.5;  // stragglers are slower, not faster
+  cfg.faults.stragglers = {slow};
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+
+  cfg = JobConfig();
+  crash = sim::CrashEvent();
+  crash.node = 1;
+  crash.at_map_fraction = 0.5;
+  cfg.faults.crashes = {crash};
+  slow.cpu_factor = 2.0;
+  cfg.faults.stragglers = {slow};
+  cfg.faults.disk_error_rate = 0.01;
+  cfg.faults.speculative_execution = true;
+  EXPECT_TRUE(cfg.Validate().ok()) << cfg.Validate().ToString();
+  EXPECT_TRUE(cfg.faults.any());
+}
+
 TEST(CostModelTest, PaperConstants) {
   CostModel c;
   // 80 MB/s sequential disk.

@@ -1,0 +1,105 @@
+// FaultPlan unit behaviour: pure-function determinism, bounded transient
+// failure draws, and straggler factor lookup.
+
+#include "src/sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace onepass::sim {
+namespace {
+
+FaultConfig BusyConfig() {
+  FaultConfig f;
+  CrashEvent crash;
+  crash.node = 2;
+  crash.at_map_fraction = 0.5;
+  f.crashes.push_back(crash);
+  StragglerSpec slow;
+  slow.node = 1;
+  slow.cpu_factor = 3.0;
+  slow.disk_factor = 2.0;
+  f.stragglers.push_back(slow);
+  f.disk_error_rate = 0.2;
+  f.fetch_failure_rate = 0.3;
+  f.speculative_execution = true;
+  return f;
+}
+
+TEST(FaultPlanTest, EmptyPlanIsInert) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_DOUBLE_EQ(plan.CpuFactor(0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.DiskFactor(0), 1.0);
+  EXPECT_EQ(plan.FetchFailures(0, 0, 0), 0);
+  EXPECT_EQ(plan.DiskReadFailures(true, 0, 0, 0), 0);
+}
+
+TEST(FaultPlanTest, SameSeedSamePlan) {
+  const FaultConfig f = BusyConfig();
+  const FaultPlan a(f, 42);
+  const FaultPlan b(f, 42);
+  EXPECT_TRUE(a.active());
+  for (int r = 0; r < 20; ++r) {
+    for (int m = 0; m < 20; ++m) {
+      EXPECT_EQ(a.FetchFailures(r, m, 0), b.FetchFailures(r, m, 0));
+      EXPECT_EQ(a.DiskReadFailures(true, m, r % 3, 7),
+                b.DiskReadFailures(true, m, r % 3, 7));
+    }
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiverge) {
+  const FaultConfig f = BusyConfig();
+  const FaultPlan a(f, 1);
+  const FaultPlan b(f, 2);
+  int differing = 0;
+  for (int r = 0; r < 50; ++r) {
+    for (int m = 0; m < 50; ++m) {
+      if (a.FetchFailures(r, m, 0) != b.FetchFailures(r, m, 0)) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlanTest, FailureDrawsAreBoundedAndMatchRateRoughly) {
+  FaultConfig f;
+  f.fetch_failure_rate = 0.25;
+  f.max_fetch_retries = 4;
+  f.disk_error_rate = 0.1;
+  const FaultPlan plan(f, 7);
+  int fetch_failures = 0;
+  const int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    const int ff = plan.FetchFailures(i % 16, i / 16, 0);
+    ASSERT_GE(ff, 0);
+    ASSERT_LE(ff, f.max_fetch_retries);
+    if (ff > 0) ++fetch_failures;
+    const int df = plan.DiskReadFailures(false, i % 16, 0, i);
+    ASSERT_GE(df, 0);
+    ASSERT_LE(df, 3);
+  }
+  // P(at least one failure) == rate; allow generous sampling slack.
+  const double observed =
+      static_cast<double>(fetch_failures) / static_cast<double>(kDraws);
+  EXPECT_NEAR(observed, 0.25, 0.05);
+}
+
+TEST(FaultPlanTest, StragglerFactorsApplyOnlyToTheirNode) {
+  const FaultPlan plan(BusyConfig(), 3);
+  EXPECT_DOUBLE_EQ(plan.CpuFactor(1), 3.0);
+  EXPECT_DOUBLE_EQ(plan.DiskFactor(1), 2.0);
+  EXPECT_DOUBLE_EQ(plan.CpuFactor(0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.DiskFactor(2), 1.0);
+}
+
+TEST(FaultPlanTest, ZeroRatesNeverFail) {
+  FaultConfig f;  // all rates zero
+  const FaultPlan plan(f, 5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(plan.FetchFailures(i, i, i), 0);
+    EXPECT_EQ(plan.DiskReadFailures(i % 2 == 0, i, 0, i), 0);
+  }
+}
+
+}  // namespace
+}  // namespace onepass::sim
