@@ -97,6 +97,7 @@ class [[nodiscard]] Status {
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
 
   // "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -43,6 +43,7 @@ class ChunkStore {
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_records() const { return total_records_; }
   int replication() const { return replication_; }
+  int nodes() const { return nodes_; }
 
  private:
   void CutChunk();

@@ -39,8 +39,9 @@ DincHashEngine::DincHashEngine(const EngineContext& ctx)
       std::max<uint64_t>(1, (cfg.reduce_memory_bytes - reserved) / entry_cost);
   sketch_ = std::make_unique<FrequentSketch>(capacity_entries_);
   states_.resize(capacity_entries_);
-  buckets_ = std::make_unique<BucketFileManager>(num_buckets_, page,
-                                                 ctx_.trace, ctx_.metrics);
+  buckets_ = std::make_unique<BucketFileManager>(
+      num_buckets_, page, ctx_.trace, ctx_.metrics, &cfg.integrity,
+      ctx_.faults, ctx_.integrity_owner);
 }
 
 void DincHashEngine::SpillState(std::string_view key, std::string* state) {
@@ -128,7 +129,7 @@ Status DincHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
 }
 
 Status DincHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
-                                     int depth) {
+                                     int depth, uint64_t owner) {
   // Beyond the recursion bound (pathological hash collisions), finish in
   // memory regardless of the budget rather than looping.
   const bool force_in_memory = depth > kMaxRecursionDepth;
@@ -185,7 +186,7 @@ Status DincHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
   table.clear();
   const int sub = 4;
   BucketFileManager subs(sub, cfg.bucket_page_bytes, ctx_.trace,
-                         ctx_.metrics);
+                         ctx_.metrics, &cfg.integrity, ctx_.faults, owner);
   const UniversalHash h = ctx_.hashes.At(level + 1);
   KvBufferReader reader(data);
   std::string_view key, state;
@@ -197,9 +198,11 @@ Status DincHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
   data.Clear();
   subs.FlushAll();
   for (int b = 0; b < sub; ++b) {
-    KvBuffer sb = subs.TakeBucket(b);
+    ASSIGN_OR_RETURN(KvBuffer sb, subs.TakeBucket(b));
     if (sb.empty()) continue;
-    RETURN_IF_ERROR(ProcessBucket(std::move(sb), level + 1, depth + 1));
+    RETURN_IF_ERROR(ProcessBucket(std::move(sb), level + 1, depth + 1,
+                                  Mix64(owner ^ (level << 40) ^
+                                        (static_cast<uint64_t>(b) + 1))));
   }
   return Status::OK();
 }
@@ -262,9 +265,12 @@ Status DincHashEngine::Finish() {
 
   buckets_->FlushAll();
   for (int b = 0; b < num_buckets_; ++b) {
-    KvBuffer data = buckets_->TakeBucket(b);
+    ASSIGN_OR_RETURN(KvBuffer data, buckets_->TakeBucket(b));
     if (data.empty()) continue;
-    RETURN_IF_ERROR(ProcessBucket(std::move(data), /*level=*/2, 0));
+    RETURN_IF_ERROR(ProcessBucket(
+        std::move(data), /*level=*/2, 0,
+        Mix64(ctx_.integrity_owner ^ (2ULL << 40) ^
+              (static_cast<uint64_t>(b) + 1))));
   }
   ctx_.out->Flush();
   return Status::OK();

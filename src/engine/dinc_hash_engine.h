@@ -53,7 +53,8 @@ class DincHashEngine : public GroupByEngine {
   uint64_t covered_keys() const { return covered_keys_; }
 
  private:
-  Status ProcessBucket(KvBuffer data, uint64_t level, int depth);
+  Status ProcessBucket(KvBuffer data, uint64_t level, int depth,
+                       uint64_t owner);
   // Routes a key-state pair to its disk bucket unless the workload
   // discards it via TryDiscard.
   void SpillState(std::string_view key, std::string* state);

@@ -43,6 +43,12 @@ struct EngineContext {
   // True when the map side already applied the initialize function, so the
   // incoming "values" are states that Combine() can fold directly.
   bool values_are_states = false;
+  // Data integrity (DESIGN.md §5.2): the job's fault plan, consulted by
+  // the engine's spill-bucket layer for seeded corruption, and a stable
+  // id naming this task in the plan's corruption keyspace (reduce task
+  // index + 1; 0 in harnesses that do not inject).
+  const sim::FaultPlan* faults = nullptr;
+  uint64_t integrity_owner = 0;
 };
 
 class GroupByEngine {

@@ -56,7 +56,8 @@ class IncHashEngine : public GroupByEngine {
   // Processes one disk bucket (or sub-bucket): builds a state table in
   // memory, combining tuples per key, then finalizes every key. Recursive
   // partitioning if the bucket's keys do not fit.
-  Status ProcessBucket(KvBuffer data, uint64_t level, int depth);
+  Status ProcessBucket(KvBuffer data, uint64_t level, int depth,
+                       uint64_t owner);
 
   std::unordered_map<std::string, std::string> states_;
   uint64_t resident_bytes_ = 0;

@@ -55,8 +55,9 @@ MRHashEngine::MRHashEngine(const EngineContext& ctx)
       std::min<uint64_t>(cfg.reduce_memory_bytes,
                          static_cast<uint64_t>(num_disk_buckets_) * page);
   if (num_disk_buckets_ > 0) {
-    buckets_ = std::make_unique<BucketFileManager>(num_disk_buckets_, page,
-                                                   ctx_.trace, ctx_.metrics);
+    buckets_ = std::make_unique<BucketFileManager>(
+        num_disk_buckets_, page, ctx_.trace, ctx_.metrics,
+        &cfg.integrity, ctx_.faults, ctx_.integrity_owner);
   }
 }
 
@@ -133,7 +134,7 @@ void MRHashEngine::ProcessInMemory(const KvBuffer& data, uint64_t level) {
 }
 
 Status MRHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
-                                   int depth) {
+                                   int depth, uint64_t owner) {
   const JobConfig& cfg = *ctx_.config;
   if (data.bytes() <= static_cast<uint64_t>(0.8 * cfg.reduce_memory_bytes)) {
     ProcessInMemory(data, level);
@@ -166,7 +167,7 @@ Status MRHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
                                    cfg.bucket_page_bytes) +
                   1;
   BucketFileManager subs(sub, cfg.bucket_page_bytes, ctx_.trace,
-                         ctx_.metrics);
+                         ctx_.metrics, &cfg.integrity, ctx_.faults, owner);
   const UniversalHash h = ctx_.hashes.At(level);
   KvBufferReader reader(data);
   std::string_view key, value;
@@ -179,9 +180,11 @@ Status MRHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
   data.Clear();
   subs.FlushAll();
   for (int b = 0; b < sub; ++b) {
-    KvBuffer sb = subs.TakeBucket(b);
+    ASSIGN_OR_RETURN(KvBuffer sb, subs.TakeBucket(b));
     if (sb.empty()) continue;
-    RETURN_IF_ERROR(ProcessBucket(std::move(sb), level + 1, depth + 1));
+    RETURN_IF_ERROR(ProcessBucket(std::move(sb), level + 1, depth + 1,
+                                  Mix64(owner ^ (level << 40) ^
+                                        (static_cast<uint64_t>(b) + 1))));
   }
   return Status::OK();
 }
@@ -194,9 +197,12 @@ Status MRHashEngine::Finish() {
   if (buckets_ != nullptr) {
     buckets_->FlushAll();
     for (int b = 0; b < buckets_->num_buckets(); ++b) {
-      KvBuffer data = buckets_->TakeBucket(b);
+      ASSIGN_OR_RETURN(KvBuffer data, buckets_->TakeBucket(b));
       if (data.empty()) continue;
-      RETURN_IF_ERROR(ProcessBucket(std::move(data), /*level=*/3, 0));
+      RETURN_IF_ERROR(ProcessBucket(
+          std::move(data), /*level=*/3, 0,
+          Mix64(ctx_.integrity_owner ^ (3ULL << 40) ^
+                (static_cast<uint64_t>(b) + 1))));
     }
   }
   ctx_.out->Flush();

@@ -43,8 +43,11 @@ class MRHashEngine : public GroupByEngine {
   // Groups `data` in memory using hash `level` and reduces every group.
   void ProcessInMemory(const KvBuffer& data, uint64_t level);
   // Processes a bucket that may exceed memory: in-memory if it fits, else
-  // recursive partitioning with hash `level`.
-  Status ProcessBucket(KvBuffer data, uint64_t level, int depth);
+  // recursive partitioning with hash `level`. `owner` is the integrity
+  // owner id a sub-partition manager created here would carry (stable
+  // across runs so corruption draws are deterministic).
+  Status ProcessBucket(KvBuffer data, uint64_t level, int depth,
+                       uint64_t owner);
 
   int num_disk_buckets_;        // h (excluding D1)
   uint64_t d1_capacity_bytes_;  // memory available to D1

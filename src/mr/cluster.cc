@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/dfs/chunk_reader.h"
 #include "src/engine/group_by_engine.h"
 #include "src/mr/cost_trace.h"
 #include "src/mr/map_runner.h"
@@ -17,6 +18,8 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/resources.h"
+#include "src/storage/framed_io.h"
+#include "src/util/crc32c.h"
 #include "src/util/hash.h"
 
 namespace onepass {
@@ -109,12 +112,14 @@ class Replayer {
     reduce_states_.resize(reduces_.size());
     push_ready_.resize(maps_.size());
     push_src_.resize(maps_.size());
+    push_gen_.resize(maps_.size());
     gate_of_.resize(maps_.size());
     map_delta_applied_.resize(maps_.size());
     for (size_t m = 0; m < maps_.size(); ++m) {
       if (maps_[m].replicas.empty()) maps_[m].replicas = {maps_[m].node};
       push_ready_[m].assign(maps_[m].num_pushes, -1.0);
       push_src_[m].assign(maps_[m].num_pushes, -1);
+      push_gen_[m].assign(maps_[m].num_pushes, 0);
       gate_of_[m].assign(maps_[m].num_pushes, 0);
       for (const auto& [gate, push] : maps_[m].gates) {
         gate_of_[m][push] = gate;
@@ -186,6 +191,9 @@ class Replayer {
     m->lost_map_outputs += lost_map_outputs_;
     m->shuffle_fetch_retries += shuffle_fetch_retries_;
     m->disk_read_retries += disk_read_retries_;
+    m->corruptions_detected += corruptions_detected_;
+    m->corruptions_recovered += corruptions_recovered_;
+    m->corruption_recovery_bytes += corruption_recovery_bytes_;
   }
 
   // Fills the timeline/progress portion of `result`.
@@ -292,7 +300,8 @@ class Replayer {
     bool consume_blocked = false;  // waiting for a fetch to complete
     bool alive = false;
     std::vector<bool> fetched;
-    std::vector<uint8_t> fetch_tries;  // failed tries per section
+    std::vector<uint8_t> fetch_tries;   // failed tries per section
+    std::vector<uint8_t> verify_tries;  // checksum-failed fetches per section
     int act[4] = {0, 0, 0, 0};  // outstanding activity counts, by Activity
   };
   struct ReduceTaskState {
@@ -959,6 +968,7 @@ class Replayer {
     at.alive = true;
     at.fetched.assign(reduces_[r].deliveries.size(), false);
     at.fetch_tries.assign(reduces_[r].deliveries.size(), 0);
+    at.verify_tries.assign(reduces_[r].deliveries.size(), 0);
     st.attempts.push_back(std::move(at));
     StartFetch(r, a);
     TryConsume(r, a);
@@ -1044,6 +1054,44 @@ class Replayer {
               }
               FetchOverNet(r, a, s);
             });
+            return;
+          }
+          // Silent wire corruption: the fetched bytes fail the segment CRC
+          // stamped at publish time. The holder's stored copy is fine, so
+          // the cheapest recovery is an immediate re-fetch.
+          const int wire = plan_.FetchCorruptions(r, d.map_task, d.push);
+          if (static_cast<int>(att.verify_tries[s]) < wire) {
+            ++att.verify_tries[s];
+            ++corruptions_detected_;
+            ++corruptions_recovered_;
+            corruption_recovery_bytes_ += d.bytes;
+            FetchOverNet(r, a, s);
+            return;
+          }
+          // Corrupt stored map output: re-fetching cannot help (every copy
+          // served fails verification), so only re-executing the producing
+          // map task rematerializes a good push. Mark this push
+          // unpublished and park until the re-run republishes it.
+          const int bad_gens = plan_.MapOutputCorruptions(d.map_task, d.push);
+          if (push_gen_[d.map_task][d.push] < bad_gens) {
+            const int gen = push_gen_[d.map_task][d.push];
+            ++corruptions_detected_;
+            if (gen >= config_.faults.max_corruption_retries) {
+              Fail(Status::Corruption(
+                  "map task " + std::to_string(d.map_task) + " push " +
+                  std::to_string(d.push) + ": output corrupt beyond " +
+                  std::to_string(config_.faults.max_corruption_retries) +
+                  " re-executions"));
+              return;
+            }
+            ++push_gen_[d.map_task][d.push];
+            ++corruptions_recovered_;
+            corruption_recovery_bytes_ += d.bytes;
+            push_ready_[d.map_task][d.push] = -1.0;
+            push_src_[d.map_task][d.push] = -1;
+            ScheduleMapRun(d.map_task);
+            if (failed_) return;
+            StartFetch(r, a);
             return;
           }
           const size_t idx = t.trace->section_starts[s];
@@ -1148,6 +1196,11 @@ class Replayer {
   std::vector<ReduceTaskState> reduce_states_;
   std::vector<std::vector<double>> push_ready_;
   std::vector<std::vector<int>> push_src_;   // node holding each push
+  // Map-output corruption generation consumed so far, per push: the plan's
+  // CorruptionChain says how many generations of a push materialize
+  // corrupt; each detected one forces a map re-execution that advances
+  // this counter.
+  std::vector<std::vector<int>> push_gen_;
   std::vector<std::vector<uint32_t>> gate_of_;  // push -> gate op index
   // Waiting fetch streams, keyed by (map task, push): (reduce, attempt).
   std::map<std::pair<int, uint32_t>, std::vector<std::pair<int, int>>>
@@ -1170,6 +1223,9 @@ class Replayer {
   uint64_t lost_map_outputs_ = 0;
   uint64_t shuffle_fetch_retries_ = 0;
   uint64_t disk_read_retries_ = 0;
+  uint64_t corruptions_detected_ = 0;
+  uint64_t corruptions_recovered_ = 0;
+  uint64_t corruption_recovery_bytes_ = 0;
 
   uint64_t cum_shuffle_ = 0, cum_work_ = 0, cum_output_ = 0;
   sim::StepSeries map_progress_, reduce_progress_;
@@ -1215,15 +1271,23 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
   result.reduce_tasks = total_reducers;
 
   // ---- Phase 1: map data plane ----
+  // Chunks are read through the verified DFS path: each replica's framed
+  // bytes are checked at the read boundary, bad copies are quarantined and
+  // re-replicated, and the post-recovery replica view feeds placement.
+  ChunkReader chunk_reader(&input, config.integrity, &plan);
   std::vector<MapTaskOutput> map_outs;
   map_outs.reserve(input.chunks().size());
-  for (const Chunk& chunk : input.chunks()) {
+  for (size_t m = 0; m < input.chunks().size(); ++m) {
+    ChunkReadStats read_stats;
+    ASSIGN_OR_RETURN(
+        KvBuffer records,
+        chunk_reader.Read(static_cast<int>(m), &read_stats));
     std::unique_ptr<Mapper> mapper = spec.mapper();
     std::unique_ptr<IncrementalReducer> inc =
         has_inc ? spec.inc() : nullptr;
     MapRunner runner(config, mode, h1, total_reducers, mapper.get(),
-                     inc.get());
-    ASSIGN_OR_RETURN(MapTaskOutput mo, runner.Run(chunk.records));
+                     inc.get(), &plan, static_cast<int>(m));
+    ASSIGN_OR_RETURN(MapTaskOutput mo, runner.Run(records, &read_stats));
     result.metrics.Merge(mo.metrics);
     map_outs.push_back(std::move(mo));
   }
@@ -1231,8 +1295,16 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
   auto make_map_inputs = [&]() {
     std::vector<Replayer::MapTaskIn> ins(map_outs.size());
     for (size_t m = 0; m < map_outs.size(); ++m) {
+      const std::vector<int>& reps =
+          chunk_reader.replicas(static_cast<int>(m));
       ins[m].node = input.chunks()[m].node;
-      ins[m].replicas = input.chunks()[m].replicas;
+      ins[m].replicas = reps;
+      // A quarantined primary cannot host the data-local first attempt;
+      // fall over to the first surviving holder.
+      if (!reps.empty() &&
+          std::find(reps.begin(), reps.end(), ins[m].node) == reps.end()) {
+        ins[m].node = reps.front();
+      }
       ins[m].trace = &map_outs[m].trace;
       ins[m].num_pushes = static_cast<uint32_t>(map_outs[m].pushes.size());
       for (uint32_t p = 0; p < ins[m].num_pushes; ++p) {
@@ -1295,6 +1367,8 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
     ctx.reducer = task->reducer.get();
     ctx.inc = task->inc.get();
     ctx.values_are_states = values_are_states;
+    ctx.faults = &plan;
+    ctx.integrity_owner = static_cast<uint64_t>(r) + 1;
     ASSIGN_OR_RETURN(task->engine,
                      CreateGroupByEngine(config.engine, ctx));
 
@@ -1308,7 +1382,22 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
     }
     size_t delivery_index = 0;
     for (const auto& [m, p] : delivery_order) {
-      const KvBuffer& segment = map_outs[m].pushes[p].partitions[r];
+      const PushSegment& push = map_outs[m].pushes[p];
+      const KvBuffer& segment = push.partitions[r];
+      // Every fetched segment re-verifies against the CRC its producer
+      // stamped at publish time; the time-plane replay decides which
+      // fetches the plan corrupts and replays the recovery.
+      if (config.integrity.checksums && !push.crcs.empty()) {
+        if (Crc32c(segment.data()) != push.crcs[r]) {
+          return Status::Corruption(
+              "map task " + std::to_string(m) + " push " +
+              std::to_string(p) + ": segment for reducer " +
+              std::to_string(r) + " failed checksum verification");
+        }
+        task->metrics.verify_bytes += segment.bytes();
+        task->metrics.checksum_overhead_bytes += FramedOverheadBytes(
+            segment.bytes(), config.integrity.block_bytes);
+      }
       DeliveryRef d;
       d.map_task = m;
       d.push = p;

@@ -44,6 +44,14 @@ Status JobConfig::Validate() const {
         "replication must be in [1, nodes], got " +
         std::to_string(replication));
   }
+  if (integrity.block_bytes == 0) {
+    return Status::InvalidArgument("integrity.block_bytes must be > 0");
+  }
+  if (faults.corruption_rate > 0 && !integrity.checksums) {
+    return Status::InvalidArgument(
+        "corruption injection requires integrity.checksums: silent "
+        "corruption is undetectable without them");
+  }
   return faults.Validate(cluster.nodes);
 }
 

@@ -9,6 +9,7 @@
 #include "src/common/status.h"
 #include "src/model/cost_model.h"
 #include "src/sim/fault_injector.h"
+#include "src/storage/framed_io.h"
 
 namespace onepass {
 
@@ -92,6 +93,12 @@ struct JobConfig {
   // Fault injection & recovery (simulated time plane; see
   // src/sim/fault_injector.h). Default: no faults.
   sim::FaultConfig faults;
+
+  // Data integrity: CRC32C block framing + verification of every
+  // simulated persistent/network stream (DESIGN.md §5.2). On by default;
+  // verification work is accounted in JobMetrics but never charged to the
+  // time plane, so schedules are byte-identical either way.
+  IntegrityConfig integrity;
 
   // Simulation.
   CostModel costs;

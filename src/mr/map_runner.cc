@@ -7,7 +7,9 @@
 #include "src/common/logging.h"
 #include "src/engine/sorted_merge.h"
 #include "src/model/merge_tree.h"
+#include "src/storage/framed_io.h"
 #include "src/util/arena.h"
+#include "src/util/crc32c.h"
 
 namespace onepass {
 
@@ -166,27 +168,66 @@ MapOutputMode SelectMapOutputMode(const JobConfig& config, bool has_inc) {
 
 MapRunner::MapRunner(const JobConfig& config, MapOutputMode mode,
                      UniversalHash partitioner, int total_partitions,
-                     Mapper* mapper, IncrementalReducer* inc)
+                     Mapper* mapper, IncrementalReducer* inc,
+                     const sim::FaultPlan* faults, int task_index)
     : config_(config),
       mode_(mode),
       partitioner_(partitioner),
       total_partitions_(total_partitions),
       mapper_(mapper),
-      inc_(inc) {
+      inc_(inc),
+      faults_(faults),
+      task_index_(task_index) {
   CHECK(mapper != nullptr);
   if (ModeProducesStates(mode)) CHECK(inc != nullptr);
 }
 
-Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk) {
+void MapRunner::StampPushCrcs(PushSegment* push) const {
+  if (!config_.integrity.checksums) return;
+  push->crcs.reserve(push->partitions.size());
+  for (const KvBuffer& part : push->partitions) {
+    push->crcs.push_back(Crc32c(part.data()));
+  }
+}
+
+Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
+                                     const ChunkReadStats* read_stats) {
   MapTaskOutput out;
   TraceRecorder trace(&out.trace);
   const CostModel& costs = config_.costs;
 
-  // Task startup + input chunk read.
+  // Task startup + input chunk read. A verified DFS read that fell over
+  // quarantined replicas paid for each failed full read, and the
+  // re-replication write runs on this task's node (it holds the fresh
+  // copy's source).
   trace.Cpu(costs.task_start_s, OpTag::kStartup);
-  trace.DiskRead(chunk.bytes(), OpTag::kMapInput);
+  const int chunk_reads =
+      read_stats != nullptr && read_stats->replica_reads > 1
+          ? read_stats->replica_reads
+          : 1;
+  for (int i = 0; i < chunk_reads; ++i) {
+    trace.DiskRead(chunk.bytes(), OpTag::kMapInput);
+  }
   out.metrics.map_input_bytes += chunk.bytes();
   out.metrics.map_input_records += chunk.count();
+  if (read_stats != nullptr) {
+    out.metrics.verify_bytes += read_stats->verify_bytes;
+    out.metrics.checksum_overhead_bytes += read_stats->overhead_bytes;
+    out.metrics.corruptions_detected +=
+        static_cast<uint64_t>(read_stats->quarantined);
+    out.metrics.corruptions_recovered +=
+        static_cast<uint64_t>(read_stats->quarantined);
+    out.metrics.torn_writes_detected += read_stats->torn;
+    out.metrics.quarantined_replicas +=
+        static_cast<uint64_t>(read_stats->quarantined);
+    out.metrics.rereplicated_bytes += read_stats->rereplicated_bytes;
+    out.metrics.corruption_recovery_bytes +=
+        static_cast<uint64_t>(chunk_reads - 1) * chunk.bytes() +
+        read_stats->rereplicated_bytes;
+    if (read_stats->rereplicated_bytes > 0) {
+      trace.DiskWrite(read_stats->rereplicated_bytes, OpTag::kMapInput);
+    }
+  }
 
   const double map_fn_cost =
       costs.map_fn_byte_s * static_cast<double>(chunk.bytes());
@@ -194,7 +235,7 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk) {
   switch (mode_) {
     case MapOutputMode::kSortRaw:
     case MapOutputMode::kSortCombine:
-      RunSortPath(chunk, map_fn_cost, &trace, &out);
+      RETURN_IF_ERROR(RunSortPath(chunk, map_fn_cost, &trace, &out));
       break;
     case MapOutputMode::kHashRaw:
     case MapOutputMode::kHashInit: {
@@ -220,6 +261,7 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk) {
       push.gate_op = static_cast<uint32_t>(out.trace.ops.size() - 1);
       push.partitions = std::move(parts);
       push.bytes = bytes;
+      StampPushCrcs(&push);
       out.pushes.push_back(std::move(push));
       out.sorted = false;
       break;
@@ -249,6 +291,7 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk) {
       push.gate_op = static_cast<uint32_t>(out.trace.ops.size() - 1);
       push.partitions = std::move(parts);
       push.bytes = out_bytes;
+      StampPushCrcs(&push);
       out.pushes.push_back(std::move(push));
       out.sorted = false;
       break;
@@ -258,14 +301,16 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk) {
   return out;
 }
 
-void MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
-                            TraceRecorder* trace, MapTaskOutput* out) {
+Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
+                              TraceRecorder* trace, MapTaskOutput* out) {
   const CostModel& costs = config_.costs;
   const bool combine = mode_ == MapOutputMode::kSortCombine;
   CollectingEmitter emitter(&partitioner_, total_partitions_);
-  // Sorted runs; each run holds per-partition sorted buffers.
+  // Sorted runs; each run holds per-partition sorted buffers, with the
+  // CRC32C recorded at spill time for verification at merge read-back.
   std::vector<std::vector<KvBuffer>> runs;
   std::vector<uint64_t> run_bytes;
+  std::vector<uint32_t> run_crcs;
 
   // Sorts the buffered entries (combining key groups if enabled) and emits
   // them either as an on-disk run, a pipelined push, or the final output.
@@ -325,9 +370,15 @@ void MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
       push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
       push.partitions = std::move(parts);
       push.bytes = bytes;
+      StampPushCrcs(&push);
       out->pushes.push_back(std::move(push));
     } else {
       out->metrics.map_spill_write_bytes += bytes;
+      if (config_.integrity.checksums) {
+        uint32_t crc = 0;
+        for (const KvBuffer& p : parts) crc = Crc32cExtend(crc, p.data());
+        run_crcs.push_back(crc);
+      }
       runs.push_back(std::move(parts));
       run_bytes.push_back(bytes);
     }
@@ -354,14 +405,14 @@ void MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
   if (config_.pipelining) {
     // Pipelining: every cut (including the remainder) was already pushed.
     sort_and_cut(CutKind::kFinalOutput);
-    return;
+    return Status::OK();
   }
 
   if (runs.empty()) {
     // The whole chunk's output fit in the map buffer: the sorted buffer is
     // the map output (the paper's recommended operating point for C).
     sort_and_cut(CutKind::kFinalOutput);
-    return;
+    return Status::OK();
   }
 
   // External sort: cut the remainder as one more run, then merge all runs
@@ -371,6 +422,61 @@ void MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
   const int n_runs = static_cast<int>(runs.size());
   uint64_t total_run_bytes = 0;
   for (uint64_t b : run_bytes) total_run_bytes += b;
+
+  if (config_.integrity.checksums) {
+    // Verified read-back of the spilled runs: recompute each run's CRC
+    // against the value recorded at spill time, then play out the fault
+    // plan's corruption chain for its on-disk image. A corrupt generation
+    // is rebuilt — re-sorted from the resident input and rewritten,
+    // charged as an extra write + read of the run — until the recovery
+    // budget runs out.
+    for (int r = 0; r < n_runs; ++r) {
+      uint32_t crc = 0;
+      for (const KvBuffer& p : runs[r]) crc = Crc32cExtend(crc, p.data());
+      CHECK_EQ(crc, run_crcs[r]) << "map spill run mutated in memory";
+      out->metrics.verify_bytes += run_bytes[r];
+      out->metrics.checksum_overhead_bytes +=
+          FramedOverheadBytes(run_bytes[r], config_.integrity.block_bytes);
+      const int chain =
+          faults_ == nullptr
+              ? 0
+              : faults_->CorruptionChain(sim::StreamKind::kMapSpillRun,
+                                         static_cast<uint64_t>(task_index_),
+                                         static_cast<uint64_t>(r));
+      for (int gen = 0; gen < chain; ++gen) {
+        std::string image;
+        image.reserve(run_bytes[r]);
+        for (const KvBuffer& p : runs[r]) image.append(p.data());
+        std::string framed =
+            FrameBytes(image, config_.integrity.block_bytes);
+        const sim::CorruptionEvent ev = faults_->CorruptionDamage(
+            sim::StreamKind::kMapSpillRun,
+            static_cast<uint64_t>(task_index_), static_cast<uint64_t>(r),
+            gen, framed.size());
+        CHECK(ev.fires());
+        if (ev.torn) {
+          TornTruncate(&framed, static_cast<uint64_t>(ev.bit) / 8);
+        } else {
+          FlipBit(&framed, static_cast<uint64_t>(ev.bit));
+        }
+        CHECK(!VerifyFramed(framed, static_cast<int64_t>(image.size())).ok())
+            << "undetected injected corruption";
+        ++out->metrics.corruptions_detected;
+        if (ev.torn) ++out->metrics.torn_writes_detected;
+        if (gen >= faults_->config().max_corruption_retries) {
+          return Status::Corruption(
+              "map task " + std::to_string(task_index_) + " spill run " +
+              std::to_string(r) + ": corrupt beyond " +
+              std::to_string(faults_->config().max_corruption_retries) +
+              " rebuilds");
+        }
+        trace->DiskWrite(run_bytes[r], OpTag::kMapSpill);
+        trace->DiskRead(run_bytes[r], OpTag::kMapSpill);
+        out->metrics.corruption_recovery_bytes += 2 * run_bytes[r];
+        ++out->metrics.corruptions_recovered;
+      }
+    }
+  }
 
   std::vector<KvBuffer> final_parts(total_partitions_);
   uint64_t out_bytes = 0, out_records = 0, total_records = 0, combines = 0;
@@ -438,7 +544,9 @@ void MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
   push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
   push.partitions = std::move(final_parts);
   push.bytes = out_bytes;
+  StampPushCrcs(&push);
   out->pushes.push_back(std::move(push));
+  return Status::OK();
 }
 
 }  // namespace onepass

@@ -26,10 +26,12 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/dfs/chunk_reader.h"
 #include "src/mr/api.h"
 #include "src/mr/config.h"
 #include "src/mr/cost_trace.h"
 #include "src/mr/metrics.h"
+#include "src/sim/fault_injector.h"
 #include "src/util/hash.h"
 #include "src/util/kv_buffer.h"
 
@@ -61,6 +63,10 @@ struct PushSegment {
   uint32_t gate_op = 0;
   std::vector<KvBuffer> partitions;  // indexed by reducer partition
   uint64_t bytes = 0;
+  // CRC32C per partition segment, recorded at publish time when the job
+  // runs with integrity checksums (empty otherwise). Reducers re-verify
+  // each fetched segment against these (DESIGN.md §5.2).
+  std::vector<uint32_t> crcs;
 };
 
 struct MapTaskOutput {
@@ -72,17 +78,27 @@ struct MapTaskOutput {
 
 class MapRunner {
  public:
-  // `partitioner` is h1; `total_partitions` = N*R reducers.
+  // `partitioner` is h1; `total_partitions` = N*R reducers. `faults` may
+  // be null (no corruption injection); `task_index` names this map task
+  // in the fault plan's corruption keyspace.
   MapRunner(const JobConfig& config, MapOutputMode mode,
             UniversalHash partitioner, int total_partitions, Mapper* mapper,
-            IncrementalReducer* inc);
+            IncrementalReducer* inc,
+            const sim::FaultPlan* faults = nullptr, int task_index = 0);
 
-  // Runs the map function over one input chunk.
-  Result<MapTaskOutput> Run(const KvBuffer& chunk);
+  // Runs the map function over one input chunk. `read_stats`, when given,
+  // carries the verified DFS read's accounting (extra replica reads after
+  // a quarantine, re-replication traffic) to charge to this task's trace
+  // and metrics. Returns Status::Corruption when a spill run is corrupt
+  // beyond the plan's rebuild budget.
+  Result<MapTaskOutput> Run(const KvBuffer& chunk,
+                            const ChunkReadStats* read_stats = nullptr);
 
  private:
-  void RunSortPath(const KvBuffer& chunk, double map_fn_cost,
-                   TraceRecorder* trace, MapTaskOutput* out);
+  Status RunSortPath(const KvBuffer& chunk, double map_fn_cost,
+                     TraceRecorder* trace, MapTaskOutput* out);
+  // Fills push.crcs from push.partitions when integrity checksums are on.
+  void StampPushCrcs(PushSegment* push) const;
 
   const JobConfig& config_;
   MapOutputMode mode_;
@@ -90,6 +106,8 @@ class MapRunner {
   int total_partitions_;
   Mapper* mapper_;
   IncrementalReducer* inc_;
+  const sim::FaultPlan* faults_;
+  int task_index_;
 };
 
 }  // namespace onepass

@@ -33,6 +33,14 @@ void JobMetrics::Merge(const JobMetrics& o) {
   disk_read_retries += o.disk_read_retries;
   recovery_bytes += o.recovery_bytes;
   wasted_cpu_s += o.wasted_cpu_s;
+  verify_bytes += o.verify_bytes;
+  checksum_overhead_bytes += o.checksum_overhead_bytes;
+  corruptions_detected += o.corruptions_detected;
+  torn_writes_detected += o.torn_writes_detected;
+  corruptions_recovered += o.corruptions_recovered;
+  quarantined_replicas += o.quarantined_replicas;
+  rereplicated_bytes += o.rereplicated_bytes;
+  corruption_recovery_bytes += o.corruption_recovery_bytes;
   map_cpu_s += o.map_cpu_s;
   reduce_cpu_s += o.reduce_cpu_s;
 }
@@ -84,6 +92,25 @@ std::string JobMetrics::ToString() const {
         static_cast<unsigned long long>(shuffle_fetch_retries),
         static_cast<unsigned long long>(disk_read_retries), wasted_cpu_s,
         static_cast<unsigned long long>(recovery_bytes));
+    out += buf;
+  }
+  // The integrity block appears only when checksums were verified or a
+  // corruption was seen.
+  if (verify_bytes + corruptions_detected > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nintegrity:       %llu bytes verified (+%llu framing), %llu "
+        "corruptions detected (%llu torn), %llu recovered\n"
+        "dfs health:      %llu replicas quarantined, %llu bytes "
+        "re-replicated, %llu corruption-recovery bytes",
+        static_cast<unsigned long long>(verify_bytes),
+        static_cast<unsigned long long>(checksum_overhead_bytes),
+        static_cast<unsigned long long>(corruptions_detected),
+        static_cast<unsigned long long>(torn_writes_detected),
+        static_cast<unsigned long long>(corruptions_recovered),
+        static_cast<unsigned long long>(quarantined_replicas),
+        static_cast<unsigned long long>(rereplicated_bytes),
+        static_cast<unsigned long long>(corruption_recovery_bytes));
     out += buf;
   }
   return out;

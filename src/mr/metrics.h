@@ -52,6 +52,20 @@ struct JobMetrics {
   uint64_t recovery_bytes = 0;
   double wasted_cpu_s = 0;  // CPU seconds burned by killed attempts
 
+  // --- Data integrity (checksummed I/O; DESIGN.md §5.2) ---
+  uint64_t verify_bytes = 0;  // payload bytes CRC-verified at read time
+  uint64_t checksum_overhead_bytes = 0;  // framing headers on those bytes
+  uint64_t corruptions_detected = 0;   // checksum/length verify failures
+  uint64_t torn_writes_detected = 0;   //   ...of which truncated streams
+  uint64_t corruptions_recovered = 0;  // healed via replica / re-execution
+                                       // / rebuild (== detected unless the
+                                       // job died with kCorruption)
+  uint64_t quarantined_replicas = 0;   // DFS chunk copies taken out of use
+  uint64_t rereplicated_bytes = 0;     // DFS re-replication traffic
+  // Extra I/O spent recovering from corruption (replica re-reads, bucket
+  // and run rebuilds, shuffle re-fetches), charged through the cost model.
+  uint64_t corruption_recovery_bytes = 0;
+
   // --- CPU seconds (data-plane modeled cost, summed over tasks) ---
   double map_cpu_s = 0;
   double reduce_cpu_s = 0;

@@ -34,6 +34,7 @@ int GeometricFailures(double u, double rate, int cap) {
 bool FaultConfig::any() const {
   if (!crashes.empty() || !stragglers.empty()) return true;
   if (disk_error_rate > 0 || fetch_failure_rate > 0) return true;
+  if (corruption_rate > 0) return true;
   return speculative_execution;
 }
 
@@ -89,6 +90,12 @@ Status FaultConfig::Validate(int nodes) const {
   if (speculation_check_s <= 0) {
     return Status::InvalidArgument("speculation_check_s must be > 0");
   }
+  if (corruption_rate < 0 || corruption_rate >= 1.0) {
+    return Status::InvalidArgument("corruption_rate must be in [0, 1)");
+  }
+  if (max_corruption_retries < 0) {
+    return Status::InvalidArgument("negative max_corruption_retries");
+  }
   return Status::OK();
 }
 
@@ -130,6 +137,60 @@ int FaultPlan::DiskReadFailures(bool is_map, int task, int attempt,
   // A read is retried at most 3 times: disk errors here model transient
   // sector hiccups, not device loss (that is the crash model).
   return GeometricFailures(ToUnit(key), config_.disk_error_rate, 3);
+}
+
+namespace {
+
+uint64_t StreamKey(uint64_t seed, StreamKind kind, uint64_t a, uint64_t b) {
+  return Mix64(seed ^ Mix64(0xc0440ULL ^
+                            (static_cast<uint64_t>(kind) << 56) ^
+                            Mix64(a + 1) ^ (b << 1)));
+}
+
+}  // namespace
+
+int FaultPlan::CorruptionChain(StreamKind kind, uint64_t a,
+                               uint64_t b) const {
+  if (config_.corruption_rate <= 0) return 0;
+  const uint64_t key = StreamKey(seed_, kind, a, b);
+  // Unlike the transient draws, a chain counts corrupt *copies*, so a
+  // stream with any corruption has chain >= 1: first copy corrupt with
+  // probability rate, each rebuild again with probability rate.
+  const double u = ToUnit(key);
+  if (u >= config_.corruption_rate) return 0;
+  return 1 + GeometricFailures(u / config_.corruption_rate,
+                               config_.corruption_rate, 2);
+}
+
+CorruptionEvent FaultPlan::CorruptionDamage(StreamKind kind, uint64_t a,
+                                            uint64_t b, int gen,
+                                            uint64_t framed_bytes) const {
+  CorruptionEvent ev;
+  if (framed_bytes == 0 || gen >= CorruptionChain(kind, a, b)) return ev;
+  const uint64_t key =
+      Mix64(StreamKey(seed_, kind, a, b) ^ (0x9a11ULL + gen));
+  if (config_.torn_writes && framed_bytes >= 2 &&
+      (Mix64(key ^ 0x70a4ULL) & 1)) {
+    ev.torn = true;
+    // Truncate to [1, framed_bytes - 1] bytes so the damage is never a
+    // no-op and never leaves an empty stream trivially.
+    ev.bit = static_cast<int64_t>(8 * (1 + key % (framed_bytes - 1)));
+  } else {
+    ev.bit = static_cast<int64_t>(key % (8 * framed_bytes));
+  }
+  return ev;
+}
+
+int FaultPlan::MapOutputCorruptions(int map_task, uint32_t push) const {
+  return CorruptionChain(StreamKind::kMapOutput,
+                         static_cast<uint64_t>(map_task), push);
+}
+
+int FaultPlan::FetchCorruptions(int reduce_task, int map_task,
+                                uint32_t push) const {
+  return CorruptionChain(StreamKind::kShuffleWire,
+                         static_cast<uint64_t>(reduce_task),
+                         (static_cast<uint64_t>(map_task) << 24) | push);
 }
 
 }  // namespace onepass::sim

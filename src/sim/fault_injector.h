@@ -19,6 +19,11 @@
 //     max_fetch_retries (after which the fetch succeeds — "transient").
 //   * Straggler: a node whose CPU and/or disk run slower by a constant
 //     factor, the trigger for speculative execution.
+//   * Silent corruption (ISSUE 2): a stored copy of a framed stream — a
+//     DFS chunk replica, a map-output push, a spill run, a hash bucket,
+//     or one shuffle wire transfer — is damaged by a seeded bit flip or
+//     a torn write (truncation). Detected only by checksum verification
+//     at the next read boundary (DESIGN.md §5.2).
 
 #ifndef ONEPASS_SIM_FAULT_INJECTOR_H_
 #define ONEPASS_SIM_FAULT_INJECTOR_H_
@@ -45,6 +50,25 @@ struct StragglerSpec {
   int node = -1;
   double cpu_factor = 1.0;
   double disk_factor = 1.0;
+};
+
+// Which simulated byte stream a corruption event targets. The (kind, a, b)
+// triple names one stored copy / transfer; see the FaultPlan draw methods
+// for each kind's (a, b) convention.
+enum class StreamKind : uint8_t {
+  kDfsChunk = 1,      // a = chunk index, b = replica node
+  kMapSpillRun = 2,   // a = map task, b = run index
+  kBucketFile = 3,    // a = owner id (see BucketFileManager), b = bucket
+  kMapOutput = 4,     // a = map task, b = push index
+  kShuffleWire = 5,   // a = reduce task, b = (map task << 24) | push
+};
+
+// How one corrupt generation of a stream is damaged, within its framed
+// on-"disk" image of framed_bytes bytes.
+struct CorruptionEvent {
+  int64_t bit = -1;   // bit index to flip, or byte*8 truncation point
+  bool torn = false;  // truncate at byte bit/8 instead of flipping bit
+  bool fires() const { return bit >= 0; }
 };
 
 struct FaultConfig {
@@ -75,6 +99,20 @@ struct FaultConfig {
   // A task (map or reduce) may be attempted at most this many times;
   // exceeding it fails the job with a non-OK Status.
   int max_attempts = 4;
+
+  // Silent-corruption injection (requires JobConfig integrity checksums;
+  // JobConfig::Validate enforces that). Each stored copy / transfer of a
+  // framed stream is independently corrupted with this probability.
+  double corruption_rate = 0;
+  // When set, a corruption event may be a torn write (truncation of the
+  // in-flight block sequence) instead of a bit flip; a seeded coin per
+  // event picks which.
+  bool torn_writes = false;
+  // Recovery budget: how many consecutive corrupt generations of one
+  // stream may be rebuilt / re-fetched / re-executed before the job fails
+  // with kCorruption. DFS replica fail-over is not charged against this
+  // budget — a chunk read fails only when every replica is bad.
+  int max_corruption_retries = 3;
 
   // True if any fault source is enabled (crash, straggler, error rates,
   // or speculation).
@@ -111,6 +149,25 @@ class FaultPlan {
   // Capped at 3 retries so a read always eventually succeeds.
   int DiskReadFailures(bool is_map, int task, int attempt,
                        uint64_t op_idx) const;
+
+  // --- Silent corruption (pure draws; all return "clean" at rate 0) ---
+
+  // Number of consecutive corrupt generations of the stream (kind, a, b):
+  // the k-th write (or transfer) of that stream is corrupt iff
+  // k < CorruptionChain(...). Geometric in corruption_rate, capped at 3.
+  // For DFS chunk replicas only "chain > 0" matters (the replica is bad).
+  int CorruptionChain(StreamKind kind, uint64_t a, uint64_t b) const;
+
+  // How generation `gen` of the stream is damaged. Fires exactly when
+  // gen < CorruptionChain(kind, a, b).
+  CorruptionEvent CorruptionDamage(StreamKind kind, uint64_t a, uint64_t b,
+                                   int gen, uint64_t framed_bytes) const;
+
+  // Convenience wrappers used by the Replayer (counts only; the damage
+  // there is modeled, not materialized — the time plane replays traces,
+  // it does not hold bytes).
+  int MapOutputCorruptions(int map_task, uint32_t push) const;
+  int FetchCorruptions(int reduce_task, int map_task, uint32_t push) const;
 
  private:
   FaultConfig config_;

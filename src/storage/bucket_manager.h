@@ -8,7 +8,13 @@
 // owning task's CostTrace and to JobMetrics as reduce spill.
 //
 // "Disk" content is held in memory (the platform's time plane is simulated;
-// see DESIGN.md), but the byte accounting is exact.
+// see DESIGN.md), but the byte accounting is exact. When the job runs with
+// integrity checksums (DESIGN.md §5.2), TakeBucket frames the file in
+// CRC32C blocks, applies the FaultPlan's seeded corruption to the framed
+// image, and verifies it; a corrupt copy is rebuilt from the recorded
+// inputs (the page flushes are replayed, charging the extra I/O) until the
+// per-stream recovery budget runs out, at which point TakeBucket returns
+// Status::Corruption.
 
 #ifndef ONEPASS_STORAGE_BUCKET_MANAGER_H_
 #define ONEPASS_STORAGE_BUCKET_MANAGER_H_
@@ -17,8 +23,11 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/mr/cost_trace.h"
 #include "src/mr/metrics.h"
+#include "src/sim/fault_injector.h"
+#include "src/storage/framed_io.h"
 #include "src/util/kv_buffer.h"
 
 namespace onepass {
@@ -26,8 +35,16 @@ namespace onepass {
 class BucketFileManager {
  public:
   // num_buckets: h; page_bytes: write-buffer size per bucket.
+  // integrity/plan may be null (checksums off / no injection); `owner`
+  // names this manager in the FaultPlan's corruption keyspace — reduce
+  // task index + 1 for an engine's primary manager, a mixed child id for
+  // recursive sub-partition managers (must be stable across runs for
+  // determinism).
   BucketFileManager(int num_buckets, uint64_t page_bytes,
-                    TraceRecorder* trace, JobMetrics* metrics);
+                    TraceRecorder* trace, JobMetrics* metrics,
+                    const IntegrityConfig* integrity = nullptr,
+                    const sim::FaultPlan* plan = nullptr,
+                    uint64_t owner = 0);
 
   // Appends a tuple to `bucket`'s write buffer, flushing the page to disk
   // if it is full.
@@ -36,9 +53,12 @@ class BucketFileManager {
   // Flushes every non-empty page. Call at end of input.
   void FlushAll();
 
-  // Reads a bucket's file back from disk (charges the read) and returns
-  // its contents, clearing the stored file. FlushAll must have been called.
-  KvBuffer TakeBucket(int bucket);
+  // Reads a bucket's file back from disk (charges the read), verifies it
+  // when integrity checksums are on, and returns its contents, clearing
+  // the stored file. FlushAll must have been called. Returns
+  // Status::Corruption when the file is corrupt beyond the plan's
+  // max_corruption_retries rebuild budget.
+  Result<KvBuffer> TakeBucket(int bucket);
 
   int num_buckets() const { return static_cast<int>(files_.size()); }
   uint64_t bucket_file_bytes(int bucket) const {
@@ -52,6 +72,7 @@ class BucketFileManager {
   // Total bytes spilled through this manager.
   uint64_t spilled_bytes() const { return spilled_bytes_; }
   uint64_t spilled_records() const { return spilled_records_; }
+  uint64_t owner() const { return owner_; }
 
  private:
   void FlushPage(int bucket);
@@ -59,6 +80,9 @@ class BucketFileManager {
   uint64_t page_bytes_;
   TraceRecorder* trace_;
   JobMetrics* metrics_;
+  const IntegrityConfig* integrity_;
+  const sim::FaultPlan* plan_;
+  uint64_t owner_;
   std::vector<KvBuffer> pages_;
   std::vector<KvBuffer> files_;
   uint64_t buffered_bytes_ = 0;

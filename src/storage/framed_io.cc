@@ -1,0 +1,131 @@
+#include "src/storage/framed_io.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace onepass {
+
+namespace {
+constexpr uint64_t kHeaderBytes = 8;  // fixed32 len + fixed32 masked crc
+}  // namespace
+
+uint64_t FramedOverheadBytes(uint64_t payload_bytes, uint64_t block_bytes) {
+  CHECK(block_bytes > 0);
+  const uint64_t blocks = (payload_bytes + block_bytes - 1) / block_bytes;
+  return blocks * kHeaderBytes;
+}
+
+FramedWriter::FramedWriter(std::string* dst, uint64_t block_bytes)
+    : dst_(dst), block_bytes_(block_bytes) {
+  CHECK(dst != nullptr);
+  CHECK(block_bytes > 0);
+}
+
+void FramedWriter::EmitBlock(std::string_view payload) {
+  PutFixed32(dst_, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst_, MaskCrc(Crc32c(payload)));
+  dst_->append(payload.data(), payload.size());
+}
+
+void FramedWriter::Append(std::string_view payload) {
+  while (!payload.empty()) {
+    if (pending_.empty() && payload.size() >= block_bytes_) {
+      EmitBlock(payload.substr(0, block_bytes_));
+      payload.remove_prefix(block_bytes_);
+      continue;
+    }
+    const uint64_t take =
+        std::min<uint64_t>(block_bytes_ - pending_.size(), payload.size());
+    pending_.append(payload.data(), take);
+    payload.remove_prefix(take);
+    if (pending_.size() == block_bytes_) {
+      EmitBlock(pending_);
+      pending_.clear();
+    }
+  }
+}
+
+void FramedWriter::Finish() {
+  if (!pending_.empty()) {
+    EmitBlock(pending_);
+    pending_.clear();
+  }
+}
+
+std::string FrameBytes(std::string_view payload, uint64_t block_bytes) {
+  std::string framed;
+  framed.reserve(payload.size() +
+                 FramedOverheadBytes(payload.size(), block_bytes));
+  FramedWriter writer(&framed, block_bytes);
+  writer.Append(payload);
+  writer.Finish();
+  return framed;
+}
+
+namespace {
+
+// Walks the framed stream, calling sink(payload) for each verified block.
+template <typename Sink>
+Status WalkFramed(std::string_view framed, int64_t expected_payload_bytes,
+                  Sink&& sink) {
+  uint64_t payload_total = 0;
+  while (!framed.empty()) {
+    if (framed.size() < kHeaderBytes) {
+      return Status::Corruption("torn write: truncated block header");
+    }
+    const uint32_t len = DecodeFixed32(framed.data());
+    const uint32_t masked = DecodeFixed32(framed.data() + 4);
+    if (len == 0 || framed.size() - kHeaderBytes < len) {
+      return Status::Corruption("torn write: block payload cut short");
+    }
+    const std::string_view payload = framed.substr(kHeaderBytes, len);
+    if (Crc32c(payload) != UnmaskCrc(masked)) {
+      return Status::Corruption("block checksum mismatch");
+    }
+    sink(payload);
+    payload_total += len;
+    framed.remove_prefix(kHeaderBytes + len);
+  }
+  if (expected_payload_bytes >= 0 &&
+      payload_total != static_cast<uint64_t>(expected_payload_bytes)) {
+    return Status::Corruption("torn write: stream holds " +
+                              std::to_string(payload_total) +
+                              " payload bytes, expected " +
+                              std::to_string(expected_payload_bytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadAllFramed(std::string_view framed,
+                                  int64_t expected_payload_bytes) {
+  std::string out;
+  out.reserve(framed.size());
+  Status st = WalkFramed(framed, expected_payload_bytes,
+                         [&out](std::string_view p) { out.append(p); });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status VerifyFramed(std::string_view framed, int64_t expected_payload_bytes) {
+  return WalkFramed(framed, expected_payload_bytes, [](std::string_view) {});
+}
+
+void FlipBit(std::string* s, uint64_t bit_index) {
+  CHECK(s != nullptr);
+  if (s->empty()) return;
+  bit_index %= 8 * s->size();
+  (*s)[bit_index / 8] ^= static_cast<char>(1u << (bit_index % 8));
+}
+
+void TornTruncate(std::string* s, uint64_t keep_bytes) {
+  CHECK(s != nullptr);
+  if (s->empty()) return;
+  s->resize(keep_bytes % s->size());
+}
+
+}  // namespace onepass

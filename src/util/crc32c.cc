@@ -1,0 +1,64 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+#include <cstddef>
+
+namespace onepass {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+struct Tables {
+  // table[k][b]: CRC contribution of byte b seen k bytes before the end
+  // of an 8-byte group (slicing-by-8).
+  std::array<std::array<uint32_t, 256>, 8> t{};
+
+  constexpr Tables() {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][b] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t b = 0; b < 256; ++b) {
+        t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xff];
+      }
+    }
+  }
+};
+
+constexpr Tables kTables;
+
+inline uint32_t Step(uint32_t crc, uint8_t byte) {
+  return (crc >> 8) ^ kTables.t[0][(crc ^ byte) & 0xff];
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
+  crc = ~crc;
+  while (n >= 8) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][crc & 0xff] ^ kTables.t[6][(crc >> 8) & 0xff] ^
+          kTables.t[5][(crc >> 16) & 0xff] ^ kTables.t[4][crc >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = Step(crc, *p);
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace onepass

@@ -1,0 +1,38 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) over byte strings.
+//
+// This is the checksum the integrity layer (DESIGN.md §5.2) stamps on
+// every framed block of simulated persistent or network data. Software
+// slicing-by-8 implementation; no hardware dependencies.
+
+#ifndef ONEPASS_UTIL_CRC32C_H_
+#define ONEPASS_UTIL_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace onepass {
+
+// CRC of `data` continuing from `crc` (the CRC of bytes already seen).
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data);
+}
+
+// Stored CRCs are masked (rotate + offset, as in LevelDB) so that a
+// stream whose payload itself contains framed data does not trivially
+// self-validate after a shifted read.
+constexpr uint32_t kCrcMaskDelta = 0xa282ead8u;
+
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kCrcMaskDelta;
+}
+
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - kCrcMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace onepass
+
+#endif  // ONEPASS_UTIL_CRC32C_H_

@@ -1,6 +1,11 @@
 #include "src/storage/bucket_manager.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "src/sim/fault_injector.h"
+#include "src/storage/framed_io.h"
 
 namespace onepass {
 namespace {
@@ -36,8 +41,9 @@ TEST(BucketManagerTest, FlushAllThenTakeRoundTrips) {
 
   uint64_t records = 0;
   for (int b = 0; b < 4; ++b) {
-    KvBuffer data = mgr.TakeBucket(b);
-    records += data.count();
+    Result<KvBuffer> data = mgr.TakeBucket(b);
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    records += data.value().count();
   }
   EXPECT_EQ(records, 100u);
   // Read accounting matches write accounting.
@@ -61,9 +67,102 @@ TEST(BucketManagerTest, TakeEmptyBucketChargesNothing) {
   Harness h;
   BucketFileManager mgr(2, 64, &h.trace, &h.metrics);
   mgr.FlushAll();
-  KvBuffer data = mgr.TakeBucket(1);
-  EXPECT_TRUE(data.empty());
+  Result<KvBuffer> data = mgr.TakeBucket(1);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_TRUE(data.value().empty());
   EXPECT_EQ(h.metrics.reduce_spill_read_bytes, 0u);
+}
+
+// --- Integrity: corrupt bucket files are detected and rebuilt ---
+
+void FillBuckets(BucketFileManager* mgr, int buckets) {
+  for (int i = 0; i < 120; ++i) {
+    mgr->Add(i % buckets, "key" + std::to_string(i),
+             "value" + std::to_string(i));
+  }
+  mgr->FlushAll();
+}
+
+TEST(BucketManagerTest, CorruptBucketIsDetectedAndRebuilt) {
+  Harness h;
+  IntegrityConfig integrity;
+  sim::FaultConfig fc;
+  fc.corruption_rate = 0.999999;  // every bucket stream fires
+  fc.torn_writes = true;
+  const sim::FaultPlan plan(fc, /*seed=*/5);
+  BucketFileManager mgr(4, 64, &h.trace, &h.metrics, &integrity, &plan,
+                        /*owner=*/42);
+  FillBuckets(&mgr, 4);
+
+  uint64_t records = 0;
+  for (int b = 0; b < 4; ++b) {
+    Result<KvBuffer> data = mgr.TakeBucket(b);
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    records += data.value().count();
+  }
+  // Rebuilds recovered every bucket; nothing was lost.
+  EXPECT_EQ(records, 120u);
+  EXPECT_GT(h.metrics.corruptions_detected, 0u);
+  EXPECT_EQ(h.metrics.corruptions_recovered, h.metrics.corruptions_detected);
+  EXPECT_GT(h.metrics.corruption_recovery_bytes, 0u);
+  EXPECT_GT(h.metrics.verify_bytes, 0u);
+  EXPECT_GT(h.metrics.torn_writes_detected, 0u);
+  // Rebuild traffic is charged to the time plane: the trace carries more
+  // spill-read bytes than the plain take path accounts for, and exactly
+  // half of each rebuild's 2x (write + read) byte bill is a read.
+  uint64_t traced_read_bytes = 0;
+  for (const TraceOp& op : h.trace_storage.ops) {
+    if (op.resource == OpResource::kDisk && op.is_read &&
+        op.tag == OpTag::kReduceSpill) {
+      traced_read_bytes += op.bytes;
+    }
+  }
+  EXPECT_EQ(traced_read_bytes, h.metrics.reduce_spill_read_bytes +
+                                   h.metrics.corruption_recovery_bytes / 2);
+}
+
+TEST(BucketManagerTest, ExhaustedRebuildBudgetIsCorruption) {
+  Harness h;
+  IntegrityConfig integrity;
+  sim::FaultConfig fc;
+  fc.corruption_rate = 0.999999;
+  fc.max_corruption_retries = 0;  // no rebuilds allowed
+  const sim::FaultPlan plan(fc, /*seed=*/5);
+  BucketFileManager mgr(2, 64, &h.trace, &h.metrics, &integrity, &plan,
+                        /*owner=*/7);
+  FillBuckets(&mgr, 2);
+  Result<KvBuffer> data = mgr.TakeBucket(0);
+  ASSERT_FALSE(data.ok());
+  EXPECT_TRUE(data.status().IsCorruption());
+}
+
+TEST(BucketManagerTest, ZeroRateKeepsTraceIdenticalToNoIntegrity) {
+  // Checksums on with a zero corruption rate must not perturb the time
+  // plane: the recorded trace ops match a checksum-free manager's exactly.
+  Harness plain, checked;
+  IntegrityConfig integrity;
+  sim::FaultConfig fc;  // rate 0
+  const sim::FaultPlan plan(fc, /*seed=*/9);
+  BucketFileManager a(4, 64, &plain.trace, &plain.metrics);
+  BucketFileManager b(4, 64, &checked.trace, &checked.metrics, &integrity,
+                      &plan, /*owner=*/1);
+  FillBuckets(&a, 4);
+  FillBuckets(&b, 4);
+  for (int bkt = 0; bkt < 4; ++bkt) {
+    ASSERT_TRUE(a.TakeBucket(bkt).ok());
+    ASSERT_TRUE(b.TakeBucket(bkt).ok());
+  }
+  ASSERT_EQ(plain.trace_storage.ops.size(), checked.trace_storage.ops.size());
+  for (size_t i = 0; i < plain.trace_storage.ops.size(); ++i) {
+    EXPECT_EQ(plain.trace_storage.ops[i].bytes,
+              checked.trace_storage.ops[i].bytes);
+    EXPECT_EQ(plain.trace_storage.ops[i].tag,
+              checked.trace_storage.ops[i].tag);
+  }
+  // Verification happened (metrics-only accounting) but found nothing.
+  EXPECT_GT(checked.metrics.verify_bytes, 0u);
+  EXPECT_GT(checked.metrics.checksum_overhead_bytes, 0u);
+  EXPECT_EQ(checked.metrics.corruptions_detected, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,47 @@
+#include "src/util/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace onepass {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  // RFC 3720 appendix B.4 test patterns.
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, EmptyAndSensitivity) {
+  EXPECT_EQ(Crc32c(""), 0u);
+  EXPECT_NE(Crc32c("hello world"), Crc32c("hello worle"));
+  EXPECT_NE(Crc32c("a"), Crc32c("b"));
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    const uint32_t head = Crc32cExtend(0, std::string_view(data).substr(0, cut));
+    EXPECT_EQ(Crc32cExtend(head, std::string_view(data).substr(cut)),
+              Crc32c(data))
+        << "cut at " << cut;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0xdeadbeefu}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    // Masking exists so a CRC stored alongside its own payload never
+    // equals the raw CRC of that payload.
+    EXPECT_NE(MaskCrc(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace onepass

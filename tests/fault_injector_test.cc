@@ -101,5 +101,99 @@ TEST(FaultPlanTest, ZeroRatesNeverFail) {
   }
 }
 
+TEST(FaultPlanTest, ZeroCorruptionRateNeverFires) {
+  FaultConfig f;  // corruption_rate = 0
+  f.torn_writes = true;
+  const FaultPlan plan(f, 5);
+  for (int i = 0; i < 200; ++i) {
+    for (StreamKind kind :
+         {StreamKind::kDfsChunk, StreamKind::kMapSpillRun,
+          StreamKind::kBucketFile, StreamKind::kMapOutput,
+          StreamKind::kShuffleWire}) {
+      EXPECT_EQ(plan.CorruptionChain(kind, i, i / 2), 0);
+    }
+    EXPECT_EQ(plan.MapOutputCorruptions(i, 0), 0);
+    EXPECT_EQ(plan.FetchCorruptions(i, i, 0), 0);
+  }
+}
+
+TEST(FaultPlanTest, CorruptionDrawsAreDeterministicAndBounded) {
+  FaultConfig f;
+  f.corruption_rate = 0.3;
+  f.torn_writes = true;
+  const FaultPlan a(f, 11), b(f, 11);
+  const FaultPlan other_seed(f, 12);
+  int fired = 0, differs = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const int chain = a.CorruptionChain(StreamKind::kBucketFile, i, i % 7);
+    ASSERT_GE(chain, 0);
+    ASSERT_LE(chain, 3);  // 1 + geometric, capped
+    EXPECT_EQ(chain, b.CorruptionChain(StreamKind::kBucketFile, i, i % 7));
+    if (chain !=
+        other_seed.CorruptionChain(StreamKind::kBucketFile, i, i % 7)) {
+      ++differs;
+    }
+    if (chain == 0) continue;
+    ++fired;
+    for (int gen = 0; gen < chain; ++gen) {
+      const CorruptionEvent ev = a.CorruptionDamage(
+          StreamKind::kBucketFile, i, i % 7, gen, /*framed_bytes=*/1000);
+      EXPECT_TRUE(ev.fires());
+      EXPECT_LT(ev.bit, 8 * 1000);
+      const CorruptionEvent ev2 = b.CorruptionDamage(
+          StreamKind::kBucketFile, i, i % 7, gen, 1000);
+      EXPECT_EQ(ev.bit, ev2.bit);
+      EXPECT_EQ(ev.torn, ev2.torn);
+      if (ev.torn) {
+        // A torn write keeps at least one byte and drops at least one.
+        EXPECT_GE(ev.bit / 8, 1);
+        EXPECT_LT(ev.bit / 8, 1000);
+      }
+    }
+  }
+  // Roughly rate * draws fire, and the seed matters.
+  EXPECT_NEAR(static_cast<double>(fired) / 1000.0, 0.3, 0.06);
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultPlanTest, StreamKindsDrawIndependently) {
+  FaultConfig f;
+  f.corruption_rate = 0.5;
+  const FaultPlan plan(f, 21);
+  // The same (a, b) coordinates under different kinds must not be
+  // perfectly correlated — each kind has its own keyspace.
+  int same = 0, n = 500;
+  for (int i = 0; i < n; ++i) {
+    const bool chunk = plan.CorruptionChain(StreamKind::kDfsChunk, i, 0) > 0;
+    const bool bucket =
+        plan.CorruptionChain(StreamKind::kBucketFile, i, 0) > 0;
+    if (chunk == bucket) ++same;
+  }
+  EXPECT_LT(same, n);
+  EXPECT_GT(same, 0);
+}
+
+TEST(FaultPlanTest, TornWritesRequireOptIn) {
+  FaultConfig f;
+  f.corruption_rate = 0.9;
+  f.torn_writes = false;
+  const FaultPlan plan(f, 13);
+  for (int i = 0; i < 300; ++i) {
+    const int chain = plan.CorruptionChain(StreamKind::kMapOutput, i, 1);
+    for (int gen = 0; gen < chain; ++gen) {
+      EXPECT_FALSE(
+          plan.CorruptionDamage(StreamKind::kMapOutput, i, 1, gen, 512)
+              .torn);
+    }
+  }
+}
+
+TEST(FaultPlanTest, CorruptionRateAloneArmsThePlan) {
+  FaultConfig f;
+  EXPECT_FALSE(f.any());
+  f.corruption_rate = 0.01;
+  EXPECT_TRUE(f.any());
+}
+
 }  // namespace
 }  // namespace onepass::sim

@@ -30,7 +30,9 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::Corruption("x").code() == StatusCode::kCorruption);
+  EXPECT_FALSE(Status::IOError("x").IsCorruption());
   EXPECT_TRUE(Status::Unimplemented("x").code() ==
               StatusCode::kUnimplemented);
 }
