@@ -23,6 +23,12 @@
 
 namespace onepass::bench {
 
+// Reentrancy note (DESIGN.md §5.3): everything in this header is either a
+// pure function or returns a fresh value object — no static buffers, no
+// shared mutable state — so the helpers are safe to call from jobs whose
+// data plane runs multi-threaded. Keep it that way: per-task state
+// belongs in per-task instances, never in file-scope variables here.
+
 // ---- command-line helpers ----
 
 struct Flags {
@@ -31,6 +37,10 @@ struct Flags {
   bool ssd = false;
   bool hop = false;
   bool util = false;
+  // Data-plane threads (JobConfig::data_plane_threads): 0 = one per
+  // hardware thread, 1 = sequential. Results are byte-identical either
+  // way; only wall-clock changes.
+  int threads = 0;
 };
 
 inline Flags ParseFlags(int argc, char** argv) {
@@ -45,6 +55,8 @@ inline Flags ParseFlags(int argc, char** argv) {
       flags.hop = true;
     } else if (arg == "--util") {
       flags.util = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      flags.threads = std::stoi(arg.substr(10));
     } else if (arg == "--plot" && i + 1 < argc) {
       flags.plot = argv[++i];
     } else if (arg.rfind("--plot=", 0) == 0) {

@@ -10,6 +10,15 @@
 //
 // The underlying ChunkStore is never mutated: benches re-run many jobs
 // over one shared input, and each job must see the same pristine store.
+//
+// Concurrency (DESIGN.md §5.3): one ChunkReader is shared by all map
+// tasks of a job, but Read(index) touches only chunk `index`'s replica
+// slot (pre-sized at construction, so the outer vector never reallocates)
+// and otherwise reads immutable state; corruption draws are pure functions
+// of (chunk, replica). Concurrent Reads of *distinct* indices are safe;
+// two concurrent Reads of the same index are not (the data plane never
+// issues those — each map task owns its chunk). Call replicas() only
+// after the reads that may reshape that chunk's view have completed.
 
 #ifndef ONEPASS_DFS_CHUNK_READER_H_
 #define ONEPASS_DFS_CHUNK_READER_H_

@@ -7,6 +7,12 @@
 // chunk additionally lives on the r-1 distinct nodes following the primary,
 // so a map task whose home node crashes can be re-executed on a surviving
 // replica holder (the MapReduce fault-tolerance contract).
+//
+// A sealed store is immutable for the rest of its life: jobs only read it
+// (ChunkReader layers per-job recovery state on top without touching it),
+// so one store is safely shared by concurrent map tasks and by repeated
+// jobs in a bench sweep (DESIGN.md §5.3). Build (Append/Seal) is
+// single-threaded.
 
 #ifndef ONEPASS_DFS_CHUNK_STORE_H_
 #define ONEPASS_DFS_CHUNK_STORE_H_

@@ -1,9 +1,12 @@
 #include "src/mr/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,6 +24,7 @@
 #include "src/storage/framed_io.h"
 #include "src/util/crc32c.h"
 #include "src/util/hash.h"
+#include "src/util/thread_pool.h"
 
 namespace onepass {
 namespace {
@@ -50,6 +54,35 @@ struct DeliveryRef {
   uint32_t push = 0;
   uint64_t bytes = 0;  // this reducer's partition share
 };
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Runs body(t) for every task t in [0, n) — on `pool` when given, else
+// sequentially — and returns the lowest-index non-OK status. Each body
+// writes only to state slotted by its own index, so the thread count and
+// execution order never show in the results; the sequential path stops at
+// the first failure, the parallel path runs everything but reports the
+// same (lowest-index) status.
+Status RunDataPlaneTasks(ThreadPool* pool, size_t n,
+                         const std::function<void(size_t)>& body,
+                         const std::vector<Status>& statuses) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, body);
+    for (size_t t = 0; t < n; ++t) {
+      if (!statuses[t].ok()) return statuses[t];
+    }
+    return Status::OK();
+  }
+  for (size_t t = 0; t < n; ++t) {
+    body(t);
+    if (!statuses[t].ok()) return statuses[t];
+  }
+  return Status::OK();
+}
 
 // Replays map (and optionally reduce) cost traces on the simulated cluster,
 // under a FaultPlan.
@@ -1270,27 +1303,57 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
   result.map_tasks = static_cast<int>(input.chunks().size());
   result.reduce_tasks = total_reducers;
 
+  // The data plane may run on a work-stealing pool (DESIGN.md §5.3): all
+  // map tasks execute concurrently, and each reduce task's engine runs
+  // concurrently once the provisional replay has fixed its delivery
+  // order. Every task writes only to its own slot; metrics merge and
+  // output concatenation happen in task-id order after the join, so
+  // threads=1 and threads=N produce byte-identical JobResults. The time
+  // plane (the Replayer) stays single-threaded and authoritative.
+  const size_t num_maps = input.chunks().size();
+  const int threads = std::min<int>(
+      ThreadPool::ResolveThreads(config.data_plane_threads),
+      static_cast<int>(std::max<size_t>(
+          {num_maps, static_cast<size_t>(total_reducers), size_t{1}})));
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
   // ---- Phase 1: map data plane ----
   // Chunks are read through the verified DFS path: each replica's framed
   // bytes are checked at the read boundary, bad copies are quarantined and
   // re-replicated, and the post-recovery replica view feeds placement.
+  // Concurrent tasks share the reader, but task m only touches chunk m's
+  // replica view, and all fault/corruption draws are pure functions of
+  // (task id, stream id).
   ChunkReader chunk_reader(&input, config.integrity, &plan);
-  std::vector<MapTaskOutput> map_outs;
-  map_outs.reserve(input.chunks().size());
-  for (size_t m = 0; m < input.chunks().size(); ++m) {
-    ChunkReadStats read_stats;
-    ASSIGN_OR_RETURN(
-        KvBuffer records,
-        chunk_reader.Read(static_cast<int>(m), &read_stats));
-    std::unique_ptr<Mapper> mapper = spec.mapper();
-    std::unique_ptr<IncrementalReducer> inc =
-        has_inc ? spec.inc() : nullptr;
-    MapRunner runner(config, mode, h1, total_reducers, mapper.get(),
-                     inc.get(), &plan, static_cast<int>(m));
-    ASSIGN_OR_RETURN(MapTaskOutput mo, runner.Run(records, &read_stats));
-    result.metrics.Merge(mo.metrics);
-    map_outs.push_back(std::move(mo));
-  }
+  std::vector<MapTaskOutput> map_outs(num_maps);
+  std::vector<Status> map_statuses(num_maps, Status::OK());
+  const double map_plane_start = WallSeconds();
+  RETURN_IF_ERROR(RunDataPlaneTasks(
+      pool ? &*pool : nullptr, num_maps,
+      [&](size_t m) {
+        ChunkReadStats read_stats;
+        Result<KvBuffer> records =
+            chunk_reader.Read(static_cast<int>(m), &read_stats);
+        if (!records.ok()) {
+          map_statuses[m] = records.status();
+          return;
+        }
+        std::unique_ptr<Mapper> mapper = spec.mapper();
+        std::unique_ptr<IncrementalReducer> inc =
+            has_inc ? spec.inc() : nullptr;
+        MapRunner runner(config, mode, h1, total_reducers, mapper.get(),
+                         inc.get(), &plan, static_cast<int>(m));
+        Result<MapTaskOutput> mo = runner.Run(records.value(), &read_stats);
+        if (!mo.ok()) {
+          map_statuses[m] = mo.status();
+          return;
+        }
+        map_outs[m] = std::move(mo).value();
+      },
+      map_statuses));
+  result.map_plane_wall_s = WallSeconds() - map_plane_start;
+  for (const MapTaskOutput& mo : map_outs) result.metrics.Merge(mo.metrics);
 
   auto make_map_inputs = [&]() {
     std::vector<Replayer::MapTaskIn> ins(map_outs.size());
@@ -1336,6 +1399,10 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
   }
 
   // ---- Phase 3: reduce data plane ----
+  // With the delivery order fixed by the provisional replay, every reduce
+  // task's engine run is independent: it reads the (now immutable) map
+  // output segments for its own partition and writes only task-local
+  // state, so the tasks execute concurrently on the pool.
   struct ReduceTaskData {
     CostTrace trace;
     std::unique_ptr<TraceRecorder> recorder;
@@ -1345,80 +1412,112 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
     std::unique_ptr<OutputCollector> out;
     std::unique_ptr<GroupByEngine> engine;
     std::vector<DeliveryRef> deliveries;
+    std::vector<Record> outputs;  // task-local; concatenated in r order
   };
-  std::vector<std::unique_ptr<ReduceTaskData>> reduce_tasks;
-  reduce_tasks.reserve(total_reducers);
-  for (int r = 0; r < total_reducers; ++r) {
-    auto task = std::make_unique<ReduceTaskData>();
-    task->recorder = std::make_unique<TraceRecorder>(&task->trace);
-    TraceRecorder& trace = *task->recorder;
-    if (spec.reducer) task->reducer = spec.reducer();
-    if (has_inc) task->inc = spec.inc();
-    task->out = std::make_unique<OutputCollector>(
-        &trace, &task->metrics,
-        config.collect_outputs ? &result.outputs : nullptr);
+  std::vector<std::unique_ptr<ReduceTaskData>> reduce_tasks(total_reducers);
+  std::vector<Status> reduce_statuses(total_reducers, Status::OK());
+  const double reduce_plane_start = WallSeconds();
+  RETURN_IF_ERROR(RunDataPlaneTasks(
+      pool ? &*pool : nullptr, static_cast<size_t>(total_reducers),
+      [&](size_t ri) {
+        const int r = static_cast<int>(ri);
+        auto task = std::make_unique<ReduceTaskData>();
+        task->recorder = std::make_unique<TraceRecorder>(&task->trace);
+        TraceRecorder& trace = *task->recorder;
+        if (spec.reducer) task->reducer = spec.reducer();
+        if (has_inc) task->inc = spec.inc();
+        task->out = std::make_unique<OutputCollector>(
+            &trace, &task->metrics,
+            config.collect_outputs ? &task->outputs : nullptr);
 
-    EngineContext ctx;
-    ctx.trace = &trace;
-    ctx.metrics = &task->metrics;
-    ctx.out = task->out.get();
-    ctx.config = &config;
-    ctx.hashes = hashes;
-    ctx.reducer = task->reducer.get();
-    ctx.inc = task->inc.get();
-    ctx.values_are_states = values_are_states;
-    ctx.faults = &plan;
-    ctx.integrity_owner = static_cast<uint64_t>(r) + 1;
-    ASSIGN_OR_RETURN(task->engine,
-                     CreateGroupByEngine(config.engine, ctx));
-
-    // Snapshot thresholds (§3.3(4)): after each 1/(N+1) of deliveries.
-    std::vector<size_t> snapshot_at;
-    if (config.snapshots > 0 && !delivery_order.empty()) {
-      for (int k = 1; k <= config.snapshots; ++k) {
-        snapshot_at.push_back(delivery_order.size() * k /
-                              (config.snapshots + 1));
-      }
-    }
-    size_t delivery_index = 0;
-    for (const auto& [m, p] : delivery_order) {
-      const PushSegment& push = map_outs[m].pushes[p];
-      const KvBuffer& segment = push.partitions[r];
-      // Every fetched segment re-verifies against the CRC its producer
-      // stamped at publish time; the time-plane replay decides which
-      // fetches the plan corrupts and replays the recovery.
-      if (config.integrity.checksums && !push.crcs.empty()) {
-        if (Crc32c(segment.data()) != push.crcs[r]) {
-          return Status::Corruption(
-              "map task " + std::to_string(m) + " push " +
-              std::to_string(p) + ": segment for reducer " +
-              std::to_string(r) + " failed checksum verification");
+        EngineContext ctx;
+        ctx.trace = &trace;
+        ctx.metrics = &task->metrics;
+        ctx.out = task->out.get();
+        ctx.config = &config;
+        ctx.hashes = hashes;
+        ctx.reducer = task->reducer.get();
+        ctx.inc = task->inc.get();
+        ctx.values_are_states = values_are_states;
+        ctx.faults = &plan;
+        ctx.integrity_owner = static_cast<uint64_t>(r) + 1;
+        Result<std::unique_ptr<GroupByEngine>> engine =
+            CreateGroupByEngine(config.engine, ctx);
+        if (!engine.ok()) {
+          reduce_statuses[ri] = engine.status();
+          return;
         }
-        task->metrics.verify_bytes += segment.bytes();
-        task->metrics.checksum_overhead_bytes += FramedOverheadBytes(
-            segment.bytes(), config.integrity.block_bytes);
-      }
-      DeliveryRef d;
-      d.map_task = m;
-      d.push = p;
-      d.bytes = segment.bytes();
-      task->deliveries.push_back(d);
-      trace.BeginSection();
-      trace.Net(segment.bytes(), OpTag::kShuffle,
-                /*d_shuffle_bytes=*/segment.bytes());
-      task->metrics.shuffle_bytes += segment.bytes();
-      RETURN_IF_ERROR(task->engine->Consume(segment, map_outs[m].sorted));
-      ++delivery_index;
-      if (std::find(snapshot_at.begin(), snapshot_at.end(),
-                    delivery_index) != snapshot_at.end()) {
-        RETURN_IF_ERROR(task->engine->Snapshot());
-      }
-    }
-    trace.BeginSection();
-    RETURN_IF_ERROR(task->engine->Finish());
-    task->out->Flush();
+        task->engine = std::move(engine).value();
+
+        // Snapshot thresholds (§3.3(4)): after each 1/(N+1) of deliveries.
+        std::vector<size_t> snapshot_at;
+        if (config.snapshots > 0 && !delivery_order.empty()) {
+          for (int k = 1; k <= config.snapshots; ++k) {
+            snapshot_at.push_back(delivery_order.size() * k /
+                                  (config.snapshots + 1));
+          }
+        }
+        size_t delivery_index = 0;
+        for (const auto& [m, p] : delivery_order) {
+          const PushSegment& push = map_outs[m].pushes[p];
+          const KvBuffer& segment = push.partitions[r];
+          // Every fetched segment re-verifies against the CRC its producer
+          // stamped at publish time; the time-plane replay decides which
+          // fetches the plan corrupts and replays the recovery.
+          if (config.integrity.checksums && !push.crcs.empty()) {
+            if (Crc32c(segment.data()) != push.crcs[r]) {
+              reduce_statuses[ri] = Status::Corruption(
+                  "map task " + std::to_string(m) + " push " +
+                  std::to_string(p) + ": segment for reducer " +
+                  std::to_string(r) + " failed checksum verification");
+              return;
+            }
+            task->metrics.verify_bytes += segment.bytes();
+            task->metrics.checksum_overhead_bytes += FramedOverheadBytes(
+                segment.bytes(), config.integrity.block_bytes);
+          }
+          DeliveryRef d;
+          d.map_task = m;
+          d.push = p;
+          d.bytes = segment.bytes();
+          task->deliveries.push_back(d);
+          trace.BeginSection();
+          trace.Net(segment.bytes(), OpTag::kShuffle,
+                    /*d_shuffle_bytes=*/segment.bytes());
+          task->metrics.shuffle_bytes += segment.bytes();
+          const Status consumed =
+              task->engine->Consume(segment, map_outs[m].sorted);
+          if (!consumed.ok()) {
+            reduce_statuses[ri] = consumed;
+            return;
+          }
+          ++delivery_index;
+          if (std::find(snapshot_at.begin(), snapshot_at.end(),
+                        delivery_index) != snapshot_at.end()) {
+            const Status snap = task->engine->Snapshot();
+            if (!snap.ok()) {
+              reduce_statuses[ri] = snap;
+              return;
+            }
+          }
+        }
+        trace.BeginSection();
+        const Status finished = task->engine->Finish();
+        if (!finished.ok()) {
+          reduce_statuses[ri] = finished;
+          return;
+        }
+        task->out->Flush();
+        reduce_tasks[ri] = std::move(task);
+      },
+      reduce_statuses));
+  result.reduce_plane_wall_s = WallSeconds() - reduce_plane_start;
+  for (const auto& task : reduce_tasks) {
     result.metrics.Merge(task->metrics);
-    reduce_tasks.push_back(std::move(task));
+    if (config.collect_outputs) {
+      result.outputs.insert(result.outputs.end(), task->outputs.begin(),
+                            task->outputs.end());
+    }
   }
 
   // Free intermediate data before the full replay (the traces remain).

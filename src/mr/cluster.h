@@ -19,6 +19,12 @@
 //
 // Data ("who computed what, how many bytes spilled") is exact and
 // engine-authoritative; time is simulated from the calibrated CostModel.
+//
+// Steps 1 and 3 — the data plane — may execute across a work-stealing
+// thread pool (JobConfig::data_plane_threads; DESIGN.md §5.3). Steps 2
+// and 4 — the time plane — are always single-threaded. Results are
+// byte-identical at every thread count: tasks write only state keyed by
+// their own task id, and per-task results merge in task-id order.
 
 #ifndef ONEPASS_MR_CLUSTER_H_
 #define ONEPASS_MR_CLUSTER_H_
@@ -77,6 +83,15 @@ struct JobResult {
   // CPU attribution (totals across the cluster; divide by N for per node).
   double map_cpu_s = 0;
   double reduce_cpu_s = 0;
+
+  // Host wall-clock seconds the two data-plane phases took (map tasks;
+  // reduce-engine runs). These measure the *real* machine, not the
+  // simulation — they vary run to run and with data_plane_threads, and are
+  // excluded from the determinism contract (everything else in a JobResult
+  // is byte-identical across thread counts). bench_parallel_scaling
+  // reports speedup from them.
+  double map_plane_wall_s = 0;
+  double reduce_plane_wall_s = 0;
 
   // Full output records (only when config.collect_outputs).
   std::vector<Record> outputs;

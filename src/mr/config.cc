@@ -47,6 +47,12 @@ Status JobConfig::Validate() const {
   if (integrity.block_bytes == 0) {
     return Status::InvalidArgument("integrity.block_bytes must be > 0");
   }
+  if (data_plane_threads < 0 || data_plane_threads > 1024) {
+    return Status::InvalidArgument(
+        "data_plane_threads must be in [0, 1024] (0 = one per hardware "
+        "thread), got " +
+        std::to_string(data_plane_threads));
+  }
   if (faults.corruption_rate > 0 && !integrity.checksums) {
     return Status::InvalidArgument(
         "corruption injection requires integrity.checksums: silent "

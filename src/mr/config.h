@@ -100,6 +100,14 @@ struct JobConfig {
   // time plane, so schedules are byte-identical either way.
   IntegrityConfig integrity;
 
+  // Host threads executing the data plane (map tasks and reduce-engine
+  // runs; DESIGN.md §5.3). 1 = sequential; N > 1 = a work-stealing pool of
+  // N threads; 0 = one per hardware thread. The simulated time plane is
+  // always single-threaded, and results are byte-identical across every
+  // setting: per-task outputs, traces, metrics, and fault/corruption draws
+  // are keyed by task id, never by execution order.
+  int data_plane_threads = 0;
+
   // Simulation.
   CostModel costs;
   uint64_t seed = 42;

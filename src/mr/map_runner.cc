@@ -191,7 +191,7 @@ void MapRunner::StampPushCrcs(PushSegment* push) const {
 }
 
 Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
-                                     const ChunkReadStats* read_stats) {
+                                     const ChunkReadStats* read_stats) const {
   MapTaskOutput out;
   TraceRecorder trace(&out.trace);
   const CostModel& costs = config_.costs;
@@ -302,7 +302,7 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
 }
 
 Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
-                              TraceRecorder* trace, MapTaskOutput* out) {
+                              TraceRecorder* trace, MapTaskOutput* out) const {
   const CostModel& costs = config_.costs;
   const bool combine = mode_ == MapOutputMode::kSortCombine;
   CollectingEmitter emitter(&partitioner_, total_partitions_);

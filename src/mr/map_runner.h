@@ -91,12 +91,16 @@ class MapRunner {
   // a quarantine, re-replication traffic) to charge to this task's trace
   // and metrics. Returns Status::Corruption when a spill run is corrupt
   // beyond the plan's rebuild budget.
+  // Const and reentrant: a MapRunner holds no mutable state, every
+  // fault/corruption draw is a pure function of (task_index, stream), so
+  // concurrent runners over distinct tasks share nothing that can race
+  // (DESIGN.md §5.3).
   Result<MapTaskOutput> Run(const KvBuffer& chunk,
-                            const ChunkReadStats* read_stats = nullptr);
+                            const ChunkReadStats* read_stats = nullptr) const;
 
  private:
   Status RunSortPath(const KvBuffer& chunk, double map_fn_cost,
-                     TraceRecorder* trace, MapTaskOutput* out);
+                     TraceRecorder* trace, MapTaskOutput* out) const;
   // Fills push.crcs from push.partitions when integrity checksums are on.
   void StampPushCrcs(PushSegment* push) const;
 

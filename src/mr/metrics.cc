@@ -45,6 +45,60 @@ void JobMetrics::Merge(const JobMetrics& o) {
   reduce_cpu_s += o.reduce_cpu_s;
 }
 
+std::string JobMetrics::Serialize() const {
+  std::string out;
+  out.reserve(2048);
+  char buf[96];
+  auto put_u64 = [&](const char* name, uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "%s=%llu\n", name,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  auto put_f64 = [&](const char* name, double v) {
+    std::snprintf(buf, sizeof(buf), "%s=%.9g\n", name, v);
+    out += buf;
+  };
+  put_u64("map_input_bytes", map_input_bytes);
+  put_u64("map_spill_write_bytes", map_spill_write_bytes);
+  put_u64("map_spill_read_bytes", map_spill_read_bytes);
+  put_u64("map_output_bytes", map_output_bytes);
+  put_u64("shuffle_bytes", shuffle_bytes);
+  put_u64("reduce_spill_write_bytes", reduce_spill_write_bytes);
+  put_u64("reduce_spill_read_bytes", reduce_spill_read_bytes);
+  put_u64("reduce_output_bytes", reduce_output_bytes);
+  put_u64("map_input_records", map_input_records);
+  put_u64("map_output_records", map_output_records);
+  put_u64("reduce_input_records", reduce_input_records);
+  put_u64("combine_invocations", combine_invocations);
+  put_u64("reduce_groups", reduce_groups);
+  put_u64("output_records", output_records);
+  put_u64("early_output_records", early_output_records);
+  put_u64("snapshot_bytes", snapshot_bytes);
+  put_u64("snapshot_count", snapshot_count);
+  put_u64("map_task_attempts", map_task_attempts);
+  put_u64("reduce_task_attempts", reduce_task_attempts);
+  put_u64("killed_attempts", killed_attempts);
+  put_u64("speculative_attempts", speculative_attempts);
+  put_u64("speculative_wins", speculative_wins);
+  put_u64("lost_map_outputs", lost_map_outputs);
+  put_u64("node_crashes", node_crashes);
+  put_u64("shuffle_fetch_retries", shuffle_fetch_retries);
+  put_u64("disk_read_retries", disk_read_retries);
+  put_u64("recovery_bytes", recovery_bytes);
+  put_f64("wasted_cpu_s", wasted_cpu_s);
+  put_u64("verify_bytes", verify_bytes);
+  put_u64("checksum_overhead_bytes", checksum_overhead_bytes);
+  put_u64("corruptions_detected", corruptions_detected);
+  put_u64("torn_writes_detected", torn_writes_detected);
+  put_u64("corruptions_recovered", corruptions_recovered);
+  put_u64("quarantined_replicas", quarantined_replicas);
+  put_u64("rereplicated_bytes", rereplicated_bytes);
+  put_u64("corruption_recovery_bytes", corruption_recovery_bytes);
+  put_f64("map_cpu_s", map_cpu_s);
+  put_f64("reduce_cpu_s", reduce_cpu_s);
+  return out;
+}
+
 std::string JobMetrics::ToString() const {
   char buf[1536];
   std::snprintf(

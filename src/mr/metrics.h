@@ -74,6 +74,16 @@ struct JobMetrics {
 
   // Human-readable multi-line summary.
   std::string ToString() const;
+
+  // Stable "name=value" serialization of every field, one per line, in
+  // declaration order. Golden-snapshot tests diff this against checked-in
+  // files so accidental schedule or accounting drift fails loudly, and
+  // determinism tests compare it across data_plane_threads settings.
+  // Doubles print with %.9g: wide enough that any real accounting change
+  // shows, narrow enough to absorb last-ulp noise from different compiler
+  // optimization levels (goldens are shared across -O0 sanitizer builds
+  // and -O2 release builds).
+  std::string Serialize() const;
 };
 
 }  // namespace onepass

@@ -8,6 +8,12 @@
 // a byte-identical schedule, which is what makes recovery testable
 // (ISSUE 1's determinism-under-faults property).
 //
+// Because every draw is a pure function of its arguments — there are no
+// shared mutable cursors — a FaultPlan is immutable after construction
+// and safe to consult from concurrent data-plane tasks (DESIGN.md §5.3):
+// each task's fault/corruption event stream is effectively pre-drawn,
+// keyed by (task id, stream id), independent of execution order.
+//
 // Fault taxonomy (DESIGN.md §5 "Fault model"):
 //   * Node crash: fail-stop at a simulated time (or when map progress
 //     crosses a fraction). The node's running tasks die, its disk contents

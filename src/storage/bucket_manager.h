@@ -8,7 +8,11 @@
 // owning task's CostTrace and to JobMetrics as reduce spill.
 //
 // "Disk" content is held in memory (the platform's time plane is simulated;
-// see DESIGN.md), but the byte accounting is exact. When the job runs with
+// see DESIGN.md), but the byte accounting is exact. A manager is strictly
+// task-local: each reduce task's engine owns its own instance(s), wired to
+// that task's trace and metrics, so concurrent reduce tasks never share
+// one (DESIGN.md §5.3). Corruption draws are keyed by the stable `owner`
+// id, not by when the task happens to run. When the job runs with
 // integrity checksums (DESIGN.md §5.2), TakeBucket frames the file in
 // CRC32C blocks, applies the FaultPlan's seeded corruption to the framed
 // image, and verifies it; a corrupt copy is rebuilt from the recorded

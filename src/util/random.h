@@ -6,6 +6,14 @@
 //   - Xoshiro256StarStar: the main generator (fast, high quality).
 //   - ZipfGenerator: Zipf(s) distributed integers in [0, n), used to model
 //     skewed key popularity (user ids in click streams, words in documents).
+//
+// Thread-safety audit (DESIGN.md §5.3): a generator's state is mutated by
+// every draw, so a generator must never be shared across concurrent
+// data-plane tasks. The idiom is one instance per task, derived from the
+// job seed and the task id with PerTaskRng below — deterministic, and
+// independent of which thread runs the task when. ZipfGenerator itself is
+// immutable after construction (Next draws through the caller's rng), so
+// one Zipf table may be shared as long as each task passes its own rng.
 
 #ifndef ONEPASS_UTIL_RANDOM_H_
 #define ONEPASS_UTIL_RANDOM_H_
@@ -50,6 +58,15 @@ class Xoshiro256StarStar {
  private:
   uint64_t s_[4];
 };
+
+// Derives an independent per-task generator from (seed, task): the
+// canonical per-task-instance idiom for parallel code. Streams for
+// distinct task ids are decorrelated by two SplitMix64 mixes.
+inline Xoshiro256StarStar PerTaskRng(uint64_t seed, uint64_t task) {
+  uint64_t s = seed;
+  uint64_t mixed = SplitMix64Next(&s) ^ (task * 0x9e3779b97f4a7c15ULL);
+  return Xoshiro256StarStar(SplitMix64Next(&mixed));
+}
 
 // Generates Zipf(s)-distributed ranks in [0, n). Rank 0 is the most popular.
 //

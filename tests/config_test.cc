@@ -57,6 +57,20 @@ TEST(ConfigValidateTest, RejectsBadKnobs) {
   EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
 }
 
+TEST(ConfigValidateTest, DataPlaneThreads) {
+  JobConfig cfg;
+  cfg.data_plane_threads = 0;  // auto: one per hardware thread
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.data_plane_threads = 1;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.data_plane_threads = 64;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.data_plane_threads = -1;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg.data_plane_threads = 1025;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+}
+
 TEST(ConfigValidateTest, RejectsBadReplication) {
   JobConfig cfg;
   cfg.replication = 0;

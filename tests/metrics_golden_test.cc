@@ -1,0 +1,99 @@
+// Golden-metrics snapshots: one canonical job per engine, with the full
+// serialized JobMetrics compared against a checked-in golden file. Any
+// change to spill counts, merge passes, shuffle bytes, fault accounting,
+// or checksum work shows up as a reviewable one-line diff instead of
+// silently shifting costs.
+//
+// Doubles are serialized at %.9g (see JobMetrics::Serialize), which is
+// stable across the optimization levels CI builds at while still catching
+// any behavioral change.
+//
+// To regenerate after an intentional change:
+//   UPDATE_GOLDENS=1 ./metrics_golden_test   # then review the diff
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/mr/cluster.h"
+#include "src/workloads/clickstream.h"
+#include "src/workloads/jobs.h"
+
+namespace onepass {
+namespace {
+
+std::string GoldenPath(EngineKind engine) {
+  std::string name(EngineKindName(engine));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return std::string(ONEPASS_TESTS_DIR) + "/golden/metrics_" + name +
+         ".txt";
+}
+
+class MetricsGolden : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(MetricsGolden, CanonicalJobMatchesGolden) {
+  ClickStreamConfig clicks;
+  clicks.num_clicks = 30'000;
+  clicks.num_users = 1'500;
+  clicks.user_skew = 0.8;
+  clicks.seed = 11;
+  ChunkStore input(64 << 10, 5);
+  GenerateClickStream(clicks, &input);
+
+  JobConfig cfg;
+  cfg.engine = GetParam();
+  cfg.cluster.nodes = 5;
+  cfg.cluster.cores_per_node = 2;
+  cfg.cluster.map_slots = 2;
+  cfg.cluster.reduce_slots = 2;
+  cfg.reducers_per_node = 2;
+  cfg.chunk_bytes = 64 << 10;
+  cfg.reduce_memory_bytes = 8 << 10;  // tight: exercises the spill paths
+  cfg.merge_factor = 4;
+  cfg.bucket_page_bytes = 1024;
+  cfg.map_side_combine = true;
+  cfg.expected_keys_per_reducer = 150;
+  cfg.expected_bytes_per_reducer = 64 << 10;
+
+  auto r = LocalCluster::RunJob(ClickCountJob(), cfg, input);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string got = r->metrics.Serialize();
+  const std::string path = GoldenPath(GetParam());
+
+  if (std::getenv("UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — run with UPDATE_GOLDENS=1 to create it, then check it in";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "metrics diverge from " << path
+      << " — if intentional, regenerate with UPDATE_GOLDENS=1 and review";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, MetricsGolden,
+    ::testing::Values(EngineKind::kSortMerge, EngineKind::kMRHash,
+                      EngineKind::kIncHash, EngineKind::kDincHash),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      std::string name(EngineKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace onepass

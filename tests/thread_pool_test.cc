@@ -1,0 +1,90 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace onepass {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(),
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(16);
+  pool.ParallelFor(ran.size(),
+                   [&](size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, WorkIsStolenAcrossQueues) {
+  // Submit imbalanced tasks: one long task pins a worker while the rest
+  // must be drained (stolen) by the others for the join to finish fast.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.ParallelFor(64, [&](size_t i) {
+    if (i == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, SequentialParallelForsReusePool) {
+  ThreadPool pool(2);
+  uint64_t total = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint64_t> parts(50, 0);
+    pool.ParallelFor(parts.size(), [&](size_t i) { parts[i] = i; });
+    total += std::accumulate(parts.begin(), parts.end(), uint64_t{0});
+  }
+  EXPECT_EQ(total, 20u * (49u * 50u / 2));
+}
+
+TEST(ThreadPoolTest, SubmitDrainsBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran]() { ran.fetch_add(1); });
+    }
+  }  // destructor must run all queued tasks before joining
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(7), 7);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1);
+  EXPECT_GE(ThreadPool::ResolveThreads(-3), 1);
+}
+
+}  // namespace
+}  // namespace onepass
