@@ -11,7 +11,24 @@
 
 #include "bench/bench_common.h"
 #include "src/model/hadoop_model.h"
+#include "src/util/hash.h"
 #include "src/workloads/jobs.h"
+
+namespace {
+
+// Order-insensitive fingerprint of a job's collected output: a commutative
+// sum of per-record hashes, so the flat and legacy hash cores (which
+// finalize in different orders) can be compared record-for-record.
+uint64_t OutputFingerprint(const std::vector<onepass::Record>& outputs) {
+  uint64_t fp = 0;
+  for (const onepass::Record& rec : outputs) {
+    fp += onepass::Mix64(onepass::HashBytes(rec.key, 7) ^
+                         onepass::HashBytes(rec.value, 13));
+  }
+  return fp;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace onepass;
@@ -81,5 +98,44 @@ int main(int argc, char** argv) {
   std::printf(
       "§3.2(2): time decreases from F=4 to F=16 (fewer merge passes); "
       "once one-pass,\nlarger F gains nothing.\n");
-  return 0;
+
+  // Hash-core before/after (DESIGN.md §5.4): the same INC-hash click-count
+  // job under the FlatTable core vs the legacy unordered_map core. The
+  // order-insensitive output fingerprints must match — the core changes
+  // performance, never results.
+  std::printf("\n=== hash core: INC-hash flat vs legacy (click counts) "
+              "===\n\n");
+  JobConfig inc_cfg = bench::ScaledJobConfig(EngineKind::kIncHash);
+  inc_cfg.map_side_combine = true;
+  inc_cfg.collect_outputs = true;
+  inc_cfg.expected_keys_per_reducer =
+      clicks.num_users / (inc_cfg.cluster.nodes * inc_cfg.reducers_per_node);
+  inc_cfg.expected_bytes_per_reducer = inc_cfg.reduce_memory_bytes;
+  ChunkStore inc_input(inc_cfg.chunk_bytes, inc_cfg.cluster.nodes);
+  GenerateClickStream(clicks, &inc_input);
+
+  std::printf("%-14s %14s %14s %18s\n", "core", "time(s)", "probes",
+              "fingerprint");
+  uint64_t fp_flat = 0, fp_legacy = 0;
+  for (const HashCoreKind core :
+       {HashCoreKind::kFlat, HashCoreKind::kLegacy}) {
+    JobConfig cfg = inc_cfg;
+    cfg.hash_core = core;
+    auto r = bench::MustRun(ClickCountJob(), cfg, inc_input);
+    if (!r.ok()) return 1;
+    const uint64_t fp = OutputFingerprint(r->outputs);
+    (core == HashCoreKind::kFlat ? fp_flat : fp_legacy) = fp;
+    std::printf("%-14s %14.2f %14llu %18llx\n",
+                core == HashCoreKind::kFlat ? "flat" : "legacy",
+                r->running_time,
+                static_cast<unsigned long long>(
+                    r->metrics.hash_table_probes),
+                static_cast<unsigned long long>(fp));
+  }
+  std::printf(fp_flat == fp_legacy
+                  ? "\noutput fingerprints match: the cores compute "
+                    "identical results.\n"
+                  : "\nERROR: output fingerprints DIVERGE between hash "
+                    "cores.\n");
+  return fp_flat == fp_legacy ? 0 : 1;
 }

@@ -1,7 +1,6 @@
 #include "src/engine/dinc_hash_engine.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "src/common/logging.h"
 #include "src/engine/inc_hash_engine.h"
@@ -9,7 +8,6 @@
 namespace onepass {
 
 namespace {
-constexpr int kMaxRecursionDepth = 16;
 constexpr int kDefaultBuckets = 16;
 // How many of the coldest monitored slots the proactive eviction hook
 // examines per miss (amortized O(1) per tuple).
@@ -17,7 +15,9 @@ constexpr int kExpirySweep = 4;
 }  // namespace
 
 DincHashEngine::DincHashEngine(const EngineContext& ctx)
-    : GroupByEngine(ctx), h3_(ctx.hashes.At(2)) {
+    : GroupByEngine(ctx),
+      use_flat_(ctx.config->hash_core == HashCoreKind::kFlat),
+      h3_(ctx.hashes.At(2)) {
   CHECK(ctx.inc != nullptr) << "DINC-hash requires an IncrementalReducer";
   const JobConfig& cfg = *ctx.config;
   const uint64_t entry_cost = ctx.inc->StateBytesHint() + 16 /*avg key*/ +
@@ -42,15 +42,23 @@ DincHashEngine::DincHashEngine(const EngineContext& ctx)
   buckets_ = std::make_unique<BucketFileManager>(
       num_buckets_, page, ctx_.trace, ctx_.metrics, &cfg.integrity,
       ctx_.faults, ctx_.integrity_owner);
+  bucket_pass_ = std::make_unique<BucketPassProcessor>(
+      &ctx_, capacity_entries_ * entry_cost);
 }
 
-void DincHashEngine::SpillState(std::string_view key, std::string* state) {
+void DincHashEngine::SpillState(std::string_view key, uint64_t digest,
+                                std::string* state) {
   if (ctx_.inc->TryDiscard(key, state, ctx_.out)) return;
-  buckets_->Add(static_cast<int>(h3_.Bucket(key, num_buckets_)), key,
-                *state);
+  buckets_->Add(static_cast<int>(FastRangeBucket(
+                    digest, static_cast<uint64_t>(num_buckets_))),
+                key, *state);
 }
 
 Status DincHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
+  return use_flat_ ? ConsumeFlat(segment) : ConsumeLegacy(segment);
+}
+
+Status DincHashEngine::ConsumeFlat(const KvBuffer& segment) {
   const CostModel& costs = ctx_.config->costs;
   IncrementalReducer* inc = ctx_.inc;
   ctx_.out->set_streaming(true);
@@ -67,7 +75,10 @@ Status DincHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
       tmp_state = inc->Init(key, value);
       state = tmp_state;
     }
-    const int found = sketch_->Find(key);
+    // One h3 digest per tuple, shared between the monitor-index probe and
+    // the spill-bucket route.
+    const uint64_t digest = h3_(key);
+    const int found = sketch_->Find(key, digest);
     if (found >= 0) {
       // Monitored: combine in memory.
       sketch_->Hit(found);
@@ -93,7 +104,7 @@ Status DincHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
       }
     }
     if (sketch_->HasFreeSlot()) {
-      const int slot = sketch_->InsertIntoFree(key);
+      const int slot = sketch_->InsertIntoFree(key, digest);
       states_[slot].assign(state.data(), state.size());
       inc->OnUpdate(key, &states_[slot], ctx_.out);
       ++combines;
@@ -103,11 +114,13 @@ Status DincHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
     }
     if (sketch_->MinCount() == 0) {
       // Classic FREQUENT eviction: displace a zero-count slot; its state
-      // is discarded or spilled.
+      // is discarded or spilled (routed by the digest retained in the
+      // slot — no rehash of the evicted key).
       const int slot = sketch_->MinSlot();
       std::string old = std::move(states_[slot]);
-      const std::string evicted_key = sketch_->ReplaceSlot(slot, key);
-      SpillState(evicted_key, &old);
+      const uint64_t evicted_digest = sketch_->SlotHash(slot);
+      const std::string evicted_key = sketch_->ReplaceSlot(slot, key, digest);
+      SpillState(evicted_key, evicted_digest, &old);
       states_[slot].assign(state.data(), state.size());
       inc->OnUpdate(key, &states_[slot], ctx_.out);
       ++combines;
@@ -117,8 +130,9 @@ Status DincHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
     }
     // All counters > 0: decrement everyone, spill the tuple.
     sketch_->DecrementAll();
-    buckets_->Add(static_cast<int>(h3_.Bucket(key, num_buckets_)), key,
-                  state);
+    buckets_->Add(static_cast<int>(FastRangeBucket(
+                      digest, static_cast<uint64_t>(num_buckets_))),
+                  key, state);
   }
   ctx_.metrics->reduce_input_records += n;
   ctx_.metrics->combine_invocations += combines;
@@ -128,82 +142,71 @@ Status DincHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
   return Status::OK();
 }
 
-Status DincHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
-                                     int depth, uint64_t owner) {
-  // Beyond the recursion bound (pathological hash collisions), finish in
-  // memory regardless of the budget rather than looping.
-  const bool force_in_memory = depth > kMaxRecursionDepth;
-  const JobConfig& cfg = *ctx_.config;
-  const CostModel& costs = cfg.costs;
+Status DincHashEngine::ConsumeLegacy(const KvBuffer& segment) {
+  const CostModel& costs = ctx_.config->costs;
   IncrementalReducer* inc = ctx_.inc;
-  const uint64_t entry_cost = inc->StateBytesHint() + 16 +
-                              cfg.resident_entry_overhead;
-  const uint64_t capacity_bytes = capacity_entries_ * entry_cost;
-
-  std::unordered_map<std::string, std::string> table;
-  uint64_t bytes_used = 0, combines = 0;
-  bool overflow = false;
-  {
-    KvBufferReader reader(data);
-    std::string_view key, state;
-    while (reader.Next(&key, &state)) {
-      auto it = table.find(std::string(key));
-      if (it != table.end()) {
-        inc->Combine(key, &it->second, state);
-        ++combines;
-        continue;
-      }
-      const uint64_t entry = key.size() + inc->StateBytesHint() +
-                             cfg.resident_entry_overhead;
-      if (!force_in_memory && bytes_used + entry > capacity_bytes &&
-          !table.empty()) {
-        overflow = true;
-        break;
-      }
-      table.emplace(std::string(key), std::string(state));
-      bytes_used += entry;
+  ctx_.out->set_streaming(true);
+  KvBufferReader reader(segment);
+  std::string_view key, value;
+  uint64_t n = 0, combines = 0;
+  std::string tmp_state;
+  while (reader.Next(&key, &value)) {
+    ++n;
+    std::string_view state = value;
+    if (!ctx_.values_are_states) {
+      tmp_state = inc->Init(key, value);
+      state = tmp_state;
+    }
+    const int found = sketch_->Find(key);
+    if (found >= 0) {
+      sketch_->Hit(found);
+      inc->Combine(key, &states_[found], state);
+      inc->OnUpdate(key, &states_[found], ctx_.out);
       ++combines;
+      ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
+                      /*d_reduce_work=*/1);
+      continue;
     }
-  }
-  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()) +
-                      costs.combine_record_s * static_cast<double>(combines),
-                  OpTag::kReduceFn);
-
-  if (!overflow) {
-    ctx_.metrics->combine_invocations += combines;
-    uint64_t fn_bytes = 0;
-    for (auto& [k, state] : table) {
-      inc->Finalize(k, state, ctx_.out);
-      fn_bytes += k.size() + state.size();
-      ctx_.trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+    if (!sketch_->HasFreeSlot()) {
+      for (int c : sketch_->ColdestSlots(kExpirySweep)) {
+        if (sketch_->Count(c) <= 1 &&
+            inc->TryDiscard(sketch_->Key(c), &states_[c], ctx_.out)) {
+          states_[c].clear();
+          sketch_->Release(c);
+          break;
+        }
+      }
     }
-    ctx_.metrics->reduce_groups += table.size();
-    ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
-                    OpTag::kReduceFn);
-    return Status::OK();
+    if (sketch_->HasFreeSlot()) {
+      const int slot = sketch_->InsertIntoFree(key);
+      states_[slot].assign(state.data(), state.size());
+      inc->OnUpdate(key, &states_[slot], ctx_.out);
+      ++combines;
+      ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
+                      /*d_reduce_work=*/1);
+      continue;
+    }
+    if (sketch_->MinCount() == 0) {
+      const int slot = sketch_->MinSlot();
+      std::string old = std::move(states_[slot]);
+      const std::string evicted_key = sketch_->ReplaceSlot(slot, key);
+      SpillState(evicted_key, h3_(evicted_key), &old);
+      states_[slot].assign(state.data(), state.size());
+      inc->OnUpdate(key, &states_[slot], ctx_.out);
+      ++combines;
+      ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
+                      /*d_reduce_work=*/1);
+      continue;
+    }
+    sketch_->DecrementAll();
+    buckets_->Add(static_cast<int>(h3_.Bucket(key, num_buckets_)), key,
+                  state);
   }
-
-  table.clear();
-  const int sub = 4;
-  BucketFileManager subs(sub, cfg.bucket_page_bytes, ctx_.trace,
-                         ctx_.metrics, &cfg.integrity, ctx_.faults, owner);
-  const UniversalHash h = ctx_.hashes.At(level + 1);
-  KvBufferReader reader(data);
-  std::string_view key, state;
-  while (reader.Next(&key, &state)) {
-    subs.Add(static_cast<int>(h.Bucket(key, sub)), key, state);
-  }
-  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()),
-                  OpTag::kReduceFn);
-  data.Clear();
-  subs.FlushAll();
-  for (int b = 0; b < sub; ++b) {
-    ASSIGN_OR_RETURN(KvBuffer sb, subs.TakeBucket(b));
-    if (sb.empty()) continue;
-    RETURN_IF_ERROR(ProcessBucket(std::move(sb), level + 1, depth + 1,
-                                  Mix64(owner ^ (level << 40) ^
-                                        (static_cast<uint64_t>(b) + 1))));
-  }
+  ctx_.metrics->reduce_input_records += n;
+  ctx_.metrics->combine_invocations += combines;
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(n),
+                  OpTag::kShuffle);
+  ctx_.out->set_streaming(false);
   return Status::OK();
 }
 
@@ -231,6 +234,7 @@ Status DincHashEngine::Finish() {
     ctx_.metrics->reduce_groups += covered_keys_;
     ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
                     OpTag::kReduceFn);
+    sketch_->FlushIndexStatsTo(ctx_.metrics);
     ctx_.out->Flush();
     return Status::OK();
   }
@@ -242,7 +246,9 @@ Status DincHashEngine::Finish() {
     for (size_t slot = 0; slot < capacity_entries_; ++slot) {
       const int s = static_cast<int>(slot);
       if (!sketch_->SlotOccupied(s)) continue;
-      SpillState(sketch_->Key(s), &states_[slot]);
+      const std::string_view key = sketch_->Key(s);
+      const uint64_t digest = use_flat_ ? sketch_->SlotHash(s) : h3_(key);
+      SpillState(key, digest, &states_[slot]);
       states_[slot].clear();
     }
   } else {
@@ -267,11 +273,13 @@ Status DincHashEngine::Finish() {
   for (int b = 0; b < num_buckets_; ++b) {
     ASSIGN_OR_RETURN(KvBuffer data, buckets_->TakeBucket(b));
     if (data.empty()) continue;
-    RETURN_IF_ERROR(ProcessBucket(
+    RETURN_IF_ERROR(bucket_pass_->Process(
         std::move(data), /*level=*/2, 0,
         Mix64(ctx_.integrity_owner ^ (2ULL << 40) ^
               (static_cast<uint64_t>(b) + 1))));
   }
+  sketch_->FlushIndexStatsTo(ctx_.metrics);
+  bucket_pass_->FlushStatsTo(ctx_.metrics);
   ctx_.out->Flush();
   return Status::OK();
 }

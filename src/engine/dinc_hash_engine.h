@@ -26,6 +26,13 @@
 //       states whose coverage lower bound gamma = t/(t + M/(s+1)) reaches
 //       phi and skips the disk-resident data entirely (§4.3's early
 //       termination).
+//
+// Under JobConfig::hash_core == kFlat each tuple is hashed once with h3;
+// the digest probes the sketch's FlatTable index and routes any spill to
+// the bucket h3.Bucket would pick (evicted keys reuse the digest retained
+// in their slot). The kLegacy mode keeps the old costs — a DefaultHash
+// index probe plus a separate h3 spill hash per spilled tuple — for
+// before/after benches; spill routing is identical in both modes.
 
 #ifndef ONEPASS_ENGINE_DINC_HASH_ENGINE_H_
 #define ONEPASS_ENGINE_DINC_HASH_ENGINE_H_
@@ -35,6 +42,7 @@
 #include <vector>
 
 #include "src/engine/group_by_engine.h"
+#include "src/engine/hash_bucket_pass.h"
 #include "src/sketch/frequent.h"
 #include "src/storage/bucket_manager.h"
 #include "src/util/kv_buffer.h"
@@ -53,17 +61,20 @@ class DincHashEngine : public GroupByEngine {
   uint64_t covered_keys() const { return covered_keys_; }
 
  private:
-  Status ProcessBucket(KvBuffer data, uint64_t level, int depth,
-                       uint64_t owner);
+  Status ConsumeFlat(const KvBuffer& segment);
+  Status ConsumeLegacy(const KvBuffer& segment);
   // Routes a key-state pair to its disk bucket unless the workload
-  // discards it via TryDiscard.
-  void SpillState(std::string_view key, std::string* state);
+  // discards it via TryDiscard. `digest` must be h3(key) — both modes
+  // route spills with the same function, so bucket contents match.
+  void SpillState(std::string_view key, uint64_t digest, std::string* state);
 
+  bool use_flat_;
   std::unique_ptr<FrequentSketch> sketch_;
   std::vector<std::string> states_;  // slot id -> state bytes
   uint64_t capacity_entries_ = 0;    // s
   int num_buckets_;                  // h
   std::unique_ptr<BucketFileManager> buckets_;
+  std::unique_ptr<BucketPassProcessor> bucket_pass_;
   UniversalHash h3_;
   uint64_t covered_keys_ = 0;
 };

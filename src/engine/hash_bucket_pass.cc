@@ -1,0 +1,176 @@
+#include "src/engine/hash_bucket_pass.h"
+
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/storage/bucket_manager.h"
+
+namespace onepass {
+
+namespace {
+constexpr int kMaxRecursionDepth = 16;
+}  // namespace
+
+BucketPassProcessor::BucketPassProcessor(const EngineContext* ctx,
+                                         uint64_t capacity_bytes)
+    : ctx_(ctx),
+      capacity_bytes_(capacity_bytes),
+      use_flat_(ctx->config->hash_core == HashCoreKind::kFlat) {
+  CHECK(ctx_->inc != nullptr);
+}
+
+Status BucketPassProcessor::Process(KvBuffer data, uint64_t level, int depth,
+                                    uint64_t owner) {
+  // Beyond the recursion bound (pathological hash collisions), finish in
+  // memory regardless of the budget rather than looping.
+  const bool force_in_memory = depth > kMaxRecursionDepth;
+  bool overflow = false;
+  if (use_flat_) {
+    RETURN_IF_ERROR(ProcessFlat(data, level, force_in_memory, &overflow));
+  } else {
+    RETURN_IF_ERROR(ProcessLegacy(data, level, force_in_memory, &overflow));
+  }
+  if (!overflow) return Status::OK();
+  // The bucket's keys exceed memory: repartition with the next hash level.
+  return Repartition(std::move(data), level, depth, owner);
+}
+
+Status BucketPassProcessor::ProcessFlat(const KvBuffer& data, uint64_t level,
+                                        bool force, bool* overflow) {
+  const JobConfig& cfg = *ctx_->config;
+  const CostModel& costs = cfg.costs;
+  IncrementalReducer* inc = ctx_->inc;
+  // One digest per tuple at this level, shared by every probe below.
+  const UniversalHash h = ctx_->hashes.At(level);
+  table_.Clear();
+  uint64_t bytes_used = 0, combines = 0;
+  *overflow = false;
+  {
+    KvBufferReader reader(data);
+    std::string_view key, state;
+    while (reader.Next(&key, &state)) {
+      const uint64_t digest = h(key);
+      const uint32_t found = table_.Find(key, digest);
+      if (found != FlatTable::kNoEntry) {
+        const std::string_view cur = table_.value_at(found);
+        scratch_.assign(cur.data(), cur.size());
+        inc->Combine(key, &scratch_, state);
+        table_.set_value(found, scratch_);
+        ++combines;
+        continue;
+      }
+      const uint64_t entry = key.size() + inc->StateBytesHint() +
+                             cfg.resident_entry_overhead;
+      if (!force && bytes_used + entry > capacity_bytes_ &&
+          !table_.empty()) {
+        *overflow = true;
+        break;
+      }
+      bool inserted = false;
+      const uint32_t idx = table_.FindOrInsert(key, digest, &inserted);
+      table_.set_value(idx, state);
+      bytes_used += entry;
+      ++combines;
+    }
+  }
+  // CPU for the attempt is spent either way.
+  ctx_->trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()) +
+                       costs.combine_record_s *
+                           static_cast<double>(combines),
+                   OpTag::kReduceFn);
+  if (*overflow) {
+    table_.Clear();
+    return Status::OK();
+  }
+  ctx_->metrics->combine_invocations += combines;
+  uint64_t fn_bytes = 0;
+  table_.ForEach([&](uint32_t idx) {
+    const std::string_view k = table_.key_at(idx);
+    const std::string_view state = table_.value_at(idx);
+    inc->Finalize(k, state, ctx_->out);
+    fn_bytes += k.size() + state.size();
+    ctx_->trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+  });
+  ctx_->metrics->reduce_groups += table_.size();
+  ctx_->trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
+                   OpTag::kReduceFn);
+  table_.Clear();
+  return Status::OK();
+}
+
+Status BucketPassProcessor::ProcessLegacy(const KvBuffer& data,
+                                          uint64_t level, bool force,
+                                          bool* overflow) {
+  const JobConfig& cfg = *ctx_->config;
+  const CostModel& costs = cfg.costs;
+  IncrementalReducer* inc = ctx_->inc;
+  std::unordered_map<std::string, std::string> table;
+  uint64_t bytes_used = 0, combines = 0;
+  *overflow = false;
+  {
+    KvBufferReader reader(data);
+    std::string_view key, state;
+    while (reader.Next(&key, &state)) {
+      auto it = table.find(std::string(key));
+      if (it != table.end()) {
+        inc->Combine(key, &it->second, state);
+        ++combines;
+        continue;
+      }
+      const uint64_t entry = key.size() + inc->StateBytesHint() +
+                             cfg.resident_entry_overhead;
+      if (!force && bytes_used + entry > capacity_bytes_ && !table.empty()) {
+        *overflow = true;
+        break;
+      }
+      table.emplace(std::string(key), std::string(state));
+      bytes_used += entry;
+      ++combines;
+    }
+  }
+  ctx_->trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()) +
+                       costs.combine_record_s *
+                           static_cast<double>(combines),
+                   OpTag::kReduceFn);
+  if (*overflow) return Status::OK();
+  ctx_->metrics->combine_invocations += combines;
+  uint64_t fn_bytes = 0;
+  for (auto& [k, state] : table) {
+    inc->Finalize(k, state, ctx_->out);
+    fn_bytes += k.size() + state.size();
+    ctx_->trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+  }
+  ctx_->metrics->reduce_groups += table.size();
+  ctx_->trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
+                   OpTag::kReduceFn);
+  return Status::OK();
+}
+
+Status BucketPassProcessor::Repartition(KvBuffer data, uint64_t level,
+                                        int depth, uint64_t owner) {
+  const JobConfig& cfg = *ctx_->config;
+  const int sub = 4;
+  BucketFileManager subs(sub, cfg.bucket_page_bytes, ctx_->trace,
+                         ctx_->metrics, &cfg.integrity, ctx_->faults, owner);
+  const UniversalHash h = ctx_->hashes.At(level + 1);
+  KvBufferReader reader(data);
+  std::string_view key, state;
+  while (reader.Next(&key, &state)) {
+    subs.Add(static_cast<int>(h.Bucket(key, sub)), key, state);
+  }
+  ctx_->trace->Cpu(
+      cfg.costs.hash_record_s * static_cast<double>(data.count()),
+      OpTag::kReduceFn);
+  data.Clear();
+  subs.FlushAll();
+  for (int b = 0; b < sub; ++b) {
+    ASSIGN_OR_RETURN(KvBuffer sb, subs.TakeBucket(b));
+    if (sb.empty()) continue;
+    RETURN_IF_ERROR(Process(std::move(sb), level + 1, depth + 1,
+                            Mix64(owner ^ (level << 40) ^
+                                  (static_cast<uint64_t>(b) + 1))));
+  }
+  return Status::OK();
+}
+
+}  // namespace onepass

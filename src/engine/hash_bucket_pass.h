@@ -1,0 +1,69 @@
+// BucketPassProcessor: the shared "drain one disk bucket" procedure of the
+// incremental hash engines (§4.2/§4.3).
+//
+// INC-hash and DINC-hash spill overflow tuples to h disk buckets; at end of
+// input each bucket is read back and reduced with an identical procedure:
+// build a key→state table in memory, combining tuples per key, then
+// finalize every key — recursively repartitioning with the next independent
+// hash function if the bucket's distinct keys exceed the memory budget.
+// Both engines previously carried a private copy of this loop; it lives
+// here once, with the memory budget as the only per-engine parameter.
+//
+// The in-memory table follows JobConfig::hash_core: the arena-backed
+// FlatTable (one UniversalHash digest per tuple per level, reused for the
+// table probe) or the legacy std::unordered_map baseline. The FlatTable is
+// owned by the processor and recycled across passes (Clear keeps the
+// control array and the arena's first block warm). Finalize order is the
+// table's iteration order — insertion order for FlatTable, stdlib order
+// for the legacy map; each mode is deterministic on its own and tests
+// compare outputs order-insensitively.
+
+#ifndef ONEPASS_ENGINE_HASH_BUCKET_PASS_H_
+#define ONEPASS_ENGINE_HASH_BUCKET_PASS_H_
+
+#include <string>
+
+#include "src/engine/group_by_engine.h"
+#include "src/util/flat_table.h"
+#include "src/util/kv_buffer.h"
+
+namespace onepass {
+
+class BucketPassProcessor {
+ public:
+  // `ctx` must outlive the processor and carry an IncrementalReducer.
+  // `capacity_bytes` is the engine's in-memory budget for one pass,
+  // charged per distinct key at the same entry cost the engine uses for
+  // its resident table.
+  BucketPassProcessor(const EngineContext* ctx, uint64_t capacity_bytes);
+
+  // Reduces one bucket: combine per key in memory, finalize every key,
+  // recursing into sub-buckets (hash level + 1) on overflow. `owner` seeds
+  // the sub-partition manager's corruption keyspace.
+  Status Process(KvBuffer data, uint64_t level, int depth, uint64_t owner);
+
+  // Adds the pass table's counters to `m` (call once, when the engine
+  // finishes). No-op in legacy mode.
+  template <typename Metrics>
+  void FlushStatsTo(Metrics* m) const {
+    if (use_flat_) table_.FlushStatsTo(m);
+  }
+
+ private:
+  Status ProcessFlat(const KvBuffer& data, uint64_t level, bool force,
+                     bool* overflow);
+  Status ProcessLegacy(const KvBuffer& data, uint64_t level, bool force,
+                       bool* overflow);
+  Status Repartition(KvBuffer data, uint64_t level, int depth,
+                     uint64_t owner);
+
+  const EngineContext* ctx_;
+  uint64_t capacity_bytes_;
+  bool use_flat_;
+  FlatTable table_;
+  std::string scratch_;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_ENGINE_HASH_BUCKET_PASS_H_

@@ -7,7 +7,6 @@
 namespace onepass {
 
 namespace {
-constexpr int kMaxRecursionDepth = 16;
 constexpr int kDefaultBuckets = 16;
 }  // namespace
 
@@ -43,7 +42,9 @@ int IncHashEngine::ChooseNumBuckets(uint64_t expected_keys,
 }
 
 IncHashEngine::IncHashEngine(const EngineContext& ctx)
-    : GroupByEngine(ctx), h3_(ctx.hashes.At(2)) {
+    : GroupByEngine(ctx),
+      use_flat_(ctx.config->hash_core == HashCoreKind::kFlat),
+      h3_(ctx.hashes.At(2)) {
   CHECK(ctx.inc != nullptr) << "INC-hash requires an IncrementalReducer";
   const JobConfig& cfg = *ctx.config;
   const uint64_t entry_cost = ctx.inc->StateBytesHint() + 16 /*avg key*/ +
@@ -63,15 +64,91 @@ IncHashEngine::IncHashEngine(const EngineContext& ctx)
   buckets_ = std::make_unique<BucketFileManager>(
       num_buckets_, page, ctx_.trace, ctx_.metrics, &cfg.integrity,
       ctx_.faults, ctx_.integrity_owner);
+  bucket_pass_ = std::make_unique<BucketPassProcessor>(&ctx_,
+                                                       capacity_bytes_);
 }
 
 Status IncHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
+  return use_flat_ ? ConsumeFlat(segment) : ConsumeLegacy(segment);
+}
+
+Status IncHashEngine::ConsumeFlat(const KvBuffer& segment) {
+  const CostModel& costs = ctx_.config->costs;
+  IncrementalReducer* inc = ctx_.inc;
+  const uint64_t hint = inc->StateBytesHint();
+  ctx_.out->set_streaming(true);
+  KvBufferReader reader(segment);
+  std::string_view key, value;
+  uint64_t n = 0, combines = 0;
+  while (reader.Next(&key, &value)) {
+    ++n;
+    // One h3 digest per tuple: probes the state table and, on overflow,
+    // routes the spill to the same bucket h3_.Bucket would pick.
+    const uint64_t digest = h3_(key);
+    const uint32_t found = table_.Find(key, digest);
+    if (found != FlatTable::kNoEntry) {
+      const std::string_view cur = table_.value_at(found);
+      scratch_state_.assign(cur.data(), cur.size());
+      const uint64_t before = scratch_state_.size();
+      if (ctx_.values_are_states) {
+        inc->Combine(key, &scratch_state_, value);
+      } else {
+        const std::string state = inc->Init(key, value);
+        inc->Combine(key, &scratch_state_, state);
+      }
+      inc->OnUpdate(key, &scratch_state_, ctx_.out);
+      table_.set_value(found, scratch_state_);
+      // States are budgeted at their hint size; growth beyond the hint is
+      // still tracked so memory accounting cannot be gamed.
+      if (scratch_state_.size() > hint && scratch_state_.size() > before) {
+        resident_bytes_ +=
+            scratch_state_.size() - std::max<uint64_t>(before, hint);
+      }
+      ++combines;
+      ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
+                      /*d_reduce_work=*/1);
+    } else {
+      const uint64_t entry = key.size() + hint +
+                             ctx_.config->resident_entry_overhead;
+      if (resident_bytes_ + entry <= capacity_bytes_) {
+        scratch_state_ = ctx_.values_are_states ? std::string(value)
+                                                : inc->Init(key, value);
+        inc->OnUpdate(key, &scratch_state_, ctx_.out);
+        bool inserted = false;
+        const uint32_t idx = table_.FindOrInsert(key, digest, &inserted);
+        table_.set_value(idx, scratch_state_);
+        resident_bytes_ += entry;
+        ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
+                        /*d_reduce_work=*/1);
+        ++combines;
+      } else {
+        // Overflow tuple: stage to the appropriate disk bucket.
+        const int b = static_cast<int>(
+            FastRangeBucket(digest, static_cast<uint64_t>(num_buckets_)));
+        if (ctx_.values_are_states) {
+          buckets_->Add(b, key, value);
+        } else {
+          const std::string state = inc->Init(key, value);
+          buckets_->Add(b, key, state);
+        }
+      }
+    }
+  }
+  ctx_.metrics->reduce_input_records += n;
+  ctx_.metrics->combine_invocations += combines;
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(n),
+                  OpTag::kShuffle);
+  ctx_.out->set_streaming(false);
+  return Status::OK();
+}
+
+Status IncHashEngine::ConsumeLegacy(const KvBuffer& segment) {
   const CostModel& costs = ctx_.config->costs;
   IncrementalReducer* inc = ctx_.inc;
   ctx_.out->set_streaming(true);
   KvBufferReader reader(segment);
   std::string_view key, value;
-  uint64_t n = 0, combines = 0, spills = 0;
+  uint64_t n = 0, combines = 0;
   while (reader.Next(&key, &value)) {
     ++n;
     auto it = states_.find(std::string(key));
@@ -110,7 +187,6 @@ Status IncHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
         ++combines;
       } else {
         // Overflow tuple: stage to the appropriate disk bucket.
-        ++spills;
         if (ctx_.values_are_states) {
           buckets_->Add(static_cast<int>(h3_.Bucket(key, num_buckets_)),
                         key, value);
@@ -127,88 +203,6 @@ Status IncHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
   ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(n),
                   OpTag::kShuffle);
   ctx_.out->set_streaming(false);
-  (void)spills;
-  return Status::OK();
-}
-
-Status IncHashEngine::ProcessBucket(KvBuffer data, uint64_t level,
-                                    int depth, uint64_t owner) {
-  // Beyond the recursion bound (pathological hash collisions), finish in
-  // memory regardless of the budget rather than looping.
-  const bool force_in_memory = depth > kMaxRecursionDepth;
-  const JobConfig& cfg = *ctx_.config;
-  const CostModel& costs = cfg.costs;
-  IncrementalReducer* inc = ctx_.inc;
-
-  // Attempt to build the full state table in memory.
-  std::unordered_map<std::string, std::string> table;
-  uint64_t bytes_used = 0;
-  uint64_t combines = 0;
-  bool overflow = false;
-  {
-    KvBufferReader reader(data);
-    std::string_view key, state;
-    while (reader.Next(&key, &state)) {
-      auto it = table.find(std::string(key));
-      if (it != table.end()) {
-        inc->Combine(key, &it->second, state);
-        ++combines;
-        continue;
-      }
-      const uint64_t entry = key.size() + inc->StateBytesHint() +
-                             cfg.resident_entry_overhead;
-      if (!force_in_memory && bytes_used + entry > capacity_bytes_ &&
-          !table.empty()) {
-        overflow = true;
-        break;
-      }
-      table.emplace(std::string(key), std::string(state));
-      bytes_used += entry;
-      ++combines;
-    }
-  }
-  // CPU for the attempt is spent either way.
-  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()) +
-                      costs.combine_record_s * static_cast<double>(combines),
-                  OpTag::kReduceFn);
-
-  if (!overflow) {
-    ctx_.metrics->combine_invocations += combines;
-    uint64_t fn_bytes = 0;
-    for (auto& [k, state] : table) {
-      inc->Finalize(k, state, ctx_.out);
-      fn_bytes += k.size() + state.size();
-      ctx_.trace->Cpu(0.0, OpTag::kReduceFn,
-                      /*d_reduce_work=*/1);
-    }
-    ctx_.metrics->reduce_groups += table.size();
-    ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
-                    OpTag::kReduceFn);
-    return Status::OK();
-  }
-
-  // The bucket's keys exceed memory: repartition with the next hash level.
-  table.clear();
-  const int sub = 4;
-  BucketFileManager subs(sub, cfg.bucket_page_bytes, ctx_.trace,
-                         ctx_.metrics, &cfg.integrity, ctx_.faults, owner);
-  const UniversalHash h = ctx_.hashes.At(level + 1);
-  KvBufferReader reader(data);
-  std::string_view key, state;
-  while (reader.Next(&key, &state)) {
-    subs.Add(static_cast<int>(h.Bucket(key, sub)), key, state);
-  }
-  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()),
-                  OpTag::kReduceFn);
-  data.Clear();
-  subs.FlushAll();
-  for (int b = 0; b < sub; ++b) {
-    ASSIGN_OR_RETURN(KvBuffer sb, subs.TakeBucket(b));
-    if (sb.empty()) continue;
-    RETURN_IF_ERROR(ProcessBucket(std::move(sb), level + 1, depth + 1,
-                                  Mix64(owner ^ (level << 40) ^
-                                        (static_cast<uint64_t>(b) + 1))));
-  }
   return Status::OK();
 }
 
@@ -219,26 +213,40 @@ Status IncHashEngine::Finish() {
   // exact — and immediate, which is what lets INC-hash emit results the
   // moment the maps finish.
   uint64_t fn_bytes = 0;
-  for (auto& [key, state] : states_) {
-    inc->Finalize(key, state, ctx_.out);
-    fn_bytes += key.size() + state.size();
-    ctx_.trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+  if (use_flat_) {
+    table_.ForEach([&](uint32_t idx) {
+      const std::string_view key = table_.key_at(idx);
+      const std::string_view state = table_.value_at(idx);
+      inc->Finalize(key, state, ctx_.out);
+      fn_bytes += key.size() + state.size();
+      ctx_.trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+    });
+    ctx_.metrics->reduce_groups += table_.size();
+    table_.FlushStatsTo(ctx_.metrics);
+    table_.Clear();
+  } else {
+    for (auto& [key, state] : states_) {
+      inc->Finalize(key, state, ctx_.out);
+      fn_bytes += key.size() + state.size();
+      ctx_.trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+    }
+    ctx_.metrics->reduce_groups += states_.size();
+    states_.clear();
   }
-  ctx_.metrics->reduce_groups += states_.size();
   ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
                   OpTag::kReduceFn);
-  states_.clear();
   resident_bytes_ = 0;
 
   buckets_->FlushAll();
   for (int b = 0; b < num_buckets_; ++b) {
     ASSIGN_OR_RETURN(KvBuffer data, buckets_->TakeBucket(b));
     if (data.empty()) continue;
-    RETURN_IF_ERROR(ProcessBucket(
+    RETURN_IF_ERROR(bucket_pass_->Process(
         std::move(data), /*level=*/2, 0,
         Mix64(ctx_.integrity_owner ^ (2ULL << 40) ^
               (static_cast<uint64_t>(b) + 1))));
   }
+  bucket_pass_->FlushStatsTo(ctx_.metrics);
   ctx_.out->Flush();
   return Status::OK();
 }

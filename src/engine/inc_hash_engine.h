@@ -18,6 +18,11 @@
 // sqrt(Delta), spilled tuples are written and read exactly once (no
 // recursion) — the Hybrid-Cache analysis the paper cites. Recursion is
 // still implemented as a fallback for under-provisioned bucket counts.
+//
+// The state table H follows JobConfig::hash_core: the arena-backed
+// FlatTable (each tuple hashed once with h3, the digest shared between the
+// table probe and the spill-bucket route) or the legacy std::unordered_map
+// baseline kept for before/after benches.
 
 #ifndef ONEPASS_ENGINE_INC_HASH_ENGINE_H_
 #define ONEPASS_ENGINE_INC_HASH_ENGINE_H_
@@ -27,7 +32,9 @@
 #include <unordered_map>
 
 #include "src/engine/group_by_engine.h"
+#include "src/engine/hash_bucket_pass.h"
 #include "src/storage/bucket_manager.h"
+#include "src/util/flat_table.h"
 #include "src/util/kv_buffer.h"
 
 namespace onepass {
@@ -50,20 +57,23 @@ class IncHashEngine : public GroupByEngine {
   static uint64_t ClampedPageBytes(uint64_t page_bytes,
                                    uint64_t memory_bytes, int h);
 
-  uint64_t resident_keys() const { return states_.size(); }
+  uint64_t resident_keys() const {
+    return use_flat_ ? table_.size() : states_.size();
+  }
 
  private:
-  // Processes one disk bucket (or sub-bucket): builds a state table in
-  // memory, combining tuples per key, then finalizes every key. Recursive
-  // partitioning if the bucket's keys do not fit.
-  Status ProcessBucket(KvBuffer data, uint64_t level, int depth,
-                       uint64_t owner);
+  Status ConsumeFlat(const KvBuffer& segment);
+  Status ConsumeLegacy(const KvBuffer& segment);
 
-  std::unordered_map<std::string, std::string> states_;
+  bool use_flat_;
+  FlatTable table_;  // key -> state (kFlat)
+  std::string scratch_state_;
+  std::unordered_map<std::string, std::string> states_;  // (kLegacy)
   uint64_t resident_bytes_ = 0;
   uint64_t capacity_bytes_ = 0;
   int num_buckets_;
   std::unique_ptr<BucketFileManager> buckets_;
+  std::unique_ptr<BucketPassProcessor> bucket_pass_;
   UniversalHash h3_;
 };
 

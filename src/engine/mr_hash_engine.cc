@@ -11,6 +11,7 @@ namespace onepass {
 namespace {
 constexpr int kMaxRecursionDepth = 16;
 constexpr int kDefaultBuckets = 16;
+constexpr uint32_t kNilNode = UINT32_MAX;
 }  // namespace
 
 int MRHashEngine::ChooseNumBuckets(uint64_t expected_bytes,
@@ -37,7 +38,9 @@ int MRHashEngine::ChooseNumBuckets(uint64_t expected_bytes,
 }
 
 MRHashEngine::MRHashEngine(const EngineContext& ctx)
-    : GroupByEngine(ctx), h2_(ctx.hashes.At(1)) {
+    : GroupByEngine(ctx),
+      use_flat_(ctx.config->hash_core == HashCoreKind::kFlat),
+      h2_(ctx.hashes.At(1)) {
   const JobConfig& cfg = *ctx.config;
   const uint64_t expected = cfg.expected_bytes_per_reducer;
   num_disk_buckets_ =
@@ -107,6 +110,65 @@ Status MRHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
 }
 
 void MRHashEngine::ProcessInMemory(const KvBuffer& data, uint64_t level) {
+  if (use_flat_) {
+    ProcessInMemoryFlat(data, level);
+  } else {
+    ProcessInMemoryLegacy(data, level);
+  }
+}
+
+void MRHashEngine::ProcessInMemoryFlat(const KvBuffer& data, uint64_t level) {
+  // Group by key with the level's hash function, hashed once per tuple.
+  // Values are not copied: each occurrence is a view into `data`, chained
+  // per group through nodes_ in arrival order.
+  const CostModel& costs = ctx_.config->costs;
+  const UniversalHash h = ctx_.hashes.At(level);
+  group_table_.Clear();
+  group_table_.Reserve(static_cast<size_t>(data.count()));
+  nodes_.clear();
+  nodes_.reserve(static_cast<size_t>(data.count()));
+  KvBufferReader reader(data);
+  std::string_view key, value;
+  while (reader.Next(&key, &value)) {
+    const uint64_t digest = h(key);
+    bool inserted = false;
+    const uint32_t idx = group_table_.FindOrInsert(key, digest, &inserted);
+    const uint32_t node = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back({value.data(), static_cast<uint32_t>(value.size()),
+                      kNilNode});
+    if (inserted) {
+      group_table_.set_pod(idx, ChainRef{node, node});
+    } else {
+      ChainRef c = group_table_.pod_at<ChainRef>(idx);
+      nodes_[c.tail].next = node;
+      c.tail = node;
+      group_table_.set_pod(idx, c);
+    }
+  }
+  ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()),
+                  OpTag::kReduceFn);
+  uint64_t fn_bytes = 0;
+  group_table_.ForEach([&](uint32_t idx) {
+    const std::string_view k = group_table_.key_at(idx);
+    chain_scratch_.clear();
+    for (uint32_t node = group_table_.pod_at<ChainRef>(idx).head;
+         node != kNilNode; node = nodes_[node].next) {
+      chain_scratch_.emplace_back(nodes_[node].ptr, nodes_[node].len);
+    }
+    VectorValueIterator it(&chain_scratch_);
+    ctx_.reducer->Reduce(k, &it, ctx_.out);
+    fn_bytes += k.size();
+    for (auto v : chain_scratch_) fn_bytes += v.size();
+    ctx_.trace->Cpu(0.0, OpTag::kReduceFn, /*d_reduce_work=*/1);
+  });
+  ctx_.metrics->reduce_groups += group_table_.size();
+  ctx_.trace->Cpu(costs.reduce_fn_byte_s * static_cast<double>(fn_bytes),
+                  OpTag::kReduceFn);
+  group_table_.Clear();
+}
+
+void MRHashEngine::ProcessInMemoryLegacy(const KvBuffer& data,
+                                         uint64_t level) {
   // Group by key with the level's hash function (h3, h5, ...): an
   // unordered_map keyed by the key bytes, seeded per level.
   const CostModel& costs = ctx_.config->costs;
@@ -205,6 +267,7 @@ Status MRHashEngine::Finish() {
                 (static_cast<uint64_t>(b) + 1))));
     }
   }
+  if (use_flat_) group_table_.FlushStatsTo(ctx_.metrics);
   ctx_.out->Flush();
   return Status::OK();
 }

@@ -23,6 +23,18 @@ enum class EngineKind : uint8_t {
 
 std::string_view EngineKindName(EngineKind kind);
 
+// Which hash-table implementation backs the hot grouping structures
+// (engine state tables, sketch indexes, the map-side combiner). kFlat is
+// the arena-backed open-addressing FlatTable (src/util/flat_table.h);
+// kLegacy keeps the original std::unordered_map paths as a before/after
+// baseline for the perf benches. Both produce the same output set; record
+// order within a run may differ between the two (tests compare
+// order-insensitively, and each mode is deterministic on its own).
+enum class HashCoreKind : uint8_t {
+  kFlat,
+  kLegacy,
+};
+
 struct ClusterConfig {
   int nodes = 10;           // N
   int cores_per_node = 4;
@@ -89,6 +101,9 @@ struct JobConfig {
   // Per-entry bookkeeping overhead charged against reduce memory for each
   // resident key (hash-table slot, counter, pointers).
   uint64_t resident_entry_overhead = 32;
+
+  // Hash-table implementation for the hot grouping paths (see HashCoreKind).
+  HashCoreKind hash_core = HashCoreKind::kFlat;
 
   // Fault injection & recovery (simulated time plane; see
   // src/sim/fault_injector.h). Default: no faults.

@@ -10,6 +10,7 @@
 #include "src/storage/framed_io.h"
 #include "src/util/arena.h"
 #include "src/util/crc32c.h"
+#include "src/util/flat_table.h"
 
 namespace onepass {
 
@@ -94,13 +95,38 @@ class PartitionEmitter : public Emitter {
 };
 
 // Map-side combiner: in-memory hash table of key -> state (§5's Hash-based
-// Map Output component).
+// Map Output component). Under hash_core == kFlat the table is a FlatTable
+// keyed by the partitioner's digest — computed once per emitted record and
+// reused by FlushTo for the partition assignment (FastRangeBucket over the
+// cached digest equals partitioner.Bucket exactly). kLegacy keeps the old
+// unordered_map for before/after benches.
 class CombiningEmitter : public Emitter {
  public:
-  explicit CombiningEmitter(IncrementalReducer* inc) : inc_(inc) {}
+  CombiningEmitter(IncrementalReducer* inc, const UniversalHash* partitioner,
+                   bool use_flat)
+      : inc_(inc), partitioner_(partitioner), use_flat_(use_flat) {}
 
   void Emit(std::string_view key, std::string_view value) override {
     ++records_;
+    if (use_flat_) {
+      const uint64_t digest = (*partitioner_)(key);
+      const uint32_t found = flat_.Find(key, digest);
+      if (found == FlatTable::kNoEntry) {
+        const std::string state = inc_->Init(key, value);
+        bytes_ += key.size() + state.size() + 32;
+        bool inserted = false;
+        const uint32_t idx = flat_.FindOrInsert(key, digest, &inserted);
+        flat_.set_value(idx, state);
+      } else {
+        const std::string state = inc_->Init(key, value);
+        const std::string_view cur = flat_.value_at(found);
+        scratch_.assign(cur.data(), cur.size());
+        inc_->Combine(key, &scratch_, state);
+        flat_.set_value(found, scratch_);
+        ++combines_;
+      }
+      return;
+    }
     auto it = table_.find(std::string(key));
     if (it == table_.end()) {
       std::string state = inc_->Init(key, value);
@@ -117,6 +143,20 @@ class CombiningEmitter : public Emitter {
   void FlushTo(const UniversalHash& partitioner,
                std::vector<KvBuffer>* partitions, uint64_t* out_bytes,
                uint64_t* out_records) {
+    if (use_flat_) {
+      flat_.ForEach([&](uint32_t idx) {
+        const std::string_view key = flat_.key_at(idx);
+        const std::string_view state = flat_.value_at(idx);
+        const auto part =
+            FastRangeBucket(flat_.hash_at(idx), partitions->size());
+        (*partitions)[part].Append(key, state);
+        *out_bytes += RecordBytes(key, state);
+        ++*out_records;
+      });
+      flat_.Clear();
+      bytes_ = 0;
+      return;
+    }
     for (auto& [key, state] : table_) {
       const auto part = partitioner.Bucket(key, partitions->size());
       (*partitions)[part].Append(key, state);
@@ -127,12 +167,22 @@ class CombiningEmitter : public Emitter {
     bytes_ = 0;
   }
 
+  // Adds the flat table's counters to `m` (no-op in legacy mode). Stats
+  // survive FlushTo's Clear, so call once after the final flush.
+  void FlushStatsTo(JobMetrics* m) const {
+    if (use_flat_) flat_.FlushStatsTo(m);
+  }
+
   uint64_t table_bytes() const { return bytes_; }
   uint64_t records() const { return records_; }
   uint64_t combines() const { return combines_; }
 
  private:
   IncrementalReducer* inc_;
+  const UniversalHash* partitioner_;
+  bool use_flat_;
+  FlatTable flat_;
+  std::string scratch_;
   std::unordered_map<std::string, std::string> table_;
   uint64_t bytes_ = 0;
   uint64_t records_ = 0;
@@ -268,7 +318,8 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
     }
     case MapOutputMode::kHashCombine: {
       std::vector<KvBuffer> parts(total_partitions_);
-      CombiningEmitter emitter(inc_);
+      CombiningEmitter emitter(inc_, &partitioner_,
+                               config_.hash_core == HashCoreKind::kFlat);
       uint64_t out_bytes = 0, out_records = 0;
       KvBufferReader reader(chunk);
       std::string_view k, v;
@@ -279,6 +330,7 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
         }
       }
       emitter.FlushTo(partitioner_, &parts, &out_bytes, &out_records);
+      emitter.FlushStatsTo(&out.metrics);
       trace.Cpu(map_fn_cost, OpTag::kMapFn);
       trace.Cpu((costs.hash_record_s + costs.combine_record_s) *
                     static_cast<double>(emitter.records()),
@@ -482,10 +534,17 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
   uint64_t out_bytes = 0, out_records = 0, total_records = 0, combines = 0;
   for (int p = 0; p < total_partitions_; ++p) {
     std::vector<const KvBuffer*> inputs;
+    uint64_t in_bytes = 0;
     for (auto& run : runs) {
-      if (!run[p].empty()) inputs.push_back(&run[p]);
+      if (!run[p].empty()) {
+        inputs.push_back(&run[p]);
+        in_bytes += run[p].bytes();
+      }
     }
     if (inputs.empty()) continue;
+    // The merged partition is at most the sum of its runs (combining can
+    // only shrink it); one reservation avoids growth reallocations.
+    final_parts[p].Reserve(in_bytes);
     SortedKvMerger merger(std::move(inputs));
     if (combine) {
       std::string_view key;

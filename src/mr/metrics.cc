@@ -41,6 +41,12 @@ void JobMetrics::Merge(const JobMetrics& o) {
   quarantined_replicas += o.quarantined_replicas;
   rereplicated_bytes += o.rereplicated_bytes;
   corruption_recovery_bytes += o.corruption_recovery_bytes;
+  hash_table_probes += o.hash_table_probes;
+  hash_table_rehashes += o.hash_table_rehashes;
+  if (o.hash_table_max_probe > hash_table_max_probe) {
+    hash_table_max_probe = o.hash_table_max_probe;
+  }
+  hash_arena_bytes += o.hash_arena_bytes;
   map_cpu_s += o.map_cpu_s;
   reduce_cpu_s += o.reduce_cpu_s;
 }
@@ -94,6 +100,10 @@ std::string JobMetrics::Serialize() const {
   put_u64("quarantined_replicas", quarantined_replicas);
   put_u64("rereplicated_bytes", rereplicated_bytes);
   put_u64("corruption_recovery_bytes", corruption_recovery_bytes);
+  put_u64("hash_table_probes", hash_table_probes);
+  put_u64("hash_table_rehashes", hash_table_rehashes);
+  put_u64("hash_table_max_probe", hash_table_max_probe);
+  put_u64("hash_arena_bytes", hash_arena_bytes);
   put_f64("map_cpu_s", map_cpu_s);
   put_f64("reduce_cpu_s", reduce_cpu_s);
   return out;
@@ -146,6 +156,18 @@ std::string JobMetrics::ToString() const {
         static_cast<unsigned long long>(shuffle_fetch_retries),
         static_cast<unsigned long long>(disk_read_retries), wasted_cpu_s,
         static_cast<unsigned long long>(recovery_bytes));
+    out += buf;
+  }
+  // The hash-core block appears only when a FlatTable ran.
+  if (hash_table_probes > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nhash core:       %llu probes (max chain %llu), %llu rehashes, "
+        "%llu arena bytes",
+        static_cast<unsigned long long>(hash_table_probes),
+        static_cast<unsigned long long>(hash_table_max_probe),
+        static_cast<unsigned long long>(hash_table_rehashes),
+        static_cast<unsigned long long>(hash_arena_bytes));
     out += buf;
   }
   // The integrity block appears only when checksums were verified or a

@@ -66,6 +66,14 @@ struct JobMetrics {
   // and run rebuilds, shuffle re-fetches), charged through the cost model.
   uint64_t corruption_recovery_bytes = 0;
 
+  // --- Hash core (FlatTable; DESIGN.md §5.4) ---
+  // Counters from every FlatTable the job's tasks ran: engine state
+  // tables, bucket-pass tables, sketch indexes, map-side combiners.
+  uint64_t hash_table_probes = 0;    // control slots inspected
+  uint64_t hash_table_rehashes = 0;  // capacity doublings
+  uint64_t hash_table_max_probe = 0;  // longest chain (Merge takes the max)
+  uint64_t hash_arena_bytes = 0;  // peak arena bytes, summed over tables
+
   // --- CPU seconds (data-plane modeled cost, summed over tasks) ---
   double map_cpu_s = 0;
   double reduce_cpu_s = 0;

@@ -4,13 +4,50 @@
 
 namespace onepass {
 
+namespace {
+// Dead index bytes tolerated before a compaction (keeps tiny sketches from
+// rebuilding constantly).
+constexpr uint64_t kCompactMinDeadBytes = 64 * 1024;
+}  // namespace
+
 FrequentSketch::FrequentSketch(size_t capacity) {
   CHECK_GE(capacity, 1u);
   slots_.resize(capacity);
+  index_.Reserve(capacity);
   free_slots_.reserve(capacity);
   for (int i = static_cast<int>(capacity) - 1; i >= 0; --i) {
     free_slots_.push_back(i);
   }
+}
+
+void FrequentSketch::IndexInsert(std::string_view key, uint64_t hash,
+                                 int slot) {
+  bool inserted = false;
+  const uint32_t idx = index_.FindOrInsert(key, hash, &inserted);
+  index_.set_pod(idx, slot);
+  live_key_bytes_ += key.size();
+}
+
+void FrequentSketch::IndexErase(std::string_view key, uint64_t hash) {
+  index_.Erase(key, hash);
+  live_key_bytes_ -= key.size();
+  dead_key_bytes_ += key.size();
+}
+
+void FrequentSketch::MaybeCompactIndex() {
+  if (dead_key_bytes_ < kCompactMinDeadBytes ||
+      dead_key_bytes_ < live_key_bytes_) {
+    return;
+  }
+  index_.Clear();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (!s.occupied) continue;
+    bool inserted = false;
+    const uint32_t idx = index_.FindOrInsert(s.key, s.hash, &inserted);
+    index_.set_pod(idx, static_cast<int>(i));
+  }
+  dead_key_bytes_ = 0;
 }
 
 void FrequentSketch::Hit(int slot) {
@@ -23,17 +60,18 @@ void FrequentSketch::Hit(int slot) {
   by_count_.insert({s.raw, slot});
 }
 
-int FrequentSketch::InsertIntoFree(std::string_view key) {
+int FrequentSketch::InsertIntoFree(std::string_view key, uint64_t hash) {
   CHECK(!free_slots_.empty());
   ++offers_;
   const int slot = free_slots_.back();
   free_slots_.pop_back();
   Slot& s = slots_[slot];
   s.key.assign(key.data(), key.size());
+  s.hash = hash;
   s.raw = delta_ + 1;
   s.t = 1;
   s.occupied = true;
-  index_.emplace(s.key, slot);
+  IndexInsert(s.key, hash, slot);
   by_count_.insert({s.raw, slot});
   return slot;
 }
@@ -47,18 +85,21 @@ uint64_t FrequentSketch::MinCount() const {
   return Effective(slots_[by_count_.begin()->second]);
 }
 
-std::string FrequentSketch::ReplaceSlot(int slot, std::string_view key) {
+std::string FrequentSketch::ReplaceSlot(int slot, std::string_view key,
+                                        uint64_t hash) {
   ++offers_;
   Slot& s = slots_[slot];
   CHECK(s.occupied);
   by_count_.erase({s.raw, slot});
   std::string displaced = std::move(s.key);
-  index_.erase(displaced);
+  IndexErase(displaced, s.hash);
   s.key.assign(key.data(), key.size());
+  s.hash = hash;
   s.raw = delta_ + 1;
   s.t = 1;
-  index_.emplace(s.key, slot);
+  IndexInsert(s.key, hash, slot);
   by_count_.insert({s.raw, slot});
+  MaybeCompactIndex();
   return displaced;
 }
 
@@ -79,9 +120,10 @@ std::vector<int> FrequentSketch::ColdestSlots(int n) const {
   return out;
 }
 
-FrequentSketch::OfferResult FrequentSketch::Offer(std::string_view key) {
+FrequentSketch::OfferResult FrequentSketch::Offer(std::string_view key,
+                                                  uint64_t hash) {
   OfferResult result;
-  const int found = Find(key);
+  const int found = Find(key, hash);
   if (found >= 0) {
     Hit(found);
     result.action = Action::kUpdated;
@@ -90,14 +132,14 @@ FrequentSketch::OfferResult FrequentSketch::Offer(std::string_view key) {
   }
   if (HasFreeSlot()) {
     result.action = Action::kInserted;
-    result.slot = InsertIntoFree(key);
+    result.slot = InsertIntoFree(key, hash);
     return result;
   }
   const int min_slot = MinSlot();
   if (MinCount() == 0) {
     result.action = Action::kEvicted;
     result.slot = min_slot;
-    result.evicted_key = ReplaceSlot(min_slot, key);
+    result.evicted_key = ReplaceSlot(min_slot, key, hash);
     return result;
   }
   DecrementAll();
@@ -105,9 +147,9 @@ FrequentSketch::OfferResult FrequentSketch::Offer(std::string_view key) {
   return result;
 }
 
-int FrequentSketch::Find(std::string_view key) const {
-  auto it = index_.find(std::string(key));
-  return it == index_.end() ? -1 : it->second;
+int FrequentSketch::Find(std::string_view key, uint64_t hash) const {
+  const uint32_t idx = index_.Find(key, hash);
+  return idx == FlatTable::kNoEntry ? -1 : index_.pod_at<int>(idx);
 }
 
 uint64_t FrequentSketch::Count(int slot) const {
@@ -127,12 +169,14 @@ void FrequentSketch::Release(int slot) {
   Slot& s = slots_[slot];
   CHECK(s.occupied);
   by_count_.erase({s.raw, slot});
-  index_.erase(s.key);
+  IndexErase(s.key, s.hash);
   s.key.clear();
+  s.hash = 0;
   s.raw = 0;
   s.t = 0;
   s.occupied = false;
   free_slots_.push_back(slot);
+  MaybeCompactIndex();
 }
 
 uint64_t FrequentSketch::EstimateCount(std::string_view key) const {

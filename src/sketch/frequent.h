@@ -23,6 +23,14 @@
 //
 // Slot payloads (reduce states) live with the *caller*, indexed by the slot
 // id this class reports, so the sketch itself stays byte-agnostic.
+//
+// The key → slot index is a FlatTable (DESIGN.md §5.4). Every keyed
+// primitive has a digest overload so DINC can hash each tuple once and
+// share the digest between the monitor probe and the spill-bucket route
+// (the per-slot digest is retained — SlotHash — so evicted keys route
+// without rehashing). The convenience single-argument forms hash with
+// FlatTable::DefaultHash; one sketch instance must stick to one hash
+// function.
 
 #ifndef ONEPASS_SKETCH_FREQUENT_H_
 #define ONEPASS_SKETCH_FREQUENT_H_
@@ -31,9 +39,10 @@
 #include <set>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "src/util/flat_table.h"
 
 namespace onepass {
 
@@ -60,7 +69,10 @@ class FrequentSketch {
 
   // Feeds one occurrence of `key` to the sketch. Composition of the
   // primitives below with the classic FREQUENT policy.
-  OfferResult Offer(std::string_view key);
+  OfferResult Offer(std::string_view key) {
+    return Offer(key, FlatTable::DefaultHash(key));
+  }
+  OfferResult Offer(std::string_view key, uint64_t hash);
 
   // --- primitives (each counts as one offer where noted) ---
   // DINC-hash composes these directly so it can interleave its proactive
@@ -69,7 +81,10 @@ class FrequentSketch {
   // Increments a monitored slot's counter (one offer).
   void Hit(int slot);
   // Inserts `key` into a free slot; requires HasFreeSlot() (one offer).
-  int InsertIntoFree(std::string_view key);
+  int InsertIntoFree(std::string_view key) {
+    return InsertIntoFree(key, FlatTable::DefaultHash(key));
+  }
+  int InsertIntoFree(std::string_view key, uint64_t hash);
   bool HasFreeSlot() const { return !free_slots_.empty(); }
   // The occupied slot with the minimum effective count (-1 if none).
   int MinSlot() const;
@@ -77,7 +92,10 @@ class FrequentSketch {
   uint64_t MinCount() const;
   // Replaces `slot`'s key with `key`, resetting its counter to 1 and its
   // coverage counter (one offer). Returns the displaced key.
-  std::string ReplaceSlot(int slot, std::string_view key);
+  std::string ReplaceSlot(int slot, std::string_view key) {
+    return ReplaceSlot(slot, key, FlatTable::DefaultHash(key));
+  }
+  std::string ReplaceSlot(int slot, std::string_view key, uint64_t hash);
   // Decrements every counter by one; legal only when MinCount() > 0
   // (one offer — the rejected tuple).
   void DecrementAll();
@@ -85,7 +103,10 @@ class FrequentSketch {
   std::vector<int> ColdestSlots(int n) const;
 
   // Looks up the slot of `key`, or -1 if not monitored.
-  int Find(std::string_view key) const;
+  int Find(std::string_view key) const {
+    return Find(key, FlatTable::DefaultHash(key));
+  }
+  int Find(std::string_view key, uint64_t hash) const;
 
   // Effective (Misra–Gries) counter of a slot. An upper bound on the true
   // frequency error is offers()/(capacity()+1).
@@ -100,6 +121,10 @@ class FrequentSketch {
 
   // Key stored at a slot ("" if the slot was never used).
   std::string_view Key(int slot) const { return slots_[slot].key; }
+
+  // Digest the slot's key was inserted with. Capture it *before*
+  // ReplaceSlot when routing the displaced key's payload.
+  uint64_t SlotHash(int slot) const { return slots_[slot].hash; }
 
   bool SlotOccupied(int slot) const { return slots_[slot].occupied; }
 
@@ -119,18 +144,34 @@ class FrequentSketch {
   // else 0. True frequency f satisfies est <= f <= est + offers()/(s+1).
   uint64_t EstimateCount(std::string_view key) const;
 
+  // Adds the index table's probe/rehash/arena counters to `m` (see
+  // FlatTable::FlushStatsTo).
+  template <typename Metrics>
+  void FlushIndexStatsTo(Metrics* m) const {
+    index_.FlushStatsTo(m);
+  }
+
  private:
   struct Slot {
     std::string key;
-    uint64_t raw = 0;  // effective count = raw - delta_
-    uint64_t t = 0;    // combines since last insertion
+    uint64_t hash = 0;  // digest the key was inserted with
+    uint64_t raw = 0;   // effective count = raw - delta_
+    uint64_t t = 0;     // combines since last insertion
     bool occupied = false;
   };
 
   uint64_t Effective(const Slot& s) const { return s.raw - delta_; }
 
+  void IndexInsert(std::string_view key, uint64_t hash, int slot);
+  void IndexErase(std::string_view key, uint64_t hash);
+  // Erased keys leave dead bytes in the index arena; rebuild the index
+  // from the slots once they dominate the live bytes.
+  void MaybeCompactIndex();
+
   std::vector<Slot> slots_;
-  std::unordered_map<std::string, int> index_;
+  FlatTable index_;  // key -> slot id
+  uint64_t live_key_bytes_ = 0;
+  uint64_t dead_key_bytes_ = 0;
   // (raw count, slot) for every occupied slot; begin() is the minimum.
   std::set<std::pair<uint64_t, int>> by_count_;
   std::vector<int> free_slots_;

@@ -4,28 +4,62 @@
 
 namespace onepass {
 
+namespace {
+constexpr uint64_t kCompactMinDeadBytes = 64 * 1024;
+}  // namespace
+
 SpaceSavingSketch::SpaceSavingSketch(size_t capacity) {
   CHECK_GE(capacity, 1u);
   slots_.resize(capacity);
+  index_.Reserve(capacity);
   free_slots_.reserve(capacity);
   for (int i = static_cast<int>(capacity) - 1; i >= 0; --i) {
     free_slots_.push_back(i);
   }
 }
 
-SpaceSavingSketch::OfferResult SpaceSavingSketch::Offer(
-    std::string_view key) {
+void SpaceSavingSketch::IndexInsert(std::string_view key, uint64_t hash,
+                                    int slot) {
+  bool inserted = false;
+  const uint32_t idx = index_.FindOrInsert(key, hash, &inserted);
+  index_.set_pod(idx, slot);
+  live_key_bytes_ += key.size();
+}
+
+void SpaceSavingSketch::IndexErase(std::string_view key, uint64_t hash) {
+  index_.Erase(key, hash);
+  live_key_bytes_ -= key.size();
+  dead_key_bytes_ += key.size();
+}
+
+void SpaceSavingSketch::MaybeCompactIndex() {
+  if (dead_key_bytes_ < kCompactMinDeadBytes ||
+      dead_key_bytes_ < live_key_bytes_) {
+    return;
+  }
+  index_.Clear();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (!s.occupied) continue;
+    bool inserted = false;
+    const uint32_t idx = index_.FindOrInsert(s.key, s.hash, &inserted);
+    index_.set_pod(idx, static_cast<int>(i));
+  }
+  dead_key_bytes_ = 0;
+}
+
+SpaceSavingSketch::OfferResult SpaceSavingSketch::Offer(std::string_view key,
+                                                        uint64_t hash) {
   ++offers_;
   OfferResult result;
 
-  auto it = index_.find(std::string(key));
-  if (it != index_.end()) {
-    const int slot = it->second;
-    Slot& s = slots_[slot];
-    by_count_.erase({s.count, slot});
+  const int found = Find(key, hash);
+  if (found >= 0) {
+    Slot& s = slots_[found];
+    by_count_.erase({s.count, found});
     ++s.count;
-    by_count_.insert({s.count, slot});
-    result.slot = slot;
+    by_count_.insert({s.count, found});
+    result.slot = found;
     return result;
   }
 
@@ -34,10 +68,11 @@ SpaceSavingSketch::OfferResult SpaceSavingSketch::Offer(
     free_slots_.pop_back();
     Slot& s = slots_[slot];
     s.key.assign(key.data(), key.size());
+    s.hash = hash;
     s.count = 1;
     s.error = 0;
     s.occupied = true;
-    index_.emplace(s.key, slot);
+    IndexInsert(s.key, hash, slot);
     by_count_.insert({s.count, slot});
     result.slot = slot;
     return result;
@@ -52,24 +87,26 @@ SpaceSavingSketch::OfferResult SpaceSavingSketch::Offer(
   by_count_.erase(min_it);
   result.evicted = true;
   result.evicted_key = std::move(s.key);
-  index_.erase(result.evicted_key);
+  IndexErase(result.evicted_key, s.hash);
   s.key.assign(key.data(), key.size());
+  s.hash = hash;
   s.count = min_count + 1;
   s.error = min_count;
-  index_.emplace(s.key, slot);
+  IndexInsert(s.key, hash, slot);
   by_count_.insert({s.count, slot});
+  MaybeCompactIndex();
   result.slot = slot;
   return result;
 }
 
 uint64_t SpaceSavingSketch::EstimateCount(std::string_view key) const {
-  auto it = index_.find(std::string(key));
-  return it == index_.end() ? 0 : slots_[it->second].count;
+  const int slot = Find(key);
+  return slot < 0 ? 0 : slots_[slot].count;
 }
 
-int SpaceSavingSketch::Find(std::string_view key) const {
-  auto it = index_.find(std::string(key));
-  return it == index_.end() ? -1 : it->second;
+int SpaceSavingSketch::Find(std::string_view key, uint64_t hash) const {
+  const uint32_t idx = index_.Find(key, hash);
+  return idx == FlatTable::kNoEntry ? -1 : index_.pod_at<int>(idx);
 }
 
 }  // namespace onepass

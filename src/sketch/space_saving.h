@@ -5,6 +5,9 @@
 // because they do not explicitly maintain a hot-key set — SpaceSaving *does*
 // maintain one, so it is the natural alternative, and our ablation bench
 // (bench_micro_sketch) and property tests compare the two on skewed streams.
+//
+// Like FrequentSketch, the key → slot index is a FlatTable (DESIGN.md
+// §5.4); Offer/EstimateCount/Find take an optional precomputed digest.
 
 #ifndef ONEPASS_SKETCH_SPACE_SAVING_H_
 #define ONEPASS_SKETCH_SPACE_SAVING_H_
@@ -13,9 +16,10 @@
 #include <set>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "src/util/flat_table.h"
 
 namespace onepass {
 
@@ -30,7 +34,10 @@ class SpaceSavingSketch {
   };
 
   // Feeds one occurrence of `key`.
-  OfferResult Offer(std::string_view key);
+  OfferResult Offer(std::string_view key) {
+    return Offer(key, FlatTable::DefaultHash(key));
+  }
+  OfferResult Offer(std::string_view key, uint64_t hash);
 
   // Estimated count (upper bound on true frequency). 0 if not tracked.
   uint64_t EstimateCount(std::string_view key) const;
@@ -38,24 +45,42 @@ class SpaceSavingSketch {
   // Overestimation bound for the key at `slot` (its inherited error).
   uint64_t Error(int slot) const { return slots_[slot].error; }
 
-  int Find(std::string_view key) const;
+  int Find(std::string_view key) const {
+    return Find(key, FlatTable::DefaultHash(key));
+  }
+  int Find(std::string_view key, uint64_t hash) const;
   std::string_view Key(int slot) const { return slots_[slot].key; }
   uint64_t Count(int slot) const { return slots_[slot].count; }
+  // Digest the slot's key was inserted with.
+  uint64_t SlotHash(int slot) const { return slots_[slot].hash; }
 
   size_t capacity() const { return slots_.size(); }
   size_t size() const { return index_.size(); }
   uint64_t offers() const { return offers_; }
 
+  // Adds the index table's probe/rehash/arena counters to `m`.
+  template <typename Metrics>
+  void FlushIndexStatsTo(Metrics* m) const {
+    index_.FlushStatsTo(m);
+  }
+
  private:
   struct Slot {
     std::string key;
+    uint64_t hash = 0;
     uint64_t count = 0;
     uint64_t error = 0;
     bool occupied = false;
   };
 
+  void IndexInsert(std::string_view key, uint64_t hash, int slot);
+  void IndexErase(std::string_view key, uint64_t hash);
+  void MaybeCompactIndex();
+
   std::vector<Slot> slots_;
-  std::unordered_map<std::string, int> index_;
+  FlatTable index_;  // key -> slot id
+  uint64_t live_key_bytes_ = 0;
+  uint64_t dead_key_bytes_ = 0;
   std::set<std::pair<uint64_t, int>> by_count_;
   std::vector<int> free_slots_;
   uint64_t offers_ = 0;

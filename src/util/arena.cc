@@ -9,6 +9,7 @@ char* Arena::Allocate(size_t n) {
   if (n > remaining_) {
     const size_t block = std::max(n, block_size_);
     blocks_.push_back(std::make_unique<char[]>(block));
+    block_sizes_.push_back(block);
     cur_ = blocks_.back().get();
     remaining_ = block;
     bytes_reserved_ += block;
@@ -21,11 +22,20 @@ char* Arena::Allocate(size_t n) {
 }
 
 void Arena::Reset() {
-  blocks_.clear();
-  cur_ = nullptr;
-  remaining_ = 0;
+  if (blocks_.size() > 1) {
+    blocks_.resize(1);
+    block_sizes_.resize(1);
+  }
+  if (blocks_.empty()) {
+    cur_ = nullptr;
+    remaining_ = 0;
+    bytes_reserved_ = 0;
+  } else {
+    cur_ = blocks_[0].get();
+    remaining_ = block_sizes_[0];
+    bytes_reserved_ = block_sizes_[0];
+  }
   bytes_allocated_ = 0;
-  bytes_reserved_ = 0;
 }
 
 }  // namespace onepass

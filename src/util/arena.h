@@ -37,18 +37,30 @@ class Arena {
     return {p, data.size()};
   }
 
-  // Total bytes handed out by Allocate.
+  // Total bytes handed out by Allocate since construction or Reset.
   size_t bytes_allocated() const { return bytes_allocated_; }
 
-  // Total bytes reserved from the system (>= bytes_allocated).
+  // Total bytes currently reserved from the system (>= bytes_allocated).
   size_t bytes_reserved() const { return bytes_reserved_; }
 
-  // Releases all blocks. Invalidates every pointer previously returned.
+  // Bytes this arena holds from the allocator's point of view, including
+  // the block index. Used for memory accounting/metrics; approximate in
+  // that per-block malloc headers are not counted.
+  size_t ApproxMemoryUsage() const {
+    return bytes_reserved_ + blocks_.capacity() * sizeof(blocks_[0]) +
+           block_sizes_.capacity() * sizeof(size_t);
+  }
+
+  // Rewinds the arena, invalidating every pointer previously returned.
+  // The first block is recycled rather than freed, so callers that build
+  // and tear down tables repeatedly (e.g. one per disk-bucket pass) reuse
+  // one warm block instead of round-tripping the heap each pass.
   void Reset();
 
  private:
   size_t block_size_;
   std::vector<std::unique_ptr<char[]>> blocks_;
+  std::vector<size_t> block_sizes_;  // parallel to blocks_
   char* cur_ = nullptr;
   size_t remaining_ = 0;
   size_t bytes_allocated_ = 0;

@@ -1,0 +1,82 @@
+#include "src/util/flat_table.h"
+
+#include <algorithm>
+
+namespace onepass {
+
+bool FlatTable::Erase(std::string_view key, uint64_t hash) {
+  if (ctrl_mask_ == 0) return false;
+  const uint64_t tag = TagOf(hash);
+  size_t i = hash & ctrl_mask_;
+  uint64_t len = 1;
+  for (;; i = (i + 1) & ctrl_mask_, ++len) {
+    const uint64_t c = ctrl_[i];
+    if (c == 0) {
+      Probe(len);
+      return false;
+    }
+    if ((c >> 32) == tag) {
+      const uint32_t idx = static_cast<uint32_t>(c & 0xffffffffu) - 1;
+      const Entry& e = entries_[idx];
+      if (e.hash == hash && e.key_len == key.size() &&
+          std::memcmp(e.key, key.data(), key.size()) == 0) {
+        break;
+      }
+    }
+  }
+  Probe(len);
+  const uint32_t idx = static_cast<uint32_t>(ctrl_[i] & 0xffffffffu) - 1;
+  // Swap-remove from the dense array; repoint the moved entry's ctrl word.
+  const uint32_t last = static_cast<uint32_t>(entries_.size()) - 1;
+  if (idx != last) {
+    entries_[idx] = entries_[last];
+    const size_t moved = FindCtrlSlot(entries_[idx].hash, last);
+    ctrl_[moved] = (ctrl_[moved] & ~uint64_t{0xffffffffu}) | (idx + 1);
+  }
+  entries_.pop_back();
+  // Backward-shift deletion keeps probe chains intact without tombstones.
+  size_t hole = i;
+  for (size_t j = (i + 1) & ctrl_mask_;; j = (j + 1) & ctrl_mask_) {
+    const uint64_t c = ctrl_[j];
+    if (c == 0) break;
+    const uint32_t jidx = static_cast<uint32_t>(c & 0xffffffffu) - 1;
+    const size_t home = entries_[jidx].hash & ctrl_mask_;
+    // Shift c into the hole only if its probe chain from `home` passes
+    // through the hole; otherwise c would become unreachable.
+    const size_t dist_home = (j - home) & ctrl_mask_;
+    const size_t dist_hole = (j - hole) & ctrl_mask_;
+    if (dist_home >= dist_hole) {
+      ctrl_[hole] = c;
+      hole = j;
+    }
+  }
+  ctrl_[hole] = 0;
+  return true;
+}
+
+size_t FlatTable::FindCtrlSlot(uint64_t hash, uint32_t idx) const {
+  for (size_t i = hash & ctrl_mask_;; i = (i + 1) & ctrl_mask_) {
+    const uint64_t c = ctrl_[i];
+    assert(c != 0);
+    if ((c & 0xffffffffu) == idx + 1) return i;
+  }
+}
+
+void FlatTable::Grow() {
+  const size_t cap = ctrl_.empty() ? kMinCapacity : ctrl_.size() * 2;
+  Rebuild(cap);
+}
+
+void FlatTable::Rebuild(size_t cap) {
+  if (!ctrl_.empty()) ++stats_.rehashes;
+  ctrl_.assign(cap, 0);
+  ctrl_mask_ = cap - 1;
+  for (uint32_t idx = 0; idx < entries_.size(); ++idx) {
+    const uint64_t hash = entries_[idx].hash;
+    size_t i = hash & ctrl_mask_;
+    while (ctrl_[i] != 0) i = (i + 1) & ctrl_mask_;
+    ctrl_[i] = (TagOf(hash) << 32) | (idx + 1);
+  }
+}
+
+}  // namespace onepass

@@ -1,0 +1,307 @@
+// FlatTable: open-addressing hash table for the hot group-by paths.
+//
+// The paper's prototype (§5) gets its hash-aggregation win by packing keys
+// and states into byte arrays managed by the application, not the runtime —
+// one touch per tuple, no per-entry heap node, no pointer chase per probe.
+// FlatTable is that layout:
+//
+//   ctrl_   : flat power-of-two array of 64-bit control words. A word is
+//             0 (empty) or (tag << 32) | (entry_index + 1), where tag is
+//             the high 32 bits of the key's hash. Linear probing scans this
+//             one cache-friendly array; the tag rejects almost all
+//             mismatched slots without touching entry storage.
+//   entries_: dense vector in INSERTION ORDER. Each entry caches the full
+//             64-bit hash, a {pointer, len} view of its key (bytes in the
+//             arena), and the value either inline (<= kInlineValueBytes)
+//             or as an arena-backed {pointer, len, cap}.
+//   arena_  : bump allocator owning all key/value bytes. Clear() recycles
+//             its first block, so per-bucket rebuild loops reuse memory.
+//
+// Iteration (ForEach / entry index 0..size()) is insertion order, which is
+// deterministic for a deterministic input sequence — unlike unordered_map,
+// whose order depends on the standard library. Growth is deterministic:
+// capacity doubles when size reaches 3/4 of capacity (erase is rare in our
+// workloads — only DINC slot replacement — so tombstones are not needed:
+// Erase swap-removes the dense entry and re-seats the displaced control
+// word by backward-shift deletion).
+//
+// Callers pass precomputed 64-bit digests (UniversalHash values) so each
+// tuple is hashed once per level; standalone users call DefaultHash.
+//
+// Not thread-safe; each engine/task owns its own table, matching the data
+// plane's share-nothing design.
+
+#ifndef ONEPASS_UTIL_FLAT_TABLE_H_
+#define ONEPASS_UTIL_FLAT_TABLE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "src/util/arena.h"
+#include "src/util/hash.h"
+
+namespace onepass {
+
+class FlatTable {
+ public:
+  // Values at most this long are stored inside the entry itself; longer
+  // values live in the arena. 24 bytes covers every fixed-size aggregate
+  // state in the workloads (counts, sums, min/max pairs) without growing
+  // the entry struct past one cache line.
+  static constexpr size_t kInlineValueBytes = 24;
+
+  // Entry indices are valid until the next call that mutates the table.
+  static constexpr uint32_t kNoEntry = UINT32_MAX;
+
+  struct Stats {
+    uint64_t probes = 0;     // control-word slots inspected across all ops
+    uint64_t rehashes = 0;   // table growths (capacity doublings)
+    uint64_t max_probe = 0;  // longest single probe sequence seen
+  };
+
+  explicit FlatTable(size_t arena_block_bytes = Arena::kDefaultBlockSize)
+      : arena_(arena_block_bytes) {}
+
+  FlatTable(const FlatTable&) = delete;
+  FlatTable& operator=(const FlatTable&) = delete;
+
+  // Hash for callers without a precomputed digest (tests, sketches used
+  // standalone). Any well-mixed 64-bit hash works; entries only ever meet
+  // digests from the same function.
+  static uint64_t DefaultHash(std::string_view key) {
+    return HashBytes(key, 0x9e3779b97f4a7c15ULL);
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Returns the entry index for `key` (with its precomputed digest), or
+  // kNoEntry if absent.
+  uint32_t Find(std::string_view key, uint64_t hash) const {
+    if (ctrl_mask_ == 0) return kNoEntry;
+    const uint64_t tag = TagOf(hash);
+    size_t i = hash & ctrl_mask_;
+    uint64_t len = 1;
+    for (;; i = (i + 1) & ctrl_mask_, ++len) {
+      const uint64_t c = ctrl_[i];
+      if (c == 0) break;
+      if ((c >> 32) == tag) {
+        const uint32_t idx = static_cast<uint32_t>(c & 0xffffffffu) - 1;
+        const Entry& e = entries_[idx];
+        if (e.hash == hash && e.key_len == key.size() &&
+            std::memcmp(e.key, key.data(), key.size()) == 0) {
+          Probe(len);
+          return idx;
+        }
+      }
+    }
+    Probe(len);
+    return kNoEntry;
+  }
+
+  // Finds `key` or inserts it with an empty value. Sets *inserted
+  // accordingly. The key bytes are copied into the arena on insert.
+  uint32_t FindOrInsert(std::string_view key, uint64_t hash, bool* inserted) {
+    if (ctrl_.empty() ||
+        entries_.size() + 1 > ctrl_.size() - (ctrl_.size() >> 2)) {
+      Grow();
+    }
+    const uint64_t tag = TagOf(hash);
+    size_t i = hash & ctrl_mask_;
+    uint64_t len = 1;
+    for (;; i = (i + 1) & ctrl_mask_, ++len) {
+      const uint64_t c = ctrl_[i];
+      if (c == 0) break;
+      if ((c >> 32) == tag) {
+        const uint32_t idx = static_cast<uint32_t>(c & 0xffffffffu) - 1;
+        const Entry& e = entries_[idx];
+        if (e.hash == hash && e.key_len == key.size() &&
+            std::memcmp(e.key, key.data(), key.size()) == 0) {
+          Probe(len);
+          *inserted = false;
+          return idx;
+        }
+      }
+    }
+    Probe(len);
+    const uint32_t idx = static_cast<uint32_t>(entries_.size());
+    Entry e;
+    e.hash = hash;
+    e.key_len = static_cast<uint32_t>(key.size());
+    char* kp = arena_.Allocate(key.size());
+    std::memcpy(kp, key.data(), key.size());
+    e.key = kp;
+    e.value_len = 0;
+    e.value_cap = kInlineValueBytes;
+    entries_.push_back(e);
+    ctrl_[i] = (tag << 32) | (idx + 1);
+    *inserted = true;
+    return idx;
+  }
+
+  // Removes `key` if present; returns true if it was. The dense entries
+  // array stays gap-free: the last entry moves into the vacated index, so
+  // one prior entry index (the returned-by-size()-1 one) is remapped.
+  // Insertion-order iteration is therefore only stable in the absence of
+  // erases — fine for the engines, which never erase (DINC's sketch
+  // replaces slots, which is an erase+insert on its index, and its
+  // iteration order is slot order, not table order).
+  bool Erase(std::string_view key, uint64_t hash);
+
+  std::string_view key_at(uint32_t idx) const {
+    const Entry& e = entries_[idx];
+    return {e.key, e.key_len};
+  }
+
+  uint64_t hash_at(uint32_t idx) const { return entries_[idx].hash; }
+
+  std::string_view value_at(uint32_t idx) const {
+    const Entry& e = entries_[idx];
+    return {e.value_ptr(), e.value_len};
+  }
+
+  // Replaces the value at `idx`. Reuses inline/arena capacity when the new
+  // value fits; otherwise takes a fresh arena chunk with doubling headroom
+  // (old arena bytes are abandoned until Clear()).
+  void set_value(uint32_t idx, std::string_view value) {
+    Entry& e = entries_[idx];
+    if (value.size() > e.value_cap) {
+      size_t cap = e.value_cap == 0 ? kInlineValueBytes : e.value_cap;
+      while (cap < value.size()) cap *= 2;
+      e.value.ptr = arena_.Allocate(cap);
+      e.value_cap = static_cast<uint32_t>(cap);
+    }
+    std::memcpy(e.value_ptr(), value.data(), value.size());
+    e.value_len = static_cast<uint32_t>(value.size());
+  }
+
+  // POD accessors for fixed-width values (chain heads, slot ids). The type
+  // must fit inline.
+  template <typename T>
+  void set_pod(uint32_t idx, const T& v) {
+    static_assert(sizeof(T) <= kInlineValueBytes, "pod must fit inline");
+    Entry& e = entries_[idx];
+    assert(e.value_cap >= sizeof(T));
+    std::memcpy(e.value_ptr(), &v, sizeof(T));
+    e.value_len = sizeof(T);
+  }
+
+  template <typename T>
+  T pod_at(uint32_t idx) const {
+    static_assert(sizeof(T) <= kInlineValueBytes, "pod must fit inline");
+    const Entry& e = entries_[idx];
+    assert(e.value_len == sizeof(T));
+    T v;
+    std::memcpy(&v, e.value_ptr(), sizeof(T));
+    return v;
+  }
+
+  // Pre-sizes the control array for `n` entries (rounded up so no growth
+  // happens before n inserts).
+  void Reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (n + 1 > cap - (cap >> 2)) cap *= 2;
+    if (cap > ctrl_.size()) Rebuild(cap);
+    entries_.reserve(n);
+  }
+
+  // Empties the table. Control storage is kept; the arena recycles its
+  // first block, so a Clear+refill loop stops allocating once warm.
+  void Clear() {
+    std::fill(ctrl_.begin(), ctrl_.end(), 0);
+    entries_.clear();
+    if (arena_.bytes_reserved() > peak_arena_bytes_) {
+      peak_arena_bytes_ = arena_.bytes_reserved();
+    }
+    arena_.Reset();
+  }
+
+  // Visits entries in insertion order. F: void(uint32_t idx).
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (uint32_t i = 0; i < entries_.size(); ++i) f(i);
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  // Bytes currently owned: arena blocks + control array + entry array.
+  size_t ApproxMemoryUsage() const {
+    return arena_.ApproxMemoryUsage() + ctrl_.capacity() * sizeof(uint64_t) +
+           entries_.capacity() * sizeof(Entry);
+  }
+
+  // Peak arena footprint over the table's lifetime (Clear shrinks the
+  // arena back to one block, so the live value alone would under-report).
+  size_t arena_bytes() const {
+    return std::max(peak_arena_bytes_, arena_.bytes_reserved());
+  }
+
+  // Adds this table's counters into a JobMetrics-shaped object (templated
+  // so util stays independent of src/mr). max_probe folds via max, the
+  // rest accumulate — matching JobMetrics::Merge, so totals are identical
+  // at every thread count.
+  template <typename Metrics>
+  void FlushStatsTo(Metrics* m) const {
+    m->hash_table_probes += stats_.probes;
+    m->hash_table_rehashes += stats_.rehashes;
+    if (stats_.max_probe > m->hash_table_max_probe) {
+      m->hash_table_max_probe = stats_.max_probe;
+    }
+    m->hash_arena_bytes += arena_bytes();
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+
+  struct Entry {
+    uint64_t hash;
+    const char* key;
+    uint32_t key_len;
+    uint32_t value_len;
+    uint32_t value_cap;  // kInlineValueBytes => inline storage in use
+    union {
+      char inline_bytes[kInlineValueBytes];
+      char* ptr;
+    } value;
+
+    char* value_ptr() {
+      return value_cap <= kInlineValueBytes ? value.inline_bytes : value.ptr;
+    }
+    const char* value_ptr() const {
+      return value_cap <= kInlineValueBytes ? value.inline_bytes : value.ptr;
+    }
+  };
+
+  static uint64_t TagOf(uint64_t hash) {
+    // High 32 bits; ensure nonzero control words even for tag 0 by the
+    // +1 entry-index encoding (index field is never 0 for live slots).
+    return hash >> 32;
+  }
+
+  void Probe(uint64_t len) const {
+    stats_.probes += len;
+    if (len > stats_.max_probe) stats_.max_probe = len;
+  }
+
+  // Finds the control slot currently holding entry index `idx` for `hash`.
+  size_t FindCtrlSlot(uint64_t hash, uint32_t idx) const;
+
+  void Grow();
+  void Rebuild(size_t cap);
+
+  Arena arena_;
+  std::vector<uint64_t> ctrl_;
+  size_t ctrl_mask_ = 0;  // ctrl_.size() - 1, or 0 when empty
+  std::vector<Entry> entries_;
+  size_t peak_arena_bytes_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_UTIL_FLAT_TABLE_H_

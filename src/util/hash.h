@@ -29,6 +29,15 @@ inline uint64_t Mix64(uint64_t x) {
 // Deterministic across platforms.
 uint64_t HashBytes(std::string_view data, uint64_t seed = 0);
 
+// Maps a full 64-bit hash to a bucket index in [0, buckets) without a
+// modulo (Lemire's fastrange). Engines that cache a key's digest use this
+// to route spills from the cached value; it matches UniversalHash::Bucket
+// exactly, so `FastRangeBucket(h(key), n) == h.Bucket(key, n)`.
+inline uint64_t FastRangeBucket(uint64_t hash, uint64_t buckets) {
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(hash) * buckets) >> 64);
+}
+
 // One member of a universal family: hashes byte strings to [0, 2^64) using
 // multiply-shift over a seeded 64-bit digest.
 class UniversalHash {
@@ -44,10 +53,7 @@ class UniversalHash {
 
   // Hash reduced to a bucket index in [0, buckets).
   uint64_t Bucket(std::string_view key, uint64_t buckets) const {
-    // Multiply-shift to the top bits, then map to range (fastrange).
-    const uint64_t h = (*this)(key);
-    return static_cast<uint64_t>(
-        (static_cast<__uint128_t>(h) * buckets) >> 64);
+    return FastRangeBucket((*this)(key), buckets);
   }
 
  private:

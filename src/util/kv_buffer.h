@@ -33,8 +33,16 @@ class KvBuffer {
 
   // Appends every record of `other`.
   void AppendAll(const KvBuffer& other) {
+    Reserve(data_.size() + other.data_.size());
     data_.append(other.data_);
     count_ += other.count_;
+  }
+
+  // Pre-sizes the backing storage for `bytes` total serialized bytes.
+  // Callers that know the final size (e.g. partition assembly from runs of
+  // known byte counts) use this to avoid repeated string reallocations.
+  void Reserve(size_t bytes) {
+    if (bytes > data_.capacity()) data_.reserve(bytes);
   }
 
   uint64_t count() const { return count_; }
@@ -78,8 +86,11 @@ class KvBufferReader {
   explicit KvBufferReader(const KvBuffer& buf) : rest_(buf.data()) {}
   explicit KvBufferReader(std::string_view raw) : rest_(raw) {}
 
-  // Advances to the next record. Returns false at end (or on corruption,
-  // which cannot happen for in-process buffers).
+  // Advances to the next record. Returns false at end, or if the bytes do
+  // not parse as length-prefixed records. Readers also run over bytes read
+  // back through framed I/O; frame checksums catch flipped bits, but a
+  // truncated or mis-framed payload still surfaces here as a short read, so
+  // callers that require exactly N records must check AtEnd()/the count.
   bool Next(std::string_view* key, std::string_view* value) {
     if (rest_.empty()) return false;
     if (!GetLengthPrefixed(&rest_, key)) return false;

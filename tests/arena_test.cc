@@ -1,0 +1,112 @@
+#include "src/util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace onepass {
+namespace {
+
+TEST(ArenaTest, CopyReturnsStableViews) {
+  Arena arena(64);  // tiny blocks to force many allocations
+  std::vector<std::string_view> views;
+  std::vector<std::string> originals;
+  for (int i = 0; i < 200; ++i) {
+    originals.push_back("value-" + std::to_string(i));
+    views.push_back(arena.Copy(originals.back()));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(views[i], originals[i]);
+  }
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(ArenaTest, OversizedAllocationGetsOwnBlock) {
+  Arena arena(64);
+  char* p = arena.Allocate(10'000);
+  ASSERT_NE(p, nullptr);
+  // Writable across the whole span.
+  p[0] = 'a';
+  p[9999] = 'z';
+  EXPECT_EQ(p[0], 'a');
+}
+
+TEST(ArenaTest, ZeroByteAllocationIsSafe) {
+  Arena arena;
+  EXPECT_NE(arena.Allocate(0), nullptr);
+}
+
+TEST(ArenaTest, ResetRecyclesFirstBlock) {
+  Arena arena(256);
+  // Fill several blocks.
+  for (int i = 0; i < 10; ++i) arena.Allocate(200);
+  EXPECT_GT(arena.bytes_reserved(), 256u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // Exactly one block retained.
+  EXPECT_EQ(arena.bytes_reserved(), 256u);
+  // The next allocation reuses that retained block: reserved bytes do not
+  // change until the recycled block is exhausted.
+  char* first_block = arena.Allocate(100);
+  ASSERT_NE(first_block, nullptr);
+  EXPECT_EQ(arena.bytes_reserved(), 256u);
+  arena.Reset();
+  EXPECT_EQ(arena.Allocate(50), first_block);
+}
+
+TEST(ArenaTest, ResetOnEmptyArenaIsANoop) {
+  Arena arena;
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_NE(arena.Allocate(10), nullptr);
+}
+
+TEST(ArenaTest, ResetKeepsOversizedFirstBlock) {
+  Arena arena(64);
+  // First allocation exceeds the block size, so the first (and recycled)
+  // block is the oversized one.
+  arena.Allocate(5000);
+  arena.Allocate(5000);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_reserved(), 5000u);
+  // A 5000-byte allocation now fits in the recycled block without growing.
+  arena.Allocate(5000);
+  EXPECT_EQ(arena.bytes_reserved(), 5000u);
+}
+
+TEST(ArenaTest, ApproxMemoryUsageTracksReservedBytes) {
+  Arena arena(1024);
+  EXPECT_EQ(arena.ApproxMemoryUsage(), 0u);
+  arena.Allocate(100);
+  EXPECT_GE(arena.ApproxMemoryUsage(), 1024u);
+  const size_t one_block = arena.ApproxMemoryUsage();
+  for (int i = 0; i < 20; ++i) arena.Allocate(1000);
+  const size_t many_blocks = arena.ApproxMemoryUsage();
+  EXPECT_GT(many_blocks, one_block);
+  arena.Reset();
+  // One block retained (plus the block index's residual capacity).
+  EXPECT_GE(arena.ApproxMemoryUsage(), 1024u);
+  EXPECT_LT(arena.ApproxMemoryUsage(), many_blocks);
+}
+
+TEST(ArenaTest, AllocationsAfterResetAreWritable) {
+  Arena arena(128);
+  std::vector<std::string_view> views;
+  std::vector<std::string> originals;
+  for (int round = 0; round < 5; ++round) {
+    arena.Reset();
+    views.clear();
+    originals.clear();
+    for (int i = 0; i < 50; ++i) {
+      originals.push_back("round" + std::to_string(round) + "-" +
+                          std::to_string(i));
+      views.push_back(arena.Copy(originals.back()));
+    }
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(views[i], originals[i]);
+  }
+}
+
+}  // namespace
+}  // namespace onepass

@@ -1,0 +1,250 @@
+#include "src/util/flat_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace onepass {
+namespace {
+
+uint32_t MustFind(const FlatTable& t, std::string_view key) {
+  return t.Find(key, FlatTable::DefaultHash(key));
+}
+
+uint32_t Upsert(FlatTable* t, std::string_view key, std::string_view value) {
+  bool inserted = false;
+  const uint32_t idx =
+      t->FindOrInsert(key, FlatTable::DefaultHash(key), &inserted);
+  t->set_value(idx, value);
+  return idx;
+}
+
+TEST(FlatTableTest, InsertFindUpdate) {
+  FlatTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(MustFind(t, "missing"), FlatTable::kNoEntry);
+
+  bool inserted = false;
+  const uint64_t h = FlatTable::DefaultHash("alpha");
+  uint32_t idx = t.FindOrInsert("alpha", h, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(t.key_at(idx), "alpha");
+  EXPECT_EQ(t.value_at(idx), "");
+  EXPECT_EQ(t.hash_at(idx), h);
+
+  t.set_value(idx, "one");
+  EXPECT_EQ(t.value_at(idx), "one");
+
+  uint32_t again = t.FindOrInsert("alpha", h, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(again, idx);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(MustFind(t, "alpha"), idx);
+}
+
+TEST(FlatTableTest, EmptyKeyAndEmptyValueRecords) {
+  FlatTable t;
+  uint32_t e = Upsert(&t, "", "state-for-empty-key");
+  uint32_t k = Upsert(&t, "key-with-empty-state", "");
+  EXPECT_EQ(t.key_at(e), "");
+  EXPECT_EQ(t.value_at(e), "state-for-empty-key");
+  EXPECT_EQ(t.key_at(k), "key-with-empty-state");
+  EXPECT_EQ(t.value_at(k), "");
+  EXPECT_EQ(MustFind(t, ""), e);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(FlatTableTest, ValuesGrowPastInlineThreshold) {
+  FlatTable t;
+  const std::string key = "k";
+  uint32_t idx = Upsert(&t, key, "short");
+  // Grow the value repeatedly across the inline boundary and back down.
+  for (size_t len : {size_t{8}, FlatTable::kInlineValueBytes,
+                     FlatTable::kInlineValueBytes + 1, size_t{200},
+                     size_t{3}, size_t{5000}, size_t{0}}) {
+    const std::string v(len, 'x');
+    t.set_value(idx, v);
+    ASSERT_EQ(t.value_at(idx), v) << "len=" << len;
+  }
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatTableTest, InsertionOrderIterationSurvivesRehash) {
+  FlatTable t;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back("key-" + std::to_string(i * 7919));
+    Upsert(&t, keys.back(), std::to_string(i));
+  }
+  ASSERT_GT(t.stats().rehashes, 0u);  // 1000 inserts must have rehashed
+  ASSERT_EQ(t.size(), keys.size());
+  std::vector<std::string> seen;
+  t.ForEach([&](uint32_t idx) { seen.emplace_back(t.key_at(idx)); });
+  EXPECT_EQ(seen, keys);
+}
+
+TEST(FlatTableTest, ReservePreventsRehash) {
+  FlatTable t;
+  t.Reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    Upsert(&t, "key-" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(t.stats().rehashes, 0u);
+  EXPECT_EQ(t.size(), 5000u);
+}
+
+TEST(FlatTableTest, ClearRecyclesMemory) {
+  FlatTable t;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      Upsert(&t, "key-" + std::to_string(i), std::string(40, 'v'));
+    }
+    EXPECT_EQ(t.size(), 500u);
+    const size_t usage = t.ApproxMemoryUsage();
+    t.Clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(MustFind(t, "key-0"), FlatTable::kNoEntry);
+    // Clear keeps the structures, so usage must not grow round over round.
+    EXPECT_LE(t.ApproxMemoryUsage(), usage);
+  }
+}
+
+TEST(FlatTableTest, PodValues) {
+  FlatTable t;
+  struct ChainRef {
+    uint32_t head;
+    uint32_t tail;
+  };
+  bool inserted = false;
+  uint32_t idx = t.FindOrInsert("k", FlatTable::DefaultHash("k"), &inserted);
+  t.set_pod(idx, ChainRef{7, 42});
+  const ChainRef r = t.pod_at<ChainRef>(idx);
+  EXPECT_EQ(r.head, 7u);
+  EXPECT_EQ(r.tail, 42u);
+  t.set_pod(idx, uint64_t{123});
+  EXPECT_EQ(t.pod_at<uint64_t>(idx), 123u);
+}
+
+TEST(FlatTableTest, EraseBasic) {
+  FlatTable t;
+  Upsert(&t, "a", "1");
+  Upsert(&t, "b", "2");
+  Upsert(&t, "c", "3");
+  EXPECT_TRUE(t.Erase("b", FlatTable::DefaultHash("b")));
+  EXPECT_FALSE(t.Erase("b", FlatTable::DefaultHash("b")));
+  EXPECT_FALSE(t.Erase("nope", FlatTable::DefaultHash("nope")));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(MustFind(t, "b"), FlatTable::kNoEntry);
+  const uint32_t a = MustFind(t, "a");
+  const uint32_t c = MustFind(t, "c");
+  ASSERT_NE(a, FlatTable::kNoEntry);
+  ASSERT_NE(c, FlatTable::kNoEntry);
+  EXPECT_EQ(t.value_at(a), "1");
+  EXPECT_EQ(t.value_at(c), "3");
+}
+
+TEST(FlatTableTest, StatsCountProbesAndTrackMax) {
+  FlatTable t;
+  Upsert(&t, "a", "1");
+  const FlatTable::Stats& s = t.stats();
+  EXPECT_GT(s.probes, 0u);
+  EXPECT_GE(s.max_probe, 1u);
+  EXPECT_LE(s.max_probe, s.probes);
+}
+
+// Property test: FlatTable must agree with a reference unordered_map over
+// randomized insert/update/find/erase/iterate sequences, including tiny
+// tables that are forced through many rehashes, empty keys, and empty
+// states.
+TEST(FlatTableTest, MirrorsReferenceMapProperty) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Xoshiro256StarStar rng(0x5eed0000 + seed);
+    FlatTable t;
+    std::unordered_map<std::string, std::string> ref;
+    std::vector<std::string> insertion_order;  // live keys, oldest first
+    size_t erases = 0;
+
+    // Small key universe => plenty of updates; varying sizes => rehashes.
+    const uint64_t universe = 1 + rng.Next() % 400;
+    const int ops = 3000;
+    for (int op = 0; op < ops; ++op) {
+      const uint64_t id = rng.Next() % universe;
+      std::string key =
+          id == 0 ? std::string() : "user-" + std::to_string(id);
+      const uint64_t hash = FlatTable::DefaultHash(key);
+      const uint64_t action = rng.Next() % 100;
+      if (action < 70) {
+        // Upsert with a value of random size (sometimes empty, sometimes
+        // past the inline threshold).
+        const size_t vlen = rng.Next() % 64;
+        std::string value(vlen, static_cast<char>('a' + (op % 26)));
+        bool inserted = false;
+        const uint32_t idx = t.FindOrInsert(key, hash, &inserted);
+        EXPECT_EQ(inserted, ref.find(key) == ref.end());
+        if (inserted) insertion_order.push_back(key);
+        t.set_value(idx, value);
+        ref[key] = value;
+      } else if (action < 90) {
+        // Lookup.
+        const uint32_t idx = t.Find(key, hash);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(idx, FlatTable::kNoEntry);
+        } else {
+          ASSERT_NE(idx, FlatTable::kNoEntry);
+          EXPECT_EQ(t.key_at(idx), key);
+          EXPECT_EQ(t.value_at(idx), it->second);
+        }
+      } else {
+        // Erase.
+        const bool erased = t.Erase(key, hash);
+        EXPECT_EQ(erased, ref.erase(key) > 0);
+        if (erased) ++erases;
+      }
+      ASSERT_EQ(t.size(), ref.size());
+    }
+
+    // Full iteration agrees with the reference as a set, and — when no
+    // erase ever disturbed the dense array — in insertion order too.
+    std::unordered_map<std::string, std::string> got;
+    std::vector<std::string> got_order;
+    t.ForEach([&](uint32_t idx) {
+      got.emplace(t.key_at(idx), t.value_at(idx));
+      got_order.emplace_back(t.key_at(idx));
+    });
+    EXPECT_EQ(got, ref);
+    if (erases == 0) {
+      EXPECT_EQ(got_order, insertion_order);
+    }
+  }
+}
+
+// Same property under adversarial sizing: a table cleared and refilled in
+// rounds (the per-bucket-pass pattern) must stay consistent.
+TEST(FlatTableTest, ClearRefillRoundsMatchReference) {
+  Xoshiro256StarStar rng(20110613);
+  FlatTable t;
+  for (int round = 0; round < 8; ++round) {
+    t.Clear();
+    std::unordered_map<std::string, std::string> ref;
+    const int n = 1 + static_cast<int>(rng.Next() % 700);
+    for (int i = 0; i < n; ++i) {
+      const std::string key = "r" + std::to_string(rng.Next() % 97);
+      const std::string value(rng.Next() % 50, 'v');
+      Upsert(&t, key, value);
+      ref[key] = value;
+    }
+    std::unordered_map<std::string, std::string> got;
+    t.ForEach([&](uint32_t idx) {
+      got.emplace(t.key_at(idx), t.value_at(idx));
+    });
+    ASSERT_EQ(got, ref) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace onepass

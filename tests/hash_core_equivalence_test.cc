@@ -1,0 +1,130 @@
+// Flat vs. legacy hash core (DESIGN.md §5.4): the FlatTable port of every
+// group-by path must change performance only. For each engine and memory
+// regime the two cores must produce the same output *set* (record order may
+// differ — FlatTable finalizes in insertion order, unordered_map in stdlib
+// order), each core must be deterministic run-to-run, and both must match
+// the reference counts.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/mr/cluster.h"
+#include "src/workloads/clickstream.h"
+#include "src/workloads/jobs.h"
+#include "src/workloads/reference.h"
+
+namespace onepass {
+namespace {
+
+struct Params {
+  EngineKind engine;
+  uint64_t reduce_memory;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<Params>& info) {
+  std::string name;
+  switch (info.param.engine) {
+    case EngineKind::kSortMerge:
+      name = "SortMerge";
+      break;
+    case EngineKind::kMRHash:
+      name = "MRHash";
+      break;
+    case EngineKind::kIncHash:
+      name = "IncHash";
+      break;
+    case EngineKind::kDincHash:
+      name = "DincHash";
+      break;
+  }
+  name += "_mem" + std::to_string(info.param.reduce_memory >> 10) + "k";
+  return name;
+}
+
+class HashCoreSweep : public ::testing::TestWithParam<Params> {};
+
+JobConfig MakeConfig(const Params& p, HashCoreKind core) {
+  JobConfig cfg;
+  cfg.engine = p.engine;
+  cfg.hash_core = core;
+  cfg.cluster.nodes = 5;
+  cfg.cluster.cores_per_node = 2;
+  cfg.cluster.map_slots = 2;
+  cfg.cluster.reduce_slots = 2;
+  cfg.reducers_per_node = 2;
+  cfg.chunk_bytes = 64 << 10;
+  cfg.reduce_memory_bytes = p.reduce_memory;
+  cfg.bucket_page_bytes = 1024;
+  cfg.map_side_combine = true;
+  cfg.collect_outputs = true;
+  cfg.expected_keys_per_reducer = 150;
+  cfg.expected_bytes_per_reducer = 64 << 10;
+  return cfg;
+}
+
+std::map<std::string, std::string> OutputSet(
+    const std::vector<Record>& outputs) {
+  std::map<std::string, std::string> set;
+  for (const Record& rec : outputs) {
+    EXPECT_EQ(set.count(rec.key), 0u) << "duplicate key " << rec.key;
+    set[rec.key] = rec.value;
+  }
+  return set;
+}
+
+TEST_P(HashCoreSweep, FlatMatchesLegacyAndReference) {
+  const Params& p = GetParam();
+  ClickStreamConfig clicks;
+  clicks.num_clicks = 30'000;
+  clicks.num_users = 1'500;
+  clicks.user_skew = 0.8;
+  clicks.seed = 23;
+  ChunkStore input(64 << 10, 5);
+  GenerateClickStream(clicks, &input);
+
+  auto flat = LocalCluster::RunJob(ClickCountJob(),
+                                   MakeConfig(p, HashCoreKind::kFlat), input);
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  auto legacy = LocalCluster::RunJob(
+      ClickCountJob(), MakeConfig(p, HashCoreKind::kLegacy), input);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+
+  const auto flat_set = OutputSet(flat->outputs);
+  EXPECT_EQ(flat_set, OutputSet(legacy->outputs));
+
+  const auto expected = ReferenceClickCounts(input, ClickKeyField::kUser);
+  std::map<std::string, uint64_t> got;
+  for (const auto& [k, v] : flat_set) got[k] = std::stoull(v);
+  EXPECT_EQ(got, expected);
+
+  // Each core is deterministic on its own: a rerun reproduces the exact
+  // record sequence, not just the set.
+  auto flat2 = LocalCluster::RunJob(
+      ClickCountJob(), MakeConfig(p, HashCoreKind::kFlat), input);
+  ASSERT_TRUE(flat2.ok()) << flat2.status().ToString();
+  ASSERT_EQ(flat->outputs.size(), flat2->outputs.size());
+  for (size_t i = 0; i < flat->outputs.size(); ++i) {
+    EXPECT_EQ(flat->outputs[i].key, flat2->outputs[i].key);
+    EXPECT_EQ(flat->outputs[i].value, flat2->outputs[i].value);
+  }
+}
+
+constexpr uint64_t kAmple = 1 << 20;
+constexpr uint64_t kTight = 8 << 10;
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HashCoreSweep,
+                         ::testing::Values(
+                             Params{EngineKind::kSortMerge, kAmple},
+                             Params{EngineKind::kMRHash, kAmple},
+                             Params{EngineKind::kMRHash, kTight},
+                             Params{EngineKind::kIncHash, kAmple},
+                             Params{EngineKind::kIncHash, kTight},
+                             Params{EngineKind::kDincHash, kAmple},
+                             Params{EngineKind::kDincHash, kTight}),
+                         ParamName);
+
+}  // namespace
+}  // namespace onepass

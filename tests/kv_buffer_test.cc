@@ -2,8 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include "src/util/arena.h"
-
 namespace onepass {
 namespace {
 
@@ -93,44 +91,18 @@ TEST(KvBufferTest, LargeValues) {
   EXPECT_EQ(v.size(), big.size());
 }
 
-TEST(ArenaTest, CopyReturnsStableViews) {
-  Arena arena(64);  // tiny blocks to force many allocations
-  std::vector<std::string_view> views;
-  std::vector<std::string> originals;
-  for (int i = 0; i < 200; ++i) {
-    originals.push_back("value-" + std::to_string(i));
-    views.push_back(arena.Copy(originals.back()));
-  }
-  for (int i = 0; i < 200; ++i) {
-    EXPECT_EQ(views[i], originals[i]);
-  }
-  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
-}
-
-TEST(ArenaTest, ResetReclaims) {
-  Arena arena;
-  arena.Allocate(1000);
-  EXPECT_GT(arena.bytes_allocated(), 0u);
-  arena.Reset();
-  EXPECT_EQ(arena.bytes_allocated(), 0u);
-  EXPECT_EQ(arena.bytes_reserved(), 0u);
-  // Usable again.
-  EXPECT_NE(arena.Allocate(10), nullptr);
-}
-
-TEST(ArenaTest, OversizedAllocationGetsOwnBlock) {
-  Arena arena(64);
-  char* p = arena.Allocate(10'000);
-  ASSERT_NE(p, nullptr);
-  // Writable across the whole span.
-  p[0] = 'a';
-  p[9999] = 'z';
-  EXPECT_EQ(p[0], 'a');
-}
-
-TEST(ArenaTest, ZeroByteAllocationIsSafe) {
-  Arena arena;
-  EXPECT_NE(arena.Allocate(0), nullptr);
+TEST(KvBufferTest, ReserveAvoidsReallocation) {
+  KvBuffer buf;
+  buf.Reserve(1 << 16);
+  const char* before = buf.data().data();
+  std::string v(100, 'v');
+  for (int i = 0; i < 500; ++i) buf.Append("key" + std::to_string(i), v);
+  ASSERT_LT(buf.bytes(), uint64_t{1} << 16);
+  EXPECT_EQ(buf.data().data(), before);
+  // Reserving less than the current capacity must not shrink anything.
+  buf.Reserve(1);
+  EXPECT_EQ(buf.data().data(), before);
+  EXPECT_EQ(buf.count(), 500u);
 }
 
 }  // namespace
