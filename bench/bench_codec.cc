@@ -1,0 +1,166 @@
+// Codec smoke for CI (DESIGN.md §5.5): three floors that must hold for
+// the block byte path to be worth shipping, checked fast enough to run on
+// every push:
+//   (1) compression ratio on the Zipf'd word-count spill plane >= 1.5x;
+//   (2) LZ decode throughput >= a deliberately conservative floor;
+//   (3) kNone and kLz produce identical output fingerprints on all four
+//       engines.
+// Exits non-zero if any floor is missed.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/storage/block_format.h"
+#include "src/util/compress.h"
+#include "src/util/hash.h"
+#include "src/util/kv_buffer.h"
+#include "src/workloads/jobs.h"
+
+namespace {
+
+// Order-insensitive fingerprint (same construction as bench_fig4b): a
+// commutative sum of per-record hashes, so engines that emit records in
+// different orders can still be compared record-for-record.
+uint64_t OutputFingerprint(const std::vector<onepass::Record>& outputs) {
+  uint64_t fp = 0;
+  for (const onepass::Record& rec : outputs) {
+    fp += onepass::Mix64(onepass::HashBytes(rec.key, 7) ^
+                         onepass::HashBytes(rec.value, 13));
+  }
+  return fp;
+}
+
+bool Check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace onepass;
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  bool ok = true;
+
+  std::printf("=== codec smoke: ratio, decode throughput, answer "
+              "equivalence ===\n\n");
+
+  // ---- (1) compression ratio on Zipf word-count spills ----
+  {
+    DocumentCorpusConfig docs = bench::ScaledDocs(flags.scale);
+    docs.num_records = static_cast<uint64_t>(20'000 * flags.scale);
+    JobConfig cfg = bench::ScaledJobConfig(EngineKind::kSortMerge);
+    cfg.map_buffer_bytes = 128 << 10;   // forces map-side spill runs
+    cfg.reduce_memory_bytes = 64 << 10;  // forces reduce-side runs
+    cfg.merge_factor = 4;
+    cfg.block_codec = BlockCodecKind::kLz;
+    ChunkStore input(cfg.chunk_bytes, cfg.cluster.nodes);
+    GenerateDocuments(docs, &input);
+
+    auto r = bench::MustRun(TrigramCountJob(/*threshold=*/5), cfg, input);
+    if (!r.ok()) return 1;
+    const JobMetrics& m = r->metrics;
+    const uint64_t raw = m.codec_map_spill_raw_bytes +
+                         m.codec_shuffle_raw_bytes +
+                         m.codec_reduce_spill_raw_bytes +
+                         m.codec_bucket_raw_bytes;
+    const uint64_t enc = m.codec_map_spill_encoded_bytes +
+                         m.codec_shuffle_encoded_bytes +
+                         m.codec_reduce_spill_encoded_bytes +
+                         m.codec_bucket_encoded_bytes;
+    const double ratio =
+        enc > 0 ? static_cast<double>(raw) / static_cast<double>(enc) : 0.0;
+    std::printf("Zipf word-count spill plane: raw %s MB -> encoded %s MB "
+                "(%.2fx)\n",
+                bench::Mb(raw).c_str(), bench::Mb(enc).c_str(), ratio);
+    ok &= Check(ratio >= 1.5, "spill compression ratio >= 1.5x");
+
+    // Informational: end-to-end decode throughput observed inside the job.
+    if (m.decompress_ns > 0) {
+      std::printf("  in-job decode: %.0f MB/s over %s MB raw\n",
+                  raw / (m.decompress_ns / 1e9) / (1 << 20),
+                  bench::Mb(raw).c_str());
+    }
+  }
+
+  // ---- (2) LZ decode throughput floor ----
+  {
+    // Compress a Zipf'd text buffer in codec-sized blocks, then time
+    // repeated decodes. The floor is conservative by design — an order of
+    // magnitude below what the byte-aligned decoder does on release
+    // builds — so the check only trips on real regressions (quadratic
+    // copies, per-byte branching), not on slow CI machines.
+    DocumentCorpusConfig docs = bench::ScaledDocs(0.05);
+    ChunkStore text(256 << 10, 1);
+    GenerateDocuments(docs, &text);
+    std::string raw;
+    for (const Chunk& c : text.chunks()) raw += c.records.data();
+    const size_t block = 48 << 10;
+    std::vector<std::pair<std::string, size_t>> blocks;  // (enc, raw size)
+    for (size_t off = 0; off < raw.size(); off += block) {
+      const size_t len = std::min(block, raw.size() - off);
+      std::string enc;
+      LzCompress(std::string_view(raw).substr(off, len), &enc);
+      blocks.emplace_back(std::move(enc), len);
+    }
+    const int reps = 20;
+    std::string out;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      for (const auto& [enc, raw_len] : blocks) {
+        out.clear();
+        if (!LzDecompress(enc, raw_len, &out)) return 1;
+      }
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double mb_s = reps * raw.size() / secs / (1 << 20);
+    std::printf("\nLZ decode: %.0f MB/s (%zu KB corpus, %d reps)\n", mb_s,
+                raw.size() >> 10, reps);
+    ok &= Check(mb_s >= 64.0, "decode throughput >= 64 MB/s");
+  }
+
+  // ---- (3) kNone vs kLz fingerprints on all four engines ----
+  {
+    std::printf("\n%-12s %18s %18s\n", "engine", "fp(none)", "fp(lz)");
+    const ClickStreamConfig clicks = bench::ScaledClicks(0.1 * flags.scale);
+    for (const EngineKind engine :
+         {EngineKind::kSortMerge, EngineKind::kMRHash, EngineKind::kIncHash,
+          EngineKind::kDincHash}) {
+      JobConfig cfg = bench::ScaledJobConfig(engine);
+      cfg.reduce_memory_bytes = 64 << 10;  // tight: every engine spills
+      cfg.map_side_combine = true;
+      cfg.collect_outputs = true;
+      cfg.expected_keys_per_reducer =
+          clicks.num_users /
+          (cfg.cluster.nodes * cfg.reducers_per_node);
+      cfg.expected_bytes_per_reducer = cfg.reduce_memory_bytes;
+      ChunkStore input(cfg.chunk_bytes, cfg.cluster.nodes);
+      GenerateClickStream(clicks, &input);
+
+      uint64_t fp[2] = {0, 0};
+      for (const BlockCodecKind codec :
+           {BlockCodecKind::kNone, BlockCodecKind::kLz}) {
+        cfg.block_codec = codec;
+        auto r = bench::MustRun(ClickCountJob(), cfg, input);
+        if (!r.ok()) return 1;
+        fp[codec == BlockCodecKind::kLz] = OutputFingerprint(r->outputs);
+      }
+      std::printf("%-12s %18llx %18llx\n",
+                  std::string(EngineKindName(engine)).c_str(),
+                  static_cast<unsigned long long>(fp[0]),
+                  static_cast<unsigned long long>(fp[1]));
+      ok &= Check(fp[0] == fp[1], "kLz output identical to kNone");
+    }
+  }
+
+  std::printf("\ncodec smoke: %s\n", ok ? "all floors hold" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -41,6 +41,9 @@ struct Flags {
   // hardware thread, 1 = sequential. Results are byte-identical either
   // way; only wall-clock changes.
   int threads = 0;
+  // Block codec for spill/shuffle/bucket streams: "none" (default) or
+  // "lz" (JobConfig::block_codec = kLz).
+  std::string codec = "none";
 };
 
 inline Flags ParseFlags(int argc, char** argv) {
@@ -57,6 +60,8 @@ inline Flags ParseFlags(int argc, char** argv) {
       flags.util = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       flags.threads = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--codec=", 0) == 0) {
+      flags.codec = arg.substr(8);
     } else if (arg == "--plot" && i + 1 < argc) {
       flags.plot = argv[++i];
     } else if (arg.rfind("--plot=", 0) == 0) {
@@ -64,6 +69,16 @@ inline Flags ParseFlags(int argc, char** argv) {
     }
   }
   return flags;
+}
+
+// Resolves a --codec= flag value ("none"/"lz") to the config enum;
+// unknown names fall back to kNone with a warning.
+inline BlockCodecKind CodecFromFlag(const std::string& name) {
+  if (name == "lz") return BlockCodecKind::kLz;
+  if (name != "none" && !name.empty()) {
+    std::fprintf(stderr, "unknown --codec=%s, using none\n", name.c_str());
+  }
+  return BlockCodecKind::kNone;
 }
 
 // ---- the scaled paper cluster ----

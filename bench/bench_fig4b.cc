@@ -54,6 +54,11 @@ int main(int argc, char** argv) {
   base.costs = CostModel();
   base.costs.task_start_s = 0.010;
   base.costs.disk_seek_s = 0.05e-3;
+  base.block_codec = bench::CodecFromFlag(flags.codec);
+
+  // Bytes-on-disk rows (intermediate I/O actually charged to disk —
+  // encoded bytes when a codec is active), printed after the time table.
+  std::vector<std::string> disk_rows;
 
   double buffer_c = 0;
   for (uint64_t c : chunk_sizes) {
@@ -79,15 +84,36 @@ int main(int argc, char** argv) {
                                     static_cast<double>(f)};
       std::printf(" %14.2f", model.TimeMeasurement(settings));
     }
+    char row[160];
+    int row_len = std::snprintf(row, sizeof(row), "%10llu",
+                                static_cast<unsigned long long>(c >> 10));
     for (int f : merge_factors) {
       JobConfig cfg = base;
       cfg.chunk_bytes = c;
       cfg.merge_factor = f;
       auto r = bench::MustRun(SessionizationJob(), cfg, input);
       std::printf(" %14.2f", r.ok() ? r->running_time : 0.0);
+      const uint64_t disk_bytes =
+          !r.ok() ? 0
+                  : r->metrics.map_spill_write_bytes +
+                        r->metrics.map_spill_read_bytes +
+                        r->metrics.map_output_bytes +
+                        r->metrics.reduce_spill_write_bytes +
+                        r->metrics.reduce_spill_read_bytes;
+      row_len += std::snprintf(row + row_len, sizeof(row) - row_len,
+                               " %14s", bench::Mb(disk_bytes).c_str());
     }
+    disk_rows.push_back(row);
     std::printf("\n");
   }
+
+  std::printf("\nbytes on disk, intermediate streams (MB%s):\n",
+              base.block_codec == BlockCodecKind::kNone ? ""
+                                                        : ", lz-encoded");
+  std::printf("%10s", "C(KB)");
+  for (int f : merge_factors) std::printf("    disk F=%-4d", f);
+  std::printf("\n");
+  for (const std::string& row : disk_rows) std::printf("%s\n", row.c_str());
 
   std::printf(
       "\n§3.2(1): map output fits the %llu KB sort buffer up to C ~ %.0f "

@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
   JobConfig cfg = bench::ScaledJobConfig(EngineKind::kSortMerge);
   cfg.merge_factor = 32;  // one-pass merge so lambda_F is in its exact regime
   cfg.reduce_memory_bytes = 128 << 10;
+  cfg.block_codec = bench::CodecFromFlag(flags.codec);
+  const bool coded = cfg.block_codec != BlockCodecKind::kNone;
   ChunkStore input(cfg.chunk_bytes, cfg.cluster.nodes);
   GenerateClickStream(clicks, &input);
 
@@ -33,15 +35,39 @@ int main(int argc, char** argv) {
 
   HadoopWorkload w;
   w.d_bytes = static_cast<double>(input.total_bytes());
-  w.k_m = static_cast<double>(m.map_output_bytes) /
-          static_cast<double>(m.map_input_bytes);
-  w.k_r = static_cast<double>(m.reduce_output_bytes) /
-          static_cast<double>(m.map_output_bytes);
+  // K_m and K_r are data properties, so they use *raw* volumes: under a
+  // codec the disk-visible map_output_bytes is encoded and the raw total
+  // lives in the codec counters.
+  const double raw_map_output =
+      coded ? static_cast<double>(m.codec_shuffle_raw_bytes)
+            : static_cast<double>(m.map_output_bytes);
+  w.k_m = raw_map_output / static_cast<double>(m.map_input_bytes);
+  w.k_r = static_cast<double>(m.reduce_output_bytes) / raw_map_output;
   HadoopHardware hw;
   hw.n_nodes = cfg.cluster.nodes;
   hw.b_m = static_cast<double>(cfg.map_buffer_bytes);
   hw.b_r = static_cast<double>(cfg.reduce_memory_bytes);
-  const HadoopModel model(w, hw, cfg.costs);
+  HadoopModel model(w, hw, cfg.costs);
+  if (coded) {
+    // Effective-bytes multipliers: the measured encoded/raw ratio per
+    // stream kind (1.0 when a stream kind never materialized).
+    auto ratio = [](uint64_t enc, uint64_t raw) {
+      return raw > 0 ? static_cast<double>(enc) / static_cast<double>(raw)
+                     : 1.0;
+    };
+    EffectiveBytes eff;
+    eff.map_spill =
+        ratio(m.codec_map_spill_encoded_bytes, m.codec_map_spill_raw_bytes);
+    eff.map_output =
+        ratio(m.codec_shuffle_encoded_bytes, m.codec_shuffle_raw_bytes);
+    eff.reduce_spill =
+        ratio(m.codec_reduce_spill_encoded_bytes + m.codec_bucket_encoded_bytes,
+              m.codec_reduce_spill_raw_bytes + m.codec_bucket_raw_bytes);
+    model.set_effective_bytes(eff);
+    std::printf("codec=lz effective-bytes factors: map_spill %.3f  "
+                "map_output %.3f  reduce_spill %.3f\n\n",
+                eff.map_spill, eff.map_output, eff.reduce_spill);
+  }
   const HadoopSettings settings{cfg.reducers_per_node,
                                 static_cast<double>(cfg.chunk_bytes),
                                 static_cast<double>(cfg.merge_factor)};

@@ -17,18 +17,24 @@ namespace {
 struct Row {
   double time = 0;
   uint64_t disk_fetch = 0;
+  uint64_t disk_bytes = 0;  // all intermediate bytes written/read on disk
 };
 
-Row Run(int r_per_node, const ChunkStore& input) {
+Row Run(int r_per_node, BlockCodecKind codec, const ChunkStore& input) {
   JobConfig cfg = bench::ScaledJobConfig(EngineKind::kSortMerge);
   cfg.merge_factor = 32;  // optimized merge, like the paper's experiment
   cfg.reduce_memory_bytes = 128 << 10;
   cfg.reducers_per_node = r_per_node;
+  cfg.block_codec = codec;
   auto res = bench::MustRun(SessionizationJob(), cfg, input);
   Row row;
   if (!res.ok()) return row;
   row.time = res->running_time;
   row.disk_fetch = res->shuffle_from_disk_bytes;
+  const JobMetrics& m = res->metrics;
+  row.disk_bytes = m.map_spill_write_bytes + m.map_spill_read_bytes +
+                   m.map_output_bytes + m.reduce_spill_write_bytes +
+                   m.reduce_spill_read_bytes;
   return row;
 }
 
@@ -57,14 +63,20 @@ int main(int argc, char** argv) {
   ChunkStore input(base.chunk_bytes, base.cluster.nodes);
   GenerateClickStream(clicks, &input);
 
-  const Row r4 = Run(4, input);
-  const Row r8 = Run(8, input);
+  const BlockCodecKind codec = bench::CodecFromFlag(flags.codec);
+  const Row r4 = Run(4, codec, input);
+  const Row r8 = Run(8, codec, input);
 
   std::printf("%-24s %14s %14s\n", "", "R=4", "R=8");
   std::printf("%-24s %14.2f %14.2f\n", "Running time (s)", r4.time, r8.time);
   std::printf("%-24s %14s %14s\n", "Shuffle from disk (MB)",
               bench::Mb(r4.disk_fetch).c_str(),
               bench::Mb(r8.disk_fetch).c_str());
+  std::printf("%-24s %14s %14s\n",
+              codec == BlockCodecKind::kNone ? "Bytes on disk (MB)"
+                                             : "Bytes on disk (MB, lz)",
+              bench::Mb(r4.disk_bytes).c_str(),
+              bench::Mb(r8.disk_bytes).c_str());
 
   std::printf(
       "\npaper shape check: R=8 is slower (paper: 4187 s vs 4723 s) — the "

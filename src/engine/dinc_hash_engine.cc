@@ -41,7 +41,8 @@ DincHashEngine::DincHashEngine(const EngineContext& ctx)
   states_.resize(capacity_entries_);
   buckets_ = std::make_unique<BucketFileManager>(
       num_buckets_, page, ctx_.trace, ctx_.metrics, &cfg.integrity,
-      ctx_.faults, ctx_.integrity_owner);
+      ctx_.faults, ctx_.integrity_owner, &cfg.costs, cfg.block_codec,
+      cfg.codec_block_bytes);
   bucket_pass_ = std::make_unique<BucketPassProcessor>(
       &ctx_, capacity_entries_ * entry_cost);
 }

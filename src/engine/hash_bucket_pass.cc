@@ -151,7 +151,8 @@ Status BucketPassProcessor::Repartition(KvBuffer data, uint64_t level,
   const JobConfig& cfg = *ctx_->config;
   const int sub = 4;
   BucketFileManager subs(sub, cfg.bucket_page_bytes, ctx_->trace,
-                         ctx_->metrics, &cfg.integrity, ctx_->faults, owner);
+                         ctx_->metrics, &cfg.integrity, ctx_->faults, owner,
+                         &cfg.costs, cfg.block_codec, cfg.codec_block_bytes);
   const UniversalHash h = ctx_->hashes.At(level + 1);
   KvBufferReader reader(data);
   std::string_view key, state;

@@ -63,7 +63,8 @@ IncHashEngine::IncHashEngine(const EngineContext& ctx)
   capacity_bytes_ = cfg.reduce_memory_bytes - reserved;
   buckets_ = std::make_unique<BucketFileManager>(
       num_buckets_, page, ctx_.trace, ctx_.metrics, &cfg.integrity,
-      ctx_.faults, ctx_.integrity_owner);
+      ctx_.faults, ctx_.integrity_owner, &cfg.costs, cfg.block_codec,
+      cfg.codec_block_bytes);
   bucket_pass_ = std::make_unique<BucketPassProcessor>(&ctx_,
                                                        capacity_bytes_);
 }

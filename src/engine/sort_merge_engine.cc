@@ -1,9 +1,11 @@
 #include "src/engine/sort_merge_engine.h"
 
 #include <string>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/engine/sorted_merge.h"
+#include "src/storage/block_format.h"
 
 namespace onepass {
 
@@ -24,6 +26,43 @@ Status SortMergeEngine::Consume(const KvBuffer& segment, bool sorted) {
   buffered_.push_back(std::move(copy));
   if (buffered_bytes_ > ctx_.config->reduce_memory_bytes) SpillBuffered();
   return Status::OK();
+}
+
+bool SortMergeEngine::coded() const {
+  return ctx_.config->block_codec != BlockCodecKind::kNone;
+}
+
+SortMergeEngine::Run SortMergeEngine::StoreRun(KvBuffer run, OpTag tag) {
+  Run r;
+  r.raw_bytes = run.bytes();
+  if (coded()) {
+    CodecStats stats;
+    r.enc = EncodeKvStream(run, BlockEncoding::kPrefix,
+                           ctx_.config->block_codec,
+                           ctx_.config->codec_block_bytes, &stats);
+    r.disk_bytes = r.enc.size();
+    ctx_.trace->Cpu(ctx_.config->costs.compress_byte_s *
+                        static_cast<double>(r.raw_bytes),
+                    tag);
+    ctx_.metrics->codec_reduce_spill_raw_bytes += r.raw_bytes;
+    ctx_.metrics->codec_reduce_spill_encoded_bytes += r.enc.size();
+    ctx_.metrics->compress_ns += stats.compress_ns;
+  } else {
+    r.raw = std::move(run);
+    r.disk_bytes = r.raw_bytes;
+  }
+  return r;
+}
+
+KvBuffer SortMergeEngine::DecodeRun(const Run& run, OpTag tag) {
+  CodecStats stats;
+  Result<KvBuffer> dec = DecodeKvStream(run.enc, &stats);
+  CHECK(dec.ok()) << dec.status().ToString();
+  ctx_.trace->Cpu(ctx_.config->costs.decompress_byte_s *
+                      static_cast<double>(run.raw_bytes),
+                  tag);
+  ctx_.metrics->decompress_ns += stats.decompress_ns;
+  return std::move(dec).value();
 }
 
 std::string SortMergeEngine::CombineGroup(
@@ -79,24 +118,36 @@ void SortMergeEngine::SpillBuffered() {
   buffered_.clear();
   buffered_bytes_ = 0;
 
-  // Write the run to disk.
-  const uint64_t run_bytes = run.bytes();
-  ctx_.trace->DiskWrite(run_bytes, OpTag::kReduceSpill);
-  ctx_.metrics->reduce_spill_write_bytes += run_bytes;
+  // Write the run to disk (encoded under a codec).
+  Run stored = StoreRun(std::move(run), OpTag::kReduceSpill);
+  const uint64_t policy_bytes = stored.raw_bytes;
+  ctx_.trace->DiskWrite(stored.disk_bytes, OpTag::kReduceSpill);
+  ctx_.metrics->reduce_spill_write_bytes += stored.disk_bytes;
   // runs_ indices stay aligned with MergeScheduler file ids: one run is
   // pushed before each AddRun, and the merged output (if any) is pushed
   // right after with id == runs_.size().
-  runs_.push_back(std::move(run));
+  runs_.push_back(std::move(stored));
 
-  // Background multi-pass merge per the 2F-1 policy.
+  // Background multi-pass merge per the 2F-1 policy. The scheduler is fed
+  // raw payload bytes, not bytes-on-disk, so the merge tree — and with it
+  // the combine order and the final output — is identical whether or not
+  // a codec is active.
   MergeScheduler::MergeEvent ev =
-      scheduler_.AddRun(static_cast<double>(run_bytes));
+      scheduler_.AddRun(static_cast<double>(policy_bytes));
   if (ev.merged) {
     std::vector<const KvBuffer*> merge_inputs;
+    std::vector<KvBuffer> decoded;
+    decoded.reserve(ev.inputs.size());
     for (int id : ev.inputs) {
-      merge_inputs.push_back(&runs_[id]);
-      ctx_.trace->DiskRead(runs_[id].bytes(), OpTag::kReduceMerge);
-      ctx_.metrics->reduce_spill_read_bytes += runs_[id].bytes();
+      const Run& input = runs_[id];
+      ctx_.trace->DiskRead(input.disk_bytes, OpTag::kReduceMerge);
+      ctx_.metrics->reduce_spill_read_bytes += input.disk_bytes;
+      if (coded()) {
+        decoded.push_back(DecodeRun(input, OpTag::kReduceMerge));
+        merge_inputs.push_back(&decoded.back());
+      } else {
+        merge_inputs.push_back(&input.raw);
+      }
     }
     SortedKvMerger merger2(std::move(merge_inputs));
     KvBuffer merged;
@@ -123,11 +174,12 @@ void SortMergeEngine::SpillBuffered() {
     if (combines2 > 0) {
       ctx_.trace->Cpu(0.0, OpTag::kCombine, combines2);
     }
-    ctx_.trace->DiskWrite(merged.bytes(), OpTag::kReduceMerge);
-    ctx_.metrics->reduce_spill_write_bytes += merged.bytes();
-    for (int id : ev.inputs) runs_[id] = KvBuffer();  // consumed
+    Run merged_run = StoreRun(std::move(merged), OpTag::kReduceMerge);
+    ctx_.trace->DiskWrite(merged_run.disk_bytes, OpTag::kReduceMerge);
+    ctx_.metrics->reduce_spill_write_bytes += merged_run.disk_bytes;
+    for (int id : ev.inputs) runs_[id] = Run();  // consumed
     CHECK_EQ(ev.output_id, static_cast<int>(runs_.size()));
-    runs_.push_back(std::move(merged));
+    runs_.push_back(std::move(merged_run));
   }
   return;
 }
@@ -138,12 +190,21 @@ Status SortMergeEngine::Snapshot() {
   // snapshot (and the final answer) repeats the work — the §3.3(4)
   // overhead.
   std::vector<const KvBuffer*> inputs;
+  std::vector<KvBuffer> decoded;
+  decoded.reserve(runs_.size());
   for (int id : scheduler_.FinalInputs()) {
-    const KvBuffer& run = runs_[id];
-    if (run.bytes() > 0) {
-      ctx_.trace->DiskRead(run.bytes(), OpTag::kReduceMerge);
-      ctx_.metrics->reduce_spill_read_bytes += run.bytes();
-      inputs.push_back(&run);
+    const Run& run = runs_[id];
+    if (run.disk_bytes > 0) {
+      ctx_.trace->DiskRead(run.disk_bytes, OpTag::kReduceMerge);
+      ctx_.metrics->reduce_spill_read_bytes += run.disk_bytes;
+      if (coded()) {
+        // A snapshot re-reads (and so re-decodes) the runs every time it
+        // fires; keeping nothing is the §3.3(4) overhead.
+        decoded.push_back(DecodeRun(run, OpTag::kReduceMerge));
+        inputs.push_back(&decoded.back());
+      } else {
+        inputs.push_back(&run.raw);
+      }
     }
   }
   for (const auto& b : buffered_) inputs.push_back(&b);
@@ -184,14 +245,21 @@ Status SortMergeEngine::Finish() {
   // invariant) plus whatever is still in the shuffle buffer stream into
   // the reduce function in key order.
   std::vector<const KvBuffer*> inputs;
+  std::vector<KvBuffer> decoded;
+  decoded.reserve(runs_.size());
   for (int id : scheduler_.FinalInputs()) {
-    const KvBuffer& run = runs_[id];
-    if (run.bytes() > 0) {
+    const Run& run = runs_[id];
+    if (run.disk_bytes > 0) {
       // Reading the runs back is part of "reduce (including the final
       // merge)" in the paper's Fig. 2(a) taxonomy.
-      ctx_.trace->DiskRead(run.bytes(), OpTag::kReduceFn);
-      ctx_.metrics->reduce_spill_read_bytes += run.bytes();
-      inputs.push_back(&run);
+      ctx_.trace->DiskRead(run.disk_bytes, OpTag::kReduceFn);
+      ctx_.metrics->reduce_spill_read_bytes += run.disk_bytes;
+      if (coded()) {
+        decoded.push_back(DecodeRun(run, OpTag::kReduceFn));
+        inputs.push_back(&decoded.back());
+      } else {
+        inputs.push_back(&run.raw);
+      }
     }
   }
   for (const auto& b : buffered_) inputs.push_back(&b);

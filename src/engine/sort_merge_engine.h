@@ -17,10 +17,12 @@
 #define ONEPASS_ENGINE_SORT_MERGE_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/engine/group_by_engine.h"
 #include "src/model/merge_tree.h"
+#include "src/mr/cost_trace.h"
 #include "src/util/kv_buffer.h"
 
 namespace onepass {
@@ -37,6 +39,17 @@ class SortMergeEngine : public GroupByEngine {
   Status Snapshot() override;
 
  private:
+  // One on-disk sorted run. Under JobConfig::block_codec == kNone the
+  // payload lives in `raw` and `disk_bytes == raw_bytes`; under a codec
+  // the run is stored as a prefix-coded block stream in `enc` (that is
+  // what disk carries — `raw` stays empty) and readers decode on access.
+  struct Run {
+    KvBuffer raw;
+    std::string enc;
+    uint64_t raw_bytes = 0;
+    uint64_t disk_bytes = 0;
+  };
+
   // Merges the buffered segments into one sorted run (combining if
   // enabled) and spills it to disk; may trigger a background merge.
   void SpillBuffered();
@@ -44,13 +57,21 @@ class SortMergeEngine : public GroupByEngine {
   std::string CombineGroup(std::string_view key,
                            const std::vector<std::string_view>& values,
                            uint64_t* combines);
+  bool coded() const;
+  // Packages a merged payload as a Run, encoding it (and charging the
+  // compress CPU against `tag`) when a codec is active. The caller charges
+  // the disk write of the returned disk_bytes.
+  Run StoreRun(KvBuffer run, OpTag tag);
+  // Decodes a codec run's block stream back to its payload, charging the
+  // decompress CPU against `tag`. Codec runs only.
+  KvBuffer DecodeRun(const Run& run, OpTag tag);
 
   // In-memory sorted segments awaiting merge.
   std::vector<KvBuffer> buffered_;
   uint64_t buffered_bytes_ = 0;
   // On-disk sorted runs, indexed by MergeScheduler file id. Entries
   // consumed by background merges are cleared.
-  std::vector<KvBuffer> runs_;
+  std::vector<Run> runs_;
   MergeScheduler scheduler_;
   bool use_combiner_;
 };

@@ -41,6 +41,12 @@ struct CostModel {
   double reduce_fn_byte_s = 2.0e-9;
   // Merge cost per record per pass (heap sift in k-way merge).
   double merge_record_s = 40.0e-9;
+  // Block codec CPU (DESIGN.md §5.5), per *raw* byte passed through the
+  // encoder/decoder. Charged only when JobConfig::block_codec != kNone, so
+  // kNone schedules are untouched. Roughly an LZ4-class software codec:
+  // ~400 MB/s compress, ~1.5 GB/s decompress.
+  double compress_byte_s = 2.5e-9;
+  double decompress_byte_s = 0.7e-9;
 
   // Memory retention window for map output on the mapper node (seconds).
   // A reducer fetching within this window reads from the mapper's memory;

@@ -42,6 +42,11 @@ ByteCosts HadoopModel::Bytes(const HadoopSettings& s) const {
   if (beta > 1.0) {
     u.reduce_spill = 2.0 * s.r * LambdaF(beta, h_.b_r, s.f);
   }
+  // Codec effective bytes: the intermediate streams hit disk encoded, so
+  // the model's raw volumes scale by the measured encoded/raw ratios.
+  u.map_spill *= eff_.map_spill;
+  u.map_output *= eff_.map_output;
+  u.reduce_spill *= eff_.reduce_spill;
   return u;
 }
 

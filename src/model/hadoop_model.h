@@ -49,6 +49,18 @@ struct HadoopSettings {
   double f = 10;          // merge factor
 };
 
+// Effective-bytes multipliers for a block-codec byte path (DESIGN.md §5.5):
+// the ratio encoded/raw per stream kind, each in (0, 1] with 1.0 = no
+// codec. The model's U terms describe raw data volume; when the platform
+// runs with a codec the *disk* carries encoded bytes, so the model scales
+// each compressible U term by the workload's measured ratio. Map input and
+// reduce output stay raw — the codec only covers intermediate streams.
+struct EffectiveBytes {
+  double map_spill = 1.0;     // scales U2 (sorted-run streams)
+  double map_output = 1.0;    // scales U3 (shuffle segment streams)
+  double reduce_spill = 1.0;  // scales U4 (reduce runs + bucket files)
+};
+
 // Per-node byte I/O decomposition (Table 2's five U_i types).
 struct ByteCosts {
   double map_input = 0;      // U1
@@ -65,6 +77,11 @@ class HadoopModel {
  public:
   HadoopModel(HadoopWorkload w, HadoopHardware h, CostModel costs = {})
       : w_(w), h_(h), costs_(costs) {}
+
+  // Installs codec effective-bytes multipliers; Bytes() scales U2/U3/U4 by
+  // them. Requests() is left alone: compression shrinks bytes per request,
+  // not the number of sequential I/O requests.
+  void set_effective_bytes(const EffectiveBytes& eff) { eff_ = eff; }
 
   // Proposition 3.1: bytes read and written per node.
   ByteCosts Bytes(const HadoopSettings& s) const;
@@ -85,6 +102,7 @@ class HadoopModel {
   HadoopWorkload w_;
   HadoopHardware h_;
   CostModel costs_;
+  EffectiveBytes eff_;
 };
 
 // Result of a grid search over (C, F).

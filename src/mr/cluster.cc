@@ -21,6 +21,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/resources.h"
+#include "src/storage/block_format.h"
 #include "src/storage/framed_io.h"
 #include "src/util/crc32c.h"
 #include "src/util/hash.h"
@@ -1460,33 +1461,60 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
         size_t delivery_index = 0;
         for (const auto& [m, p] : delivery_order) {
           const PushSegment& push = map_outs[m].pushes[p];
-          const KvBuffer& segment = push.partitions[r];
+          // Under a block codec the fetched image is the encoded block
+          // stream: the CRC check and the wire/disk byte charges cover the
+          // *encoded* bytes, and the segment is decoded here before the
+          // engine consumes it (DESIGN.md §5.5).
+          const bool coded = !push.encoded.empty();
+          const std::string* enc = coded ? &push.encoded[r] : nullptr;
+          const KvBuffer* segment = coded ? nullptr : &push.partitions[r];
+          const uint64_t wire_bytes =
+              coded ? enc->size() : segment->bytes();
           // Every fetched segment re-verifies against the CRC its producer
           // stamped at publish time; the time-plane replay decides which
           // fetches the plan corrupts and replays the recovery.
           if (config.integrity.checksums && !push.crcs.empty()) {
-            if (Crc32c(segment.data()) != push.crcs[r]) {
+            const uint32_t crc =
+                coded ? Crc32c(*enc) : Crc32c(segment->data());
+            if (crc != push.crcs[r]) {
               reduce_statuses[ri] = Status::Corruption(
                   "map task " + std::to_string(m) + " push " +
                   std::to_string(p) + ": segment for reducer " +
                   std::to_string(r) + " failed checksum verification");
               return;
             }
-            task->metrics.verify_bytes += segment.bytes();
+            task->metrics.verify_bytes += wire_bytes;
             task->metrics.checksum_overhead_bytes += FramedOverheadBytes(
-                segment.bytes(), config.integrity.block_bytes);
+                wire_bytes, config.integrity.block_bytes);
+          }
+          KvBuffer decoded;
+          if (coded) {
+            CodecStats dstats;
+            Result<KvBuffer> dec = DecodeKvStream(*enc, &dstats);
+            if (!dec.ok()) {
+              reduce_statuses[ri] = dec.status();
+              return;
+            }
+            decoded = std::move(dec).value();
+            task->metrics.decompress_ns += dstats.decompress_ns;
+            segment = &decoded;
           }
           DeliveryRef d;
           d.map_task = m;
           d.push = p;
-          d.bytes = segment.bytes();
+          d.bytes = wire_bytes;
           task->deliveries.push_back(d);
           trace.BeginSection();
-          trace.Net(segment.bytes(), OpTag::kShuffle,
-                    /*d_shuffle_bytes=*/segment.bytes());
-          task->metrics.shuffle_bytes += segment.bytes();
+          trace.Net(wire_bytes, OpTag::kShuffle,
+                    /*d_shuffle_bytes=*/wire_bytes);
+          if (coded) {
+            trace.Cpu(config.costs.decompress_byte_s *
+                          static_cast<double>(segment->bytes()),
+                      OpTag::kShuffle);
+          }
+          task->metrics.shuffle_bytes += wire_bytes;
           const Status consumed =
-              task->engine->Consume(segment, map_outs[m].sorted);
+              task->engine->Consume(*segment, map_outs[m].sorted);
           if (!consumed.ok()) {
             reduce_statuses[ri] = consumed;
             return;
@@ -1525,6 +1553,7 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
   for (auto& mo : map_outs) {
     for (auto& push : mo.pushes) {
       push.partitions.clear();
+      push.encoded.clear();
     }
   }
 

@@ -9,6 +9,7 @@
 #include "src/common/status.h"
 #include "src/model/cost_model.h"
 #include "src/sim/fault_injector.h"
+#include "src/storage/block_format.h"
 #include "src/storage/framed_io.h"
 
 namespace onepass {
@@ -108,6 +109,18 @@ struct JobConfig {
   // Fault injection & recovery (simulated time plane; see
   // src/sim/fault_injector.h). Default: no faults.
   sim::FaultConfig faults;
+
+  // Block codec for every spill/shuffle/bucket stream (DESIGN.md §5.5).
+  // kNone keeps the raw varint record format on disk and on the wire —
+  // byte-identical to the pre-codec platform, so goldens don't move. kLz
+  // routes those streams through BlockBuilder (prefix coding on sorted
+  // runs, run-length key grouping on hash buckets) plus the LZ block
+  // codec; CRCs then cover the *encoded* image. Either way the records a
+  // consumer sees are identical — only the bytes charged for moving them
+  // change.
+  BlockCodecKind block_codec = BlockCodecKind::kNone;
+  // Target raw bytes per encoded block (32-64 KB is the useful range).
+  uint64_t codec_block_bytes = 48 << 10;
 
   // Data integrity: CRC32C block framing + verification of every
   // simulated persistent/network stream (DESIGN.md §5.2). On by default;

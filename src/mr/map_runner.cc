@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/engine/sorted_merge.h"
 #include "src/model/merge_tree.h"
+#include "src/storage/block_format.h"
 #include "src/storage/framed_io.h"
 #include "src/util/arena.h"
 #include "src/util/crc32c.h"
@@ -234,10 +235,46 @@ MapRunner::MapRunner(const JobConfig& config, MapOutputMode mode,
 
 void MapRunner::StampPushCrcs(PushSegment* push) const {
   if (!config_.integrity.checksums) return;
+  if (!push->encoded.empty()) {
+    // Codec path: the wire/disk image is the encoded block stream, so the
+    // CRC covers post-compression bytes (DESIGN.md §5.5).
+    push->crcs.reserve(push->encoded.size());
+    for (const std::string& enc : push->encoded) {
+      push->crcs.push_back(Crc32c(enc));
+    }
+    return;
+  }
   push->crcs.reserve(push->partitions.size());
   for (const KvBuffer& part : push->partitions) {
     push->crcs.push_back(Crc32c(part.data()));
   }
+}
+
+void MapRunner::EncodePush(PushSegment* push, bool sorted,
+                           TraceRecorder* trace, JobMetrics* metrics) const {
+  if (config_.block_codec == BlockCodecKind::kNone) return;
+  const uint64_t raw_bytes = push->bytes;
+  const BlockEncoding encoding =
+      sorted ? BlockEncoding::kPrefix : BlockEncoding::kGrouped;
+  CodecStats stats;
+  push->encoded.reserve(push->partitions.size());
+  uint64_t encoded_total = 0;
+  for (KvBuffer& part : push->partitions) {
+    std::string enc;
+    if (!part.empty()) {
+      enc = EncodeKvStream(part, encoding, config_.block_codec,
+                           config_.codec_block_bytes, &stats);
+    }
+    encoded_total += enc.size();
+    push->encoded.push_back(std::move(enc));
+    part = KvBuffer();  // the encoded image supersedes the raw partition
+  }
+  trace->Cpu(config_.costs.compress_byte_s * static_cast<double>(raw_bytes),
+             OpTag::kMapOutput);
+  metrics->codec_shuffle_raw_bytes += raw_bytes;
+  metrics->codec_shuffle_encoded_bytes += encoded_total;
+  metrics->compress_ns += stats.compress_ns;
+  push->bytes = encoded_total;
 }
 
 Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
@@ -304,13 +341,15 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
       trace.Cpu(per_record * static_cast<double>(emitter.records()),
                 OpTag::kMapFn);
       const uint64_t bytes = emitter.bytes();
-      trace.DiskWrite(bytes, OpTag::kMapOutput, WriteRequests(bytes));
-      out.metrics.map_output_bytes += bytes;
-      out.metrics.map_output_records += emitter.records();
       PushSegment push;
-      push.gate_op = static_cast<uint32_t>(out.trace.ops.size() - 1);
       push.partitions = std::move(parts);
       push.bytes = bytes;
+      EncodePush(&push, /*sorted=*/false, &trace, &out.metrics);
+      trace.DiskWrite(push.bytes, OpTag::kMapOutput,
+                      WriteRequests(push.bytes));
+      out.metrics.map_output_bytes += push.bytes;
+      out.metrics.map_output_records += emitter.records();
+      push.gate_op = static_cast<uint32_t>(out.trace.ops.size() - 1);
       StampPushCrcs(&push);
       out.pushes.push_back(std::move(push));
       out.sorted = false;
@@ -335,14 +374,15 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
       trace.Cpu((costs.hash_record_s + costs.combine_record_s) *
                     static_cast<double>(emitter.records()),
                 OpTag::kMapFn);
-      trace.DiskWrite(out_bytes, OpTag::kMapOutput,
-                      WriteRequests(out_bytes));
-      out.metrics.map_output_bytes += out_bytes;
-      out.metrics.map_output_records += out_records;
       PushSegment push;
-      push.gate_op = static_cast<uint32_t>(out.trace.ops.size() - 1);
       push.partitions = std::move(parts);
       push.bytes = out_bytes;
+      EncodePush(&push, /*sorted=*/false, &trace, &out.metrics);
+      trace.DiskWrite(push.bytes, OpTag::kMapOutput,
+                      WriteRequests(push.bytes));
+      out.metrics.map_output_bytes += push.bytes;
+      out.metrics.map_output_records += out_records;
+      push.gate_op = static_cast<uint32_t>(out.trace.ops.size() - 1);
       StampPushCrcs(&push);
       out.pushes.push_back(std::move(push));
       out.sorted = false;
@@ -357,11 +397,17 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
                               TraceRecorder* trace, MapTaskOutput* out) const {
   const CostModel& costs = config_.costs;
   const bool combine = mode_ == MapOutputMode::kSortCombine;
+  const bool coded = config_.block_codec != BlockCodecKind::kNone;
   CollectingEmitter emitter(&partitioner_, total_partitions_);
   // Sorted runs; each run holds per-partition sorted buffers, with the
   // CRC32C recorded at spill time for verification at merge read-back.
+  // Under a block codec the runs live on "disk" as per-partition
+  // prefix-coded block streams (enc_runs); the raw buffers are dropped at
+  // spill time and rebuilt by decoding at merge time, so both the byte
+  // charges and the resident memory track the encoded size.
   std::vector<std::vector<KvBuffer>> runs;
-  std::vector<uint64_t> run_bytes;
+  std::vector<std::vector<std::string>> enc_runs;
+  std::vector<uint64_t> run_bytes;  // bytes on disk (encoded if coded)
   std::vector<uint32_t> run_crcs;
 
   // Sorts the buffered entries (combining key groups if enabled) and emits
@@ -412,27 +458,56 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
 
     const bool publish =
         config_.pipelining || kind == CutKind::kFinalOutput;
-    const OpTag write_tag =
-        publish ? OpTag::kMapOutput : OpTag::kMapSpill;
-    trace->DiskWrite(bytes, write_tag, WriteRequests(bytes));
     if (publish) {
-      out->metrics.map_output_bytes += bytes;
-      out->metrics.map_output_records += records;
       PushSegment push;
-      push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
       push.partitions = std::move(parts);
       push.bytes = bytes;
+      EncodePush(&push, /*sorted=*/true, trace, &out->metrics);
+      trace->DiskWrite(push.bytes, OpTag::kMapOutput,
+                       WriteRequests(push.bytes));
+      out->metrics.map_output_bytes += push.bytes;
+      out->metrics.map_output_records += records;
+      push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
       StampPushCrcs(&push);
       out->pushes.push_back(std::move(push));
     } else {
-      out->metrics.map_spill_write_bytes += bytes;
-      if (config_.integrity.checksums) {
-        uint32_t crc = 0;
-        for (const KvBuffer& p : parts) crc = Crc32cExtend(crc, p.data());
-        run_crcs.push_back(crc);
+      uint64_t disk_bytes = bytes;
+      if (coded) {
+        CodecStats cstats;
+        std::vector<std::string> enc(total_partitions_);
+        uint64_t enc_bytes = 0;
+        for (int p = 0; p < total_partitions_; ++p) {
+          if (parts[p].empty()) continue;
+          enc[p] =
+              EncodeKvStream(parts[p], BlockEncoding::kPrefix,
+                             config_.block_codec, config_.codec_block_bytes,
+                             &cstats);
+          enc_bytes += enc[p].size();
+        }
+        trace->Cpu(costs.compress_byte_s * static_cast<double>(bytes),
+                   OpTag::kMapSpill);
+        out->metrics.codec_map_spill_raw_bytes += bytes;
+        out->metrics.codec_map_spill_encoded_bytes += enc_bytes;
+        out->metrics.compress_ns += cstats.compress_ns;
+        if (config_.integrity.checksums) {
+          uint32_t crc = 0;
+          for (const std::string& e : enc) crc = Crc32cExtend(crc, e);
+          run_crcs.push_back(crc);
+        }
+        enc_runs.push_back(std::move(enc));
+        disk_bytes = enc_bytes;
+      } else {
+        if (config_.integrity.checksums) {
+          uint32_t crc = 0;
+          for (const KvBuffer& p : parts) crc = Crc32cExtend(crc, p.data());
+          run_crcs.push_back(crc);
+        }
+        runs.push_back(std::move(parts));
       }
-      runs.push_back(std::move(parts));
-      run_bytes.push_back(bytes);
+      trace->DiskWrite(disk_bytes, OpTag::kMapSpill,
+                       WriteRequests(disk_bytes));
+      out->metrics.map_spill_write_bytes += disk_bytes;
+      run_bytes.push_back(disk_bytes);
     }
   };
 
@@ -471,7 +546,7 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
   // into the final map output. Physically a single k-way merge; extra
   // passes beyond the merge factor are accounted via the exact merge tree.
   sort_and_cut(CutKind::kSpill);
-  const int n_runs = static_cast<int>(runs.size());
+  const int n_runs = static_cast<int>(run_bytes.size());
   uint64_t total_run_bytes = 0;
   for (uint64_t b : run_bytes) total_run_bytes += b;
 
@@ -481,10 +556,16 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
     // plan's corruption chain for its on-disk image. A corrupt generation
     // is rebuilt — re-sorted from the resident input and rewritten,
     // charged as an extra write + read of the run — until the recovery
-    // budget runs out.
+    // budget runs out. Under a block codec both the CRC and the damaged
+    // image are the *encoded* stream: checksums cover post-compression
+    // bytes, exactly what the disk would hold (DESIGN.md §5.5).
     for (int r = 0; r < n_runs; ++r) {
       uint32_t crc = 0;
-      for (const KvBuffer& p : runs[r]) crc = Crc32cExtend(crc, p.data());
+      if (coded) {
+        for (const std::string& e : enc_runs[r]) crc = Crc32cExtend(crc, e);
+      } else {
+        for (const KvBuffer& p : runs[r]) crc = Crc32cExtend(crc, p.data());
+      }
       CHECK_EQ(crc, run_crcs[r]) << "map spill run mutated in memory";
       out->metrics.verify_bytes += run_bytes[r];
       out->metrics.checksum_overhead_bytes +=
@@ -498,7 +579,11 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
       for (int gen = 0; gen < chain; ++gen) {
         std::string image;
         image.reserve(run_bytes[r]);
-        for (const KvBuffer& p : runs[r]) image.append(p.data());
+        if (coded) {
+          for (const std::string& e : enc_runs[r]) image.append(e);
+        } else {
+          for (const KvBuffer& p : runs[r]) image.append(p.data());
+        }
         std::string framed =
             FrameBytes(image, config_.integrity.block_bytes);
         const sim::CorruptionEvent ev = faults_->CorruptionDamage(
@@ -528,6 +613,30 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
         ++out->metrics.corruptions_recovered;
       }
     }
+  }
+
+  if (coded) {
+    // Read the encoded runs back: decode each partition's block stream
+    // into the raw sorted buffers the merge consumes, charging the decode
+    // CPU for the raw bytes reproduced.
+    CodecStats dstats;
+    uint64_t decoded_raw = 0;
+    runs.resize(n_runs);
+    for (int r = 0; r < n_runs; ++r) {
+      runs[r].resize(total_partitions_);
+      for (int p = 0; p < total_partitions_; ++p) {
+        const std::string& enc = enc_runs[r][p];
+        if (enc.empty()) continue;
+        Result<KvBuffer> dec = DecodeKvStream(enc, &dstats);
+        CHECK(dec.ok()) << dec.status().ToString();
+        runs[r][p] = std::move(dec).value();
+        decoded_raw += runs[r][p].bytes();
+      }
+      enc_runs[r].clear();
+    }
+    trace->Cpu(costs.decompress_byte_s * static_cast<double>(decoded_raw),
+               OpTag::kMapMerge);
+    out->metrics.decompress_ns += dstats.decompress_ns;
   }
 
   std::vector<KvBuffer> final_parts(total_partitions_);
@@ -568,6 +677,9 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
     total_records += merger.records_merged();
     out_records += final_parts[p].count();
     out_bytes += final_parts[p].bytes();
+    // The reservation above sized for the pre-combine sum; release the
+    // slack so resident map output tracks what will actually ship.
+    final_parts[p].ShrinkToFit();
   }
 
   trace->DiskRead(total_run_bytes, OpTag::kMapMerge,
@@ -596,13 +708,14 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
           OpTag::kMapMerge);
     }
   }
-  trace->DiskWrite(out_bytes, OpTag::kMapOutput, WriteRequests(out_bytes));
-  out->metrics.map_output_bytes += out_bytes;
-  out->metrics.map_output_records += out_records;
   PushSegment push;
-  push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
   push.partitions = std::move(final_parts);
   push.bytes = out_bytes;
+  EncodePush(&push, /*sorted=*/true, trace, &out->metrics);
+  trace->DiskWrite(push.bytes, OpTag::kMapOutput, WriteRequests(push.bytes));
+  out->metrics.map_output_bytes += push.bytes;
+  out->metrics.map_output_records += out_records;
+  push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
   StampPushCrcs(&push);
   out->pushes.push_back(std::move(push));
   return Status::OK();

@@ -62,6 +62,12 @@ struct PushSegment {
   // Completion of trace op `gate_op` makes this push fetchable.
   uint32_t gate_op = 0;
   std::vector<KvBuffer> partitions;  // indexed by reducer partition
+  // Per-partition block streams (DESIGN.md §5.5), present iff the job runs
+  // with a block codec. When non-empty, `partitions` holds empty buffers
+  // (the encoded image supersedes them — reducers decode on fetch), and
+  // `bytes`/`crcs` describe the encoded bytes: what "disk" and the wire
+  // carry is the block stream, so checksums cover post-compression bytes.
+  std::vector<std::string> encoded;
   uint64_t bytes = 0;
   // CRC32C per partition segment, recorded at publish time when the job
   // runs with integrity checksums (empty otherwise). Reducers re-verify
@@ -101,8 +107,18 @@ class MapRunner {
  private:
   Status RunSortPath(const KvBuffer& chunk, double map_fn_cost,
                      TraceRecorder* trace, MapTaskOutput* out) const;
-  // Fills push.crcs from push.partitions when integrity checksums are on.
+  // Fills push.crcs from the bytes the push actually carries (encoded
+  // block streams under a codec, raw partitions otherwise) when integrity
+  // checksums are on.
   void StampPushCrcs(PushSegment* push) const;
+  // Under an active block codec: encodes push->partitions into
+  // per-partition block streams (prefix-coded when `sorted`, run-length
+  // key-grouped otherwise), charges the codec CPU to `trace`, updates the
+  // codec shuffle counters, releases the raw partitions, and rewrites
+  // push->bytes to the encoded total. No-op under kNone. Call before
+  // charging the push's disk write.
+  void EncodePush(PushSegment* push, bool sorted, TraceRecorder* trace,
+                  JobMetrics* metrics) const;
 
   const JobConfig& config_;
   MapOutputMode mode_;

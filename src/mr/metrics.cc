@@ -41,6 +41,16 @@ void JobMetrics::Merge(const JobMetrics& o) {
   quarantined_replicas += o.quarantined_replicas;
   rereplicated_bytes += o.rereplicated_bytes;
   corruption_recovery_bytes += o.corruption_recovery_bytes;
+  codec_map_spill_raw_bytes += o.codec_map_spill_raw_bytes;
+  codec_map_spill_encoded_bytes += o.codec_map_spill_encoded_bytes;
+  codec_shuffle_raw_bytes += o.codec_shuffle_raw_bytes;
+  codec_shuffle_encoded_bytes += o.codec_shuffle_encoded_bytes;
+  codec_reduce_spill_raw_bytes += o.codec_reduce_spill_raw_bytes;
+  codec_reduce_spill_encoded_bytes += o.codec_reduce_spill_encoded_bytes;
+  codec_bucket_raw_bytes += o.codec_bucket_raw_bytes;
+  codec_bucket_encoded_bytes += o.codec_bucket_encoded_bytes;
+  compress_ns += o.compress_ns;
+  decompress_ns += o.decompress_ns;
   hash_table_probes += o.hash_table_probes;
   hash_table_rehashes += o.hash_table_rehashes;
   if (o.hash_table_max_probe > hash_table_max_probe) {
@@ -100,6 +110,18 @@ std::string JobMetrics::Serialize() const {
   put_u64("quarantined_replicas", quarantined_replicas);
   put_u64("rereplicated_bytes", rereplicated_bytes);
   put_u64("corruption_recovery_bytes", corruption_recovery_bytes);
+  put_u64("codec_map_spill_raw_bytes", codec_map_spill_raw_bytes);
+  put_u64("codec_map_spill_encoded_bytes", codec_map_spill_encoded_bytes);
+  put_u64("codec_shuffle_raw_bytes", codec_shuffle_raw_bytes);
+  put_u64("codec_shuffle_encoded_bytes", codec_shuffle_encoded_bytes);
+  put_u64("codec_reduce_spill_raw_bytes", codec_reduce_spill_raw_bytes);
+  put_u64("codec_reduce_spill_encoded_bytes",
+          codec_reduce_spill_encoded_bytes);
+  put_u64("codec_bucket_raw_bytes", codec_bucket_raw_bytes);
+  put_u64("codec_bucket_encoded_bytes", codec_bucket_encoded_bytes);
+  // compress_ns / decompress_ns are host wall-clock and intentionally not
+  // serialized: Serialize() must stay deterministic across runs and
+  // data_plane_threads settings (see metrics.h).
   put_u64("hash_table_probes", hash_table_probes);
   put_u64("hash_table_rehashes", hash_table_rehashes);
   put_u64("hash_table_max_probe", hash_table_max_probe);
@@ -168,6 +190,28 @@ std::string JobMetrics::ToString() const {
         static_cast<unsigned long long>(hash_table_max_probe),
         static_cast<unsigned long long>(hash_table_rehashes),
         static_cast<unsigned long long>(hash_arena_bytes));
+    out += buf;
+  }
+  // The codec block appears only when a block codec ran.
+  const uint64_t codec_raw = codec_map_spill_raw_bytes +
+                             codec_shuffle_raw_bytes +
+                             codec_reduce_spill_raw_bytes +
+                             codec_bucket_raw_bytes;
+  if (codec_raw > 0) {
+    const uint64_t codec_enc = codec_map_spill_encoded_bytes +
+                               codec_shuffle_encoded_bytes +
+                               codec_reduce_spill_encoded_bytes +
+                               codec_bucket_encoded_bytes;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nblock codec:     %llu raw -> %llu encoded bytes (%.2fx), "
+        "compress %.1f ms, decompress %.1f ms",
+        static_cast<unsigned long long>(codec_raw),
+        static_cast<unsigned long long>(codec_enc),
+        codec_enc > 0 ? static_cast<double>(codec_raw) /
+                            static_cast<double>(codec_enc)
+                      : 0.0,
+        compress_ns / 1e6, decompress_ns / 1e6);
     out += buf;
   }
   // The integrity block appears only when checksums were verified or a

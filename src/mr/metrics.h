@@ -66,6 +66,24 @@ struct JobMetrics {
   // and run rebuilds, shuffle re-fetches), charged through the cost model.
   uint64_t corruption_recovery_bytes = 0;
 
+  // --- Block codec (DESIGN.md §5.5) ---
+  // Raw (KvBuffer-serialized) vs encoded (block-stream) bytes per stream
+  // kind. All zero under block_codec == kNone (the encoder never runs).
+  uint64_t codec_map_spill_raw_bytes = 0;    // sorted map spill runs
+  uint64_t codec_map_spill_encoded_bytes = 0;
+  uint64_t codec_shuffle_raw_bytes = 0;      // map output / shuffle segments
+  uint64_t codec_shuffle_encoded_bytes = 0;
+  uint64_t codec_reduce_spill_raw_bytes = 0;  // reduce-side sorted runs
+  uint64_t codec_reduce_spill_encoded_bytes = 0;
+  uint64_t codec_bucket_raw_bytes = 0;       // hash-engine bucket files
+  uint64_t codec_bucket_encoded_bytes = 0;
+  // Host wall-clock spent in the codec. These are real (non-simulated)
+  // nanoseconds, so they vary run to run and across thread counts; they
+  // feed throughput reporting only and are deliberately EXCLUDED from
+  // Serialize() (goldens and determinism tests must not see them).
+  double compress_ns = 0;
+  double decompress_ns = 0;
+
   // --- Hash core (FlatTable; DESIGN.md §5.4) ---
   // Counters from every FlatTable the job's tasks ran: engine state
   // tables, bucket-pass tables, sketch indexes, map-side combiners.

@@ -7,21 +7,29 @@
 
 namespace onepass {
 
-BucketFileManager::BucketFileManager(int num_buckets, uint64_t page_bytes,
-                                     TraceRecorder* trace,
-                                     JobMetrics* metrics,
-                                     const IntegrityConfig* integrity,
-                                     const sim::FaultPlan* plan,
-                                     uint64_t owner)
+BucketFileManager::BucketFileManager(
+    int num_buckets, uint64_t page_bytes, TraceRecorder* trace,
+    JobMetrics* metrics, const IntegrityConfig* integrity,
+    const sim::FaultPlan* plan, uint64_t owner, const CostModel* costs,
+    BlockCodecKind codec, uint64_t codec_block_bytes)
     : page_bytes_(page_bytes),
       trace_(trace),
       metrics_(metrics),
       integrity_(integrity),
       plan_(plan),
-      owner_(owner) {
+      owner_(owner),
+      costs_(costs),
+      codec_(codec),
+      codec_block_bytes_(codec_block_bytes) {
   CHECK_GE(num_buckets, 1);
   pages_.resize(num_buckets);
   files_.resize(num_buckets);
+  if (coded()) {
+    CHECK(costs_ != nullptr) << "codec needs the cost model's CPU constants";
+    enc_files_.resize(num_buckets);
+    raw_file_bytes_.resize(num_buckets, 0);
+    raw_file_records_.resize(num_buckets, 0);
+  }
 }
 
 void BucketFileManager::Add(int bucket, std::string_view key,
@@ -43,16 +51,36 @@ void BucketFileManager::FlushAll() {
 void BucketFileManager::FlushPage(int bucket) {
   KvBuffer& page = pages_[bucket];
   const uint64_t bytes = page.bytes();
-  trace_->DiskWrite(bytes, OpTag::kReduceSpill);
-  metrics_->reduce_spill_write_bytes += bytes;
-  spilled_bytes_ += bytes;
   buffered_bytes_ -= bytes;
-  files_[bucket].AppendAll(page);
+  if (coded()) {
+    // Encode the page as a grouped block stream; disk carries the encoded
+    // bytes, and the codec CPU is charged against the spill.
+    CodecStats stats;
+    const std::string enc = EncodeKvStream(page, BlockEncoding::kGrouped,
+                                           codec_, codec_block_bytes_, &stats);
+    trace_->Cpu(costs_->compress_byte_s * static_cast<double>(bytes),
+                OpTag::kReduceSpill);
+    trace_->DiskWrite(enc.size(), OpTag::kReduceSpill);
+    metrics_->reduce_spill_write_bytes += enc.size();
+    metrics_->codec_bucket_raw_bytes += bytes;
+    metrics_->codec_bucket_encoded_bytes += enc.size();
+    metrics_->compress_ns += stats.compress_ns;
+    spilled_bytes_ += enc.size();
+    enc_files_[bucket].append(enc);
+    raw_file_bytes_[bucket] += bytes;
+    raw_file_records_[bucket] += page.count();
+  } else {
+    trace_->DiskWrite(bytes, OpTag::kReduceSpill);
+    metrics_->reduce_spill_write_bytes += bytes;
+    spilled_bytes_ += bytes;
+    files_[bucket].AppendAll(page);
+  }
   page.Clear();
 }
 
 Result<KvBuffer> BucketFileManager::TakeBucket(int bucket) {
   CHECK(pages_[bucket].empty()) << "FlushAll must run before TakeBucket";
+  if (coded()) return TakeBucketCoded(bucket);
   KvBuffer result = std::move(files_[bucket]);
   files_[bucket] = KvBuffer();
   if (result.bytes() == 0) return result;
@@ -107,6 +135,74 @@ Result<KvBuffer> BucketFileManager::TakeBucket(int bucket) {
   metrics_->verify_bytes += result.bytes();
   CHECK(payload.value() == result.data());
   return KvBuffer::FromData(std::move(payload).value(), result.count());
+}
+
+Result<KvBuffer> BucketFileManager::TakeBucketCoded(int bucket) {
+  // Mirrors TakeBucket's verified read, except the disk image is the
+  // encoded block stream: the read charge, the framing, the injected
+  // corruption, and the rebuild accounting all cover encoded bytes, and
+  // the stream is decoded only after verification passes.
+  const std::string enc = std::move(enc_files_[bucket]);
+  enc_files_[bucket].clear();
+  const uint64_t raw_bytes = raw_file_bytes_[bucket];
+  const uint64_t raw_records = raw_file_records_[bucket];
+  raw_file_bytes_[bucket] = 0;
+  raw_file_records_[bucket] = 0;
+  if (enc.empty()) return KvBuffer();
+  trace_->DiskRead(enc.size(), OpTag::kReduceSpill);
+  metrics_->reduce_spill_read_bytes += enc.size();
+  if (integrity_ != nullptr && integrity_->checksums) {
+    const std::string framed = FrameBytes(enc, integrity_->block_bytes);
+    metrics_->checksum_overhead_bytes += framed.size() - enc.size();
+    const int64_t expect = static_cast<int64_t>(enc.size());
+    const int chain =
+        plan_ == nullptr
+            ? 0
+            : plan_->CorruptionChain(sim::StreamKind::kBucketFile, owner_,
+                                     static_cast<uint64_t>(bucket));
+    for (int gen = 0; gen < chain; ++gen) {
+      metrics_->verify_bytes += enc.size();
+      sim::CorruptionEvent ev = plan_->CorruptionDamage(
+          sim::StreamKind::kBucketFile, owner_,
+          static_cast<uint64_t>(bucket), gen, framed.size());
+      CHECK(ev.fires());
+      std::string damaged = framed;
+      if (ev.torn) {
+        TornTruncate(&damaged, static_cast<uint64_t>(ev.bit) / 8);
+      } else {
+        FlipBit(&damaged, static_cast<uint64_t>(ev.bit));
+      }
+      const Status verdict = VerifyFramed(damaged, expect);
+      CHECK(!verdict.ok()) << "undetected injected corruption";
+      ++metrics_->corruptions_detected;
+      if (ev.torn) ++metrics_->torn_writes_detected;
+      if (gen >= plan_->config().max_corruption_retries) {
+        return Status::Corruption(
+            "bucket " + std::to_string(bucket) + " of spill manager " +
+            std::to_string(owner_) + ": corrupt beyond " +
+            std::to_string(plan_->config().max_corruption_retries) +
+            " rebuilds: " + std::string(verdict.message()));
+      }
+      trace_->DiskWrite(enc.size(), OpTag::kReduceSpill);
+      trace_->DiskRead(enc.size(), OpTag::kReduceSpill);
+      metrics_->corruption_recovery_bytes += 2 * enc.size();
+      ++metrics_->corruptions_recovered;
+    }
+    Result<std::string> payload = ReadAllFramed(framed, expect);
+    CHECK(payload.ok()) << payload.status().ToString();
+    metrics_->verify_bytes += enc.size();
+    CHECK(payload.value() == enc);
+  }
+  CodecStats dstats;
+  Result<KvBuffer> dec = DecodeKvStream(enc, &dstats);
+  if (!dec.ok()) return dec.status();
+  trace_->Cpu(costs_->decompress_byte_s * static_cast<double>(raw_bytes),
+              OpTag::kReduceSpill);
+  metrics_->decompress_ns += dstats.decompress_ns;
+  KvBuffer out = std::move(dec).value();
+  CHECK_EQ(out.bytes(), raw_bytes);
+  CHECK_EQ(out.count(), raw_records);
+  return out;
 }
 
 }  // namespace onepass

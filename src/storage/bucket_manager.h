@@ -28,9 +28,11 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/model/cost_model.h"
 #include "src/mr/cost_trace.h"
 #include "src/mr/metrics.h"
 #include "src/sim/fault_injector.h"
+#include "src/storage/block_format.h"
 #include "src/storage/framed_io.h"
 #include "src/util/kv_buffer.h"
 
@@ -44,11 +46,20 @@ class BucketFileManager {
   // task index + 1 for an engine's primary manager, a mixed child id for
   // recursive sub-partition managers (must be stable across runs for
   // determinism).
+  // When `codec` is not kNone, each page flush is encoded as a run-length
+  // key-grouped block stream (DESIGN.md §5.5) before it hits disk: the
+  // bucket file is the concatenation of the flushes' encoded streams, disk
+  // charges and integrity checksums cover the encoded bytes, and
+  // TakeBucket decodes the stream back after verification. `costs`
+  // supplies the codec CPU constants and must be non-null when a codec is
+  // active.
   BucketFileManager(int num_buckets, uint64_t page_bytes,
                     TraceRecorder* trace, JobMetrics* metrics,
                     const IntegrityConfig* integrity = nullptr,
                     const sim::FaultPlan* plan = nullptr,
-                    uint64_t owner = 0);
+                    uint64_t owner = 0, const CostModel* costs = nullptr,
+                    BlockCodecKind codec = BlockCodecKind::kNone,
+                    uint64_t codec_block_bytes = 48 << 10);
 
   // Appends a tuple to `bucket`'s write buffer, flushing the page to disk
   // if it is full.
@@ -65,21 +76,27 @@ class BucketFileManager {
   Result<KvBuffer> TakeBucket(int bucket);
 
   int num_buckets() const { return static_cast<int>(files_.size()); }
+  // Raw (pre-codec) payload bytes of the bucket's file, the size the
+  // decoded KvBuffer will have — callers size recursion decisions on data
+  // volume, not on how well it compressed.
   uint64_t bucket_file_bytes(int bucket) const {
-    return files_[bucket].bytes();
+    return coded() ? raw_file_bytes_[bucket] : files_[bucket].bytes();
   }
   uint64_t bucket_file_records(int bucket) const {
-    return files_[bucket].count();
+    return coded() ? raw_file_records_[bucket] : files_[bucket].count();
   }
   // Memory held by unflushed write-buffer pages.
   uint64_t buffered_bytes() const { return buffered_bytes_; }
-  // Total bytes spilled through this manager.
+  // Total bytes spilled to disk through this manager (encoded bytes when a
+  // codec is active — this is what the simulated disk carried).
   uint64_t spilled_bytes() const { return spilled_bytes_; }
   uint64_t spilled_records() const { return spilled_records_; }
   uint64_t owner() const { return owner_; }
 
  private:
   void FlushPage(int bucket);
+  Result<KvBuffer> TakeBucketCoded(int bucket);
+  bool coded() const { return codec_ != BlockCodecKind::kNone; }
 
   uint64_t page_bytes_;
   TraceRecorder* trace_;
@@ -87,8 +104,19 @@ class BucketFileManager {
   const IntegrityConfig* integrity_;
   const sim::FaultPlan* plan_;
   uint64_t owner_;
+  const CostModel* costs_;
+  BlockCodecKind codec_;
+  uint64_t codec_block_bytes_;
   std::vector<KvBuffer> pages_;
+  // Raw path: `files_` holds the flushed payloads. Codec path: `files_`
+  // stays empty and `enc_files_` holds the concatenated encoded block
+  // streams (blocks are self-delimiting, so concatenation of per-flush
+  // streams is itself a valid stream); `raw_file_bytes_`/`_records_`
+  // remember the decoded sizes.
   std::vector<KvBuffer> files_;
+  std::vector<std::string> enc_files_;
+  std::vector<uint64_t> raw_file_bytes_;
+  std::vector<uint64_t> raw_file_records_;
   uint64_t buffered_bytes_ = 0;
   uint64_t spilled_bytes_ = 0;
   uint64_t spilled_records_ = 0;

@@ -1,0 +1,220 @@
+#include "src/util/compress.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace onepass {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+// Positions examined per match attempt; bounds worst-case compress time on
+// degenerate inputs without measurably hurting the ratio on block-sized
+// chunks.
+constexpr int kMaxChainDepth = 32;
+constexpr size_t kMaxInput = 1u << 30;
+
+inline uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t Hash4(const char* p) {
+  return (Load32(p) * 2654435761u) >> (32 - kHashBits);
+}
+
+// Length of the common prefix of [a, limit) and [b, limit), where a < b.
+inline size_t MatchLength(const char* a, const char* b, const char* limit) {
+  const char* start = b;
+  while (b < limit && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<size_t>(b - start);
+}
+
+// Emits one sequence: `lits` literal bytes followed (unless this is the
+// stream-final literals-only sequence, match_len == 0) by a match of
+// `match_len` bytes at `offset` back.
+void EmitSequence(std::string_view lits, size_t match_len, size_t offset,
+                  std::string* out) {
+  const size_t lit_len = lits.size();
+  const uint8_t lit_code =
+      lit_len >= 15 ? 15 : static_cast<uint8_t>(lit_len);
+  uint8_t match_code = 0;
+  if (match_len > 0) {
+    const size_t m = match_len - kMinMatch;
+    match_code = m >= 15 ? 15 : static_cast<uint8_t>(m);
+  }
+  out->push_back(static_cast<char>((lit_code << 4) | match_code));
+  if (lit_code == 15) {
+    size_t rem = lit_len - 15;
+    while (rem >= 255) {
+      out->push_back(static_cast<char>(255));
+      rem -= 255;
+    }
+    out->push_back(static_cast<char>(rem));
+  }
+  out->append(lits.data(), lits.size());
+  if (match_len == 0) return;
+  out->push_back(static_cast<char>(offset & 0xff));
+  out->push_back(static_cast<char>((offset >> 8) & 0xff));
+  if (match_code == 15) {
+    size_t rem = match_len - kMinMatch - 15;
+    while (rem >= 255) {
+      out->push_back(static_cast<char>(255));
+      rem -= 255;
+    }
+    out->push_back(static_cast<char>(rem));
+  }
+}
+
+}  // namespace
+
+size_t LzMaxCompressedSize(size_t raw_size) {
+  // All-literals: one token + length run (~1 byte per 255 literals) + data.
+  return raw_size + raw_size / 255 + 16;
+}
+
+size_t LzCompress(std::string_view input, std::string* out) {
+  if (input.size() > kMaxInput) return 0;
+  const size_t before = out->size();
+  const size_t n = input.size();
+  if (n < kMinMatch + 1) {
+    EmitSequence(input, 0, 0, out);
+    return out->size() - before;
+  }
+
+  // Hash chains: head[h] is the most recent position with hash h, prev[i]
+  // the previous position sharing position i's hash.
+  std::vector<int32_t> head(kHashSize, -1);
+  std::vector<int32_t> prev(n, -1);
+  const char* base = input.data();
+  const char* limit = base + n;
+  // The last position where a 4-byte load is in range.
+  const size_t match_end = n - kMinMatch;
+
+  size_t i = 0;
+  size_t lit_start = 0;
+  while (i <= match_end) {
+    const uint32_t h = Hash4(base + i);
+    size_t best_len = 0;
+    size_t best_offset = 0;
+    int32_t cand = head[h];
+    int depth = 0;
+    while (cand >= 0 && depth < kMaxChainDepth) {
+      const size_t offset = i - static_cast<size_t>(cand);
+      if (offset > kMaxOffset) break;  // chain is position-ordered
+      const size_t len = MatchLength(base + cand, base + i, limit);
+      if (len >= kMinMatch && len > best_len) {
+        best_len = len;
+        best_offset = offset;
+      }
+      cand = prev[cand];
+      ++depth;
+    }
+    if (best_len == 0) {
+      prev[i] = head[h];
+      head[h] = static_cast<int32_t>(i);
+      ++i;
+      continue;
+    }
+    EmitSequence(input.substr(lit_start, i - lit_start), best_len,
+                 best_offset, out);
+    // Index the matched region so later data can reference into it.
+    const size_t insert_end =
+        i + best_len <= match_end ? i + best_len : match_end + 1;
+    for (size_t j = i; j < insert_end; ++j) {
+      const uint32_t hj = Hash4(base + j);
+      prev[j] = head[hj];
+      head[hj] = static_cast<int32_t>(j);
+    }
+    i += best_len;
+    lit_start = i;
+  }
+  EmitSequence(input.substr(lit_start), 0, 0, out);
+  return out->size() - before;
+}
+
+namespace {
+
+// Reads an extended-length 255-run, adding it to *len. Fails on truncation
+// or if *len would exceed `cap` (guards size overflow on hostile input).
+bool ReadLengthRun(const uint8_t** p, const uint8_t* end, size_t cap,
+                   size_t* len) {
+  while (true) {
+    if (*p == end) return false;
+    const uint8_t b = **p;
+    ++*p;
+    *len += b;
+    if (*len > cap) return false;
+    if (b != 255) return true;
+  }
+}
+
+}  // namespace
+
+bool LzDecompress(std::string_view input, size_t raw_size,
+                  std::string* out) {
+  const size_t base_size = out->size();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(input.data());
+  const uint8_t* end = p + input.size();
+  size_t produced = 0;
+  bool ok = true;
+  while (true) {
+    if (p == end) break;  // valid only if produced == raw_size (checked below)
+    const uint8_t token = *p++;
+    size_t lit_len = token >> 4;
+    if (lit_len == 15 &&
+        !ReadLengthRun(&p, end, raw_size - produced, &lit_len)) {
+      ok = false;
+      break;
+    }
+    if (lit_len > static_cast<size_t>(end - p) ||
+        produced + lit_len > raw_size) {
+      ok = false;
+      break;
+    }
+    out->append(reinterpret_cast<const char*>(p), lit_len);
+    p += lit_len;
+    produced += lit_len;
+    if (p == end) break;  // stream-final literals-only sequence
+    if (end - p < 2) {
+      ok = false;
+      break;
+    }
+    const size_t offset =
+        static_cast<size_t>(p[0]) | (static_cast<size_t>(p[1]) << 8);
+    p += 2;
+    size_t match_len = (token & 0xf) + kMinMatch;
+    if ((token & 0xf) == 15 &&
+        !ReadLengthRun(&p, end, raw_size, &match_len)) {
+      ok = false;
+      break;
+    }
+    if (offset == 0 || offset > produced ||
+        produced + match_len > raw_size) {
+      ok = false;
+      break;
+    }
+    // Byte-wise copy: overlapping matches (offset < match_len) replicate
+    // the repeated pattern, as in every LZ77 family codec.
+    size_t src = out->size() - offset;
+    for (size_t j = 0; j < match_len; ++j) {
+      out->push_back((*out)[src + j]);
+    }
+    produced += match_len;
+  }
+  if (!ok || produced != raw_size) {
+    out->resize(base_size);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace onepass

@@ -31,9 +31,16 @@ class KvBuffer {
     ++count_;
   }
 
-  // Appends every record of `other`.
+  // Appends every record of `other`. Grows capacity geometrically: an
+  // exact reservation on every bulk append would pin capacity to size and
+  // degrade repeated AppendAll calls (bucket files absorbing page flushes)
+  // to quadratic copying.
   void AppendAll(const KvBuffer& other) {
-    Reserve(data_.size() + other.data_.size());
+    const size_t needed = data_.size() + other.data_.size();
+    if (needed > data_.capacity()) {
+      data_.reserve(needed > 2 * data_.capacity() ? needed
+                                                  : 2 * data_.capacity());
+    }
     data_.append(other.data_);
     count_ += other.count_;
   }
@@ -44,6 +51,11 @@ class KvBuffer {
   void Reserve(size_t bytes) {
     if (bytes > data_.capacity()) data_.reserve(bytes);
   }
+
+  // Releases slack capacity. Worth calling once a buffer reaches its final
+  // size and will be held for a while (e.g. merged map output partitions
+  // awaiting shuffle), so resident spill memory tracks payload bytes.
+  void ShrinkToFit() { data_.shrink_to_fit(); }
 
   uint64_t count() const { return count_; }
   uint64_t bytes() const { return data_.size(); }

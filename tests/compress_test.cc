@@ -1,0 +1,162 @@
+#include "src/util/compress.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace onepass {
+namespace {
+
+// Deterministic xorshift; tests must not depend on global RNG state.
+uint64_t Next(uint64_t* s) {
+  *s ^= *s << 13;
+  *s ^= *s >> 7;
+  *s ^= *s << 17;
+  return *s;
+}
+
+std::string RandomBytes(size_t n, uint64_t seed) {
+  std::string out;
+  out.reserve(n);
+  uint64_t s = seed | 1;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>(Next(&s) & 0xff));
+  }
+  return out;
+}
+
+// Zipf-ish text: a small vocabulary where low word ids dominate, roughly
+// the key distribution of the word-count workloads.
+std::string ZipfText(size_t target_bytes, uint64_t seed) {
+  std::string out;
+  uint64_t s = seed | 1;
+  while (out.size() < target_bytes) {
+    // Favor small ids: map a uniform draw through a square to skew it.
+    const uint64_t u = Next(&s) % 1000;
+    const uint64_t id = (u * u) / 25000;  // 0..39
+    out += "word" + std::to_string(id);
+    out.push_back(' ');
+  }
+  return out;
+}
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed;
+  const size_t n = LzCompress(input, &compressed);
+  EXPECT_EQ(n, compressed.size());
+  std::string back;
+  EXPECT_TRUE(LzDecompress(compressed, input.size(), &back));
+  return back;
+}
+
+TEST(CompressTest, RoundTripsEmptyAndTiny) {
+  for (const std::string input : {std::string(), std::string("a"),
+                                  std::string("ab"), std::string("abcd")}) {
+    EXPECT_EQ(RoundTrip(input), input) << "len=" << input.size();
+  }
+}
+
+TEST(CompressTest, RoundTripsRandomBytes) {
+  for (size_t n : {size_t{17}, size_t{1000}, size_t{65536}, size_t{200000}}) {
+    const std::string input = RandomBytes(n, /*seed=*/n);
+    EXPECT_EQ(RoundTrip(input), input) << "len=" << n;
+  }
+}
+
+TEST(CompressTest, RoundTripsZipfTextAndCompressesIt) {
+  const std::string input = ZipfText(100000, /*seed=*/7);
+  std::string compressed;
+  LzCompress(input, &compressed);
+  std::string back;
+  ASSERT_TRUE(LzDecompress(compressed, input.size(), &back));
+  EXPECT_EQ(back, input);
+  // A 40-word vocabulary must compress well; 2x is a loose floor.
+  EXPECT_LT(compressed.size(), input.size() / 2);
+}
+
+TEST(CompressTest, RoundTripsHighlyRepetitiveInput) {
+  const std::string input(300000, 'x');
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 50);
+  std::string back;
+  ASSERT_TRUE(LzDecompress(compressed, input.size(), &back));
+  EXPECT_EQ(back, input);
+}
+
+TEST(CompressTest, RoundTripsLongRangeMatches) {
+  // Matches at offsets close to the 64 KiB window edge.
+  std::string input = RandomBytes(65000, 3);
+  input += input.substr(0, 2000);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressTest, IncompressibleInputStaysNearRawSize) {
+  const std::string input = RandomBytes(100000, 11);
+  std::string compressed;
+  LzCompress(input, &compressed);
+  // Literal runs add ~1 byte per 255; random data must not blow up.
+  EXPECT_LE(compressed.size(), LzMaxCompressedSize(input.size()));
+  EXPECT_LE(compressed.size(), input.size() + input.size() / 100 + 64);
+}
+
+TEST(CompressTest, AppendsToExistingOutput) {
+  const std::string input = ZipfText(5000, 1);
+  std::string out = "prefix";
+  const size_t n = LzCompress(input, &out);
+  EXPECT_EQ(out.size(), 6 + n);
+  EXPECT_EQ(out.substr(0, 6), "prefix");
+  std::string back = "keep";
+  ASSERT_TRUE(
+      LzDecompress(std::string_view(out).substr(6), input.size(), &back));
+  EXPECT_EQ(back, "keep" + input);
+}
+
+TEST(CompressTest, DecompressRejectsTruncationAtEveryLength) {
+  const std::string input = ZipfText(2000, 9);
+  std::string compressed;
+  LzCompress(input, &compressed);
+  for (size_t keep = 0; keep < compressed.size(); ++keep) {
+    std::string out;
+    const bool ok = LzDecompress(std::string_view(compressed).substr(0, keep),
+                                 input.size(), &out);
+    // Either detected (and out restored), or — never — silent success.
+    EXPECT_FALSE(ok) << "keep=" << keep;
+    EXPECT_TRUE(out.empty()) << "keep=" << keep << ": output not restored";
+  }
+}
+
+TEST(CompressTest, DecompressRejectsWrongRawSize) {
+  const std::string input = ZipfText(2000, 13);
+  std::string compressed;
+  LzCompress(input, &compressed);
+  std::string out;
+  EXPECT_FALSE(LzDecompress(compressed, input.size() - 1, &out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(LzDecompress(compressed, input.size() + 1, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CompressTest, DecompressSurvivesRandomGarbage) {
+  // Fuzz-ish: random bytes must never crash or over-produce; success is
+  // allowed (garbage can be a valid stream) but output is bounded.
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const std::string garbage = RandomBytes(1 + seed % 500, seed);
+    std::string out;
+    const bool ok = LzDecompress(garbage, 1000, &out);
+    if (ok) {
+      EXPECT_EQ(out.size(), 1000u);
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  }
+}
+
+TEST(CompressTest, RejectsOversizedInput) {
+  // > 1 GiB inputs are refused outright (the block path never makes them).
+  EXPECT_GT(LzMaxCompressedSize(1u << 20), size_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace onepass

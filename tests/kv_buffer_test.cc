@@ -105,5 +105,53 @@ TEST(KvBufferTest, ReserveAvoidsReallocation) {
   EXPECT_EQ(buf.count(), 500u);
 }
 
+TEST(KvBufferTest, AppendAllGrowsGeometrically) {
+  // Many small bulk appends (a bucket file absorbing page flushes) must
+  // not reallocate per call: capacity doubles rather than tracking size
+  // exactly, so N appends cost O(N) copies overall, not O(N^2).
+  KvBuffer page;
+  page.Append("key", std::string(60, 'v'));
+  KvBuffer file;
+  size_t reallocations = 0;
+  const char* last = file.data().data();
+  for (int i = 0; i < 1000; ++i) {
+    file.AppendAll(page);
+    if (file.data().data() != last) {
+      ++reallocations;
+      last = file.data().data();
+    }
+  }
+  EXPECT_EQ(file.count(), 1000u);
+  EXPECT_LE(reallocations, 40u) << "AppendAll reallocates per call";
+}
+
+TEST(KvBufferTest, AppendAllReservesWholeNeedForBigDonor) {
+  // A donor bigger than 2x the current capacity is reserved for exactly,
+  // not doubled into repeatedly.
+  KvBuffer big;
+  for (int i = 0; i < 2000; ++i) big.Append("k" + std::to_string(i), "v");
+  KvBuffer dst;
+  dst.Append("seed", "s");
+  dst.AppendAll(big);
+  EXPECT_EQ(dst.count(), 2001u);
+  EXPECT_GE(dst.data().capacity(), dst.bytes());
+}
+
+TEST(KvBufferTest, ShrinkToFitReleasesSlack) {
+  KvBuffer buf;
+  buf.Reserve(1 << 20);
+  buf.Append("key", "value");
+  ASSERT_GE(buf.data().capacity(), size_t{1} << 20);
+  buf.ShrinkToFit();
+  EXPECT_LT(buf.data().capacity(), size_t{1} << 20);
+  // Contents survive.
+  KvBufferReader reader(buf);
+  std::string_view k, v;
+  ASSERT_TRUE(reader.Next(&k, &v));
+  EXPECT_EQ(k, "key");
+  EXPECT_EQ(v, "value");
+  EXPECT_EQ(buf.count(), 1u);
+}
+
 }  // namespace
 }  // namespace onepass
