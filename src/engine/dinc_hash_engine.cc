@@ -211,6 +211,40 @@ Status DincHashEngine::ConsumeLegacy(const KvBuffer& segment) {
   return Status::OK();
 }
 
+Status DincHashEngine::SaveCheckpoint(CheckpointWriter* w) const {
+  if (!use_flat_) {
+    return Status::InvalidArgument(
+        "DINC-hash checkpointing requires the flat hash core");
+  }
+  w->PutU64("dinc.covered", covered_keys_);
+  sketch_->SaveTo(w);
+  for (size_t slot = 0; slot < capacity_entries_; ++slot) {
+    if (!sketch_->SlotOccupied(static_cast<int>(slot))) continue;
+    w->PutBytes("dinc.s." + std::to_string(slot), states_[slot]);
+  }
+  buckets_->SaveTo(w);
+  return Status::OK();
+}
+
+Status DincHashEngine::RestoreCheckpoint(CheckpointReader* r) {
+  if (!use_flat_) {
+    return Status::InvalidArgument(
+        "DINC-hash checkpointing requires the flat hash core");
+  }
+  RETURN_IF_ERROR(r->GetU64("dinc.covered", &covered_keys_));
+  RETURN_IF_ERROR(sketch_->RestoreFrom(r));
+  for (size_t slot = 0; slot < capacity_entries_; ++slot) {
+    if (!sketch_->SlotOccupied(static_cast<int>(slot))) {
+      states_[slot].clear();
+      continue;
+    }
+    std::string_view state;
+    RETURN_IF_ERROR(r->GetBytes("dinc.s." + std::to_string(slot), &state));
+    states_[slot].assign(state);
+  }
+  return buckets_->RestoreFrom(r);
+}
+
 Status DincHashEngine::Finish() {
   const CostModel& costs = ctx_.config->costs;
   const JobConfig& cfg = *ctx_.config;

@@ -55,6 +55,10 @@ class DincHashEngine : public GroupByEngine {
 
   Status Consume(const KvBuffer& segment, bool sorted) override;
   Status Finish() override;
+  // Sketch slots (with their Misra–Gries counters and retained digests),
+  // the monitored states by slot, and the spill buckets. Flat core only.
+  Status SaveCheckpoint(CheckpointWriter* w) const override;
+  Status RestoreCheckpoint(CheckpointReader* r) override;
 
   uint64_t monitored_keys() const { return sketch_->size(); }
   // Keys finalized from memory in approximate mode.

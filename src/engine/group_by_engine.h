@@ -24,6 +24,7 @@
 #include "src/mr/cost_trace.h"
 #include "src/mr/metrics.h"
 #include "src/mr/output.h"
+#include "src/storage/checkpoint.h"
 #include "src/util/hash.h"
 #include "src/util/kv_buffer.h"
 
@@ -74,6 +75,23 @@ class GroupByEngine {
   // out; incremental engines emit continuously and need no snapshots, so
   // the default is a no-op.
   virtual Status Snapshot() { return Status::OK(); }
+
+  // Checkpointed recovery (DESIGN.md §5.6). SaveCheckpoint serializes the
+  // engine's complete mid-stream state into named fields, non-destructively
+  // — Consume can continue right after, and a run that checkpoints emits
+  // byte-identical output to one that does not. RestoreCheckpoint loads a
+  // saved image into a freshly constructed engine under the same config;
+  // consuming the remaining deliveries then yields exactly the output the
+  // saved engine would have produced. Neither charges trace or metrics:
+  // the cluster prices checkpoint I/O in the time plane.
+  virtual Status SaveCheckpoint(CheckpointWriter* w) const {
+    (void)w;
+    return Status::Unimplemented("engine does not support checkpointing");
+  }
+  virtual Status RestoreCheckpoint(CheckpointReader* r) {
+    (void)r;
+    return Status::Unimplemented("engine does not support checkpointing");
+  }
 
  protected:
   EngineContext ctx_;

@@ -207,6 +207,50 @@ Status IncHashEngine::ConsumeLegacy(const KvBuffer& segment) {
   return Status::OK();
 }
 
+Status IncHashEngine::SaveCheckpoint(CheckpointWriter* w) const {
+  if (!use_flat_) {
+    return Status::InvalidArgument(
+        "INC-hash checkpointing requires the flat hash core");
+  }
+  w->PutU64("inc.resident_bytes", resident_bytes_);
+  w->PutU64("inc.entries", table_.size());
+  for (uint32_t i = 0; i < table_.size(); ++i) {
+    const std::string tag = std::to_string(i);
+    w->PutBytes("inc.k." + tag, table_.key_at(i));
+    w->PutBytes("inc.v." + tag, table_.value_at(i));
+  }
+  buckets_->SaveTo(w);
+  return Status::OK();
+}
+
+Status IncHashEngine::RestoreCheckpoint(CheckpointReader* r) {
+  if (!use_flat_) {
+    return Status::InvalidArgument(
+        "INC-hash checkpointing requires the flat hash core");
+  }
+  RETURN_IF_ERROR(r->GetU64("inc.resident_bytes", &resident_bytes_));
+  uint64_t entries = 0;
+  RETURN_IF_ERROR(r->GetU64("inc.entries", &entries));
+  table_.Clear();
+  table_.Reserve(entries);
+  for (uint64_t i = 0; i < entries; ++i) {
+    const std::string tag = std::to_string(i);
+    std::string_view key, value;
+    RETURN_IF_ERROR(r->GetBytes("inc.k." + tag, &key));
+    RETURN_IF_ERROR(r->GetBytes("inc.v." + tag, &value));
+    // Re-insertion in saved (== insertion) order with the recomputed h3
+    // digest reproduces iteration order, which is what keeps Finish's
+    // finalize sequence — and so the output bytes — identical.
+    bool inserted = false;
+    const uint32_t idx = table_.FindOrInsert(key, h3_(key), &inserted);
+    if (!inserted) {
+      return Status::Corruption("duplicate key in INC-hash checkpoint");
+    }
+    table_.set_value(idx, value);
+  }
+  return buckets_->RestoreFrom(r);
+}
+
 Status IncHashEngine::Finish() {
   const CostModel& costs = ctx_.config->costs;
   IncrementalReducer* inc = ctx_.inc;

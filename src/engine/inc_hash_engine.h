@@ -45,6 +45,13 @@ class IncHashEngine : public GroupByEngine {
 
   Status Consume(const KvBuffer& segment, bool sorted) override;
   Status Finish() override;
+  // State table entries in insertion order (FlatTable iteration is
+  // deterministic, so the restored table reproduces it exactly), plus the
+  // spill buckets. Flat core only — JobConfig::Validate rejects
+  // checkpointing with kLegacy because unordered_map iteration order does
+  // not survive a rebuild.
+  Status SaveCheckpoint(CheckpointWriter* w) const override;
+  Status RestoreCheckpoint(CheckpointReader* r) override;
 
   // Number of disk buckets so a bucket's distinct keys fit in memory, given
   // `expected_keys` distinct keys and a per-entry budget.

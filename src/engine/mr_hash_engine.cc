@@ -110,6 +110,32 @@ Status MRHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
   return Status::OK();
 }
 
+Status MRHashEngine::SaveCheckpoint(CheckpointWriter* w) const {
+  w->PutU64("mr.demoted", d1_demoted_ ? 1 : 0);
+  w->PutU64("mr.d1_n", d1_.count());
+  w->PutBytes("mr.d1", d1_.data());
+  w->PutU64("mr.disk_buckets", static_cast<uint64_t>(num_disk_buckets_));
+  if (buckets_) buckets_->SaveTo(w);
+  return Status::OK();
+}
+
+Status MRHashEngine::RestoreCheckpoint(CheckpointReader* r) {
+  uint64_t demoted = 0, d1_n = 0, disk_buckets = 0;
+  std::string_view d1_bytes;
+  RETURN_IF_ERROR(r->GetU64("mr.demoted", &demoted));
+  RETURN_IF_ERROR(r->GetU64("mr.d1_n", &d1_n));
+  RETURN_IF_ERROR(r->GetBytes("mr.d1", &d1_bytes));
+  RETURN_IF_ERROR(r->GetU64("mr.disk_buckets", &disk_buckets));
+  if (disk_buckets != static_cast<uint64_t>(num_disk_buckets_)) {
+    return Status::Corruption(
+        "checkpointed MR-hash bucket count does not match this config");
+  }
+  d1_demoted_ = demoted != 0;
+  d1_ = KvBuffer::FromData(std::string(d1_bytes), d1_n);
+  if (buckets_) RETURN_IF_ERROR(buckets_->RestoreFrom(r));
+  return Status::OK();
+}
+
 void MRHashEngine::ProcessInMemory(const KvBuffer& data, uint64_t level) {
   if (use_flat_) {
     ProcessInMemoryFlat(data, level);

@@ -38,6 +38,11 @@ class MRHashEngine : public GroupByEngine {
 
   Status Consume(const KvBuffer& segment, bool sorted) override;
   Status Finish() override;
+  // The resident D1 bucket, its demotion flag, and the disk-bucket file
+  // manifest. The Finish-time grouping structures (group_table_, nodes_)
+  // are scratch and carry no mid-stream state.
+  Status SaveCheckpoint(CheckpointWriter* w) const override;
+  Status RestoreCheckpoint(CheckpointReader* r) override;
 
   // Chooses the number of on-disk buckets so that, per the hybrid-hash
   // analysis, each bucket of an `expected_bytes` input fits in a memory of

@@ -184,6 +184,91 @@ void SortMergeEngine::SpillBuffered() {
   return;
 }
 
+Status SortMergeEngine::SaveCheckpoint(CheckpointWriter* w) const {
+  w->PutU64("sm.buffered_bytes", buffered_bytes_);
+  w->PutU64("sm.buffered", buffered_.size());
+  for (size_t i = 0; i < buffered_.size(); ++i) {
+    const std::string tag = std::to_string(i);
+    w->PutU64("sm.seg_n." + tag, buffered_[i].count());
+    w->PutBytes("sm.seg." + tag, buffered_[i].data());
+  }
+  w->PutU64("sm.runs", runs_.size());
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    const Run& run = runs_[i];
+    const std::string tag = std::to_string(i);
+    w->PutU64("sm.run_raw_bytes." + tag, run.raw_bytes);
+    w->PutU64("sm.run_disk_bytes." + tag, run.disk_bytes);
+    w->PutU64("sm.run_n." + tag, run.raw.count());
+    w->PutBytes("sm.run." + tag, run.raw.data());
+    w->PutBytes("sm.run_enc." + tag, run.enc);
+  }
+  const std::vector<double>& sizes = scheduler_.file_sizes();
+  const std::vector<int>& live = scheduler_.live_ids();
+  w->PutU64("sm.sched_files", sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    w->PutF64("sm.sched_size." + std::to_string(i), sizes[i]);
+  }
+  w->PutU64("sm.sched_live", live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    w->PutU64("sm.sched_live." + std::to_string(i),
+              static_cast<uint64_t>(live[i]));
+  }
+  return Status::OK();
+}
+
+Status SortMergeEngine::RestoreCheckpoint(CheckpointReader* r) {
+  RETURN_IF_ERROR(r->GetU64("sm.buffered_bytes", &buffered_bytes_));
+  uint64_t buffered = 0;
+  RETURN_IF_ERROR(r->GetU64("sm.buffered", &buffered));
+  buffered_.clear();
+  for (uint64_t i = 0; i < buffered; ++i) {
+    const std::string tag = std::to_string(i);
+    uint64_t n = 0;
+    std::string_view bytes;
+    RETURN_IF_ERROR(r->GetU64("sm.seg_n." + tag, &n));
+    RETURN_IF_ERROR(r->GetBytes("sm.seg." + tag, &bytes));
+    buffered_.push_back(KvBuffer::FromData(std::string(bytes), n));
+  }
+  uint64_t num_runs = 0;
+  RETURN_IF_ERROR(r->GetU64("sm.runs", &num_runs));
+  runs_.clear();
+  for (uint64_t i = 0; i < num_runs; ++i) {
+    const std::string tag = std::to_string(i);
+    Run run;
+    RETURN_IF_ERROR(r->GetU64("sm.run_raw_bytes." + tag, &run.raw_bytes));
+    RETURN_IF_ERROR(r->GetU64("sm.run_disk_bytes." + tag, &run.disk_bytes));
+    uint64_t n = 0;
+    std::string_view bytes;
+    RETURN_IF_ERROR(r->GetU64("sm.run_n." + tag, &n));
+    RETURN_IF_ERROR(r->GetBytes("sm.run." + tag, &bytes));
+    run.raw = KvBuffer::FromData(std::string(bytes), n);
+    RETURN_IF_ERROR(r->GetBytes("sm.run_enc." + tag, &bytes));
+    run.enc.assign(bytes);
+    runs_.push_back(std::move(run));
+  }
+  uint64_t sched_files = 0;
+  RETURN_IF_ERROR(r->GetU64("sm.sched_files", &sched_files));
+  std::vector<double> sizes(sched_files, 0.0);
+  for (uint64_t i = 0; i < sched_files; ++i) {
+    RETURN_IF_ERROR(
+        r->GetF64("sm.sched_size." + std::to_string(i), &sizes[i]));
+  }
+  uint64_t sched_live = 0;
+  RETURN_IF_ERROR(r->GetU64("sm.sched_live", &sched_live));
+  std::vector<int> live(sched_live, 0);
+  for (uint64_t i = 0; i < sched_live; ++i) {
+    uint64_t id = 0;
+    RETURN_IF_ERROR(r->GetU64("sm.sched_live." + std::to_string(i), &id));
+    live[i] = static_cast<int>(id);
+  }
+  if (sched_files != num_runs) {
+    return Status::Corruption(
+        "sort-merge checkpoint scheduler/run manifest out of sync");
+  }
+  scheduler_.RestoreState(std::move(sizes), std::move(live));
+  return Status::OK();
+}
+
 Status SortMergeEngine::Snapshot() {
   // Re-read and re-merge everything received so far, apply the reduce
   // function, and write the snapshot answer. Nothing is kept: the next

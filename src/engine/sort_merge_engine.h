@@ -37,6 +37,11 @@ class SortMergeEngine : public GroupByEngine {
   // writing a snapshot answer (charged as I/O + CPU, discarded from the
   // data plane). Does not modify the engine's state.
   Status Snapshot() override;
+  // Buffered segments, the on-disk run manifest (raw or encoded, with
+  // dead entries kept positionally so MergeScheduler file ids stay
+  // aligned), and the scheduler's schedule state.
+  Status SaveCheckpoint(CheckpointWriter* w) const override;
+  Status RestoreCheckpoint(CheckpointReader* r) override;
 
  private:
   // One on-disk sorted run. Under JobConfig::block_codec == kNone the

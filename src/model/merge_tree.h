@@ -14,6 +14,7 @@
 #define ONEPASS_MODEL_MERGE_TREE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace onepass {
@@ -59,6 +60,17 @@ class MergeScheduler {
 
   double FileBytes(int id) const { return sizes_[id]; }
   int live_files() const { return static_cast<int>(live_.size()); }
+
+  // Checkpoint support (DESIGN.md §5.6): the full schedule state, so a
+  // restored sort-merge engine replays the remaining merge tree
+  // identically. `sizes` is indexed by file id (dead files included);
+  // `live` lists the ids currently on disk, in policy order.
+  const std::vector<double>& file_sizes() const { return sizes_; }
+  const std::vector<int>& live_ids() const { return live_; }
+  void RestoreState(std::vector<double> sizes, std::vector<int> live) {
+    sizes_ = std::move(sizes);
+    live_ = std::move(live);
+  }
 
  private:
   int f_;

@@ -22,6 +22,7 @@
 #include "src/sim/fault_injector.h"
 #include "src/sim/resources.h"
 #include "src/storage/block_format.h"
+#include "src/storage/checkpoint.h"
 #include "src/storage/framed_io.h"
 #include "src/util/crc32c.h"
 #include "src/util/hash.h"
@@ -54,6 +55,17 @@ struct DeliveryRef {
   int map_task = 0;
   uint32_t push = 0;
   uint64_t bytes = 0;  // this reducer's partition share
+};
+
+// One checkpoint the reduce data plane recorded (DESIGN.md §5.6): after
+// consuming `watermark` deliveries the engine image measured `bytes` framed
+// bytes (raw_bytes before codec/framing). `gate_op` is the trace op whose
+// completion makes the instance durable in the time-plane replay.
+struct CheckpointMark {
+  uint32_t watermark = 0;
+  uint64_t bytes = 0;
+  uint64_t raw_bytes = 0;
+  uint32_t gate_op = 0;
 };
 
 double WallSeconds() {
@@ -119,6 +131,7 @@ class Replayer {
     int node = 0;
     const CostTrace* trace = nullptr;
     std::vector<DeliveryRef> deliveries;
+    std::vector<CheckpointMark> checkpoints;
   };
   struct Totals {
     uint64_t shuffle_bytes = 0;
@@ -163,10 +176,15 @@ class Replayer {
           static_cast<size_t>(config.faults.max_attempts));
     }
     reduce_delta_applied_.resize(reduces_.size());
+    ckpt_gates_.resize(reduces_.size());
     for (size_t r = 0; r < reduces_.size(); ++r) {
       reduce_delta_applied_[r].assign(reduces_[r].trace->ops.size(), false);
       reduce_states_[r].attempts.reserve(
           static_cast<size_t>(config.faults.max_attempts));
+      for (uint32_t c = 0;
+           c < static_cast<uint32_t>(reduces_[r].checkpoints.size()); ++c) {
+        ckpt_gates_[r][reduces_[r].checkpoints[c].gate_op] = c;
+      }
     }
   }
 
@@ -228,6 +246,13 @@ class Replayer {
     m->corruptions_detected += corruptions_detected_;
     m->corruptions_recovered += corruptions_recovered_;
     m->corruption_recovery_bytes += corruption_recovery_bytes_;
+    m->checkpoints_restored += checkpoints_restored_;
+    m->checkpoint_restore_bytes += checkpoint_restore_bytes_;
+    m->checkpoint_corrupt_replicas += checkpoint_corrupt_replicas_;
+    m->checkpoint_full_replays += checkpoint_full_replays_;
+    m->checkpoint_segments_skipped += checkpoint_segments_skipped_;
+    m->checkpoint_skipped_bytes += checkpoint_skipped_bytes_;
+    m->shuffle_refetched_bytes += shuffle_refetched_bytes_;
   }
 
   // Fills the timeline/progress portion of `result`.
@@ -338,8 +363,20 @@ class Replayer {
     std::vector<uint8_t> verify_tries;  // checksum-failed fetches per section
     int act[4] = {0, 0, 0, 0};  // outstanding activity counts, by Activity
   };
+  // A checkpoint instance whose write+replication op completed: its
+  // replicas live on `replicas` (slot, holder node) until a holder dies.
+  // Slots keep their original index when holders drop out, so the plan's
+  // per-slot corruption draws stay stable across crash schedules.
+  struct DurableCkpt {
+    uint32_t ordinal = 0;
+    uint32_t watermark = 0;
+    uint64_t bytes = 0;
+    uint64_t raw_bytes = 0;
+    std::vector<std::pair<int, int>> replicas;  // (slot, holder node)
+  };
   struct ReduceTaskState {
     std::vector<ReduceAttempt> attempts;
+    std::vector<DurableCkpt> durable;  // oldest first (ordinal order)
     bool done = false;
     bool queued = false;
     bool spec_queued = false;
@@ -376,6 +413,12 @@ class Replayer {
         return static_cast<double>(op.bytes) * c.net_byte_s;
     }
     return 0;
+  }
+
+  // Stable identity of a shuffle fetch for the retry policy's jitter draw.
+  static uint64_t FetchRetryKey(int r, int m, uint32_t p) {
+    return (static_cast<uint64_t>(r) << 40) ^
+           (static_cast<uint64_t>(m) << 16) ^ static_cast<uint64_t>(p);
   }
 
   // Transient disk-read errors fold into the op's duration: each failure
@@ -450,6 +493,7 @@ class Replayer {
       changed = true;
     }
     if (changed) RecordReduceProgress();
+    if (op.d_shuffle_bytes > 0) FireReduceFractionCrashes();
   }
 
   void RecordReduceProgress() {
@@ -652,9 +696,12 @@ class Replayer {
                                      std::to_string(r)));
       return;
     }
-    // The new attempt refetches everything; make sure every map output it
-    // needs is rematerializing.
-    for (const DeliveryRef& d : reduces_[r].deliveries) {
+    // The new attempt refetches everything past its restore watermark;
+    // make sure every map output it needs is rematerializing. Deliveries
+    // folded into a durable checkpoint stay retired.
+    const uint32_t watermark = RestoreWatermark(r);
+    for (size_t s = watermark; s < reduces_[r].deliveries.size(); ++s) {
+      const DeliveryRef& d = reduces_[r].deliveries[s];
       if (push_ready_[d.map_task][d.push] < 0) ScheduleMapRun(d.map_task);
       if (failed_) return;
     }
@@ -743,6 +790,178 @@ class Replayer {
     });
   }
 
+  // ---- checkpoint recovery (DESIGN.md §5.6) ----
+
+  // The checkpoint-write op for instance `c` of reduce r completed on
+  // `writer_node`: the instance is durable, replicated on the writer plus
+  // the next checkpoint_replication - 1 alive nodes round-robin. At most
+  // once per instance across attempts (a speculative backup reaching the
+  // same gate later does not re-place the replicas).
+  void RegisterCheckpoint(int r, uint32_t c, int writer_node) {
+    ReduceTaskState& st = reduce_states_[r];
+    for (const DurableCkpt& d : st.durable) {
+      if (d.ordinal == c) return;
+    }
+    const CheckpointMark& mark = reduces_[r].checkpoints[c];
+    DurableCkpt d;
+    d.ordinal = c;
+    d.watermark = mark.watermark;
+    d.bytes = mark.bytes;
+    d.raw_bytes = mark.raw_bytes;
+    int slot = 0;
+    d.replicas.emplace_back(slot++, writer_node);
+    const int nodes = static_cast<int>(nodes_.size());
+    for (int off = 1; off < nodes && slot < config_.checkpoint_replication;
+         ++off) {
+      const int n = (writer_node + off) % nodes;
+      if (!dead_[n]) d.replicas.emplace_back(slot++, n);
+    }
+    st.durable.push_back(std::move(d));
+  }
+
+  // A replica read and rejected by verification on the restore ladder.
+  struct TriedReplica {
+    int slot = 0;
+    int node = 0;
+    uint64_t bytes = 0;
+  };
+  // Outcome of the restore ladder: node >= 0 means a verifiable replica of
+  // instance `ordinal` exists and a restarted attempt resumes from
+  // `watermark`; otherwise (had_durable) every replica of every instance
+  // was corrupt or lost and the attempt falls back to full replay.
+  struct CkptChoice {
+    int ordinal = -1;
+    uint32_t watermark = 0;
+    uint64_t bytes = 0;
+    uint64_t raw_bytes = 0;
+    int node = -1;
+    std::vector<TriedReplica> tried;
+    bool had_durable = false;
+  };
+
+  // Newest instance first, replica slots in order; a replica is usable iff
+  // its holder survives (dead holders are pruned eagerly) and the plan's
+  // seeded draw leaves it uncorrupted. Pure given (durable state, plan).
+  CkptChoice ChooseCheckpoint(int r) const {
+    CkptChoice choice;
+    const ReduceTaskState& st = reduce_states_[r];
+    for (auto it = st.durable.rbegin(); it != st.durable.rend(); ++it) {
+      choice.had_durable = true;
+      for (const auto& [slot, node] : it->replicas) {
+        if (plan_.CheckpointCorruptions(r, it->ordinal, slot) > 0) {
+          choice.tried.push_back({slot, node, it->bytes});
+          continue;
+        }
+        choice.ordinal = static_cast<int>(it->ordinal);
+        choice.watermark = it->watermark;
+        choice.bytes = it->bytes;
+        choice.raw_bytes = it->raw_bytes;
+        choice.node = node;
+        return choice;
+      }
+    }
+    return choice;
+  }
+
+  // Deliveries below this watermark will never be re-fetched by a
+  // restarted attempt of r; used by the lost-map-output scan to keep maps
+  // whose outputs are fully covered by a durable checkpoint retired.
+  uint32_t RestoreWatermark(int r) const {
+    if (reduce_states_[r].durable.empty()) return 0;
+    return ChooseCheckpoint(r).watermark;
+  }
+
+  // One op of the synthesized restore chain, waiting `delay` simulated
+  // seconds (the shared RetryPolicy's backoff after a rejected replica)
+  // before occupying its resource.
+  struct RestoreOp {
+    TraceOp op;
+    double delay = 0;
+  };
+
+  // Charges the restore I/O as a sequential op chain on the attempt's
+  // node: each rejected candidate is read in full before its verification
+  // fails (network pull, or a local disk read when the attempt node holds
+  // the replica), the next candidate backs off per the shared RetryPolicy,
+  // then the good replica is read and — under a codec — its field stream
+  // decoded. When the chain drains, the fetch/consume streams start from
+  // the checkpoint watermark.
+  void RunRestoreOps(int r, int a, const CkptChoice& choice) {
+    auto ops = std::make_shared<std::vector<RestoreOp>>();
+    const int att_node = reduce_states_[r].attempts[a].node;
+    int try_i = 0;
+    auto read_replica = [&](int holder, uint64_t bytes) {
+      RestoreOp rop;
+      rop.op.tag = OpTag::kCheckpoint;
+      rop.op.bytes = bytes;
+      if (holder == att_node) {
+        rop.op.resource = OpResource::kDisk;
+        rop.op.is_read = true;
+      } else {
+        rop.op.resource = OpResource::kNet;
+      }
+      if (try_i > 0) {
+        rop.delay = config_.faults.fetch_retry.BackoffFor(
+            try_i - 1, CheckpointRetryKey(r, choice.ordinal, try_i));
+      }
+      ++try_i;
+      ops->push_back(rop);
+      checkpoint_restore_bytes_ += bytes;
+    };
+    for (const TriedReplica& t : choice.tried) read_replica(t.node, t.bytes);
+    read_replica(choice.node, choice.bytes);
+    if (config_.block_codec != BlockCodecKind::kNone) {
+      RestoreOp rop;
+      rop.op.resource = OpResource::kCpu;
+      rop.op.tag = OpTag::kCheckpoint;
+      rop.op.cpu_s = config_.costs.decompress_byte_s *
+                     static_cast<double>(choice.raw_bytes);
+      ops->push_back(rop);
+    }
+    RunRestoreOp(r, a, std::move(ops), 0);
+  }
+
+  static uint64_t CheckpointRetryKey(int r, int ordinal, int try_i) {
+    return (static_cast<uint64_t>(r) << 40) ^
+           (static_cast<uint64_t>(ordinal) << 16) ^
+           static_cast<uint64_t>(try_i);
+  }
+
+  void RunRestoreOp(int r, int a,
+                    std::shared_ptr<std::vector<RestoreOp>> ops, size_t i) {
+    if (failed_) return;
+    ReduceAttempt& at = reduce_states_[r].attempts[a];
+    if (!at.alive) return;
+    if (i >= ops->size()) {
+      StartFetch(r, a);
+      TryConsume(r, a);
+      return;
+    }
+    const RestoreOp& rop = (*ops)[i];
+    if (rop.delay > 0) {
+      engine_.ScheduleAfter(rop.delay, [this, r, a, ops, i]() {
+        if (failed_) return;
+        if (!reduce_states_[r].attempts[a].alive) return;
+        SubmitRestoreOp(r, a, std::move(ops), i);
+      });
+      return;
+    }
+    SubmitRestoreOp(r, a, std::move(ops), i);
+  }
+
+  void SubmitRestoreOp(int r, int a,
+                       std::shared_ptr<std::vector<RestoreOp>> ops,
+                       size_t i) {
+    ReduceAttempt& at = reduce_states_[r].attempts[a];
+    const TraceOp& op = (*ops)[i].op;
+    Route(at.node, op)->Submit(
+        Duration(op, at.node), [this, r, a, ops = std::move(ops), i]() {
+          if (failed_) return;
+          if (!reduce_states_[r].attempts[a].alive) return;
+          RunRestoreOp(r, a, std::move(ops), i + 1);
+        });
+  }
+
   // ---- crash handling ----
 
   void KillMapAttempt(int m, int a) {
@@ -775,10 +994,22 @@ class Replayer {
     for (size_t r = 0; r < reduces_.size(); ++r) {
       const ReduceTaskState& st = reduce_states_[r];
       if (st.done) continue;
+      // A restarted attempt resumes from the newest usable checkpoint:
+      // deliveries below its watermark are never re-fetched, so maps whose
+      // outputs fall entirely under it stay retired.
+      uint32_t watermark = 0;
+      bool watermark_known = false;
       for (size_t s = 0; s < reduces_[r].deliveries.size(); ++s) {
         const DeliveryRef& d = reduces_[r].deliveries[s];
         if (d.map_task != m || push_ready_[m][d.push] >= 0) continue;
-        if (AliveReduceAttempts(static_cast<int>(r)) == 0) return true;
+        if (AliveReduceAttempts(static_cast<int>(r)) == 0) {
+          if (!watermark_known) {
+            watermark = RestoreWatermark(static_cast<int>(r));
+            watermark_known = true;
+          }
+          if (s >= watermark) return true;
+          continue;
+        }
         for (const ReduceAttempt& at : st.attempts) {
           if (at.alive && !at.fetched[s]) return true;
         }
@@ -793,6 +1024,20 @@ class Replayer {
     if (failed_ || dead_[n] || JobComplete()) return;
     dead_[n] = 1;
     ++node_crashes_;
+    // Checkpoint replicas stored on n are gone. Pruning before the kill /
+    // reschedule scans below means every RestoreWatermark query already
+    // sees the post-crash replica view. Surviving replicas keep their
+    // original slot index (stable corruption draws).
+    for (ReduceTaskState& st : reduce_states_) {
+      for (DurableCkpt& d : st.durable) {
+        d.replicas.erase(
+            std::remove_if(d.replicas.begin(), d.replicas.end(),
+                           [n](const std::pair<int, int>& rep) {
+                             return rep.second == n;
+                           }),
+            d.replicas.end());
+      }
+    }
     NodeRes& node = *nodes_[n];
     // Unstarted tasks queued here go back through the scheduler.
     std::deque<Pending> orphan_maps = std::move(node.pending_maps);
@@ -885,10 +1130,32 @@ class Replayer {
     const double frac = static_cast<double>(maps_completed_) /
                         static_cast<double>(maps_.size());
     for (size_t i = 0; i < fraction_crashes_.size(); ++i) {
-      if (!fraction_fired_[i] &&
+      if (!fraction_fired_[i] && fraction_crashes_[i].at_map_fraction > 0 &&
           frac >= fraction_crashes_[i].at_map_fraction - 1e-12) {
         fraction_fired_[i] = true;
         CrashNode(fraction_crashes_[i].node);
+      }
+    }
+  }
+
+  // Reduce-phase crashes trigger on shuffle-progress thresholds. The crash
+  // itself is deferred one zero-delay event so it never reallocates the
+  // attempt vectors underneath an op-completion callback that still holds
+  // references into them; the event queue's FIFO tie-break keeps the
+  // deferral deterministic.
+  void FireReduceFractionCrashes() {
+    if (totals_.shuffle_bytes == 0) return;
+    const double frac = static_cast<double>(cum_shuffle_) /
+                        static_cast<double>(totals_.shuffle_bytes);
+    for (size_t i = 0; i < fraction_crashes_.size(); ++i) {
+      if (fraction_fired_[i] ||
+          fraction_crashes_[i].at_reduce_fraction <= 0) {
+        continue;
+      }
+      if (frac >= fraction_crashes_[i].at_reduce_fraction - 1e-12) {
+        fraction_fired_[i] = true;
+        engine_.ScheduleAfter(
+            0, [this, n = fraction_crashes_[i].node]() { CrashNode(n); });
       }
     }
   }
@@ -1003,6 +1270,29 @@ class Replayer {
     at.fetched.assign(reduces_[r].deliveries.size(), false);
     at.fetch_tries.assign(reduces_[r].deliveries.size(), 0);
     at.verify_tries.assign(reduces_[r].deliveries.size(), 0);
+    // A later attempt resumes from the newest verifiable checkpoint
+    // replica instead of replaying the whole shuffle (DESIGN.md §5.6):
+    // deliveries below the watermark count as fetched and consumed, and
+    // the restore reads (corrupt candidates included) are charged before
+    // the fetch/consume streams start.
+    CkptChoice choice;
+    if (!st.durable.empty()) choice = ChooseCheckpoint(r);
+    if (choice.node >= 0) {
+      for (uint32_t s = 0; s < choice.watermark; ++s) {
+        at.fetched[s] = true;
+        ++checkpoint_segments_skipped_;
+        checkpoint_skipped_bytes_ += reduces_[r].deliveries[s].bytes;
+      }
+      at.fetch_section = choice.watermark;
+      at.consume_section = choice.watermark;
+      ++checkpoints_restored_;
+      checkpoint_corrupt_replicas_ +=
+          static_cast<uint64_t>(choice.tried.size());
+      st.attempts.push_back(std::move(at));
+      RunRestoreOps(r, a, choice);
+      return;
+    }
+    if (choice.had_durable) ++checkpoint_full_replays_;
     st.attempts.push_back(std::move(at));
     StartFetch(r, a);
     TryConsume(r, a);
@@ -1075,8 +1365,8 @@ class Replayer {
           if (static_cast<int>(att.fetch_tries[s]) < fails) {
             const int try_i = att.fetch_tries[s]++;
             ++shuffle_fetch_retries_;
-            const double backoff =
-                config_.faults.fetch_backoff_s * static_cast<double>(1 << try_i);
+            const double backoff = config_.faults.fetch_retry.BackoffFor(
+                try_i, FetchRetryKey(r, d.map_task, d.push));
             engine_.ScheduleAfter(backoff, [this, r, a, s]() {
               if (failed_) return;
               ReduceAttempt& att2 = reduce_states_[r].attempts[a];
@@ -1132,6 +1422,10 @@ class Replayer {
           const TraceOp& done_op = t.trace->ops[idx];
           tracker_.AddWork(TaskKind::kReduce, r, a, 0, done_op.bytes);
           ApplyDeltasOnce(reduce_delta_applied_[r], idx, done_op);
+          // Attempt 0's fetches are first-time shuffle work; anything a
+          // later (restarted or speculative) attempt pulls is recovery
+          // re-fetch traffic.
+          if (a > 0) shuffle_refetched_bytes_ += d.bytes;
           att.fetched[s] = true;
           ++att.fetch_section;
           StartFetch(r, a);
@@ -1194,6 +1488,10 @@ class Replayer {
           done_op.resource == OpResource::kCpu ? done_op.cpu_s : 0,
           done_op.resource == OpResource::kCpu ? 0 : done_op.bytes);
       ApplyDeltasOnce(reduce_delta_applied_[r], idx, done_op);
+      auto gate = ckpt_gates_[r].find(static_cast<uint32_t>(idx));
+      if (gate != ckpt_gates_[r].end()) {
+        RegisterCheckpoint(r, gate->second, att.node);
+      }
       TryConsume(r, a);
     });
   }
@@ -1241,6 +1539,9 @@ class Replayer {
       push_waiters_;
   std::vector<std::vector<bool>> map_delta_applied_;
   std::vector<std::vector<bool>> reduce_delta_applied_;
+  // Per reduce task: trace op index of a checkpoint write's last op ->
+  // checkpoint ordinal (mirrors maps_[m].gates for pushes).
+  std::vector<std::map<uint32_t, uint32_t>> ckpt_gates_;
   std::vector<sim::CrashEvent> fraction_crashes_;
   std::vector<bool> fraction_fired_;
 
@@ -1260,6 +1561,13 @@ class Replayer {
   uint64_t corruptions_detected_ = 0;
   uint64_t corruptions_recovered_ = 0;
   uint64_t corruption_recovery_bytes_ = 0;
+  uint64_t checkpoints_restored_ = 0;
+  uint64_t checkpoint_restore_bytes_ = 0;
+  uint64_t checkpoint_corrupt_replicas_ = 0;
+  uint64_t checkpoint_full_replays_ = 0;
+  uint64_t checkpoint_segments_skipped_ = 0;
+  uint64_t checkpoint_skipped_bytes_ = 0;
+  uint64_t shuffle_refetched_bytes_ = 0;
 
   uint64_t cum_shuffle_ = 0, cum_work_ = 0, cum_output_ = 0;
   sim::StepSeries map_progress_, reduce_progress_;
@@ -1413,6 +1721,7 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
     std::unique_ptr<OutputCollector> out;
     std::unique_ptr<GroupByEngine> engine;
     std::vector<DeliveryRef> deliveries;
+    std::vector<CheckpointMark> checkpoints;
     std::vector<Record> outputs;  // task-local; concatenated in r order
   };
   std::vector<std::unique_ptr<ReduceTaskData>> reduce_tasks(total_reducers);
@@ -1458,6 +1767,10 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
                                   (config.snapshots + 1));
           }
         }
+        const bool ckpt_enabled = config.checkpoint_interval_segments > 0 ||
+                                  config.checkpoint_interval_bytes > 0;
+        uint64_t ckpt_segments = 0;
+        uint64_t ckpt_bytes = 0;
         size_t delivery_index = 0;
         for (const auto& [m, p] : delivery_order) {
           const PushSegment& push = map_outs[m].pushes[p];
@@ -1528,6 +1841,60 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
               return;
             }
           }
+          // Reduce-state checkpoint (DESIGN.md §5.6): on the interval
+          // boundary, serialize the engine and run the image through the
+          // codec + CRC-framing path, charging the compress CPU, the
+          // durable write, and the replication transfer. The data plane
+          // discards the bytes — restore correctness is proven by the
+          // checkpoint unit tests; the time plane replays durability,
+          // placement, and recovery from the recorded marks. A checkpoint
+          // after the final delivery is useless (Finish follows at once)
+          // and skipped.
+          if (ckpt_enabled) {
+            ckpt_segments += 1;
+            ckpt_bytes += wire_bytes;
+            const bool interval_hit =
+                (config.checkpoint_interval_segments > 0 &&
+                 ckpt_segments >= config.checkpoint_interval_segments) ||
+                (config.checkpoint_interval_bytes > 0 &&
+                 ckpt_bytes >= config.checkpoint_interval_bytes);
+            if (interval_hit && delivery_index < delivery_order.size()) {
+              CheckpointWriter w;
+              const Status saved = task->engine->SaveCheckpoint(&w);
+              if (!saved.ok()) {
+                reduce_statuses[ri] = saved;
+                return;
+              }
+              const EncodedCheckpoint image = EncodeCheckpoint(
+                  w.fields(), config.block_codec, config.codec_block_bytes,
+                  config.integrity.block_bytes);
+              if (image.coded) {
+                trace.Cpu(config.costs.compress_byte_s *
+                              static_cast<double>(image.raw_bytes),
+                          OpTag::kCheckpoint);
+              }
+              trace.DiskWrite(image.framed.size(), OpTag::kCheckpoint);
+              const uint64_t extra_replicas = static_cast<uint64_t>(
+                  config.checkpoint_replication - 1);
+              if (extra_replicas > 0) {
+                trace.Net(image.framed.size() * extra_replicas,
+                          OpTag::kCheckpoint);
+              }
+              task->metrics.checkpoints_written += 1;
+              task->metrics.checkpoint_bytes += image.framed.size();
+              task->metrics.checkpoint_replica_bytes +=
+                  image.framed.size() * extra_replicas;
+              CheckpointMark mark;
+              mark.watermark = static_cast<uint32_t>(delivery_index);
+              mark.bytes = image.framed.size();
+              mark.raw_bytes = image.raw_bytes;
+              mark.gate_op =
+                  static_cast<uint32_t>(task->trace.ops.size()) - 1;
+              task->checkpoints.push_back(mark);
+              ckpt_segments = 0;
+              ckpt_bytes = 0;
+            }
+          }
         }
         trace.BeginSection();
         const Status finished = task->engine->Finish();
@@ -1575,6 +1942,7 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
         static_cast<int>(r) / config.reducers_per_node;
     reduce_ins[r].trace = &reduce_tasks[r]->trace;
     reduce_ins[r].deliveries = reduce_tasks[r]->deliveries;
+    reduce_ins[r].checkpoints = reduce_tasks[r]->checkpoints;
   }
 
   Replayer replay(config, plan, make_map_inputs(), std::move(reduce_ins),

@@ -63,6 +63,19 @@ Status JobConfig::Validate() const {
         "corruption injection requires integrity.checksums: silent "
         "corruption is undetectable without them");
   }
+  if (checkpoint_interval_segments > 0 || checkpoint_interval_bytes > 0) {
+    if (checkpoint_replication < 1 ||
+        checkpoint_replication > cluster.nodes) {
+      return Status::InvalidArgument(
+          "checkpoint_replication must be in [1, nodes], got " +
+          std::to_string(checkpoint_replication));
+    }
+    if (hash_core == HashCoreKind::kLegacy) {
+      return Status::InvalidArgument(
+          "checkpointing requires the flat hash core: restoring "
+          "std::unordered_map state does not reproduce iteration order");
+    }
+  }
   return faults.Validate(cluster.nodes);
 }
 

@@ -47,6 +47,7 @@ enum class OpTag : uint8_t {
   kCombine,        // combine()/state-update work (user-visible progress)
   kReduceFn,       // reduce()/finalize() work (user-visible progress)
   kOutput,         // writing reduce output
+  kCheckpoint,     // reduce-state checkpoint write/replicate/restore
 };
 
 struct TraceOp {

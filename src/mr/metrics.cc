@@ -41,6 +41,16 @@ void JobMetrics::Merge(const JobMetrics& o) {
   quarantined_replicas += o.quarantined_replicas;
   rereplicated_bytes += o.rereplicated_bytes;
   corruption_recovery_bytes += o.corruption_recovery_bytes;
+  checkpoints_written += o.checkpoints_written;
+  checkpoint_bytes += o.checkpoint_bytes;
+  checkpoint_replica_bytes += o.checkpoint_replica_bytes;
+  checkpoints_restored += o.checkpoints_restored;
+  checkpoint_restore_bytes += o.checkpoint_restore_bytes;
+  checkpoint_corrupt_replicas += o.checkpoint_corrupt_replicas;
+  checkpoint_full_replays += o.checkpoint_full_replays;
+  checkpoint_segments_skipped += o.checkpoint_segments_skipped;
+  checkpoint_skipped_bytes += o.checkpoint_skipped_bytes;
+  shuffle_refetched_bytes += o.shuffle_refetched_bytes;
   codec_map_spill_raw_bytes += o.codec_map_spill_raw_bytes;
   codec_map_spill_encoded_bytes += o.codec_map_spill_encoded_bytes;
   codec_shuffle_raw_bytes += o.codec_shuffle_raw_bytes;
@@ -110,6 +120,16 @@ std::string JobMetrics::Serialize() const {
   put_u64("quarantined_replicas", quarantined_replicas);
   put_u64("rereplicated_bytes", rereplicated_bytes);
   put_u64("corruption_recovery_bytes", corruption_recovery_bytes);
+  put_u64("checkpoints_written", checkpoints_written);
+  put_u64("checkpoint_bytes", checkpoint_bytes);
+  put_u64("checkpoint_replica_bytes", checkpoint_replica_bytes);
+  put_u64("checkpoints_restored", checkpoints_restored);
+  put_u64("checkpoint_restore_bytes", checkpoint_restore_bytes);
+  put_u64("checkpoint_corrupt_replicas", checkpoint_corrupt_replicas);
+  put_u64("checkpoint_full_replays", checkpoint_full_replays);
+  put_u64("checkpoint_segments_skipped", checkpoint_segments_skipped);
+  put_u64("checkpoint_skipped_bytes", checkpoint_skipped_bytes);
+  put_u64("shuffle_refetched_bytes", shuffle_refetched_bytes);
   put_u64("codec_map_spill_raw_bytes", codec_map_spill_raw_bytes);
   put_u64("codec_map_spill_encoded_bytes", codec_map_spill_encoded_bytes);
   put_u64("codec_shuffle_raw_bytes", codec_shuffle_raw_bytes);
@@ -212,6 +232,26 @@ std::string JobMetrics::ToString() const {
                             static_cast<double>(codec_enc)
                       : 0.0,
         compress_ns / 1e6, decompress_ns / 1e6);
+    out += buf;
+  }
+  // The checkpoint block appears only when checkpointing ran.
+  if (checkpoints_written + checkpoints_restored + checkpoint_full_replays >
+      0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\ncheckpoints:     %llu written (%llu bytes, %llu replica bytes), "
+        "%llu restored (%llu bytes read)\n"
+        "ckpt recovery:   %llu corrupt replicas, %llu full replays, %llu "
+        "segments skipped (%llu bytes)",
+        static_cast<unsigned long long>(checkpoints_written),
+        static_cast<unsigned long long>(checkpoint_bytes),
+        static_cast<unsigned long long>(checkpoint_replica_bytes),
+        static_cast<unsigned long long>(checkpoints_restored),
+        static_cast<unsigned long long>(checkpoint_restore_bytes),
+        static_cast<unsigned long long>(checkpoint_corrupt_replicas),
+        static_cast<unsigned long long>(checkpoint_full_replays),
+        static_cast<unsigned long long>(checkpoint_segments_skipped),
+        static_cast<unsigned long long>(checkpoint_skipped_bytes));
     out += buf;
   }
   // The integrity block appears only when checksums were verified or a

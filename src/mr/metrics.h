@@ -66,6 +66,20 @@ struct JobMetrics {
   // and run rebuilds, shuffle re-fetches), charged through the cost model.
   uint64_t corruption_recovery_bytes = 0;
 
+  // --- Reduce-state checkpointing (DESIGN.md §5.6) ---
+  uint64_t checkpoints_written = 0;   // durable checkpoints recorded
+  uint64_t checkpoint_bytes = 0;      // encoded+framed primary bytes
+  uint64_t checkpoint_replica_bytes = 0;  // replication traffic (repl - 1)
+  uint64_t checkpoints_restored = 0;  // reattempts resumed from a replica
+  uint64_t checkpoint_restore_bytes = 0;  // replica bytes read on restore
+  uint64_t checkpoint_corrupt_replicas = 0;  // replicas rejected by verify
+  uint64_t checkpoint_full_replays = 0;  // reattempts with no usable replica
+  uint64_t checkpoint_segments_skipped = 0;  // deliveries below watermark
+  uint64_t checkpoint_skipped_bytes = 0;  // their segment bytes, not re-fetched
+  // Shuffle fetch bytes moved by reduce attempt > 0 (re-fetched work); the
+  // checkpoint bench's >= 3x recovery-work assertion compares this.
+  uint64_t shuffle_refetched_bytes = 0;
+
   // --- Block codec (DESIGN.md §5.5) ---
   // Raw (KvBuffer-serialized) vs encoded (block-stream) bytes per stream
   // kind. All zero under block_codec == kNone (the encoder never runs).

@@ -45,15 +45,19 @@ Status FaultConfig::Validate(int nodes) const {
                                      " outside cluster of " +
                                      std::to_string(nodes));
     }
-    const bool timed = c.time >= 0;
-    const bool fractional = c.at_map_fraction > 0;
-    if (timed == fractional) {
+    const int triggers = (c.time >= 0 ? 1 : 0) +
+                         (c.at_map_fraction > 0 ? 1 : 0) +
+                         (c.at_reduce_fraction > 0 ? 1 : 0);
+    if (triggers != 1) {
       return Status::InvalidArgument(
-          "crash needs exactly one of time >= 0 or at_map_fraction in "
-          "(0, 1]");
+          "crash needs exactly one of time >= 0, at_map_fraction in "
+          "(0, 1], or at_reduce_fraction in (0, 1]");
     }
-    if (fractional && c.at_map_fraction > 1.0) {
+    if (c.at_map_fraction > 1.0) {
       return Status::InvalidArgument("crash at_map_fraction > 1");
+    }
+    if (c.at_reduce_fraction > 1.0) {
+      return Status::InvalidArgument("crash at_reduce_fraction > 1");
     }
   }
   for (const StragglerSpec& s : stragglers) {
@@ -70,11 +74,9 @@ Status FaultConfig::Validate(int nodes) const {
   if (fetch_failure_rate < 0 || fetch_failure_rate >= 1.0) {
     return Status::InvalidArgument("fetch_failure_rate must be in [0, 1)");
   }
-  if (fetch_backoff_s < 0) {
-    return Status::InvalidArgument("negative fetch_backoff_s");
-  }
-  if (max_fetch_retries < 0) {
-    return Status::InvalidArgument("negative max_fetch_retries");
+  {
+    const Status retry = fetch_retry.Validate();
+    if (!retry.ok()) return retry;
   }
   if (max_attempts < 1) {
     return Status::InvalidArgument("max_attempts must be >= 1");
@@ -124,7 +126,7 @@ int FaultPlan::FetchFailures(int reduce_task, int map_task,
                           (static_cast<uint64_t>(reduce_task) << 40) ^
                           (static_cast<uint64_t>(map_task) << 16) ^ push));
   return GeometricFailures(ToUnit(key), config_.fetch_failure_rate,
-                           config_.max_fetch_retries);
+                           config_.fetch_retry.max_retries);
 }
 
 int FaultPlan::DiskReadFailures(bool is_map, int task, int attempt,
@@ -191,6 +193,14 @@ int FaultPlan::FetchCorruptions(int reduce_task, int map_task,
   return CorruptionChain(StreamKind::kShuffleWire,
                          static_cast<uint64_t>(reduce_task),
                          (static_cast<uint64_t>(map_task) << 24) | push);
+}
+
+int FaultPlan::CheckpointCorruptions(int reduce_task, uint32_t ordinal,
+                                     int replica_slot) const {
+  return CorruptionChain(StreamKind::kCheckpoint,
+                         static_cast<uint64_t>(reduce_task),
+                         (static_cast<uint64_t>(ordinal) << 8) |
+                             static_cast<uint64_t>(replica_slot));
 }
 
 }  // namespace onepass::sim

@@ -22,7 +22,8 @@
 //     + transfer time on the same device.
 //   * Transient shuffle-fetch failure: a reducer's fetch of one map-output
 //     segment fails; retried with exponential backoff, bounded by
-//     max_fetch_retries (after which the fetch succeeds — "transient").
+//     fetch_retry.max_retries (after which the fetch succeeds —
+//     "transient").
 //   * Straggler: a node whose CPU and/or disk run slower by a constant
 //     factor, the trigger for speculative execution.
 //   * Silent corruption (ISSUE 2): a stored copy of a framed stream — a
@@ -38,16 +39,20 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/sim/retry_policy.h"
 
 namespace onepass::sim {
 
 // One scheduled fail-stop crash. Exactly one of `time` (absolute simulated
-// seconds) or `at_map_fraction` (crash when this fraction of map tasks has
-// completed, e.g. 0.5 = mid-map) must be set.
+// seconds), `at_map_fraction` (crash when this fraction of map tasks has
+// completed, e.g. 0.5 = mid-map), or `at_reduce_fraction` (crash when this
+// fraction of total shuffle bytes has been delivered, e.g. 0.9 = late in
+// the shuffle) must be set.
 struct CrashEvent {
   int node = -1;
-  double time = -1;             // absolute simulated time, or < 0
-  double at_map_fraction = -1;  // in (0, 1], or < 0
+  double time = -1;                // absolute simulated time, or < 0
+  double at_map_fraction = -1;     // in (0, 1], or < 0
+  double at_reduce_fraction = -1;  // in (0, 1], or < 0
 };
 
 // A node that runs slow: op durations on it are multiplied by the factor
@@ -67,6 +72,7 @@ enum class StreamKind : uint8_t {
   kBucketFile = 3,    // a = owner id (see BucketFileManager), b = bucket
   kMapOutput = 4,     // a = map task, b = push index
   kShuffleWire = 5,   // a = reduce task, b = (map task << 24) | push
+  kCheckpoint = 6,    // a = reduce task, b = (ordinal << 8) | replica slot
 };
 
 // How one corrupt generation of a stream is damaged, within its framed
@@ -85,11 +91,11 @@ struct FaultConfig {
   double disk_error_rate = 0;
   double fetch_failure_rate = 0;
 
-  // Shuffle-fetch retry policy: attempt i (0-based) backs off
-  // fetch_backoff_s * 2^i before retrying; a fetch fails at most
-  // max_fetch_retries times before it is forced to succeed.
-  double fetch_backoff_s = 0.05;
-  int max_fetch_retries = 4;
+  // Shared retry schedule for transient shuffle-fetch failures,
+  // checkpoint-replica reads, and chunk re-replication: attempt i backs
+  // off fetch_retry.BackoffFor(i, key) before retrying; a fetch fails at
+  // most fetch_retry.max_retries times before it is forced to succeed.
+  RetryPolicy fetch_retry;
 
   // Speculative execution: once speculation_min_done_fraction of a phase's
   // tasks have finished, a running task whose elapsed time exceeds
@@ -147,7 +153,7 @@ class FaultPlan {
 
   // Number of consecutive transient failures (possibly 0) for the fetch of
   // map `map_task`'s push `push` by reduce task `reduce_task`. Pure in its
-  // arguments; capped at max_fetch_retries.
+  // arguments; capped at fetch_retry.max_retries.
   int FetchFailures(int reduce_task, int map_task, uint32_t push) const;
 
   // Number of consecutive transient failures for disk-read op `op_idx` of
@@ -174,6 +180,12 @@ class FaultPlan {
   // it does not hold bytes).
   int MapOutputCorruptions(int map_task, uint32_t push) const;
   int FetchCorruptions(int reduce_task, int map_task, uint32_t push) const;
+  // Corrupt generations of replica `slot` of reduce task `reduce_task`'s
+  // `ordinal`-th checkpoint. Each replica slot draws independently, so a
+  // restore can ladder: newest replica corrupt -> try an older slot ->
+  // all corrupt -> full replay.
+  int CheckpointCorruptions(int reduce_task, uint32_t ordinal,
+                            int replica_slot) const;
 
  private:
   FaultConfig config_;

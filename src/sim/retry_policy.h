@@ -1,0 +1,84 @@
+// RetryPolicy: shared exponential-backoff schedule for every retried
+// operation in the time plane — shuffle fetches, checkpoint-replica reads,
+// and chunk re-replication all back off the same way instead of each
+// hardcoding its own constants.
+//
+// Attempt i (0-based) waits BackoffFor(i, key) simulated seconds before
+// retrying: base_backoff_s * multiplier^i, optionally stretched by a
+// seeded jitter drawn from `key` (a pure counter-based draw, like every
+// FaultPlan decision — no shared RNG state, so schedules stay
+// byte-identical run to run). jitter = 0 (the default) reproduces the
+// platform's historical fixed schedule exactly.
+
+#ifndef ONEPASS_SIM_RETRY_POLICY_H_
+#define ONEPASS_SIM_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace onepass::sim {
+
+namespace retry_detail {
+
+// SplitMix64 finalizer, same mixer the FaultPlan draws use.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace retry_detail
+
+struct RetryPolicy {
+  // First backoff, in simulated seconds.
+  double base_backoff_s = 0.05;
+  // An operation fails transiently at most this many times before it is
+  // forced to succeed (or the caller escalates).
+  int max_retries = 4;
+  // Backoff growth per attempt (2.0 = classic exponential doubling).
+  double multiplier = 2.0;
+  // Fraction of the deterministic backoff added as seeded jitter: the
+  // actual wait is backoff * (1 + jitter * u) with u in [0, 1) drawn
+  // purely from `key` and the attempt index. 0 disables jitter.
+  double jitter = 0.0;
+
+  // Backoff before retry `try_i` (0-based). `key` seeds the jitter draw;
+  // callers pass a stable identity for the retried operation so the
+  // schedule is a pure function of (policy, key, try_i).
+  double BackoffFor(int try_i, uint64_t key) const {
+    double backoff = base_backoff_s;
+    for (int i = 0; i < try_i; ++i) backoff *= multiplier;
+    if (jitter > 0) {
+      const uint64_t draw = retry_detail::Mix64(
+          key ^ retry_detail::Mix64(0x5e77ULL + static_cast<uint64_t>(try_i)));
+      backoff *= 1.0 + jitter * retry_detail::ToUnit(draw);
+    }
+    return backoff;
+  }
+
+  Status Validate() const {
+    if (base_backoff_s < 0) {
+      return Status::InvalidArgument("negative retry base_backoff_s");
+    }
+    if (max_retries < 0) {
+      return Status::InvalidArgument("negative retry max_retries");
+    }
+    if (multiplier < 1.0) {
+      return Status::InvalidArgument("retry multiplier must be >= 1");
+    }
+    if (jitter < 0 || jitter > 1.0) {
+      return Status::InvalidArgument("retry jitter outside [0, 1]");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace onepass::sim
+
+#endif  // ONEPASS_SIM_RETRY_POLICY_H_

@@ -185,4 +185,74 @@ uint64_t FrequentSketch::EstimateCount(std::string_view key) const {
   return Effective(slots_[slot]);
 }
 
+void FrequentSketch::SaveTo(CheckpointWriter* w) const {
+  w->PutU64("mg.capacity", slots_.size());
+  w->PutU64("mg.delta", delta_);
+  w->PutU64("mg.offers", offers_);
+  w->PutU64("mg.free", free_slots_.size());
+  for (size_t i = 0; i < free_slots_.size(); ++i) {
+    w->PutU64("mg.free." + std::to_string(i),
+              static_cast<uint64_t>(free_slots_[i]));
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    const std::string tag = std::to_string(i);
+    w->PutU64("mg.occ." + tag, s.occupied ? 1 : 0);
+    if (!s.occupied) continue;
+    w->PutBytes("mg.key." + tag, s.key);
+    w->PutU64("mg.hash." + tag, s.hash);
+    w->PutU64("mg.raw." + tag, s.raw);
+    w->PutU64("mg.t." + tag, s.t);
+  }
+}
+
+Status FrequentSketch::RestoreFrom(CheckpointReader* r) {
+  uint64_t capacity = 0;
+  RETURN_IF_ERROR(r->GetU64("mg.capacity", &capacity));
+  if (capacity != slots_.size()) {
+    return Status::Corruption(
+        "checkpointed sketch capacity does not match this config");
+  }
+  RETURN_IF_ERROR(r->GetU64("mg.delta", &delta_));
+  RETURN_IF_ERROR(r->GetU64("mg.offers", &offers_));
+  uint64_t free_count = 0;
+  RETURN_IF_ERROR(r->GetU64("mg.free", &free_count));
+  if (free_count > slots_.size()) {
+    return Status::Corruption("checkpointed sketch free list oversized");
+  }
+  free_slots_.clear();
+  for (uint64_t i = 0; i < free_count; ++i) {
+    uint64_t slot = 0;
+    RETURN_IF_ERROR(r->GetU64("mg.free." + std::to_string(i), &slot));
+    free_slots_.push_back(static_cast<int>(slot));
+  }
+  // The index and the count multiset are derived views; rebuild them from
+  // the slots (compaction state resets — dead bytes do not survive a
+  // restore, which only affects when the next rebuild fires).
+  index_.Clear();
+  by_count_.clear();
+  live_key_bytes_ = 0;
+  dead_key_bytes_ = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    const std::string tag = std::to_string(i);
+    uint64_t occ = 0;
+    RETURN_IF_ERROR(r->GetU64("mg.occ." + tag, &occ));
+    if (occ == 0) {
+      s = Slot();
+      continue;
+    }
+    std::string_view key;
+    RETURN_IF_ERROR(r->GetBytes("mg.key." + tag, &key));
+    s.key.assign(key);
+    RETURN_IF_ERROR(r->GetU64("mg.hash." + tag, &s.hash));
+    RETURN_IF_ERROR(r->GetU64("mg.raw." + tag, &s.raw));
+    RETURN_IF_ERROR(r->GetU64("mg.t." + tag, &s.t));
+    s.occupied = true;
+    IndexInsert(s.key, s.hash, static_cast<int>(i));
+    by_count_.insert({s.raw, static_cast<int>(i)});
+  }
+  return Status::OK();
+}
+
 }  // namespace onepass

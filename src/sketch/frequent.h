@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/storage/checkpoint.h"
 #include "src/util/flat_table.h"
 
 namespace onepass {
@@ -143,6 +144,14 @@ class FrequentSketch {
   // Frequency estimate for any key: the effective counter if monitored,
   // else 0. True frequency f satisfies est <= f <= est + offers()/(s+1).
   uint64_t EstimateCount(std::string_view key) const;
+
+  // Checkpointing (DESIGN.md §5.6): serializes the slots, the decrement
+  // offset, the offer count, and the free-slot stack (its LIFO order
+  // decides future insertions, so it is state, not scratch). The key→slot
+  // index and the count multiset are derivable and rebuilt on restore.
+  void SaveTo(CheckpointWriter* w) const;
+  // Restores into a sketch constructed with the same capacity.
+  Status RestoreFrom(CheckpointReader* r);
 
   // Adds the index table's probe/rehash/arena counters to `m` (see
   // FlatTable::FlushStatsTo).

@@ -205,4 +205,60 @@ Result<KvBuffer> BucketFileManager::TakeBucketCoded(int bucket) {
   return out;
 }
 
+void BucketFileManager::SaveTo(CheckpointWriter* w) const {
+  w->PutU64("bkt.buckets", static_cast<uint64_t>(num_buckets()));
+  w->PutU64("bkt.coded", coded() ? 1 : 0);
+  w->PutU64("bkt.buffered_bytes", buffered_bytes_);
+  w->PutU64("bkt.spilled_bytes", spilled_bytes_);
+  w->PutU64("bkt.spilled_records", spilled_records_);
+  for (int b = 0; b < num_buckets(); ++b) {
+    const std::string tag = std::to_string(b);
+    w->PutU64("bkt.page_n." + tag, pages_[b].count());
+    w->PutBytes("bkt.page." + tag, pages_[b].data());
+    if (coded()) {
+      w->PutBytes("bkt.enc." + tag, enc_files_[b]);
+      w->PutU64("bkt.raw_bytes." + tag, raw_file_bytes_[b]);
+      w->PutU64("bkt.raw_records." + tag, raw_file_records_[b]);
+    } else {
+      w->PutU64("bkt.file_n." + tag, files_[b].count());
+      w->PutBytes("bkt.file." + tag, files_[b].data());
+    }
+  }
+}
+
+Status BucketFileManager::RestoreFrom(CheckpointReader* r) {
+  uint64_t buckets = 0, was_coded = 0;
+  RETURN_IF_ERROR(r->GetU64("bkt.buckets", &buckets));
+  RETURN_IF_ERROR(r->GetU64("bkt.coded", &was_coded));
+  if (buckets != static_cast<uint64_t>(num_buckets()) ||
+      was_coded != (coded() ? 1u : 0u)) {
+    return Status::Corruption(
+        "checkpointed bucket manager shape does not match this config");
+  }
+  RETURN_IF_ERROR(r->GetU64("bkt.buffered_bytes", &buffered_bytes_));
+  RETURN_IF_ERROR(r->GetU64("bkt.spilled_bytes", &spilled_bytes_));
+  RETURN_IF_ERROR(r->GetU64("bkt.spilled_records", &spilled_records_));
+  for (int b = 0; b < num_buckets(); ++b) {
+    const std::string tag = std::to_string(b);
+    uint64_t n = 0;
+    std::string_view bytes;
+    RETURN_IF_ERROR(r->GetU64("bkt.page_n." + tag, &n));
+    RETURN_IF_ERROR(r->GetBytes("bkt.page." + tag, &bytes));
+    pages_[b] = KvBuffer::FromData(std::string(bytes), n);
+    if (coded()) {
+      RETURN_IF_ERROR(r->GetBytes("bkt.enc." + tag, &bytes));
+      enc_files_[b].assign(bytes);
+      RETURN_IF_ERROR(
+          r->GetU64("bkt.raw_bytes." + tag, &raw_file_bytes_[b]));
+      RETURN_IF_ERROR(
+          r->GetU64("bkt.raw_records." + tag, &raw_file_records_[b]));
+    } else {
+      RETURN_IF_ERROR(r->GetU64("bkt.file_n." + tag, &n));
+      RETURN_IF_ERROR(r->GetBytes("bkt.file." + tag, &bytes));
+      files_[b] = KvBuffer::FromData(std::string(bytes), n);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace onepass

@@ -33,6 +33,7 @@
 #include "src/mr/metrics.h"
 #include "src/sim/fault_injector.h"
 #include "src/storage/block_format.h"
+#include "src/storage/checkpoint.h"
 #include "src/storage/framed_io.h"
 #include "src/util/kv_buffer.h"
 
@@ -92,6 +93,15 @@ class BucketFileManager {
   uint64_t spilled_bytes() const { return spilled_bytes_; }
   uint64_t spilled_records() const { return spilled_records_; }
   uint64_t owner() const { return owner_; }
+
+  // Checkpointing (DESIGN.md §5.6): serializes the complete mid-stream
+  // state — unflushed pages, bucket files (raw or encoded), and the spill
+  // accounting — so a restored manager continues byte-identically.
+  // Non-destructive; charges nothing (the cluster prices checkpoint I/O).
+  void SaveTo(CheckpointWriter* w) const;
+  // Restores into a freshly constructed manager with the same shape
+  // (bucket count and codec must match the saved state).
+  Status RestoreFrom(CheckpointReader* r);
 
  private:
   void FlushPage(int bucket);

@@ -1,0 +1,136 @@
+// Reduce-state checkpointing (DESIGN.md §5.6).
+//
+// A checkpoint is a named, ordered field stream — the engine walks its
+// state (hash-table entries, sketch slots, bucket files, run manifests)
+// into a CheckpointWriter, and a restore reads the same fields back in the
+// same order through a CheckpointReader, with every name and type checked
+// so a damaged or mismatched image surfaces as Status::Corruption instead
+// of silently mis-seeding an engine.
+//
+// The field stream is a KvBuffer (name -> payload records), so it rides
+// the platform's existing byte paths: EncodeCheckpoint runs it through the
+// block codec (DESIGN.md §5.5) when one is active and frames the result in
+// CRC32C blocks (DESIGN.md §5.2), which makes a stored checkpoint replica
+// torn-write-detectable exactly like a spill run or a DFS chunk.
+//
+// CheckpointStore holds the replicated instances for one reduce task and
+// implements the restore ladder: newest instance first, replica slots in
+// order, each candidate damaged per the FaultPlan's seeded draw and then
+// CRC-verified — a corrupt replica is rejected and the next one tried;
+// when every replica of every instance is bad the restore returns
+// NotFound and the caller falls back to full replay.
+
+#ifndef ONEPASS_STORAGE_CHECKPOINT_H_
+#define ONEPASS_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/fault_injector.h"
+#include "src/storage/block_format.h"
+#include "src/storage/framed_io.h"
+#include "src/util/kv_buffer.h"
+
+namespace onepass {
+
+// Serializes named, typed fields into a KvBuffer in call order.
+class CheckpointWriter {
+ public:
+  void PutU64(std::string_view name, uint64_t v);
+  // Stored as the IEEE-754 bit pattern, so save/restore round trips are
+  // bit-exact (MergeScheduler sizes are doubles).
+  void PutF64(std::string_view name, double v);
+  void PutBytes(std::string_view name, std::string_view bytes);
+
+  const KvBuffer& fields() const { return fields_; }
+  KvBuffer Take() { return std::move(fields_); }
+
+ private:
+  KvBuffer fields_;
+};
+
+// Sequential reader over a checkpoint's field stream. Every Get checks the
+// stored name and type tag against what the caller expects; a mismatch —
+// wrong engine, wrong config shape, or a decode that slipped past the
+// CRCs — returns Status::Corruption.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const KvBuffer& fields) : reader_(fields) {}
+
+  Status GetU64(std::string_view name, uint64_t* v);
+  Status GetF64(std::string_view name, double* v);
+  // The returned view points into the underlying field buffer and stays
+  // valid for the buffer's lifetime.
+  Status GetBytes(std::string_view name, std::string_view* bytes);
+
+ private:
+  Status Next(std::string_view name, char type_tag, std::string_view* value);
+
+  KvBufferReader reader_;
+};
+
+// One encoded checkpoint image: the framed bytes a replica stores, plus
+// the out-of-band sizes the verifier needs (a namenode-style manifest).
+struct EncodedCheckpoint {
+  std::string framed;      // CRC-framed (possibly codec-encoded) image
+  uint64_t payload_bytes = 0;  // pre-framing bytes (torn-write check)
+  uint64_t raw_bytes = 0;      // KvBuffer field-stream bytes
+  uint64_t raw_count = 0;      // field records in the stream
+  bool coded = false;          // payload is a block stream, not raw fields
+};
+
+// Encodes a field stream for storage: block-codec encode (when `codec` is
+// not kNone), then CRC framing with `integrity_block_bytes` blocks.
+EncodedCheckpoint EncodeCheckpoint(const KvBuffer& fields,
+                                   BlockCodecKind codec,
+                                   uint64_t codec_block_bytes,
+                                   uint64_t integrity_block_bytes);
+
+// Verifies and decodes one stored image back to its field stream. Returns
+// Status::Corruption on any CRC, length, or block-format failure.
+Result<KvBuffer> DecodeCheckpoint(const EncodedCheckpoint& image,
+                                  std::string_view framed);
+
+// Replicated checkpoint instances for one reduce task.
+class CheckpointStore {
+ public:
+  // `plan` may be null (no injection). `reduce_task` keys the corruption
+  // draws; `replication` copies of each instance are stored.
+  CheckpointStore(int reduce_task, int replication,
+                  const sim::FaultPlan* plan)
+      : reduce_task_(reduce_task), replication_(replication), plan_(plan) {}
+
+  // Stores the next checkpoint instance (its ordinal is the number of
+  // instances stored before it).
+  void Put(EncodedCheckpoint image) {
+    instances_.push_back(std::move(image));
+  }
+
+  struct RestoreStats {
+    uint32_t ordinal = 0;        // instance the restore succeeded from
+    int corrupt_replicas = 0;    // candidates rejected by verification
+    uint64_t bytes_read = 0;     // framed bytes read across all candidates
+  };
+
+  // Runs the restore ladder and returns the decoded field stream of the
+  // newest instance with a verifiable replica, or Status::NotFound when
+  // every replica of every instance is corrupt (caller falls back to full
+  // replay). Non-destructive; pure given (instances, plan).
+  Result<KvBuffer> Restore(RestoreStats* stats) const;
+
+  size_t instances() const { return instances_.size(); }
+  const EncodedCheckpoint& instance(size_t i) const { return instances_[i]; }
+
+ private:
+  int reduce_task_;
+  int replication_;
+  const sim::FaultPlan* plan_;
+  std::vector<EncodedCheckpoint> instances_;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_STORAGE_CHECKPOINT_H_

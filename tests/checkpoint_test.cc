@@ -1,0 +1,404 @@
+// Checkpoint unit behaviour (DESIGN.md §5.6): typed field streams that
+// fail loudly on schema drift, encoded images whose damage is caught by
+// the CRC framing, a restore ladder consistent with the FaultPlan's pure
+// draws, and — the core property — a mid-stream SaveCheckpoint /
+// RestoreCheckpoint round trip on every engine that leaves the final
+// output byte-identical to an uninterrupted run.
+
+#include "src/storage/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/fault_injector.h"
+#include "src/storage/framed_io.h"
+#include "src/util/random.h"
+#include "tests/engine_test_util.h"
+
+namespace onepass {
+namespace {
+
+// ---- field stream round trips ----
+
+TEST(CheckpointFieldsTest, TypedFieldsRoundTrip) {
+  CheckpointWriter w;
+  w.PutU64("count", 0);
+  w.PutU64("big", UINT64_MAX);
+  w.PutF64("size", 1234.5678);
+  w.PutF64("tiny", 5e-324);  // denormal: bit-exactness matters
+  w.PutBytes("blob", std::string("ab\0cd", 5));
+  w.PutBytes("empty", "");
+
+  CheckpointReader r(w.fields());
+  uint64_t u = 1;
+  ASSERT_TRUE(r.GetU64("count", &u).ok());
+  EXPECT_EQ(u, 0u);
+  ASSERT_TRUE(r.GetU64("big", &u).ok());
+  EXPECT_EQ(u, UINT64_MAX);
+  double d = 0;
+  ASSERT_TRUE(r.GetF64("size", &d).ok());
+  EXPECT_EQ(d, 1234.5678);
+  ASSERT_TRUE(r.GetF64("tiny", &d).ok());
+  EXPECT_EQ(d, 5e-324);
+  std::string_view bytes;
+  ASSERT_TRUE(r.GetBytes("blob", &bytes).ok());
+  EXPECT_EQ(bytes, std::string_view("ab\0cd", 5));
+  ASSERT_TRUE(r.GetBytes("empty", &bytes).ok());
+  EXPECT_TRUE(bytes.empty());
+}
+
+TEST(CheckpointFieldsTest, NameMismatchIsCorruption) {
+  CheckpointWriter w;
+  w.PutU64("expected", 7);
+  CheckpointReader r(w.fields());
+  uint64_t u = 0;
+  const Status s = r.GetU64("something_else", &u);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(CheckpointFieldsTest, TypeMismatchIsCorruption) {
+  CheckpointWriter w;
+  w.PutU64("field", 7);
+  CheckpointReader r(w.fields());
+  double d = 0;
+  const Status s = r.GetF64("field", &d);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(CheckpointFieldsTest, ExhaustedStreamIsCorruption) {
+  CheckpointWriter w;
+  w.PutU64("only", 1);
+  CheckpointReader r(w.fields());
+  uint64_t u = 0;
+  ASSERT_TRUE(r.GetU64("only", &u).ok());
+  const Status s = r.GetU64("missing", &u);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+// ---- encoded images ----
+
+KvBuffer SampleFields() {
+  CheckpointWriter w;
+  w.PutU64("entries", 3);
+  for (int i = 0; i < 3; ++i) {
+    const std::string tag = std::to_string(i);
+    w.PutBytes("k." + tag, "key" + tag);
+    w.PutBytes("v." + tag, std::string(200, static_cast<char>('a' + i)));
+  }
+  w.PutF64("watermark", 0.5);
+  return w.Take();
+}
+
+void ExpectSameFields(const KvBuffer& a, const KvBuffer& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(CheckpointImageTest, RawImageRoundTrips) {
+  const KvBuffer fields = SampleFields();
+  const EncodedCheckpoint image = EncodeCheckpoint(
+      fields, BlockCodecKind::kNone, 48 << 10, /*integrity=*/128);
+  EXPECT_FALSE(image.coded);
+  EXPECT_EQ(image.raw_bytes, fields.bytes());
+  EXPECT_EQ(image.payload_bytes, fields.bytes());
+  EXPECT_GT(image.framed.size(), image.payload_bytes);  // CRC headers
+  auto decoded = DecodeCheckpoint(image, image.framed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameFields(decoded.value(), fields);
+}
+
+TEST(CheckpointImageTest, CodedImageRoundTrips) {
+  const KvBuffer fields = SampleFields();
+  const EncodedCheckpoint image = EncodeCheckpoint(
+      fields, BlockCodecKind::kLz, /*codec_block=*/256, /*integrity=*/128);
+  EXPECT_TRUE(image.coded);
+  EXPECT_EQ(image.raw_bytes, fields.bytes());
+  // The long 'aaa...' values compress, so the stored payload shrinks.
+  EXPECT_LT(image.payload_bytes, image.raw_bytes);
+  auto decoded = DecodeCheckpoint(image, image.framed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameFields(decoded.value(), fields);
+}
+
+TEST(CheckpointImageTest, EveryFlippedBitIsCaught) {
+  for (const BlockCodecKind codec :
+       {BlockCodecKind::kNone, BlockCodecKind::kLz}) {
+    const EncodedCheckpoint image =
+        EncodeCheckpoint(SampleFields(), codec, 256, 128);
+    for (uint64_t bit = 0; bit < 8 * image.framed.size();
+         bit += 97) {  // sample bits, coprime stride
+      std::string bad = image.framed;
+      FlipBit(&bad, bit);
+      auto decoded = DecodeCheckpoint(image, bad);
+      EXPECT_FALSE(decoded.ok()) << "bit " << bit << " escaped";
+      EXPECT_TRUE(decoded.status().IsCorruption());
+    }
+  }
+}
+
+TEST(CheckpointImageTest, TornWriteIsCaught) {
+  const EncodedCheckpoint image =
+      EncodeCheckpoint(SampleFields(), BlockCodecKind::kNone, 256, 128);
+  for (uint64_t keep = 1; keep < image.framed.size(); keep += 13) {
+    std::string bad = image.framed;
+    TornTruncate(&bad, keep);
+    auto decoded = DecodeCheckpoint(image, bad);
+    EXPECT_FALSE(decoded.ok()) << "torn at " << keep << " escaped";
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
+
+// ---- the restore ladder vs the plan's pure draws ----
+
+TEST(CheckpointStoreTest, CleanStoreRestoresNewestInstance) {
+  CheckpointStore store(/*reduce_task=*/0, /*replication=*/2,
+                        /*plan=*/nullptr);
+  CheckpointWriter w0;
+  w0.PutU64("watermark", 4);
+  store.Put(EncodeCheckpoint(w0.fields(), BlockCodecKind::kNone, 256, 128));
+  CheckpointWriter w1;
+  w1.PutU64("watermark", 8);
+  store.Put(EncodeCheckpoint(w1.fields(), BlockCodecKind::kNone, 256, 128));
+
+  CheckpointStore::RestoreStats stats;
+  auto fields = store.Restore(&stats);
+  ASSERT_TRUE(fields.ok()) << fields.status().ToString();
+  EXPECT_EQ(stats.ordinal, 1u);
+  EXPECT_EQ(stats.corrupt_replicas, 0);
+  EXPECT_EQ(stats.bytes_read, store.instance(1).framed.size());
+  CheckpointReader r(fields.value());
+  uint64_t watermark = 0;
+  ASSERT_TRUE(r.GetU64("watermark", &watermark).ok());
+  EXPECT_EQ(watermark, 8u);
+}
+
+TEST(CheckpointStoreTest, LadderMatchesPlanDrawsExactly) {
+  sim::FaultConfig f;
+  f.corruption_rate = 0.5;
+  f.torn_writes = true;
+  const sim::FaultPlan plan(f, 20110613);
+  constexpr int kTasks = 100;
+  constexpr int kReplication = 2;
+  constexpr int kInstances = 2;
+  int restored_newest = 0, restored_older = 0, full_replay = 0;
+  for (int task = 0; task < kTasks; ++task) {
+    CheckpointStore store(task, kReplication, &plan);
+    for (int ordinal = 0; ordinal < kInstances; ++ordinal) {
+      CheckpointWriter w;
+      w.PutU64("watermark", static_cast<uint64_t>(4 * (ordinal + 1)));
+      w.PutBytes("state", std::string(300, 's'));
+      store.Put(
+          EncodeCheckpoint(w.fields(), BlockCodecKind::kNone, 256, 128));
+    }
+    // Predict the ladder outcome from the pure draws alone: newest
+    // instance first, replica slots in order, a candidate usable iff its
+    // corruption chain is empty.
+    int expect_ordinal = -1, expect_corrupt = 0;
+    uint64_t expect_bytes = 0;
+    for (int ordinal = kInstances - 1; ordinal >= 0 && expect_ordinal < 0;
+         --ordinal) {
+      for (int slot = 0; slot < kReplication; ++slot) {
+        expect_bytes +=
+            store.instance(static_cast<size_t>(ordinal)).framed.size();
+        if (plan.CheckpointCorruptions(
+                task, static_cast<uint32_t>(ordinal), slot) > 0) {
+          ++expect_corrupt;
+          continue;
+        }
+        expect_ordinal = ordinal;
+        break;
+      }
+    }
+
+    CheckpointStore::RestoreStats stats;
+    auto fields = store.Restore(&stats);
+    EXPECT_EQ(stats.corrupt_replicas, expect_corrupt) << "task " << task;
+    EXPECT_EQ(stats.bytes_read, expect_bytes) << "task " << task;
+    if (expect_ordinal < 0) {
+      EXPECT_TRUE(fields.status().IsNotFound()) << "task " << task;
+      ++full_replay;
+      continue;
+    }
+    ASSERT_TRUE(fields.ok()) << fields.status().ToString();
+    EXPECT_EQ(stats.ordinal, static_cast<uint32_t>(expect_ordinal));
+    CheckpointReader r(fields.value());
+    uint64_t watermark = 0;
+    ASSERT_TRUE(r.GetU64("watermark", &watermark).ok());
+    EXPECT_EQ(watermark, static_cast<uint64_t>(4 * (expect_ordinal + 1)));
+    if (expect_ordinal == kInstances - 1) {
+      ++restored_newest;
+    } else {
+      ++restored_older;
+    }
+  }
+  // At rate 0.5 with 2x2 candidates, all three outcomes must occur: clean
+  // newest, fallback to the older instance, and total loss (full replay).
+  EXPECT_GT(restored_newest, 0);
+  EXPECT_GT(restored_older, 0);
+  EXPECT_GT(full_replay, 0);
+}
+
+// ---- mid-stream save/restore equivalence on every engine ----
+
+// Same commutative padded-sum workload family as the engine-equivalence
+// property test: counts fold identically in any order, padding stresses
+// memory budgets.
+uint64_t ParseCount(std::string_view v) {
+  uint64_t c = 0;
+  for (char ch : v) {
+    if (ch == ':') break;
+    c = c * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  return c;
+}
+
+class SumIncReducer : public IncrementalReducer {
+ public:
+  std::string Init(std::string_view, std::string_view value) override {
+    return std::string(value);
+  }
+  void Combine(std::string_view, std::string* state,
+               std::string_view other) override {
+    *state = std::to_string(ParseCount(*state) + ParseCount(other)) + ":p";
+  }
+  void Finalize(std::string_view key, std::string_view state,
+                Emitter* out) override {
+    out->Emit(key, std::to_string(ParseCount(state)));
+  }
+  uint64_t StateBytesHint() const override { return 16; }
+};
+
+class SumListReducer : public Reducer {
+ public:
+  void Reduce(std::string_view key, ValueIterator* values,
+              Emitter* out) override {
+    uint64_t sum = 0;
+    std::string_view v;
+    while (values->Next(&v)) sum += ParseCount(v);
+    out->Emit(key, std::to_string(sum));
+  }
+};
+
+std::vector<KvBuffer> CheckpointWorkload(bool sorted) {
+  Xoshiro256StarStar rng = PerTaskRng(0xC4E0, 7);
+  ZipfGenerator zipf(400, 0.9);
+  std::vector<std::vector<std::pair<std::string, std::string>>> pairs(10);
+  for (int i = 0; i < 4000; ++i) {
+    std::string key = "k" + std::to_string(zipf.Next(&rng));
+    std::string value = std::to_string(1 + rng.NextBounded(5));
+    value += ':';
+    value.append(static_cast<size_t>(rng.NextBounded(24)), 'p');
+    pairs[static_cast<size_t>(i) % pairs.size()].emplace_back(
+        std::move(key), std::move(value));
+  }
+  std::vector<KvBuffer> segments;
+  for (auto& seg : pairs) {
+    segments.push_back(MakeSegment(std::move(seg), sorted));
+  }
+  return segments;
+}
+
+EngineHarness MakeCheckpointHarness(EngineKind kind, BlockCodecKind codec) {
+  EngineHarness h;
+  // Tight memory: every engine spills (SM runs, MR/INC/DINC disk
+  // buckets), so the checkpoint must carry on-disk manifests, not just
+  // resident state.
+  h.config.reduce_memory_bytes = 8 << 10;
+  h.config.bucket_page_bytes = 1 << 10;
+  h.config.merge_factor = 4;
+  h.config.block_codec = codec;
+  h.config.codec_block_bytes = 4 << 10;
+  const bool incremental =
+      kind == EngineKind::kIncHash || kind == EngineKind::kDincHash;
+  if (incremental) {
+    h.inc = std::make_unique<SumIncReducer>();
+  } else {
+    h.reducer = std::make_unique<SumListReducer>();
+  }
+  EXPECT_TRUE(h.Init(kind, /*values_are_states=*/false).ok());
+  return h;
+}
+
+std::vector<Record> RunStraightThrough(EngineKind kind, BlockCodecKind codec,
+                                       const std::vector<KvBuffer>& segs,
+                                       bool sorted) {
+  EngineHarness h = MakeCheckpointHarness(kind, codec);
+  for (const KvBuffer& seg : segs) {
+    EXPECT_TRUE(h.Consume(seg, sorted).ok());
+  }
+  EXPECT_TRUE(h.Finish().ok());
+  return std::move(h.outputs);
+}
+
+// Consumes `cut` segments, saves, pushes the image through the full
+// encode/frame/decode path, restores into a FRESH engine, and finishes
+// from there.
+std::vector<Record> RunWithMidStreamRestore(
+    EngineKind kind, BlockCodecKind codec,
+    const std::vector<KvBuffer>& segs, bool sorted, size_t cut) {
+  EngineHarness first = MakeCheckpointHarness(kind, codec);
+  for (size_t i = 0; i < cut; ++i) {
+    EXPECT_TRUE(first.Consume(segs[i], sorted).ok());
+  }
+  CheckpointWriter w;
+  EXPECT_TRUE(first.engine->SaveCheckpoint(&w).ok());
+  const EncodedCheckpoint image = EncodeCheckpoint(
+      w.fields(), codec, first.config.codec_block_bytes,
+      first.config.integrity.block_bytes);
+  auto fields = DecodeCheckpoint(image, image.framed);
+  EXPECT_TRUE(fields.ok()) << fields.status().ToString();
+
+  EngineHarness second = MakeCheckpointHarness(kind, codec);
+  CheckpointReader r(fields.value());
+  EXPECT_TRUE(second.engine->RestoreCheckpoint(&r).ok());
+  for (size_t i = cut; i < segs.size(); ++i) {
+    EXPECT_TRUE(second.Consume(segs[i], sorted).ok());
+  }
+  EXPECT_TRUE(second.Finish().ok());
+  return std::move(second.outputs);
+}
+
+void ExpectSameRecords(const std::vector<Record>& a,
+                       const std::vector<Record>& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << label << " record " << i;
+    EXPECT_EQ(a[i].value, b[i].value) << label << " record " << i;
+  }
+}
+
+TEST(CheckpointEngineTest, MidStreamRestoreIsByteIdenticalOnAllEngines) {
+  constexpr EngineKind kKinds[] = {EngineKind::kSortMerge,
+                                   EngineKind::kMRHash, EngineKind::kIncHash,
+                                   EngineKind::kDincHash};
+  for (const EngineKind kind : kKinds) {
+    const bool sorted = kind == EngineKind::kSortMerge;
+    const std::vector<KvBuffer> segs = CheckpointWorkload(sorted);
+    for (const BlockCodecKind codec :
+         {BlockCodecKind::kNone, BlockCodecKind::kLz}) {
+      const std::string label =
+          std::string(EngineKindName(kind)) +
+          (codec == BlockCodecKind::kLz ? "+lz" : "+raw");
+      const std::vector<Record> straight =
+          RunStraightThrough(kind, codec, segs, sorted);
+      ASSERT_FALSE(straight.empty()) << label;
+      // Save/restore at several watermarks, including first-delivery and
+      // last-delivery boundaries.
+      for (const size_t cut : {size_t{1}, segs.size() / 2, segs.size()}) {
+        const std::vector<Record> resumed =
+            RunWithMidStreamRestore(kind, codec, segs, sorted, cut);
+        ExpectSameRecords(straight, resumed,
+                          label + " cut=" + std::to_string(cut));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace onepass

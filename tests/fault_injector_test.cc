@@ -64,7 +64,7 @@ TEST(FaultPlanTest, DifferentSeedsDiverge) {
 TEST(FaultPlanTest, FailureDrawsAreBoundedAndMatchRateRoughly) {
   FaultConfig f;
   f.fetch_failure_rate = 0.25;
-  f.max_fetch_retries = 4;
+  f.fetch_retry.max_retries = 4;
   f.disk_error_rate = 0.1;
   const FaultPlan plan(f, 7);
   int fetch_failures = 0;
@@ -72,7 +72,7 @@ TEST(FaultPlanTest, FailureDrawsAreBoundedAndMatchRateRoughly) {
   for (int i = 0; i < kDraws; ++i) {
     const int ff = plan.FetchFailures(i % 16, i / 16, 0);
     ASSERT_GE(ff, 0);
-    ASSERT_LE(ff, f.max_fetch_retries);
+    ASSERT_LE(ff, f.fetch_retry.max_retries);
     if (ff > 0) ++fetch_failures;
     const int df = plan.DiskReadFailures(false, i % 16, 0, i);
     ASSERT_GE(df, 0);
@@ -193,6 +193,90 @@ TEST(FaultPlanTest, CorruptionRateAloneArmsThePlan) {
   EXPECT_FALSE(f.any());
   f.corruption_rate = 0.01;
   EXPECT_TRUE(f.any());
+}
+
+TEST(FaultPlanTest, CheckpointDrawsAreDeterministicAndIndependent) {
+  FaultConfig f;
+  f.corruption_rate = 0.4;
+  const FaultPlan a(f, 17), b(f, 17);
+  const FaultPlan other_seed(f, 18);
+  int fired = 0, differs = 0, slot_differs = 0, ordinal_differs = 0;
+  for (int task = 0; task < 200; ++task) {
+    for (uint32_t ordinal = 0; ordinal < 3; ++ordinal) {
+      for (int slot = 0; slot < 2; ++slot) {
+        const int chain = a.CheckpointCorruptions(task, ordinal, slot);
+        ASSERT_GE(chain, 0);
+        ASSERT_LE(chain, 3);
+        EXPECT_EQ(chain, b.CheckpointCorruptions(task, ordinal, slot));
+        if (chain != other_seed.CheckpointCorruptions(task, ordinal, slot)) {
+          ++differs;
+        }
+        if (chain > 0) ++fired;
+      }
+      // Replica slots of the same instance draw independently — that
+      // independence is the whole point of replication: one slot corrupt,
+      // the other still restores.
+      if ((a.CheckpointCorruptions(task, ordinal, 0) > 0) !=
+          (a.CheckpointCorruptions(task, ordinal, 1) > 0)) {
+        ++slot_differs;
+      }
+    }
+    // And instances (ordinals) draw independently of each other.
+    if ((a.CheckpointCorruptions(task, 0, 0) > 0) !=
+        (a.CheckpointCorruptions(task, 1, 0) > 0)) {
+      ++ordinal_differs;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / 1200.0, 0.4, 0.05);
+  EXPECT_GT(differs, 0);
+  EXPECT_GT(slot_differs, 0);
+  EXPECT_GT(ordinal_differs, 0);
+}
+
+TEST(FaultPlanTest, ZeroRateCheckpointDrawsNeverFire) {
+  const FaultPlan plan(FaultConfig(), 9);
+  for (int task = 0; task < 50; ++task) {
+    for (uint32_t ordinal = 0; ordinal < 4; ++ordinal) {
+      for (int slot = 0; slot < 3; ++slot) {
+        EXPECT_EQ(plan.CheckpointCorruptions(task, ordinal, slot), 0);
+      }
+    }
+  }
+}
+
+TEST(FaultConfigTest, ReduceFractionCrashValidates) {
+  FaultConfig f;
+  CrashEvent crash;
+  crash.node = 1;
+  crash.at_reduce_fraction = 0.9;
+  f.crashes.push_back(crash);
+  EXPECT_TRUE(f.Validate(4).ok());
+  EXPECT_TRUE(f.any());
+
+  // Out-of-range fractions are rejected.
+  f.crashes[0].at_reduce_fraction = 0.0;
+  EXPECT_FALSE(f.Validate(4).ok());
+  f.crashes[0].at_reduce_fraction = 1.5;
+  EXPECT_FALSE(f.Validate(4).ok());
+}
+
+TEST(FaultConfigTest, CrashNeedsExactlyOneTrigger) {
+  FaultConfig f;
+  CrashEvent crash;
+  crash.node = 0;
+  f.crashes.push_back(crash);
+  // No trigger at all.
+  EXPECT_FALSE(f.Validate(4).ok());
+  // Two triggers at once.
+  f.crashes[0].at_map_fraction = 0.5;
+  f.crashes[0].at_reduce_fraction = 0.5;
+  EXPECT_FALSE(f.Validate(4).ok());
+  f.crashes[0].at_map_fraction = -1;
+  f.crashes[0].time = 10.0;
+  EXPECT_FALSE(f.Validate(4).ok());
+  // Exactly one trigger.
+  f.crashes[0].time = -1;
+  EXPECT_TRUE(f.Validate(4).ok());
 }
 
 }  // namespace

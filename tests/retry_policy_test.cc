@@ -1,0 +1,97 @@
+// RetryPolicy unit behaviour: the exponential schedule, deterministic
+// bounded jitter, and validation. The policy is shared by shuffle-fetch
+// retries and checkpoint-replica reads, so its schedule being a pure
+// function of (policy, key, try_i) is what keeps faulted runs
+// byte-identical (DESIGN.md §5).
+
+#include "src/sim/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace onepass::sim {
+namespace {
+
+TEST(RetryPolicyTest, DefaultScheduleIsExponentialDoubling) {
+  const RetryPolicy p;  // 0.05s base, x2, no jitter
+  EXPECT_DOUBLE_EQ(p.BackoffFor(0, 0), 0.05);
+  EXPECT_DOUBLE_EQ(p.BackoffFor(1, 0), 0.10);
+  EXPECT_DOUBLE_EQ(p.BackoffFor(2, 0), 0.20);
+  EXPECT_DOUBLE_EQ(p.BackoffFor(3, 0), 0.40);
+  // Without jitter the key is irrelevant.
+  EXPECT_DOUBLE_EQ(p.BackoffFor(2, 12345), p.BackoffFor(2, 99999));
+}
+
+TEST(RetryPolicyTest, CustomBaseAndMultiplier) {
+  RetryPolicy p;
+  p.base_backoff_s = 1.0;
+  p.multiplier = 3.0;
+  EXPECT_DOUBLE_EQ(p.BackoffFor(0, 7), 1.0);
+  EXPECT_DOUBLE_EQ(p.BackoffFor(1, 7), 3.0);
+  EXPECT_DOUBLE_EQ(p.BackoffFor(2, 7), 9.0);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicBoundedAndKeyDependent) {
+  RetryPolicy p;
+  p.jitter = 0.5;
+  const RetryPolicy plain;  // same base schedule, no jitter
+  int distinct = 0;
+  for (int try_i = 0; try_i < 4; ++try_i) {
+    const double base = plain.BackoffFor(try_i, 0);
+    double prev = -1;
+    for (uint64_t key = 0; key < 64; ++key) {
+      const double wait = p.BackoffFor(try_i, key);
+      // Same (key, try_i) -> same wait, every time.
+      EXPECT_DOUBLE_EQ(wait, p.BackoffFor(try_i, key));
+      // Bounded: backoff <= wait < backoff * (1 + jitter).
+      EXPECT_GE(wait, base);
+      EXPECT_LT(wait, base * (1.0 + p.jitter));
+      if (prev >= 0 && wait != prev) ++distinct;
+      prev = wait;
+    }
+  }
+  // The draw actually varies across keys.
+  EXPECT_GT(distinct, 0);
+}
+
+TEST(RetryPolicyTest, ZeroJitterReproducesTheFixedSchedule) {
+  // jitter = 0 must reproduce the historical fixed backoff bit-for-bit:
+  // no draw is even taken, so keys cannot perturb the schedule.
+  RetryPolicy p;
+  p.jitter = 0.0;
+  for (int try_i = 0; try_i < 6; ++try_i) {
+    double expect = p.base_backoff_s;
+    for (int i = 0; i < try_i; ++i) expect *= p.multiplier;
+    for (uint64_t key : {0ull, 1ull, 0xDEADBEEFull}) {
+      EXPECT_DOUBLE_EQ(p.BackoffFor(try_i, key), expect);
+    }
+  }
+}
+
+TEST(RetryPolicyTest, ValidateAcceptsDefaultsAndRejectsBadFields) {
+  EXPECT_TRUE(RetryPolicy().Validate().ok());
+
+  RetryPolicy p;
+  p.base_backoff_s = -0.1;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+
+  p = RetryPolicy();
+  p.max_retries = -1;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+
+  p = RetryPolicy();
+  p.multiplier = 0.5;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+
+  p = RetryPolicy();
+  p.jitter = -0.01;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p.jitter = 1.01;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p.jitter = 1.0;
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace onepass::sim
