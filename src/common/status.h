@@ -28,6 +28,8 @@ enum class StatusCode : int8_t {
   kInternal = 8,
   kIOError = 9,
   kCorruption = 10,
+  kUnavailable = 11,
+  kDeadlineExceeded = 12,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -77,6 +79,12 @@ class [[nodiscard]] Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -98,6 +106,10 @@ class [[nodiscard]] Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   // "OK" or "<Code>: <message>".
   std::string ToString() const;

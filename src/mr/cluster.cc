@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,10 +15,8 @@
 #include "src/mr/cost_trace.h"
 #include "src/mr/map_runner.h"
 #include "src/mr/output.h"
-#include "src/mr/task_tracker.h"
+#include "src/mr/slot_pool.h"
 #include "src/sim/event_queue.h"
-#include "src/sim/fault_injector.h"
-#include "src/sim/resources.h"
 #include "src/storage/block_format.h"
 #include "src/storage/checkpoint.h"
 #include "src/storage/framed_io.h"
@@ -30,43 +26,6 @@
 
 namespace onepass {
 namespace {
-
-// Task-activity categories for the Fig. 2(a)-style timeline.
-enum class Activity { kMap, kShuffle, kMerge, kReduce, kNone };
-
-Activity Categorize(bool is_map_task, OpTag tag) {
-  if (is_map_task) return Activity::kMap;
-  switch (tag) {
-    case OpTag::kShuffle:
-      return Activity::kShuffle;
-    case OpTag::kReduceSpill:
-    case OpTag::kReduceMerge:
-      return Activity::kMerge;
-    case OpTag::kCombine:
-    case OpTag::kReduceFn:
-    case OpTag::kOutput:
-      return Activity::kReduce;
-    default:
-      return Activity::kNone;
-  }
-}
-
-struct DeliveryRef {
-  int map_task = 0;
-  uint32_t push = 0;
-  uint64_t bytes = 0;  // this reducer's partition share
-};
-
-// One checkpoint the reduce data plane recorded (DESIGN.md §5.6): after
-// consuming `watermark` deliveries the engine image measured `bytes` framed
-// bytes (raw_bytes before codec/framing). `gate_op` is the trace op whose
-// completion makes the instance durable in the time-plane replay.
-struct CheckpointMark {
-  uint32_t watermark = 0;
-  uint64_t bytes = 0;
-  uint64_t raw_bytes = 0;
-  uint32_t gate_op = 0;
-};
 
 double WallSeconds() {
   return std::chrono::duration<double>(
@@ -97,1490 +56,11 @@ Status RunDataPlaneTasks(ThreadPool* pool, size_t n,
   return Status::OK();
 }
 
-// Replays map (and optionally reduce) cost traces on the simulated cluster,
-// under a FaultPlan.
-//
-// Fault tolerance lives entirely in this time plane: tasks are
-// deterministic, so re-executing one after a crash replays the *same* cost
-// trace on another node — the data-plane result is unchanged, only when and
-// where the work happens moves. Each execution of a task is an attempt
-// (TaskTracker); a fail-stop node crash kills the node's running attempts,
-// loses the map outputs it stored, and triggers:
-//   * re-execution of unfinished tasks on surviving nodes (maps only on
-//     surviving replica holders of their input chunk);
-//   * the lost-map-output rule: a *completed* map whose outputs some
-//     unfinished reducer has not yet fetched is re-executed too;
-//   * shuffle fetches that lose their source mid-transfer park until the
-//     map's re-execution republishes the push.
-// Transient faults (disk-read errors, shuffle-fetch failures) retry with
-// exponential backoff; stragglers dilate op durations; speculative backups
-// race the original attempt and the first finisher wins. A task that
-// exhausts max_attempts (or loses every replica of its input) fails the
-// job with a non-OK Status instead of stalling.
-class Replayer {
- public:
-  struct MapTaskIn {
-    int node = 0;  // primary replica (initial, data-local placement)
-    std::vector<int> replicas;  // all nodes holding the input chunk
-    const CostTrace* trace = nullptr;
-    // gate op index -> push index, for push-ready bookkeeping.
-    std::map<uint32_t, uint32_t> gates;
-    uint32_t num_pushes = 0;
-  };
-  struct ReduceTaskIn {
-    int node = 0;
-    const CostTrace* trace = nullptr;
-    std::vector<DeliveryRef> deliveries;
-    std::vector<CheckpointMark> checkpoints;
-  };
-  struct Totals {
-    uint64_t shuffle_bytes = 0;
-    uint64_t reduce_work = 0;
-    uint64_t output_bytes = 0;
-  };
-
-  Replayer(const JobConfig& config, const sim::FaultPlan& plan,
-           std::vector<MapTaskIn> maps, std::vector<ReduceTaskIn> reduces,
-           Totals totals)
-      : config_(config),
-        plan_(plan),
-        maps_(std::move(maps)),
-        reduces_(std::move(reduces)),
-        totals_(totals),
-        tracker_(static_cast<int>(maps_.size()),
-                 static_cast<int>(reduces_.size()),
-                 config.faults.max_attempts) {
-    const ClusterConfig& cl = config.cluster;
-    for (int n = 0; n < cl.nodes; ++n) {
-      nodes_.push_back(std::make_unique<NodeRes>(&engine_, cl, n));
-    }
-    dead_.assign(nodes_.size(), 0);
-    map_states_.resize(maps_.size());
-    reduce_states_.resize(reduces_.size());
-    push_ready_.resize(maps_.size());
-    push_src_.resize(maps_.size());
-    push_gen_.resize(maps_.size());
-    gate_of_.resize(maps_.size());
-    map_delta_applied_.resize(maps_.size());
-    for (size_t m = 0; m < maps_.size(); ++m) {
-      if (maps_[m].replicas.empty()) maps_[m].replicas = {maps_[m].node};
-      push_ready_[m].assign(maps_[m].num_pushes, -1.0);
-      push_src_[m].assign(maps_[m].num_pushes, -1);
-      push_gen_[m].assign(maps_[m].num_pushes, 0);
-      gate_of_[m].assign(maps_[m].num_pushes, 0);
-      for (const auto& [gate, push] : maps_[m].gates) {
-        gate_of_[m][push] = gate;
-      }
-      map_delta_applied_[m].assign(maps_[m].trace->ops.size(), false);
-      map_states_[m].attempts.reserve(
-          static_cast<size_t>(config.faults.max_attempts));
-    }
-    reduce_delta_applied_.resize(reduces_.size());
-    ckpt_gates_.resize(reduces_.size());
-    for (size_t r = 0; r < reduces_.size(); ++r) {
-      reduce_delta_applied_[r].assign(reduces_[r].trace->ops.size(), false);
-      reduce_states_[r].attempts.reserve(
-          static_cast<size_t>(config.faults.max_attempts));
-      for (uint32_t c = 0;
-           c < static_cast<uint32_t>(reduces_[r].checkpoints.size()); ++c) {
-        ckpt_gates_[r][reduces_[r].checkpoints[c].gate_op] = c;
-      }
-    }
-  }
-
-  Status Run() {
-    // Data-local initial wave: every map on its primary replica, reduces
-    // round-robin as assigned.
-    for (size_t m = 0; m < maps_.size(); ++m) {
-      map_states_[m].queued = true;
-      nodes_[maps_[m].node]->pending_maps.push_back(
-          {static_cast<int>(m), false});
-    }
-    for (size_t r = 0; r < reduces_.size(); ++r) {
-      reduce_states_[r].queued = true;
-      nodes_[reduces_[r].node]->pending_reduces.push_back(
-          {static_cast<int>(r), false});
-    }
-    for (const sim::CrashEvent& c : plan_.crashes()) {
-      if (c.time >= 0) {
-        engine_.ScheduleAt(c.time, [this, n = c.node]() { CrashNode(n); });
-      } else {
-        fraction_crashes_.push_back(c);
-        fraction_fired_.push_back(false);
-      }
-    }
-    for (size_t n = 0; n < nodes_.size(); ++n) {
-      PumpNode(static_cast<int>(n));
-    }
-    if (config_.faults.speculative_execution && !JobComplete()) {
-      ScheduleSpeculationTick();
-    }
-    const double horizon = engine_.Run();
-    if (failed_) return status_;
-    if (maps_completed_ != maps_.size() ||
-        reduces_done_ != reduces_.size()) {
-      return Status::Internal("replay stalled: lost data never recovered");
-    }
-    end_time_ = completion_time_ >= 0 ? completion_time_ : horizon;
-    return Status::OK();
-  }
-
-  // --- results ---
-  double end_time() const { return end_time_; }
-  double map_finish_time() const { return last_map_finish_; }
-  double push_ready_time(int m, uint32_t p) const {
-    return push_ready_[m][p];
-  }
-  uint64_t shuffle_from_disk_bytes() const {
-    return shuffle_from_disk_bytes_;
-  }
-
-  // Folds attempt/recovery counters into `m` (full replay only; the
-  // provisional replay's faults are a scheduling rehearsal, not results).
-  void ExportFaultMetrics(JobMetrics* m) const {
-    tracker_.ExportMetrics(m);
-    m->node_crashes += node_crashes_;
-    m->lost_map_outputs += lost_map_outputs_;
-    m->shuffle_fetch_retries += shuffle_fetch_retries_;
-    m->disk_read_retries += disk_read_retries_;
-    m->corruptions_detected += corruptions_detected_;
-    m->corruptions_recovered += corruptions_recovered_;
-    m->corruption_recovery_bytes += corruption_recovery_bytes_;
-    m->checkpoints_restored += checkpoints_restored_;
-    m->checkpoint_restore_bytes += checkpoint_restore_bytes_;
-    m->checkpoint_corrupt_replicas += checkpoint_corrupt_replicas_;
-    m->checkpoint_full_replays += checkpoint_full_replays_;
-    m->checkpoint_segments_skipped += checkpoint_segments_skipped_;
-    m->checkpoint_skipped_bytes += checkpoint_skipped_bytes_;
-    m->shuffle_refetched_bytes += shuffle_refetched_bytes_;
-  }
-
-  // Fills the timeline/progress portion of `result`.
-  void ExportSeries(JobResult* result) const {
-    result->map_progress = map_progress_;
-    result->reduce_progress = reduce_progress_;
-    result->shuffle_progress = shuffle_series_;
-    result->reduce_work_progress = work_series_;
-    result->output_progress = output_series_;
-    result->active_map = active_[0];
-    result->active_shuffle = active_[1];
-    result->active_merge = active_[2];
-    result->active_reduce = active_[3];
-
-    // Cluster-average utilization and iowait.
-    const double bin = config_.timeline_bin_s;
-    const double horizon = std::max(end_time_, bin);
-    sim::BinnedSeries util, wait;
-    for (size_t n = 0; n < nodes_.size(); ++n) {
-      sim::BinnedSeries u =
-          sim::UtilizationSeries(nodes_[n]->cpu, bin, horizon);
-      sim::BinnedSeries w =
-          sim::IowaitSeries(nodes_[n]->cpu, nodes_[n]->hdd, bin, horizon);
-      if (nodes_[n]->ssd != nullptr) {
-        sim::BinnedSeries w2 =
-            sim::IowaitSeries(nodes_[n]->cpu, *nodes_[n]->ssd, bin, horizon);
-        for (size_t i = 0; i < w.values.size(); ++i) {
-          w.values[i] = std::max(w.values[i], w2.values[i]);
-        }
-      }
-      if (n == 0) {
-        util = u;
-        wait = w;
-      } else {
-        for (size_t i = 0; i < util.values.size(); ++i) {
-          util.values[i] += u.values[i];
-          wait.values[i] += w.values[i];
-        }
-      }
-    }
-    for (auto& v : util.values) v /= static_cast<double>(nodes_.size());
-    for (auto& v : wait.values) v /= static_cast<double>(nodes_.size());
-    result->cpu_util = util;
-    result->iowait = wait;
-  }
-
- private:
-  // A task waiting for a slot; speculative entries are backup attempts.
-  struct Pending {
-    int task = 0;
-    bool speculative = false;
-  };
-
-  struct NodeRes {
-    NodeRes(sim::Engine* engine, const ClusterConfig& cl, int id)
-        : cpu(engine, cl.cores_per_node, "cpu" + std::to_string(id)),
-          hdd(engine, 1, "hdd" + std::to_string(id)),
-          nic(engine, 1, "nic" + std::to_string(id)),
-          free_map_slots(cl.map_slots),
-          free_reduce_slots(cl.reduce_slots) {
-      if (cl.separate_intermediate_device) {
-        ssd = std::make_unique<sim::Server>(engine, 1,
-                                            "ssd" + std::to_string(id));
-      }
-    }
-    sim::Server cpu;
-    sim::Server hdd;
-    std::unique_ptr<sim::Server> ssd;
-    sim::Server nic;
-    std::deque<Pending> pending_maps;
-    std::deque<Pending> pending_reduces;
-    int free_map_slots;
-    int free_reduce_slots;
-  };
-
-  // One execution of a map task. Killed attempts stay in the vector with
-  // alive = false; their in-flight op completions early-return.
-  struct MapAttempt {
-    int node = 0;
-    double start = 0;
-    size_t op_idx = 0;
-    bool alive = false;
-  };
-  struct MapTaskState {
-    std::vector<MapAttempt> attempts;
-    bool completed = false;    // at least one attempt succeeded
-    bool queued = false;       // a non-speculative Pending entry exists
-    bool spec_queued = false;  // a speculative Pending entry exists
-  };
-
-  // One execution of a reduce task. Runs two concurrent streams, like
-  // Hadoop's copier threads vs its merge thread: the *fetch* stream pulls
-  // deliveries as soon as their producing map publishes them (network +
-  // possible disk re-read), while the *consume* stream executes the
-  // engine's per-delivery work strictly in order, gated on the fetch of
-  // its section.
-  struct ReduceAttempt {
-    int node = 0;
-    double start = 0;
-    uint32_t fetch_section = 0;    // next delivery to fetch
-    uint32_t consume_section = 0;  // next section to consume
-    size_t op_idx = 0;             // current op within consume_section
-    bool in_section = false;       // op_idx initialized for this section
-    bool consume_blocked = false;  // waiting for a fetch to complete
-    bool alive = false;
-    std::vector<bool> fetched;
-    std::vector<uint8_t> fetch_tries;   // failed tries per section
-    std::vector<uint8_t> verify_tries;  // checksum-failed fetches per section
-    int act[4] = {0, 0, 0, 0};  // outstanding activity counts, by Activity
-  };
-  // A checkpoint instance whose write+replication op completed: its
-  // replicas live on `replicas` (slot, holder node) until a holder dies.
-  // Slots keep their original index when holders drop out, so the plan's
-  // per-slot corruption draws stay stable across crash schedules.
-  struct DurableCkpt {
-    uint32_t ordinal = 0;
-    uint32_t watermark = 0;
-    uint64_t bytes = 0;
-    uint64_t raw_bytes = 0;
-    std::vector<std::pair<int, int>> replicas;  // (slot, holder node)
-  };
-  struct ReduceTaskState {
-    std::vector<ReduceAttempt> attempts;
-    std::vector<DurableCkpt> durable;  // oldest first (ordinal order)
-    bool done = false;
-    bool queued = false;
-    bool spec_queued = false;
-  };
-
-  sim::Server* Route(int node, const TraceOp& op) {
-    NodeRes& res = *nodes_[node];
-    switch (op.resource) {
-      case OpResource::kCpu:
-        return &res.cpu;
-      case OpResource::kNet:
-        return &res.nic;
-      case OpResource::kDisk:
-        if (res.ssd != nullptr && op.tag != OpTag::kMapInput &&
-            op.tag != OpTag::kOutput) {
-          return res.ssd.get();
-        }
-        return &res.hdd;
-    }
-    return &res.cpu;
-  }
-
-  // Op duration on `node`, including the node's straggler dilation.
-  double Duration(const TraceOp& op, int node) const {
-    const CostModel& c = config_.costs;
-    switch (op.resource) {
-      case OpResource::kCpu:
-        return op.cpu_s * plan_.CpuFactor(node);
-      case OpResource::kDisk:
-        return (op.requests * c.disk_seek_s +
-                static_cast<double>(op.bytes) * c.disk_byte_s) *
-               plan_.DiskFactor(node);
-      case OpResource::kNet:
-        return static_cast<double>(op.bytes) * c.net_byte_s;
-    }
-    return 0;
-  }
-
-  // Stable identity of a shuffle fetch for the retry policy's jitter draw.
-  static uint64_t FetchRetryKey(int r, int m, uint32_t p) {
-    return (static_cast<uint64_t>(r) << 40) ^
-           (static_cast<uint64_t>(m) << 16) ^ static_cast<uint64_t>(p);
-  }
-
-  // Transient disk-read errors fold into the op's duration: each failure
-  // repeats the read on the same device (deterministic, single Submit).
-  double WithDiskRetries(double dur, const TraceOp& op, bool is_map,
-                         int task, int attempt, size_t idx) {
-    if (op.resource != OpResource::kDisk || !op.is_read) return dur;
-    const int fails = plan_.DiskReadFailures(is_map, task, attempt, idx);
-    if (fails <= 0) return dur;
-    disk_read_retries_ += static_cast<uint64_t>(fails);
-    return dur * (1 + fails);
-  }
-
-  void SetActive(Activity a, int delta) {
-    if (a == Activity::kNone) return;
-    const int i = static_cast<int>(a);
-    active_count_[i] += delta;
-    active_[i].Add(engine_.now(), active_count_[i]);
-  }
-
-  void ActInc(ReduceAttempt& at, Activity a) {
-    if (a == Activity::kNone) return;
-    ++at.act[static_cast<int>(a)];
-    SetActive(a, +1);
-  }
-  void ActDec(ReduceAttempt& at, Activity a) {
-    if (a == Activity::kNone) return;
-    --at.act[static_cast<int>(a)];
-    SetActive(a, -1);
-  }
-  // Clears a killed attempt's outstanding activity so in-flight op
-  // completions (which early-return) don't leak active-task counts.
-  void FlushActivity(ReduceAttempt& at) {
-    for (int i = 0; i < 4; ++i) {
-      if (at.act[i] != 0) {
-        SetActive(static_cast<Activity>(i), -at.act[i]);
-        at.act[i] = 0;
-      }
-    }
-  }
-
-  // Progress deltas apply at most once per trace op across all attempts of
-  // a task, so re-execution never double-counts progress.
-  void ApplyDeltasOnce(std::vector<bool>& applied, size_t idx,
-                       const TraceOp& op) {
-    if (applied[idx]) return;
-    applied[idx] = true;
-    ApplyDeltas(op);
-  }
-
-  void ApplyDeltas(const TraceOp& op) {
-    bool changed = false;
-    if (op.d_shuffle_bytes > 0 && totals_.shuffle_bytes > 0) {
-      cum_shuffle_ += op.d_shuffle_bytes;
-      shuffle_series_.Add(engine_.now(),
-                          static_cast<double>(cum_shuffle_) /
-                              static_cast<double>(totals_.shuffle_bytes));
-      changed = true;
-    }
-    if (op.d_reduce_work > 0 && totals_.reduce_work > 0) {
-      cum_work_ += op.d_reduce_work;
-      work_series_.Add(engine_.now(),
-                       static_cast<double>(cum_work_) /
-                           static_cast<double>(totals_.reduce_work));
-      changed = true;
-    }
-    if (op.d_output_bytes > 0 && totals_.output_bytes > 0) {
-      cum_output_ += op.d_output_bytes;
-      output_series_.Add(engine_.now(),
-                         static_cast<double>(cum_output_) /
-                             static_cast<double>(totals_.output_bytes));
-      changed = true;
-    }
-    if (changed) RecordReduceProgress();
-    if (op.d_shuffle_bytes > 0) FireReduceFractionCrashes();
-  }
-
-  void RecordReduceProgress() {
-    // Definition 1: 1/3 shuffle + 1/3 combine/reduce-fn + 1/3 output.
-    double p = 0;
-    if (totals_.shuffle_bytes > 0) {
-      p += static_cast<double>(cum_shuffle_) /
-           static_cast<double>(totals_.shuffle_bytes);
-    }
-    if (totals_.reduce_work > 0) {
-      p += static_cast<double>(cum_work_) /
-           static_cast<double>(totals_.reduce_work);
-    }
-    if (totals_.output_bytes > 0) {
-      p += static_cast<double>(cum_output_) /
-           static_cast<double>(totals_.output_bytes);
-    }
-    reduce_progress_.Add(engine_.now(), 100.0 * p / 3.0);
-  }
-
-  void Fail(Status s) {
-    if (!failed_) {
-      failed_ = true;
-      status_ = std::move(s);
-    }
-  }
-
-  bool JobComplete() const {
-    return maps_completed_ == maps_.size() &&
-           reduces_done_ == reduces_.size();
-  }
-
-  void CheckCompletion() {
-    if (completion_time_ < 0 && JobComplete()) {
-      completion_time_ = engine_.now();
-    }
-  }
-
-  int AliveMapAttempts(int m) const {
-    int alive = 0;
-    for (const MapAttempt& a : map_states_[m].attempts) {
-      if (a.alive) ++alive;
-    }
-    return alive;
-  }
-  int AliveReduceAttempts(int r) const {
-    int alive = 0;
-    for (const ReduceAttempt& a : reduce_states_[r].attempts) {
-      if (a.alive) ++alive;
-    }
-    return alive;
-  }
-
-  bool AllPushesIntact(int m) const {
-    for (uint32_t p = 0; p < maps_[m].num_pushes; ++p) {
-      if (push_ready_[m][p] < 0) return false;
-    }
-    return true;
-  }
-
-  // ---- slots and scheduling ----
-
-  // Surviving replica holder of m's chunk with the lightest map load
-  // (ties: replica order, i.e. the primary first). -1 when all are dead.
-  int PickMapNode(int m, int exclude) const {
-    int best = -1;
-    int best_load = 0;
-    for (int n : maps_[m].replicas) {
-      if (dead_[n] || n == exclude) continue;
-      const NodeRes& node = *nodes_[n];
-      const int load = static_cast<int>(node.pending_maps.size()) +
-                       (config_.cluster.map_slots - node.free_map_slots);
-      if (best < 0 || load < best_load) {
-        best = n;
-        best_load = load;
-      }
-    }
-    return best;
-  }
-
-  // Alive node with the lightest reduce load (ties: lowest id). Reduce
-  // state is rebuilt from re-fetched map outputs, so any node qualifies.
-  int PickReduceNode(int exclude) const {
-    int best = -1;
-    int best_load = 0;
-    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
-      if (dead_[n] || n == exclude) continue;
-      const NodeRes& node = *nodes_[n];
-      const int load =
-          static_cast<int>(node.pending_reduces.size()) +
-          (config_.cluster.reduce_slots - node.free_reduce_slots);
-      if (best < 0 || load < best_load) {
-        best = n;
-        best_load = load;
-      }
-    }
-    return best;
-  }
-
-  void ReleaseSlot(int node, bool is_map) {
-    if (dead_[node]) return;
-    if (is_map) {
-      ++nodes_[node]->free_map_slots;
-    } else {
-      ++nodes_[node]->free_reduce_slots;
-    }
-    PumpNode(node);
-  }
-
-  bool MapEntryRunnable(const Pending& p) const {
-    const MapTaskState& st = map_states_[p.task];
-    if (!tracker_.CanStart(TaskKind::kMap, p.task)) return false;
-    if (p.speculative) {
-      return !st.completed && AliveMapAttempts(p.task) == 1;
-    }
-    if (AliveMapAttempts(p.task) > 0) return false;
-    return !(st.completed && AllPushesIntact(p.task));
-  }
-
-  bool ReduceEntryRunnable(const Pending& p) const {
-    const ReduceTaskState& st = reduce_states_[p.task];
-    if (st.done) return false;
-    if (!tracker_.CanStart(TaskKind::kReduce, p.task)) return false;
-    if (p.speculative) return AliveReduceAttempts(p.task) == 1;
-    return AliveReduceAttempts(p.task) == 0;
-  }
-
-  // Fills n's free slots from its pending queues, dropping stale entries
-  // (tasks that completed, got re-run elsewhere, or lost their backup
-  // eligibility while queued).
-  void PumpNode(int n) {
-    if (failed_ || dead_[n]) return;
-    NodeRes& node = *nodes_[n];
-    while (node.free_map_slots > 0 && !node.pending_maps.empty()) {
-      const Pending p = node.pending_maps.front();
-      node.pending_maps.pop_front();
-      if (p.speculative) {
-        map_states_[p.task].spec_queued = false;
-      } else {
-        map_states_[p.task].queued = false;
-      }
-      if (!MapEntryRunnable(p)) continue;
-      --node.free_map_slots;
-      StartMapAttempt(p.task, n, p.speculative);
-      if (failed_ || dead_[n]) return;
-    }
-    while (node.free_reduce_slots > 0 && !node.pending_reduces.empty()) {
-      const Pending p = node.pending_reduces.front();
-      node.pending_reduces.pop_front();
-      if (p.speculative) {
-        reduce_states_[p.task].spec_queued = false;
-      } else {
-        reduce_states_[p.task].queued = false;
-      }
-      if (!ReduceEntryRunnable(p)) continue;
-      --node.free_reduce_slots;
-      StartReduceAttempt(p.task, n, p.speculative);
-      if (failed_ || dead_[n]) return;
-    }
-  }
-
-  // Queues a fresh (non-speculative) execution of map m on a surviving
-  // replica holder. No-op if an attempt is already running or queued;
-  // fails the job when the attempt budget or every replica is gone.
-  void ScheduleMapRun(int m) {
-    if (failed_) return;
-    MapTaskState& st = map_states_[m];
-    if (st.queued || AliveMapAttempts(m) > 0) return;
-    if (st.completed && AllPushesIntact(m)) return;
-    if (!tracker_.CanStart(TaskKind::kMap, m)) {
-      Fail(Status::ResourceExhausted("map task " + std::to_string(m) +
-                                     " exceeded max_attempts"));
-      return;
-    }
-    const int n = PickMapNode(m, /*exclude=*/-1);
-    if (n < 0) {
-      Fail(Status::ResourceExhausted(
-          "no surviving replica holds the input chunk of map task " +
-          std::to_string(m) + " (replication " +
-          std::to_string(maps_[m].replicas.size()) + ")"));
-      return;
-    }
-    st.queued = true;
-    nodes_[n]->pending_maps.push_back({m, false});
-    PumpNode(n);
-  }
-
-  void ScheduleReduceRun(int r) {
-    if (failed_) return;
-    ReduceTaskState& st = reduce_states_[r];
-    if (st.done || st.queued || AliveReduceAttempts(r) > 0) return;
-    if (!tracker_.CanStart(TaskKind::kReduce, r)) {
-      Fail(Status::ResourceExhausted("reduce task " + std::to_string(r) +
-                                     " exceeded max_attempts"));
-      return;
-    }
-    const int n = PickReduceNode(/*exclude=*/-1);
-    if (n < 0) {
-      Fail(Status::ResourceExhausted("no alive node for reduce task " +
-                                     std::to_string(r)));
-      return;
-    }
-    // The new attempt refetches everything past its restore watermark;
-    // make sure every map output it needs is rematerializing. Deliveries
-    // folded into a durable checkpoint stay retired.
-    const uint32_t watermark = RestoreWatermark(r);
-    for (size_t s = watermark; s < reduces_[r].deliveries.size(); ++s) {
-      const DeliveryRef& d = reduces_[r].deliveries[s];
-      if (push_ready_[d.map_task][d.push] < 0) ScheduleMapRun(d.map_task);
-      if (failed_) return;
-    }
-    st.queued = true;
-    nodes_[n]->pending_reduces.push_back({r, false});
-    PumpNode(n);
-  }
-
-  // ---- speculative execution ----
-
-  // After each task completion: once enough tasks of this kind finished,
-  // give any task whose single running attempt lags the median a backup
-  // attempt on another node. First finisher wins.
-  void MaybeSpeculate(TaskKind kind) {
-    if (failed_ || !config_.faults.speculative_execution) return;
-    const size_t total =
-        kind == TaskKind::kMap ? maps_.size() : reduces_.size();
-    if (total == 0) return;
-    const double done = static_cast<double>(tracker_.successes(kind));
-    if (done < config_.faults.speculation_min_done_fraction *
-                   static_cast<double>(total)) {
-      return;
-    }
-    const double median = tracker_.MedianSuccessDuration(kind);
-    if (median <= 0) return;
-    const double threshold = config_.faults.speculation_slowness * median;
-    for (int t = 0; t < static_cast<int>(total); ++t) {
-      if (kind == TaskKind::kMap ? map_states_[t].completed
-                                 : reduce_states_[t].done) {
-        continue;
-      }
-      if (!tracker_.CanStart(kind, t)) continue;
-      int running = -1;
-      int alive = 0;
-      double start = 0;
-      int node = -1;
-      if (kind == TaskKind::kMap) {
-        const MapTaskState& st = map_states_[t];
-        if (st.queued || st.spec_queued) continue;
-        for (size_t a = 0; a < st.attempts.size(); ++a) {
-          if (st.attempts[a].alive) {
-            running = static_cast<int>(a);
-            start = st.attempts[a].start;
-            node = st.attempts[a].node;
-            ++alive;
-          }
-        }
-      } else {
-        const ReduceTaskState& st = reduce_states_[t];
-        if (st.queued || st.spec_queued) continue;
-        for (size_t a = 0; a < st.attempts.size(); ++a) {
-          if (st.attempts[a].alive) {
-            running = static_cast<int>(a);
-            start = st.attempts[a].start;
-            node = st.attempts[a].node;
-            ++alive;
-          }
-        }
-      }
-      if (alive != 1 || running < 0) continue;
-      if (engine_.now() - start <= threshold) continue;
-      const int backup = kind == TaskKind::kMap ? PickMapNode(t, node)
-                                                : PickReduceNode(node);
-      if (backup < 0) continue;  // nowhere to run a backup
-      if (kind == TaskKind::kMap) {
-        map_states_[t].spec_queued = true;
-        nodes_[backup]->pending_maps.push_back({t, true});
-      } else {
-        reduce_states_[t].spec_queued = true;
-        nodes_[backup]->pending_reduces.push_back({t, true});
-      }
-      PumpNode(backup);
-      if (failed_) return;
-    }
-  }
-
-  // Completions trigger speculation scans, but a lagging tail with nothing
-  // finishing would never be rescanned — poll too, like Hadoop's
-  // speculator thread.
-  void ScheduleSpeculationTick() {
-    engine_.ScheduleAfter(config_.faults.speculation_check_s, [this]() {
-      if (failed_ || JobComplete()) return;
-      MaybeSpeculate(TaskKind::kMap);
-      MaybeSpeculate(TaskKind::kReduce);
-      if (!failed_ && !JobComplete()) ScheduleSpeculationTick();
-    });
-  }
-
-  // ---- checkpoint recovery (DESIGN.md §5.6) ----
-
-  // The checkpoint-write op for instance `c` of reduce r completed on
-  // `writer_node`: the instance is durable, replicated on the writer plus
-  // the next checkpoint_replication - 1 alive nodes round-robin. At most
-  // once per instance across attempts (a speculative backup reaching the
-  // same gate later does not re-place the replicas).
-  void RegisterCheckpoint(int r, uint32_t c, int writer_node) {
-    ReduceTaskState& st = reduce_states_[r];
-    for (const DurableCkpt& d : st.durable) {
-      if (d.ordinal == c) return;
-    }
-    const CheckpointMark& mark = reduces_[r].checkpoints[c];
-    DurableCkpt d;
-    d.ordinal = c;
-    d.watermark = mark.watermark;
-    d.bytes = mark.bytes;
-    d.raw_bytes = mark.raw_bytes;
-    int slot = 0;
-    d.replicas.emplace_back(slot++, writer_node);
-    const int nodes = static_cast<int>(nodes_.size());
-    for (int off = 1; off < nodes && slot < config_.checkpoint_replication;
-         ++off) {
-      const int n = (writer_node + off) % nodes;
-      if (!dead_[n]) d.replicas.emplace_back(slot++, n);
-    }
-    st.durable.push_back(std::move(d));
-  }
-
-  // A replica read and rejected by verification on the restore ladder.
-  struct TriedReplica {
-    int slot = 0;
-    int node = 0;
-    uint64_t bytes = 0;
-  };
-  // Outcome of the restore ladder: node >= 0 means a verifiable replica of
-  // instance `ordinal` exists and a restarted attempt resumes from
-  // `watermark`; otherwise (had_durable) every replica of every instance
-  // was corrupt or lost and the attempt falls back to full replay.
-  struct CkptChoice {
-    int ordinal = -1;
-    uint32_t watermark = 0;
-    uint64_t bytes = 0;
-    uint64_t raw_bytes = 0;
-    int node = -1;
-    std::vector<TriedReplica> tried;
-    bool had_durable = false;
-  };
-
-  // Newest instance first, replica slots in order; a replica is usable iff
-  // its holder survives (dead holders are pruned eagerly) and the plan's
-  // seeded draw leaves it uncorrupted. Pure given (durable state, plan).
-  CkptChoice ChooseCheckpoint(int r) const {
-    CkptChoice choice;
-    const ReduceTaskState& st = reduce_states_[r];
-    for (auto it = st.durable.rbegin(); it != st.durable.rend(); ++it) {
-      choice.had_durable = true;
-      for (const auto& [slot, node] : it->replicas) {
-        if (plan_.CheckpointCorruptions(r, it->ordinal, slot) > 0) {
-          choice.tried.push_back({slot, node, it->bytes});
-          continue;
-        }
-        choice.ordinal = static_cast<int>(it->ordinal);
-        choice.watermark = it->watermark;
-        choice.bytes = it->bytes;
-        choice.raw_bytes = it->raw_bytes;
-        choice.node = node;
-        return choice;
-      }
-    }
-    return choice;
-  }
-
-  // Deliveries below this watermark will never be re-fetched by a
-  // restarted attempt of r; used by the lost-map-output scan to keep maps
-  // whose outputs are fully covered by a durable checkpoint retired.
-  uint32_t RestoreWatermark(int r) const {
-    if (reduce_states_[r].durable.empty()) return 0;
-    return ChooseCheckpoint(r).watermark;
-  }
-
-  // One op of the synthesized restore chain, waiting `delay` simulated
-  // seconds (the shared RetryPolicy's backoff after a rejected replica)
-  // before occupying its resource.
-  struct RestoreOp {
-    TraceOp op;
-    double delay = 0;
-  };
-
-  // Charges the restore I/O as a sequential op chain on the attempt's
-  // node: each rejected candidate is read in full before its verification
-  // fails (network pull, or a local disk read when the attempt node holds
-  // the replica), the next candidate backs off per the shared RetryPolicy,
-  // then the good replica is read and — under a codec — its field stream
-  // decoded. When the chain drains, the fetch/consume streams start from
-  // the checkpoint watermark.
-  void RunRestoreOps(int r, int a, const CkptChoice& choice) {
-    auto ops = std::make_shared<std::vector<RestoreOp>>();
-    const int att_node = reduce_states_[r].attempts[a].node;
-    int try_i = 0;
-    auto read_replica = [&](int holder, uint64_t bytes) {
-      RestoreOp rop;
-      rop.op.tag = OpTag::kCheckpoint;
-      rop.op.bytes = bytes;
-      if (holder == att_node) {
-        rop.op.resource = OpResource::kDisk;
-        rop.op.is_read = true;
-      } else {
-        rop.op.resource = OpResource::kNet;
-      }
-      if (try_i > 0) {
-        rop.delay = config_.faults.fetch_retry.BackoffFor(
-            try_i - 1, CheckpointRetryKey(r, choice.ordinal, try_i));
-      }
-      ++try_i;
-      ops->push_back(rop);
-      checkpoint_restore_bytes_ += bytes;
-    };
-    for (const TriedReplica& t : choice.tried) read_replica(t.node, t.bytes);
-    read_replica(choice.node, choice.bytes);
-    if (config_.block_codec != BlockCodecKind::kNone) {
-      RestoreOp rop;
-      rop.op.resource = OpResource::kCpu;
-      rop.op.tag = OpTag::kCheckpoint;
-      rop.op.cpu_s = config_.costs.decompress_byte_s *
-                     static_cast<double>(choice.raw_bytes);
-      ops->push_back(rop);
-    }
-    RunRestoreOp(r, a, std::move(ops), 0);
-  }
-
-  static uint64_t CheckpointRetryKey(int r, int ordinal, int try_i) {
-    return (static_cast<uint64_t>(r) << 40) ^
-           (static_cast<uint64_t>(ordinal) << 16) ^
-           static_cast<uint64_t>(try_i);
-  }
-
-  void RunRestoreOp(int r, int a,
-                    std::shared_ptr<std::vector<RestoreOp>> ops, size_t i) {
-    if (failed_) return;
-    ReduceAttempt& at = reduce_states_[r].attempts[a];
-    if (!at.alive) return;
-    if (i >= ops->size()) {
-      StartFetch(r, a);
-      TryConsume(r, a);
-      return;
-    }
-    const RestoreOp& rop = (*ops)[i];
-    if (rop.delay > 0) {
-      engine_.ScheduleAfter(rop.delay, [this, r, a, ops, i]() {
-        if (failed_) return;
-        if (!reduce_states_[r].attempts[a].alive) return;
-        SubmitRestoreOp(r, a, std::move(ops), i);
-      });
-      return;
-    }
-    SubmitRestoreOp(r, a, std::move(ops), i);
-  }
-
-  void SubmitRestoreOp(int r, int a,
-                       std::shared_ptr<std::vector<RestoreOp>> ops,
-                       size_t i) {
-    ReduceAttempt& at = reduce_states_[r].attempts[a];
-    const TraceOp& op = (*ops)[i].op;
-    Route(at.node, op)->Submit(
-        Duration(op, at.node), [this, r, a, ops = std::move(ops), i]() {
-          if (failed_) return;
-          if (!reduce_states_[r].attempts[a].alive) return;
-          RunRestoreOp(r, a, std::move(ops), i + 1);
-        });
-  }
-
-  // ---- crash handling ----
-
-  void KillMapAttempt(int m, int a) {
-    MapAttempt& at = map_states_[m].attempts[a];
-    at.alive = false;
-    SetActive(Activity::kMap, -1);
-    tracker_.Killed(TaskKind::kMap, m, a, engine_.now());
-    ReleaseSlot(at.node, /*is_map=*/true);
-  }
-
-  void KillReduceAttempt(int r, int a) {
-    ReduceAttempt& at = reduce_states_[r].attempts[a];
-    at.alive = false;
-    FlushActivity(at);
-    tracker_.Killed(TaskKind::kReduce, r, a, engine_.now());
-    ReleaseSlot(at.node, /*is_map=*/false);
-  }
-
-  // Lost-map-output rule: after a crash wiped (some of) m's published
-  // pushes, is any unfinished reducer still going to ask for them? A
-  // reducer with no running attempt (pending, queued, or awaiting
-  // rescheduling) needs everything again; a running attempt needs exactly
-  // the sections it has not fetched yet.
-  bool OutputNeeded(int m) const {
-    if (reduces_.empty()) {
-      // Provisional (map-only) replay: push-ready times define the
-      // delivery-order contract, so every output is always "needed".
-      return true;
-    }
-    for (size_t r = 0; r < reduces_.size(); ++r) {
-      const ReduceTaskState& st = reduce_states_[r];
-      if (st.done) continue;
-      // A restarted attempt resumes from the newest usable checkpoint:
-      // deliveries below its watermark are never re-fetched, so maps whose
-      // outputs fall entirely under it stay retired.
-      uint32_t watermark = 0;
-      bool watermark_known = false;
-      for (size_t s = 0; s < reduces_[r].deliveries.size(); ++s) {
-        const DeliveryRef& d = reduces_[r].deliveries[s];
-        if (d.map_task != m || push_ready_[m][d.push] >= 0) continue;
-        if (AliveReduceAttempts(static_cast<int>(r)) == 0) {
-          if (!watermark_known) {
-            watermark = RestoreWatermark(static_cast<int>(r));
-            watermark_known = true;
-          }
-          if (s >= watermark) return true;
-          continue;
-        }
-        for (const ReduceAttempt& at : st.attempts) {
-          if (at.alive && !at.fetched[s]) return true;
-        }
-      }
-    }
-    return false;
-  }
-
-  // Fail-stop crash of node n: kills its attempts, loses the map outputs
-  // it stored, reschedules what must re-run.
-  void CrashNode(int n) {
-    if (failed_ || dead_[n] || JobComplete()) return;
-    dead_[n] = 1;
-    ++node_crashes_;
-    // Checkpoint replicas stored on n are gone. Pruning before the kill /
-    // reschedule scans below means every RestoreWatermark query already
-    // sees the post-crash replica view. Surviving replicas keep their
-    // original slot index (stable corruption draws).
-    for (ReduceTaskState& st : reduce_states_) {
-      for (DurableCkpt& d : st.durable) {
-        d.replicas.erase(
-            std::remove_if(d.replicas.begin(), d.replicas.end(),
-                           [n](const std::pair<int, int>& rep) {
-                             return rep.second == n;
-                           }),
-            d.replicas.end());
-      }
-    }
-    NodeRes& node = *nodes_[n];
-    // Unstarted tasks queued here go back through the scheduler.
-    std::deque<Pending> orphan_maps = std::move(node.pending_maps);
-    std::deque<Pending> orphan_reduces = std::move(node.pending_reduces);
-    node.pending_maps.clear();
-    node.pending_reduces.clear();
-    for (const Pending& p : orphan_maps) {
-      if (p.speculative) {
-        map_states_[p.task].spec_queued = false;
-      } else {
-        map_states_[p.task].queued = false;
-      }
-    }
-    for (const Pending& p : orphan_reduces) {
-      if (p.speculative) {
-        reduce_states_[p.task].spec_queued = false;
-      } else {
-        reduce_states_[p.task].queued = false;
-      }
-    }
-    // Kill running attempts; reduces first so their fetched state is
-    // settled before the lost-output scan asks who still needs what.
-    for (size_t r = 0; r < reduces_.size(); ++r) {
-      ReduceTaskState& st = reduce_states_[r];
-      for (size_t a = 0; a < st.attempts.size(); ++a) {
-        if (st.attempts[a].alive && st.attempts[a].node == n) {
-          KillReduceAttempt(static_cast<int>(r), static_cast<int>(a));
-        }
-      }
-    }
-    for (size_t m = 0; m < maps_.size(); ++m) {
-      MapTaskState& st = map_states_[m];
-      for (size_t a = 0; a < st.attempts.size(); ++a) {
-        if (st.attempts[a].alive && st.attempts[a].node == n) {
-          KillMapAttempt(static_cast<int>(m), static_cast<int>(a));
-        }
-      }
-    }
-    // Map outputs stored on n are gone. A push a surviving attempt already
-    // produced republishes immediately; the rest revert to unpublished.
-    for (size_t m = 0; m < maps_.size(); ++m) {
-      bool lost_any = false;
-      for (uint32_t p = 0; p < maps_[m].num_pushes; ++p) {
-        if (push_src_[m][p] != n || push_ready_[m][p] < 0) continue;
-        bool republished = false;
-        for (const MapAttempt& at : map_states_[m].attempts) {
-          // op_idx >= gate+2 means the gate op's completion handler ran.
-          if (at.alive && !dead_[at.node] &&
-              at.op_idx >= gate_of_[m][p] + 2) {
-            PushReady(static_cast<int>(m), p, at.node);
-            republished = true;
-            break;
-          }
-        }
-        if (!republished) {
-          push_ready_[m][p] = -1.0;
-          push_src_[m][p] = -1;
-          lost_any = true;
-        }
-      }
-      if (lost_any && OutputNeeded(static_cast<int>(m))) {
-        ScheduleMapRun(static_cast<int>(m));
-        if (failed_) return;
-      }
-    }
-    // Restart whatever the crash left without a running or queued
-    // execution.
-    for (size_t r = 0; r < reduces_.size(); ++r) {
-      const ReduceTaskState& st = reduce_states_[r];
-      if (!st.done && !st.queued &&
-          AliveReduceAttempts(static_cast<int>(r)) == 0) {
-        ScheduleReduceRun(static_cast<int>(r));
-        if (failed_) return;
-      }
-    }
-    for (size_t m = 0; m < maps_.size(); ++m) {
-      const MapTaskState& st = map_states_[m];
-      if (st.queued || AliveMapAttempts(static_cast<int>(m)) > 0) continue;
-      if (!st.completed) {
-        ScheduleMapRun(static_cast<int>(m));
-      } else if (!AllPushesIntact(static_cast<int>(m)) &&
-                 OutputNeeded(static_cast<int>(m))) {
-        ScheduleMapRun(static_cast<int>(m));
-      }
-      if (failed_) return;
-    }
-  }
-
-  void FireFractionCrashes() {
-    const double frac = static_cast<double>(maps_completed_) /
-                        static_cast<double>(maps_.size());
-    for (size_t i = 0; i < fraction_crashes_.size(); ++i) {
-      if (!fraction_fired_[i] && fraction_crashes_[i].at_map_fraction > 0 &&
-          frac >= fraction_crashes_[i].at_map_fraction - 1e-12) {
-        fraction_fired_[i] = true;
-        CrashNode(fraction_crashes_[i].node);
-      }
-    }
-  }
-
-  // Reduce-phase crashes trigger on shuffle-progress thresholds. The crash
-  // itself is deferred one zero-delay event so it never reallocates the
-  // attempt vectors underneath an op-completion callback that still holds
-  // references into them; the event queue's FIFO tie-break keeps the
-  // deferral deterministic.
-  void FireReduceFractionCrashes() {
-    if (totals_.shuffle_bytes == 0) return;
-    const double frac = static_cast<double>(cum_shuffle_) /
-                        static_cast<double>(totals_.shuffle_bytes);
-    for (size_t i = 0; i < fraction_crashes_.size(); ++i) {
-      if (fraction_fired_[i] ||
-          fraction_crashes_[i].at_reduce_fraction <= 0) {
-        continue;
-      }
-      if (frac >= fraction_crashes_[i].at_reduce_fraction - 1e-12) {
-        fraction_fired_[i] = true;
-        engine_.ScheduleAfter(
-            0, [this, n = fraction_crashes_[i].node]() { CrashNode(n); });
-      }
-    }
-  }
-
-  // ---- map side ----
-
-  void StartMapAttempt(int m, int node, bool speculative) {
-    MapTaskState& st = map_states_[m];
-    // A completed map only re-runs because its output was lost.
-    if (st.completed && !speculative) ++lost_map_outputs_;
-    const int a = tracker_.StartAttempt(TaskKind::kMap, m, node, speculative,
-                                        engine_.now());
-    CHECK_EQ(static_cast<size_t>(a), st.attempts.size());
-    MapAttempt at;
-    at.node = node;
-    at.start = engine_.now();
-    at.alive = true;
-    st.attempts.push_back(at);
-    SetActive(Activity::kMap, +1);
-    RunNextMapOp(m, a);
-  }
-
-  void RunNextMapOp(int m, int a) {
-    if (failed_) return;
-    MapAttempt& at = map_states_[m].attempts[a];
-    const CostTrace& trace = *maps_[m].trace;
-    if (at.op_idx >= trace.ops.size()) {
-      MapDone(m, a);
-      return;
-    }
-    const size_t idx = at.op_idx++;
-    const TraceOp& op = trace.ops[idx];
-    const double dur = WithDiskRetries(Duration(op, at.node), op,
-                                       /*is_map=*/true, m, a, idx);
-    Route(at.node, op)->Submit(dur, [this, m, a, idx]() {
-      if (failed_) return;
-      MapAttempt& att = map_states_[m].attempts[a];
-      if (!att.alive) return;  // killed mid-op; activity already flushed
-      const TraceOp& done_op = maps_[m].trace->ops[idx];
-      tracker_.AddWork(
-          TaskKind::kMap, m, a,
-          done_op.resource == OpResource::kCpu ? done_op.cpu_s : 0,
-          done_op.resource == OpResource::kCpu ? 0 : done_op.bytes);
-      ApplyDeltasOnce(map_delta_applied_[m], idx, done_op);
-      auto it = maps_[m].gates.find(static_cast<uint32_t>(idx));
-      if (it != maps_[m].gates.end() && push_ready_[m][it->second] < 0) {
-        PushReady(m, it->second, att.node);
-      }
-      RunNextMapOp(m, a);
-    });
-  }
-
-  void MapDone(int m, int a) {
-    MapTaskState& st = map_states_[m];
-    const int node = st.attempts[a].node;
-    st.attempts[a].alive = false;
-    SetActive(Activity::kMap, -1);
-    tracker_.Succeeded(TaskKind::kMap, m, a, engine_.now());
-    // First finisher wins: the backup race is over, losers' partial
-    // outputs are superseded by the winner's complete set.
-    for (size_t o = 0; o < st.attempts.size(); ++o) {
-      if (st.attempts[o].alive) {
-        KillMapAttempt(m, static_cast<int>(o));
-      }
-    }
-    for (uint32_t p = 0; p < maps_[m].num_pushes; ++p) {
-      if (push_ready_[m][p] < 0) {
-        PushReady(m, p, node);
-      } else {
-        push_src_[m][p] = node;
-      }
-    }
-    const bool first = !st.completed;
-    st.completed = true;
-    if (first) {
-      ++maps_completed_;
-      last_map_finish_ = std::max(last_map_finish_, engine_.now());
-      map_progress_.Add(engine_.now(),
-                        100.0 * static_cast<double>(maps_completed_) /
-                            static_cast<double>(maps_.size()));
-    }
-    ReleaseSlot(node, /*is_map=*/true);
-    MaybeSpeculate(TaskKind::kMap);
-    CheckCompletion();
-    if (first) FireFractionCrashes();
-  }
-
-  void PushReady(int m, uint32_t p, int src) {
-    push_ready_[m][p] = engine_.now();
-    push_src_[m][p] = src;
-    const auto key = std::make_pair(m, p);
-    auto it = push_waiters_.find(key);
-    if (it == push_waiters_.end()) return;
-    std::vector<std::pair<int, int>> waiters = std::move(it->second);
-    push_waiters_.erase(it);
-    for (const auto& [r, a] : waiters) {
-      if (reduce_states_[r].attempts[a].alive) StartFetch(r, a);
-    }
-  }
-
-  // ---- reduce side ----
-
-  void StartReduceAttempt(int r, int node, bool speculative) {
-    ReduceTaskState& st = reduce_states_[r];
-    const int a = tracker_.StartAttempt(TaskKind::kReduce, r, node,
-                                        speculative, engine_.now());
-    CHECK_EQ(static_cast<size_t>(a), st.attempts.size());
-    ReduceAttempt at;
-    at.node = node;
-    at.start = engine_.now();
-    at.alive = true;
-    at.fetched.assign(reduces_[r].deliveries.size(), false);
-    at.fetch_tries.assign(reduces_[r].deliveries.size(), 0);
-    at.verify_tries.assign(reduces_[r].deliveries.size(), 0);
-    // A later attempt resumes from the newest verifiable checkpoint
-    // replica instead of replaying the whole shuffle (DESIGN.md §5.6):
-    // deliveries below the watermark count as fetched and consumed, and
-    // the restore reads (corrupt candidates included) are charged before
-    // the fetch/consume streams start.
-    CkptChoice choice;
-    if (!st.durable.empty()) choice = ChooseCheckpoint(r);
-    if (choice.node >= 0) {
-      for (uint32_t s = 0; s < choice.watermark; ++s) {
-        at.fetched[s] = true;
-        ++checkpoint_segments_skipped_;
-        checkpoint_skipped_bytes_ += reduces_[r].deliveries[s].bytes;
-      }
-      at.fetch_section = choice.watermark;
-      at.consume_section = choice.watermark;
-      ++checkpoints_restored_;
-      checkpoint_corrupt_replicas_ +=
-          static_cast<uint64_t>(choice.tried.size());
-      st.attempts.push_back(std::move(at));
-      RunRestoreOps(r, a, choice);
-      return;
-    }
-    if (choice.had_durable) ++checkpoint_full_replays_;
-    st.attempts.push_back(std::move(at));
-    StartFetch(r, a);
-    TryConsume(r, a);
-  }
-
-  // Fetch stream: pulls delivery fetch_section as soon as its push is
-  // published. The data-plane trace records each delivery section's first
-  // op as the network fetch; the replay may prepend a disk read on the
-  // holder's node when the output has been evicted from its memory.
-  void StartFetch(int r, int a) {
-    if (failed_) return;
-    ReduceAttempt& at = reduce_states_[r].attempts[a];
-    if (!at.alive) return;
-    const ReduceTaskIn& task = reduces_[r];
-    if (at.fetch_section >= task.deliveries.size()) return;
-    const uint32_t s = at.fetch_section;
-    const DeliveryRef& d = task.deliveries[s];
-    const double ready = push_ready_[d.map_task][d.push];
-    if (ready < 0) {
-      push_waiters_[{d.map_task, d.push}].push_back({r, a});
-      return;
-    }
-    // Fetch penalty: an attempt that was not yet running when the map
-    // output was published (a second-wave or restarted reducer) finds it
-    // evicted from the holder's memory and re-reads it from disk.
-    if (d.bytes > 0 &&
-        at.start > ready + config_.costs.map_output_retention_s) {
-      shuffle_from_disk_bytes_ += d.bytes;
-      TraceOp read;
-      read.resource = OpResource::kDisk;
-      read.tag = OpTag::kShuffle;
-      read.bytes = d.bytes;
-      read.is_read = true;
-      const int src_node = push_src_[d.map_task][d.push];
-      ActInc(at, Activity::kShuffle);
-      Route(src_node, read)
-          ->Submit(Duration(read, src_node), [this, r, a, s]() {
-            if (failed_) return;
-            ReduceAttempt& att = reduce_states_[r].attempts[a];
-            if (!att.alive) return;
-            ActDec(att, Activity::kShuffle);
-            FetchOverNet(r, a, s);
-          });
-      return;
-    }
-    FetchOverNet(r, a, s);
-  }
-
-  void FetchOverNet(int r, int a, uint32_t s) {
-    ReduceAttempt& at = reduce_states_[r].attempts[a];
-    const ReduceTaskIn& task = reduces_[r];
-    const TraceOp& net_op = task.trace->ops[task.trace->section_starts[s]];
-    CHECK(net_op.resource == OpResource::kNet);
-    ActInc(at, Activity::kShuffle);
-    Route(at.node, net_op)
-        ->Submit(Duration(net_op, at.node), [this, r, a, s]() {
-          if (failed_) return;
-          ReduceAttempt& att = reduce_states_[r].attempts[a];
-          if (!att.alive) return;
-          ActDec(att, Activity::kShuffle);
-          const ReduceTaskIn& t = reduces_[r];
-          const DeliveryRef& d = t.deliveries[s];
-          // Source crashed mid-transfer: park until the map re-executes.
-          if (push_ready_[d.map_task][d.push] < 0) {
-            StartFetch(r, a);
-            return;
-          }
-          // Transient fetch failure: back off exponentially, retry.
-          const int fails = plan_.FetchFailures(r, d.map_task, d.push);
-          if (static_cast<int>(att.fetch_tries[s]) < fails) {
-            const int try_i = att.fetch_tries[s]++;
-            ++shuffle_fetch_retries_;
-            const double backoff = config_.faults.fetch_retry.BackoffFor(
-                try_i, FetchRetryKey(r, d.map_task, d.push));
-            engine_.ScheduleAfter(backoff, [this, r, a, s]() {
-              if (failed_) return;
-              ReduceAttempt& att2 = reduce_states_[r].attempts[a];
-              if (!att2.alive) return;
-              const DeliveryRef& d2 = reduces_[r].deliveries[s];
-              if (push_ready_[d2.map_task][d2.push] < 0) {
-                StartFetch(r, a);  // source died during the backoff
-                return;
-              }
-              FetchOverNet(r, a, s);
-            });
-            return;
-          }
-          // Silent wire corruption: the fetched bytes fail the segment CRC
-          // stamped at publish time. The holder's stored copy is fine, so
-          // the cheapest recovery is an immediate re-fetch.
-          const int wire = plan_.FetchCorruptions(r, d.map_task, d.push);
-          if (static_cast<int>(att.verify_tries[s]) < wire) {
-            ++att.verify_tries[s];
-            ++corruptions_detected_;
-            ++corruptions_recovered_;
-            corruption_recovery_bytes_ += d.bytes;
-            FetchOverNet(r, a, s);
-            return;
-          }
-          // Corrupt stored map output: re-fetching cannot help (every copy
-          // served fails verification), so only re-executing the producing
-          // map task rematerializes a good push. Mark this push
-          // unpublished and park until the re-run republishes it.
-          const int bad_gens = plan_.MapOutputCorruptions(d.map_task, d.push);
-          if (push_gen_[d.map_task][d.push] < bad_gens) {
-            const int gen = push_gen_[d.map_task][d.push];
-            ++corruptions_detected_;
-            if (gen >= config_.faults.max_corruption_retries) {
-              Fail(Status::Corruption(
-                  "map task " + std::to_string(d.map_task) + " push " +
-                  std::to_string(d.push) + ": output corrupt beyond " +
-                  std::to_string(config_.faults.max_corruption_retries) +
-                  " re-executions"));
-              return;
-            }
-            ++push_gen_[d.map_task][d.push];
-            ++corruptions_recovered_;
-            corruption_recovery_bytes_ += d.bytes;
-            push_ready_[d.map_task][d.push] = -1.0;
-            push_src_[d.map_task][d.push] = -1;
-            ScheduleMapRun(d.map_task);
-            if (failed_) return;
-            StartFetch(r, a);
-            return;
-          }
-          const size_t idx = t.trace->section_starts[s];
-          const TraceOp& done_op = t.trace->ops[idx];
-          tracker_.AddWork(TaskKind::kReduce, r, a, 0, done_op.bytes);
-          ApplyDeltasOnce(reduce_delta_applied_[r], idx, done_op);
-          // Attempt 0's fetches are first-time shuffle work; anything a
-          // later (restarted or speculative) attempt pulls is recovery
-          // re-fetch traffic.
-          if (a > 0) shuffle_refetched_bytes_ += d.bytes;
-          att.fetched[s] = true;
-          ++att.fetch_section;
-          StartFetch(r, a);
-          if (att.consume_blocked) {
-            att.consume_blocked = false;
-            TryConsume(r, a);
-          }
-        });
-  }
-
-  // Consume stream: runs each section's engine work in order; delivery
-  // sections wait for their fetch; the final section (engine Finish)
-  // runs after every delivery has been consumed.
-  void TryConsume(int r, int a) {
-    if (failed_) return;
-    ReduceAttempt& at = reduce_states_[r].attempts[a];
-    if (!at.alive) return;
-    const ReduceTaskIn& task = reduces_[r];
-    const CostTrace& trace = *task.trace;
-    const uint32_t num_sections = trace.num_sections();
-    if (at.consume_section >= num_sections) {
-      ReduceDone(r, a);
-      return;
-    }
-    const bool is_delivery = at.consume_section < task.deliveries.size();
-    if (is_delivery && !at.fetched[at.consume_section]) {
-      at.consume_blocked = true;
-      return;
-    }
-    if (!at.in_section) {
-      // Skip the net fetch op (handled by the fetch stream).
-      at.op_idx =
-          trace.section_starts[at.consume_section] + (is_delivery ? 1 : 0);
-      at.in_section = true;
-    }
-    const uint32_t next_section_start =
-        at.consume_section + 1 < num_sections
-            ? trace.section_starts[at.consume_section + 1]
-            : static_cast<uint32_t>(trace.ops.size());
-    if (at.op_idx >= next_section_start) {
-      ++at.consume_section;
-      at.in_section = false;
-      TryConsume(r, a);
-      return;
-    }
-    const size_t idx = at.op_idx++;
-    const TraceOp& op = trace.ops[idx];
-    const Activity act = Categorize(/*is_map_task=*/false, op.tag);
-    const double dur = WithDiskRetries(Duration(op, at.node), op,
-                                       /*is_map=*/false, r, a, idx);
-    ActInc(at, act);
-    Route(at.node, op)->Submit(dur, [this, r, a, idx, act]() {
-      if (failed_) return;
-      ReduceAttempt& att = reduce_states_[r].attempts[a];
-      if (!att.alive) return;
-      ActDec(att, act);
-      const TraceOp& done_op = reduces_[r].trace->ops[idx];
-      tracker_.AddWork(
-          TaskKind::kReduce, r, a,
-          done_op.resource == OpResource::kCpu ? done_op.cpu_s : 0,
-          done_op.resource == OpResource::kCpu ? 0 : done_op.bytes);
-      ApplyDeltasOnce(reduce_delta_applied_[r], idx, done_op);
-      auto gate = ckpt_gates_[r].find(static_cast<uint32_t>(idx));
-      if (gate != ckpt_gates_[r].end()) {
-        RegisterCheckpoint(r, gate->second, att.node);
-      }
-      TryConsume(r, a);
-    });
-  }
-
-  void ReduceDone(int r, int a) {
-    ReduceTaskState& st = reduce_states_[r];
-    const int node = st.attempts[a].node;
-    st.attempts[a].alive = false;
-    tracker_.Succeeded(TaskKind::kReduce, r, a, engine_.now());
-    for (size_t o = 0; o < st.attempts.size(); ++o) {
-      if (st.attempts[o].alive) {
-        KillReduceAttempt(r, static_cast<int>(o));
-      }
-    }
-    const bool first = !st.done;
-    st.done = true;
-    if (first) ++reduces_done_;
-    ReleaseSlot(node, /*is_map=*/false);
-    MaybeSpeculate(TaskKind::kReduce);
-    CheckCompletion();
-  }
-
-  const JobConfig& config_;
-  const sim::FaultPlan& plan_;
-  std::vector<MapTaskIn> maps_;
-  std::vector<ReduceTaskIn> reduces_;
-  Totals totals_;
-  TaskTracker tracker_;
-
-  sim::Engine engine_;
-  std::vector<std::unique_ptr<NodeRes>> nodes_;
-  std::vector<char> dead_;
-  std::vector<MapTaskState> map_states_;
-  std::vector<ReduceTaskState> reduce_states_;
-  std::vector<std::vector<double>> push_ready_;
-  std::vector<std::vector<int>> push_src_;   // node holding each push
-  // Map-output corruption generation consumed so far, per push: the plan's
-  // CorruptionChain says how many generations of a push materialize
-  // corrupt; each detected one forces a map re-execution that advances
-  // this counter.
-  std::vector<std::vector<int>> push_gen_;
-  std::vector<std::vector<uint32_t>> gate_of_;  // push -> gate op index
-  // Waiting fetch streams, keyed by (map task, push): (reduce, attempt).
-  std::map<std::pair<int, uint32_t>, std::vector<std::pair<int, int>>>
-      push_waiters_;
-  std::vector<std::vector<bool>> map_delta_applied_;
-  std::vector<std::vector<bool>> reduce_delta_applied_;
-  // Per reduce task: trace op index of a checkpoint write's last op ->
-  // checkpoint ordinal (mirrors maps_[m].gates for pushes).
-  std::vector<std::map<uint32_t, uint32_t>> ckpt_gates_;
-  std::vector<sim::CrashEvent> fraction_crashes_;
-  std::vector<bool> fraction_fired_;
-
-  size_t maps_completed_ = 0;
-  size_t reduces_done_ = 0;
-  double last_map_finish_ = 0;
-  double completion_time_ = -1;
-  double end_time_ = 0;
-  bool failed_ = false;
-  Status status_ = Status::OK();
-
-  uint64_t shuffle_from_disk_bytes_ = 0;
-  uint64_t node_crashes_ = 0;
-  uint64_t lost_map_outputs_ = 0;
-  uint64_t shuffle_fetch_retries_ = 0;
-  uint64_t disk_read_retries_ = 0;
-  uint64_t corruptions_detected_ = 0;
-  uint64_t corruptions_recovered_ = 0;
-  uint64_t corruption_recovery_bytes_ = 0;
-  uint64_t checkpoints_restored_ = 0;
-  uint64_t checkpoint_restore_bytes_ = 0;
-  uint64_t checkpoint_corrupt_replicas_ = 0;
-  uint64_t checkpoint_full_replays_ = 0;
-  uint64_t checkpoint_segments_skipped_ = 0;
-  uint64_t checkpoint_skipped_bytes_ = 0;
-  uint64_t shuffle_refetched_bytes_ = 0;
-
-  uint64_t cum_shuffle_ = 0, cum_work_ = 0, cum_output_ = 0;
-  sim::StepSeries map_progress_, reduce_progress_;
-  sim::StepSeries shuffle_series_, work_series_, output_series_;
-  sim::StepSeries active_[4];
-  int active_count_[4] = {0, 0, 0, 0};
-};
-
 }  // namespace
 
-Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
-                                       const JobConfig& config,
-                                       const ChunkStore& input) {
+Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
+                                             const JobConfig& config,
+                                             const ChunkStore& input) {
   RETURN_IF_ERROR(config.Validate());
   if (!spec.mapper) {
     return Status::InvalidArgument("job needs a mapper factory");
@@ -1606,9 +86,9 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
   const UniversalHash h1 = hashes.At(0);
   const MapOutputMode mode = SelectMapOutputMode(config, has_inc);
   const bool values_are_states = ModeProducesStates(mode);
-  const sim::FaultPlan plan(config.faults, config.seed);
 
-  JobResult result;
+  PreparedJob pj(config);
+  JobResult& result = pj.result;
   result.map_tasks = static_cast<int>(input.chunks().size());
   result.reduce_tasks = total_reducers;
 
@@ -1634,7 +114,7 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
   // Concurrent tasks share the reader, but task m only touches chunk m's
   // replica view, and all fault/corruption draws are pure functions of
   // (task id, stream id).
-  ChunkReader chunk_reader(&input, config.integrity, &plan);
+  ChunkReader chunk_reader(&input, config.integrity, &pj.plan);
   std::vector<MapTaskOutput> map_outs(num_maps);
   std::vector<Status> map_statuses(num_maps, Status::OK());
   const double map_plane_start = WallSeconds();
@@ -1652,7 +132,7 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
         std::unique_ptr<IncrementalReducer> inc =
             has_inc ? spec.inc() : nullptr;
         MapRunner runner(config, mode, h1, total_reducers, mapper.get(),
-                         inc.get(), &plan, static_cast<int>(m));
+                         inc.get(), &pj.plan, static_cast<int>(m));
         Result<MapTaskOutput> mo = runner.Run(records.value(), &read_stats);
         if (!mo.ok()) {
           map_statuses[m] = mo.status();
@@ -1664,36 +144,42 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
   result.map_plane_wall_s = WallSeconds() - map_plane_start;
   for (const MapTaskOutput& mo : map_outs) result.metrics.Merge(mo.metrics);
 
-  auto make_map_inputs = [&]() {
-    std::vector<Replayer::MapTaskIn> ins(map_outs.size());
-    for (size_t m = 0; m < map_outs.size(); ++m) {
-      const std::vector<int>& reps =
-          chunk_reader.replicas(static_cast<int>(m));
-      ins[m].node = input.chunks()[m].node;
-      ins[m].replicas = reps;
-      // A quarantined primary cannot host the data-local first attempt;
-      // fall over to the first surviving holder.
-      if (!reps.empty() &&
-          std::find(reps.begin(), reps.end(), ins[m].node) == reps.end()) {
-        ins[m].node = reps.front();
-      }
-      ins[m].trace = &map_outs[m].trace;
-      ins[m].num_pushes = static_cast<uint32_t>(map_outs[m].pushes.size());
-      for (uint32_t p = 0; p < ins[m].num_pushes; ++p) {
-        ins[m].gates[map_outs[m].pushes[p].gate_op] = p;
-      }
+  // Map traces move into the PreparedJob now (phase 3 needs only the
+  // partition payloads left behind in map_outs); the replay inputs point
+  // into pj.map_traces, which later moves of the PreparedJob never
+  // relocate.
+  pj.map_traces.reserve(map_outs.size());
+  for (auto& mo : map_outs) pj.map_traces.push_back(std::move(mo.trace));
+  pj.map_ins.resize(map_outs.size());
+  for (size_t m = 0; m < map_outs.size(); ++m) {
+    Replayer::MapTaskIn& in = pj.map_ins[m];
+    const std::vector<int>& reps = chunk_reader.replicas(static_cast<int>(m));
+    in.node = input.chunks()[m].node;
+    in.replicas = reps;
+    // A quarantined primary cannot host the data-local first attempt;
+    // fall over to the first surviving holder.
+    if (!reps.empty() &&
+        std::find(reps.begin(), reps.end(), in.node) == reps.end()) {
+      in.node = reps.front();
     }
-    return ins;
-  };
+    in.trace = &pj.map_traces[m];
+    in.num_pushes = static_cast<uint32_t>(map_outs[m].pushes.size());
+    for (uint32_t p = 0; p < in.num_pushes; ++p) {
+      in.gates[map_outs[m].pushes[p].gate_op] = p;
+    }
+  }
 
   // ---- Phase 2: provisional replay fixes the delivery order ----
   // Runs under the same FaultPlan as the full replay, so crash-forced map
   // re-executions shift publish times the same way the cluster would see
   // them. The order is only a consumption-order contract for the reduce
-  // data plane; the full replay below is authoritative for timing.
+  // data plane; the full replay is authoritative for timing.
   std::vector<std::pair<int, uint32_t>> delivery_order;
   {
-    Replayer provisional(config, plan, make_map_inputs(), {}, {});
+    sim::Engine engine;
+    SlotPool slots(&engine, pj.config.cluster);
+    Replayer provisional(&engine, &slots, pj.config, pj.plan, pj.map_ins,
+                         {}, {});
     RETURN_IF_ERROR(provisional.Run());
     std::vector<std::pair<double, std::pair<int, uint32_t>>> order;
     for (size_t m = 0; m < map_outs.size(); ++m) {
@@ -1749,7 +235,7 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
         ctx.reducer = task->reducer.get();
         ctx.inc = task->inc.get();
         ctx.values_are_states = values_are_states;
-        ctx.faults = &plan;
+        ctx.faults = &pj.plan;
         ctx.integrity_owner = static_cast<uint64_t>(r) + 1;
         Result<std::unique_ptr<GroupByEngine>> engine =
             CreateGroupByEngine(config.engine, ctx);
@@ -1915,58 +401,68 @@ Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
     }
   }
 
-  // Free intermediate data before the full replay (the traces remain).
-  // Note: delivery gating references map_outs' traces, so keep those.
-  for (auto& mo : map_outs) {
-    for (auto& push : mo.pushes) {
-      push.partitions.clear();
-      push.encoded.clear();
-    }
+  // Package the replay inputs. The intermediate payload bytes are dropped
+  // here (only the traces and marks drive the time plane).
+  pj.reduce_traces.reserve(reduce_tasks.size());
+  for (auto& task : reduce_tasks) {
+    pj.reduce_traces.push_back(std::move(task->trace));
+  }
+  pj.reduce_ins.resize(reduce_tasks.size());
+  for (size_t r = 0; r < reduce_tasks.size(); ++r) {
+    pj.reduce_ins[r].node =
+        static_cast<int>(r) / config.reducers_per_node;
+    pj.reduce_ins[r].trace = &pj.reduce_traces[r];
+    pj.reduce_ins[r].deliveries = std::move(reduce_tasks[r]->deliveries);
+    pj.reduce_ins[r].checkpoints = std::move(reduce_tasks[r]->checkpoints);
   }
 
-  // ---- Phase 4: full replay ----
-  Replayer::Totals totals;
   auto scan_trace = [&](const CostTrace& t) {
     for (const TraceOp& op : t.ops) {
-      totals.shuffle_bytes += op.d_shuffle_bytes;
-      totals.reduce_work += op.d_reduce_work;
-      totals.output_bytes += op.d_output_bytes;
+      pj.totals.shuffle_bytes += op.d_shuffle_bytes;
+      pj.totals.reduce_work += op.d_reduce_work;
+      pj.totals.output_bytes += op.d_output_bytes;
     }
   };
-  for (const auto& mo : map_outs) scan_trace(mo.trace);
-  for (const auto& t : reduce_tasks) scan_trace(t->trace);
+  for (const CostTrace& t : pj.map_traces) scan_trace(t);
+  for (const CostTrace& t : pj.reduce_traces) scan_trace(t);
 
-  std::vector<Replayer::ReduceTaskIn> reduce_ins(reduce_tasks.size());
-  for (size_t r = 0; r < reduce_tasks.size(); ++r) {
-    reduce_ins[r].node =
-        static_cast<int>(r) / config.reducers_per_node;
-    reduce_ins[r].trace = &reduce_tasks[r]->trace;
-    reduce_ins[r].deliveries = reduce_tasks[r]->deliveries;
-    reduce_ins[r].checkpoints = reduce_tasks[r]->checkpoints;
+  // CPU attribution.
+  for (const CostTrace& t : pj.map_traces) {
+    for (const TraceOp& op : t.ops) {
+      if (op.resource == OpResource::kCpu) result.map_cpu_s += op.cpu_s;
+    }
+  }
+  for (const CostTrace& t : pj.reduce_traces) {
+    for (const TraceOp& op : t.ops) {
+      if (op.resource == OpResource::kCpu) result.reduce_cpu_s += op.cpu_s;
+    }
   }
 
-  Replayer replay(config, plan, make_map_inputs(), std::move(reduce_ins),
-                  totals);
+  return pj;
+}
+
+Result<JobResult> LocalCluster::RunJob(const JobSpec& spec,
+                                       const JobConfig& config,
+                                       const ChunkStore& input) {
+  ASSIGN_OR_RETURN(PreparedJob pj, PrepareJob(spec, config, input));
+
+  // ---- Phase 4: full replay ----
+  sim::Engine engine;
+  SlotPool slots(&engine, pj.config.cluster);
+  Replayer replay(&engine, &slots, pj.config, pj.plan, pj.map_ins,
+                  pj.reduce_ins, pj.totals);
   RETURN_IF_ERROR(replay.Run());
 
+  JobResult result = std::move(pj.result);
   result.running_time = replay.end_time();
   result.map_finish_time = replay.map_finish_time();
   result.shuffle_from_disk_bytes = replay.shuffle_from_disk_bytes();
   replay.ExportSeries(&result);
   replay.ExportFaultMetrics(&result.metrics);
-
-  // CPU attribution.
-  for (const auto& mo : map_outs) {
-    for (const TraceOp& op : mo.trace.ops) {
-      if (op.resource == OpResource::kCpu) result.map_cpu_s += op.cpu_s;
-    }
-  }
-  for (const auto& t : reduce_tasks) {
-    for (const TraceOp& op : t->trace.ops) {
-      if (op.resource == OpResource::kCpu) result.reduce_cpu_s += op.cpu_s;
-    }
-  }
-
+  slots.ExportUtilization(
+      pj.config.timeline_bin_s,
+      std::max(replay.end_time(), pj.config.timeline_bin_s),
+      &result.cpu_util, &result.iowait);
   return result;
 }
 

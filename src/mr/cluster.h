@@ -25,6 +25,12 @@
 // and 4 — the time plane — are always single-threaded. Results are
 // byte-identical at every thread count: tasks write only state keyed by
 // their own task id, and per-task results merge in task-id order.
+//
+// PrepareJob runs steps 1–3 and packages everything step 4 needs into a
+// self-contained PreparedJob, so a scheduler (src/mr/job_manager.h) can
+// replay many prepared jobs on one shared SlotPool. RunJob is the solo
+// path: PrepareJob plus a single-job replay, byte-identical to the
+// historical monolithic implementation.
 
 #ifndef ONEPASS_MR_CLUSTER_H_
 #define ONEPASS_MR_CLUSTER_H_
@@ -36,8 +42,11 @@
 #include "src/dfs/chunk_store.h"
 #include "src/mr/api.h"
 #include "src/mr/config.h"
+#include "src/mr/cost_trace.h"
 #include "src/mr/metrics.h"
+#include "src/mr/replayer.h"
 #include "src/mr/types.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/timeline.h"
 
 namespace onepass {
@@ -97,12 +106,47 @@ struct JobResult {
   std::vector<Record> outputs;
 };
 
+// Everything the time plane needs to replay a job whose data plane already
+// ran: the traces, delivery/checkpoint marks, fault plan, and the partial
+// JobResult (data-plane metrics, outputs, CPU attribution, wall times).
+// Self-contained — Replayer::MapTaskIn/ReduceTaskIn trace pointers point
+// into the sibling map_traces/reduce_traces vectors, which moving the
+// struct does not relocate. Replay the same PreparedJob any number of
+// times; each replay's Replayer must not outlive it (it references config
+// and plan).
+struct PreparedJob {
+  explicit PreparedJob(const JobConfig& cfg)
+      : config(cfg), plan(config.faults, config.seed) {}
+  PreparedJob(PreparedJob&&) = default;
+  PreparedJob& operator=(PreparedJob&&) = default;
+  PreparedJob(const PreparedJob&) = delete;
+  PreparedJob& operator=(const PreparedJob&) = delete;
+
+  JobConfig config;
+  sim::FaultPlan plan;
+  // Data-plane portion of the result; a replay fills in the rest.
+  JobResult result;
+
+  std::vector<CostTrace> map_traces;
+  std::vector<CostTrace> reduce_traces;
+  std::vector<Replayer::MapTaskIn> map_ins;
+  std::vector<Replayer::ReduceTaskIn> reduce_ins;
+  Replayer::Totals totals;
+};
+
 class LocalCluster {
  public:
   // Runs `spec` over `input` under `config`. The input's chunking must
   // match config.chunk_bytes (build it with MakeInput or ChunkStore).
   static Result<JobResult> RunJob(const JobSpec& spec, const JobConfig& config,
                                   const ChunkStore& input);
+
+  // Runs the data plane only (steps 1–3) and returns the replay inputs.
+  // The caller owns when and where the time plane runs — solo (RunJob) or
+  // interleaved with other jobs on a shared SlotPool (JobManager).
+  static Result<PreparedJob> PrepareJob(const JobSpec& spec,
+                                        const JobConfig& config,
+                                        const ChunkStore& input);
 };
 
 }  // namespace onepass

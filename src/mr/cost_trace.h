@@ -29,6 +29,7 @@ enum class OpResource : uint8_t {
   kCpu,
   kDisk,      // node's intermediate-data disk (HDD by default)
   kNet,       // node's NIC
+  kStall,     // occupies nothing: a pure wait (retry backoff) of cpu_s
 };
 
 // Fine-grained operation category, used for the Fig. 2(a)-style task
@@ -112,6 +113,18 @@ class TraceRecorder {
     op.tag = tag;
     op.cpu_s = seconds;
     op.d_reduce_work = d_reduce_work;
+    trace_->ops.push_back(op);
+  }
+
+  // A pure wait: the task holds its slot for `seconds` without occupying
+  // any server (retry backoff between corruption rebuilds). No-op at 0 so
+  // zero-backoff policies leave traces untouched.
+  void Stall(double seconds, OpTag tag) {
+    if (seconds <= 0) return;
+    TraceOp op;
+    op.resource = OpResource::kStall;
+    op.tag = tag;
+    op.cpu_s = seconds;
     trace_->ops.push_back(op);
   }
 

@@ -600,13 +600,17 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
             << "undetected injected corruption";
         ++out->metrics.corruptions_detected;
         if (ev.torn) ++out->metrics.torn_writes_detected;
-        if (gen >= faults_->config().max_corruption_retries) {
+        const sim::RetryPolicy& retry = faults_->config().corruption_retry;
+        if (gen >= retry.max_retries) {
           return Status::Corruption(
               "map task " + std::to_string(task_index_) + " spill run " +
               std::to_string(r) + ": corrupt beyond " +
-              std::to_string(faults_->config().max_corruption_retries) +
-              " rebuilds");
+              std::to_string(retry.max_retries) + " rebuilds");
         }
+        trace->Stall(
+            retry.BackoffFor(gen, (static_cast<uint64_t>(task_index_) << 20) ^
+                                      static_cast<uint64_t>(r)),
+            OpTag::kMapSpill);
         trace->DiskWrite(run_bytes[r], OpTag::kMapSpill);
         trace->DiskRead(run_bytes[r], OpTag::kMapSpill);
         out->metrics.corruption_recovery_bytes += 2 * run_bytes[r];

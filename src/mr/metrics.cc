@@ -25,6 +25,7 @@ void JobMetrics::Merge(const JobMetrics& o) {
   map_task_attempts += o.map_task_attempts;
   reduce_task_attempts += o.reduce_task_attempts;
   killed_attempts += o.killed_attempts;
+  preempted_attempts += o.preempted_attempts;
   speculative_attempts += o.speculative_attempts;
   speculative_wins += o.speculative_wins;
   lost_map_outputs += o.lost_map_outputs;
@@ -104,6 +105,7 @@ std::string JobMetrics::Serialize() const {
   put_u64("map_task_attempts", map_task_attempts);
   put_u64("reduce_task_attempts", reduce_task_attempts);
   put_u64("killed_attempts", killed_attempts);
+  put_u64("preempted_attempts", preempted_attempts);
   put_u64("speculative_attempts", speculative_attempts);
   put_u64("speculative_wins", speculative_wins);
   put_u64("lost_map_outputs", lost_map_outputs);

@@ -39,6 +39,11 @@ struct JobMetrics {
   uint64_t map_task_attempts = 0;     // attempts started (>= map tasks)
   uint64_t reduce_task_attempts = 0;  // attempts started (>= reduce tasks)
   uint64_t killed_attempts = 0;       // crash kills + speculation losers
+  // Attempts evicted by the multi-tenant slot arbiter (DESIGN.md §5.7) to
+  // free a slot for a starved tenant. Unlike kills, preemptions do not
+  // consume the task's attempt budget; the task requeues. Always 0 in a
+  // solo RunJob (no other tenant to preempt for).
+  uint64_t preempted_attempts = 0;
   uint64_t speculative_attempts = 0;  // backup attempts launched
   uint64_t speculative_wins = 0;      // backups that finished first
   uint64_t lost_map_outputs = 0;      // completed maps re-run (lost output)

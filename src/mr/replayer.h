@@ -1,0 +1,400 @@
+// Replayer: replays one job's map (and optionally reduce) cost traces on a
+// shared simulated cluster (SlotPool), under that job's FaultPlan.
+//
+// Fault tolerance lives entirely in this time plane: tasks are
+// deterministic, so re-executing one after a crash replays the *same* cost
+// trace on another node — the data-plane result is unchanged, only when and
+// where the work happens moves. Each execution of a task is an attempt
+// (TaskTracker); a fail-stop node crash kills the node's running attempts,
+// loses the map outputs it stored, and triggers:
+//   * re-execution of unfinished tasks on surviving nodes (maps only on
+//     surviving replica holders of their input chunk);
+//   * the lost-map-output rule: a *completed* map whose outputs some
+//     unfinished reducer has not yet fetched is re-executed too;
+//   * shuffle fetches that lose their source mid-transfer park until the
+//     map's re-execution republishes the push.
+// Transient faults (disk-read errors, shuffle-fetch failures) retry with
+// exponential backoff; stragglers dilate op durations; speculative backups
+// race the original attempt and the first finisher wins. A task that
+// exhausts max_attempts (or loses every replica of its input) fails the
+// job with a non-OK Status instead of stalling.
+//
+// Multi-job operation (DESIGN.md §5.7): several Replayers share one
+// sim::Engine and one SlotPool. Faults are a per-job domain — this job's
+// crashed node is dead *for this job only*; the pool keeps scheduling
+// other jobs there. Every event the Replayer creates carries its options'
+// stream tag, so cross-job simultaneous events order by (time, job
+// stream, seq) and the whole multi-job replay is deterministic. A solo
+// Replayer with stream 0 on a fresh engine reproduces the historical
+// single-job schedule byte for byte.
+
+#ifndef ONEPASS_MR_REPLAYER_H_
+#define ONEPASS_MR_REPLAYER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mr/config.h"
+#include "src/mr/cost_trace.h"
+#include "src/mr/slot_pool.h"
+#include "src/mr/task_tracker.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/timeline.h"
+
+namespace onepass {
+
+struct JobResult;
+
+// One shuffle segment a reduce task consumes: map `map_task`'s push
+// `push`, of which this reducer's partition share is `bytes`.
+struct DeliveryRef {
+  int map_task = 0;
+  uint32_t push = 0;
+  uint64_t bytes = 0;
+};
+
+// One checkpoint the reduce data plane recorded (DESIGN.md §5.6): after
+// consuming `watermark` deliveries the engine image measured `bytes` framed
+// bytes (raw_bytes before codec/framing). `gate_op` is the trace op whose
+// completion makes the instance durable in the time-plane replay.
+struct CheckpointMark {
+  uint32_t watermark = 0;
+  uint64_t bytes = 0;
+  uint64_t raw_bytes = 0;
+  uint32_t gate_op = 0;
+};
+
+class Replayer {
+ public:
+  struct MapTaskIn {
+    int node = 0;  // primary replica (initial, data-local placement)
+    std::vector<int> replicas;  // all nodes holding the input chunk
+    const CostTrace* trace = nullptr;
+    // gate op index -> push index, for push-ready bookkeeping.
+    std::map<uint32_t, uint32_t> gates;
+    uint32_t num_pushes = 0;
+  };
+  struct ReduceTaskIn {
+    int node = 0;
+    const CostTrace* trace = nullptr;
+    std::vector<DeliveryRef> deliveries;
+    std::vector<CheckpointMark> checkpoints;
+  };
+  struct Totals {
+    uint64_t shuffle_bytes = 0;
+    uint64_t reduce_work = 0;
+    uint64_t output_bytes = 0;
+  };
+  struct Options {
+    int job_id = 0;
+    int tenant = 0;
+    // Event-stream tag for everything this job schedules (0 = solo /
+    // legacy order; the JobManager uses job_id + 1).
+    uint64_t stream = 0;
+    // A map attempt may be evicted by the slot arbiter at most this many
+    // times per task (preemptions are budget-exempt, so without a cap a
+    // pathological share pattern could evict one task forever).
+    int max_preemptions_per_task = 3;
+  };
+
+  // `config`, `plan`, and the traces referenced by `maps` / `reduces`
+  // must outlive the Replayer. The pool and engine are shared with other
+  // jobs; RegisterJob happens in Start().
+  Replayer(sim::Engine* engine, SlotPool* pool, const JobConfig& config,
+           const sim::FaultPlan& plan, std::vector<MapTaskIn> maps,
+           std::vector<ReduceTaskIn> reduces, Totals totals)
+      : Replayer(engine, pool, config, plan, std::move(maps),
+                 std::move(reduces), totals, Options()) {}
+  Replayer(sim::Engine* engine, SlotPool* pool, const JobConfig& config,
+           const sim::FaultPlan& plan, std::vector<MapTaskIn> maps,
+           std::vector<ReduceTaskIn> reduces, Totals totals,
+           Options options);
+
+  // Enqueues the initial data-local wave, schedules this job's crash
+  // events (relative to the current simulated time), and pumps the pool.
+  // `on_done` (may be null) fires exactly once, at completion or failure,
+  // from inside the event that finished the job.
+  void Start(std::function<void(const Status&)> on_done = nullptr);
+
+  // Solo convenience: Start + drain the engine. Returns the job's status;
+  // a drained engine with an incomplete job reports the stall as an
+  // Internal error.
+  Status Run();
+
+  // Fails the job (e.g. a deadline) and releases everything it holds:
+  // queued entries are purged, running attempts killed (freeing their
+  // slots to other jobs), and on_done fires with `s`. No-op once the job
+  // is complete or failed.
+  void Abort(Status s);
+
+  // --- results ---
+  bool complete() const { return JobComplete(); }
+  bool failed() const { return failed_; }
+  const Status& status() const { return status_; }
+  double end_time() const { return end_time_; }
+  double map_finish_time() const { return last_map_finish_; }
+  double push_ready_time(int m, uint32_t p) const {
+    return push_ready_[static_cast<size_t>(m)][p];
+  }
+  uint64_t shuffle_from_disk_bytes() const {
+    return shuffle_from_disk_bytes_;
+  }
+
+  // Folds attempt/recovery counters into `m` (full replay only; the
+  // provisional replay's faults are a scheduling rehearsal, not results).
+  void ExportFaultMetrics(JobMetrics* m) const;
+
+  // Fills the progress/activity series of `result` (not utilization —
+  // that is cluster state, exported by SlotPool::ExportUtilization).
+  void ExportSeries(JobResult* result) const;
+
+  // --- SlotPool-facing scheduling surface ---
+
+  // May the pool grant this job a slot on `node`? False once the job
+  // failed or `node` crashed in this job's fault domain.
+  bool SchedulableOn(int node) const {
+    return !failed_ && dead_[static_cast<size_t>(node)] == 0;
+  }
+  // The pool dequeued `p`; clear its queued/spec_queued flag.
+  void QueueEntryPopped(bool is_map, const PendingTask& p);
+  bool MapEntryRunnable(const PendingTask& p) const;
+  bool ReduceEntryRunnable(const PendingTask& p) const;
+  // The pool granted a slot on `node`; start the attempt.
+  void PoolStartMap(int task, int node, bool speculative);
+  void PoolStartReduce(int task, int node, bool speculative);
+  // Evicts one running map attempt on `node` (latest-started first,
+  // preempt-cap permitting): the attempt dies budget-exempt, its slot is
+  // released (which re-pumps the node), and the task requeues through the
+  // normal scheduler. Returns false when no attempt is evictable.
+  bool PreemptMapOn(int node);
+
+ private:
+  enum class Activity { kMap, kShuffle, kMerge, kReduce, kNone };
+  static Activity Categorize(bool is_map_task, OpTag tag);
+
+  // One execution of a map task. Killed attempts stay in the vector with
+  // alive = false; their in-flight op completions early-return.
+  struct MapAttempt {
+    int node = 0;
+    double start = 0;
+    size_t op_idx = 0;
+    bool alive = false;
+  };
+  struct MapTaskState {
+    std::vector<MapAttempt> attempts;
+    bool completed = false;    // at least one attempt succeeded
+    bool queued = false;       // a non-speculative PendingTask entry exists
+    bool spec_queued = false;  // a speculative PendingTask entry exists
+  };
+
+  // One execution of a reduce task. Runs two concurrent streams, like
+  // Hadoop's copier threads vs its merge thread: the *fetch* stream pulls
+  // deliveries as soon as their producing map publishes them (network +
+  // possible disk re-read), while the *consume* stream executes the
+  // engine's per-delivery work strictly in order, gated on the fetch of
+  // its section.
+  struct ReduceAttempt {
+    int node = 0;
+    double start = 0;
+    uint32_t fetch_section = 0;    // next delivery to fetch
+    uint32_t consume_section = 0;  // next section to consume
+    size_t op_idx = 0;             // current op within consume_section
+    bool in_section = false;       // op_idx initialized for this section
+    bool consume_blocked = false;  // waiting for a fetch to complete
+    bool alive = false;
+    std::vector<bool> fetched;
+    std::vector<uint8_t> fetch_tries;   // failed tries per section
+    std::vector<uint8_t> verify_tries;  // checksum-failed fetches per section
+    int act[4] = {0, 0, 0, 0};  // outstanding activity counts, by Activity
+  };
+  // A checkpoint instance whose write+replication op completed: its
+  // replicas live on `replicas` (slot, holder node) until a holder dies.
+  // Slots keep their original index when holders drop out, so the plan's
+  // per-slot corruption draws stay stable across crash schedules.
+  struct DurableCkpt {
+    uint32_t ordinal = 0;
+    uint32_t watermark = 0;
+    uint64_t bytes = 0;
+    uint64_t raw_bytes = 0;
+    std::vector<std::pair<int, int>> replicas;  // (slot, holder node)
+  };
+  struct ReduceTaskState {
+    std::vector<ReduceAttempt> attempts;
+    std::vector<DurableCkpt> durable;  // oldest first (ordinal order)
+    bool done = false;
+    bool queued = false;
+    bool spec_queued = false;
+  };
+
+  // A replica read and rejected by verification on the restore ladder.
+  struct TriedReplica {
+    int slot = 0;
+    int node = 0;
+    uint64_t bytes = 0;
+  };
+  // Outcome of the restore ladder: node >= 0 means a verifiable replica of
+  // instance `ordinal` exists and a restarted attempt resumes from
+  // `watermark`; otherwise (had_durable) every replica of every instance
+  // was corrupt or lost and the attempt falls back to full replay.
+  struct CkptChoice {
+    int ordinal = -1;
+    uint32_t watermark = 0;
+    uint64_t bytes = 0;
+    uint64_t raw_bytes = 0;
+    int node = -1;
+    std::vector<TriedReplica> tried;
+    bool had_durable = false;
+  };
+  // One op of the synthesized restore chain, waiting `delay` simulated
+  // seconds (the shared RetryPolicy's backoff after a rejected replica)
+  // before occupying its resource.
+  struct RestoreOp {
+    TraceOp op;
+    double delay = 0;
+  };
+
+  double Duration(const TraceOp& op, int node) const;
+  static uint64_t FetchRetryKey(int r, int m, uint32_t p);
+  static uint64_t CheckpointRetryKey(int r, int ordinal, int try_i);
+  double WithDiskRetries(double dur, const TraceOp& op, bool is_map,
+                         int task, int attempt, size_t idx);
+  // Submits `op` for attempt-completion callback `done`: a timer for
+  // kStall ops (a pure wait occupies no server), a server job otherwise.
+  void SubmitOp(const TraceOp& op, int node, double dur,
+                sim::Engine::Callback done);
+
+  void SetActive(Activity a, int delta);
+  void ActInc(ReduceAttempt& at, Activity a);
+  void ActDec(ReduceAttempt& at, Activity a);
+  void FlushActivity(ReduceAttempt& at);
+
+  void ApplyDeltasOnce(std::vector<bool>& applied, size_t idx,
+                       const TraceOp& op);
+  void ApplyDeltas(const TraceOp& op);
+  void RecordReduceProgress();
+
+  void Fail(Status s);
+  bool JobComplete() const;
+  void CheckCompletion();
+  void NotifyDone(const Status& s);
+
+  int AliveMapAttempts(int m) const;
+  int AliveReduceAttempts(int r) const;
+  bool AllPushesIntact(int m) const;
+
+  int PickMapNode(int m, int exclude) const;
+  int PickReduceNode(int exclude) const;
+  void ScheduleMapRun(int m);
+  void ScheduleReduceRun(int r);
+
+  void MaybeSpeculate(TaskKind kind);
+  void ScheduleSpeculationTick();
+
+  void RegisterCheckpoint(int r, uint32_t c, int writer_node);
+  CkptChoice ChooseCheckpoint(int r) const;
+  uint32_t RestoreWatermark(int r) const;
+  void RunRestoreOps(int r, int a, const CkptChoice& choice);
+  void RunRestoreOp(int r, int a,
+                    std::shared_ptr<std::vector<RestoreOp>> ops, size_t i);
+  void SubmitRestoreOp(int r, int a,
+                       std::shared_ptr<std::vector<RestoreOp>> ops,
+                       size_t i);
+
+  void KillMapAttempt(int m, int a);
+  void KillReduceAttempt(int r, int a);
+  bool OutputNeeded(int m) const;
+  void CrashNode(int n);
+  void FireFractionCrashes();
+  void FireReduceFractionCrashes();
+
+  void StartMapAttempt(int m, int node, bool speculative);
+  void RunNextMapOp(int m, int a);
+  void MapDone(int m, int a);
+  void PushReady(int m, uint32_t p, int src);
+
+  void StartReduceAttempt(int r, int node, bool speculative);
+  void StartFetch(int r, int a);
+  void FetchOverNet(int r, int a, uint32_t s);
+  void TryConsume(int r, int a);
+  void ReduceDone(int r, int a);
+
+  const JobConfig& config_;
+  const sim::FaultPlan& plan_;
+  std::vector<MapTaskIn> maps_;
+  std::vector<ReduceTaskIn> reduces_;
+  Totals totals_;
+  TaskTracker tracker_;
+  Options opts_;
+  uint64_t stream_ = 0;  // == opts_.stream
+
+  sim::Engine* engine_;
+  SlotPool* pool_;
+  double start_time_ = 0;
+  std::function<void(const Status&)> on_done_;
+  bool registered_ = false;
+
+  std::vector<char> dead_;  // per-job fault domain
+  std::vector<MapTaskState> map_states_;
+  std::vector<ReduceTaskState> reduce_states_;
+  std::vector<int> preempt_count_;  // per map task
+  std::vector<std::vector<double>> push_ready_;
+  std::vector<std::vector<int>> push_src_;   // node holding each push
+  // Map-output corruption generation consumed so far, per push: the plan's
+  // CorruptionChain says how many generations of a push materialize
+  // corrupt; each detected one forces a map re-execution that advances
+  // this counter.
+  std::vector<std::vector<int>> push_gen_;
+  std::vector<std::vector<uint32_t>> gate_of_;  // push -> gate op index
+  // Waiting fetch streams, keyed by (map task, push): (reduce, attempt).
+  std::map<std::pair<int, uint32_t>, std::vector<std::pair<int, int>>>
+      push_waiters_;
+  std::vector<std::vector<bool>> map_delta_applied_;
+  std::vector<std::vector<bool>> reduce_delta_applied_;
+  // Per reduce task: trace op index of a checkpoint write's last op ->
+  // checkpoint ordinal (mirrors maps_[m].gates for pushes).
+  std::vector<std::map<uint32_t, uint32_t>> ckpt_gates_;
+  std::vector<sim::CrashEvent> fraction_crashes_;
+  std::vector<bool> fraction_fired_;
+
+  size_t maps_completed_ = 0;
+  size_t reduces_done_ = 0;
+  double last_map_finish_ = 0;
+  double completion_time_ = -1;
+  double end_time_ = 0;
+  bool failed_ = false;
+  bool notified_ = false;
+  Status status_ = Status::OK();
+
+  uint64_t shuffle_from_disk_bytes_ = 0;
+  uint64_t node_crashes_ = 0;
+  uint64_t lost_map_outputs_ = 0;
+  uint64_t shuffle_fetch_retries_ = 0;
+  uint64_t disk_read_retries_ = 0;
+  uint64_t corruptions_detected_ = 0;
+  uint64_t corruptions_recovered_ = 0;
+  uint64_t corruption_recovery_bytes_ = 0;
+  uint64_t checkpoints_restored_ = 0;
+  uint64_t checkpoint_restore_bytes_ = 0;
+  uint64_t checkpoint_corrupt_replicas_ = 0;
+  uint64_t checkpoint_full_replays_ = 0;
+  uint64_t checkpoint_segments_skipped_ = 0;
+  uint64_t checkpoint_skipped_bytes_ = 0;
+  uint64_t shuffle_refetched_bytes_ = 0;
+
+  uint64_t cum_shuffle_ = 0, cum_work_ = 0, cum_output_ = 0;
+  sim::StepSeries map_progress_, reduce_progress_;
+  sim::StepSeries shuffle_series_, work_series_, output_series_;
+  sim::StepSeries active_[4];
+  int active_count_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MR_REPLAYER_H_

@@ -33,13 +33,20 @@ const TaskAttempt& TaskTracker::attempt(TaskKind kind, int task,
 }
 
 bool TaskTracker::CanStart(TaskKind kind, int task) const {
-  return attempts_started(kind, task) < max_attempts_;
+  // Preempted attempts don't count against the budget.
+  int budgeted = 0;
+  for (int idx : rec(kind, task).attempt_log_idx) {
+    if (log_[static_cast<size_t>(idx)].state != AttemptState::kPreempted) {
+      ++budgeted;
+    }
+  }
+  return budgeted < max_attempts_;
 }
 
 int TaskTracker::StartAttempt(TaskKind kind, int task, int node,
                               bool speculative, double now) {
   TaskRec& r = rec(kind, task);
-  CHECK_LT(static_cast<int>(r.attempt_log_idx.size()), max_attempts_);
+  CHECK(CanStart(kind, task));
   TaskAttempt a;
   a.kind = kind;
   a.task = task;
@@ -80,6 +87,18 @@ void TaskTracker::Killed(TaskKind kind, int task, int attempt, double now) {
   recovery_bytes_ += a.io_bytes;
 }
 
+void TaskTracker::Preempted(TaskKind kind, int task, int attempt,
+                            double now) {
+  TaskAttempt& a = at(kind, task, attempt);
+  CHECK(a.state == AttemptState::kRunning);
+  a.state = AttemptState::kPreempted;
+  a.end_time = now;
+  ++preempted_;
+  // The evicted attempt's work is redone from scratch, same as a kill.
+  wasted_cpu_s_ += a.cpu_s;
+  recovery_bytes_ += a.io_bytes;
+}
+
 int TaskTracker::attempts_started(TaskKind kind, int task) const {
   return static_cast<int>(rec(kind, task).attempt_log_idx.size());
 }
@@ -114,6 +133,7 @@ void TaskTracker::ExportMetrics(JobMetrics* m) const {
     m->reduce_task_attempts += r.attempt_log_idx.size();
   }
   m->killed_attempts += killed_;
+  m->preempted_attempts += preempted_;
   m->speculative_attempts += speculative_;
   m->speculative_wins += speculative_wins_;
   m->recovery_bytes += recovery_bytes_;

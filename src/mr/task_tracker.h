@@ -23,7 +23,8 @@ namespace onepass {
 
 enum class TaskKind : uint8_t { kMap, kReduce };
 
-enum class AttemptState : uint8_t { kRunning, kSucceeded, kKilled };
+enum class AttemptState : uint8_t { kRunning, kSucceeded, kKilled,
+                                    kPreempted };
 
 struct TaskAttempt {
   TaskKind kind = TaskKind::kMap;
@@ -44,7 +45,9 @@ class TaskTracker {
   TaskTracker(int num_maps, int num_reduces, int max_attempts);
 
   // Attempt budget: true while the task has started fewer than
-  // max_attempts attempts.
+  // max_attempts attempts. Preempted attempts are exempt — the scheduler
+  // evicted them through no fault of the task, so they never push a task
+  // toward the ResourceExhausted failure the budget exists to force.
   bool CanStart(TaskKind kind, int task) const;
 
   // Records a new running attempt; returns its attempt index. Callers must
@@ -60,6 +63,11 @@ class TaskTracker {
 
   // Marks the attempt killed and charges its work to waste/recovery.
   void Killed(TaskKind kind, int task, int attempt, double now);
+
+  // Marks the attempt preempted by the slot arbiter (DESIGN.md §5.7):
+  // charged to waste like a kill, counted separately, and exempt from the
+  // attempt budget.
+  void Preempted(TaskKind kind, int task, int attempt, double now);
 
   const TaskAttempt& attempt(TaskKind kind, int task, int attempt) const;
   int attempts_started(TaskKind kind, int task) const;
@@ -90,6 +98,7 @@ class TaskTracker {
   std::vector<TaskAttempt> log_;
   std::vector<double> success_durations_[2];  // by TaskKind
   uint64_t killed_ = 0;
+  uint64_t preempted_ = 0;
   uint64_t speculative_ = 0;
   uint64_t speculative_wins_ = 0;
   uint64_t recovery_bytes_ = 0;

@@ -4,9 +4,9 @@
 
 namespace onepass::sim {
 
-void Engine::ScheduleAt(double time, Callback cb) {
+void Engine::ScheduleAtStream(double time, uint64_t stream, Callback cb) {
   CHECK_GE(time, now_);
-  queue_.push(Event{time, next_seq_++, std::move(cb)});
+  queue_.push(Event{time, stream, next_seq_++, std::move(cb)});
 }
 
 double Engine::Run() {
@@ -16,9 +16,11 @@ double Engine::Run() {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.time;
+    current_stream_ = ev.stream;
     ++events_processed_;
     ev.cb();
   }
+  current_stream_ = 0;
   return now_;
 }
 

@@ -95,8 +95,9 @@ Status FaultConfig::Validate(int nodes) const {
   if (corruption_rate < 0 || corruption_rate >= 1.0) {
     return Status::InvalidArgument("corruption_rate must be in [0, 1)");
   }
-  if (max_corruption_retries < 0) {
-    return Status::InvalidArgument("negative max_corruption_retries");
+  {
+    const Status retry = corruption_retry.Validate();
+    if (!retry.ok()) return retry;
   }
   return Status::OK();
 }

@@ -120,11 +120,16 @@ struct FaultConfig {
   // in-flight block sequence) instead of a bit flip; a seeded coin per
   // event picks which.
   bool torn_writes = false;
-  // Recovery budget: how many consecutive corrupt generations of one
-  // stream may be rebuilt / re-fetched / re-executed before the job fails
-  // with kCorruption. DFS replica fail-over is not charged against this
-  // budget — a chunk read fails only when every replica is bad.
-  int max_corruption_retries = 3;
+  // Recovery budget + pacing for corruption rebuilds, on the shared
+  // RetryPolicy: at most max_retries consecutive corrupt generations of
+  // one stream may be rebuilt / re-fetched / re-executed before the job
+  // fails with kCorruption, and rebuild `gen` stalls
+  // corruption_retry.BackoffFor(gen, key) simulated seconds before
+  // retrying (seeded jitter included). The default base of 0 keeps the
+  // historical no-backoff schedule byte-identical. DFS replica fail-over
+  // is not charged against this budget — a chunk read fails only when
+  // every replica is bad.
+  RetryPolicy corruption_retry{/*base_backoff_s=*/0.0, /*max_retries=*/3};
 
   // True if any fault source is enabled (crash, straggler, error rates,
   // or speculation).

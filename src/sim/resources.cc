@@ -11,8 +11,12 @@ Server::Server(Engine* engine, int capacity, std::string name)
 }
 
 void Server::Submit(double duration, Engine::Callback done) {
+  Submit(duration, engine_->current_stream(), std::move(done));
+}
+
+void Server::Submit(double duration, uint64_t stream, Engine::Callback done) {
   CHECK_GE(duration, 0.0);
-  queue_.push_back(Job{duration, std::move(done)});
+  queue_.push_back(Job{duration, stream, std::move(done)});
   RecordSample();
   if (busy_ < capacity_) StartNext();
 }
@@ -25,8 +29,8 @@ void Server::StartNext() {
   ++busy_;
   busy_time_ += job.duration;
   RecordSample();
-  engine_->ScheduleAfter(
-      job.duration, [this, done = std::move(job.done)]() mutable {
+  engine_->ScheduleAfterStream(
+      job.duration, job.stream, [this, done = std::move(job.done)]() mutable {
         --busy_;
         RecordSample();
         // Start a waiting job before delivering the completion, so resource

@@ -28,8 +28,14 @@ class Server {
   Server(Engine* engine, int capacity, std::string name);
 
   // Enqueues a job with the given service duration; `done` fires when the
-  // job finishes service.
+  // job finishes service. The job is tagged with the engine's current event
+  // stream so its completion event keeps the submitter's (stream, seq)
+  // determinism rank even when service starts later, during another
+  // stream's event (a queued job behind another tenant's I/O).
   void Submit(double duration, Engine::Callback done);
+
+  // Same, with an explicit stream tag.
+  void Submit(double duration, uint64_t stream, Engine::Callback done);
 
   int capacity() const { return capacity_; }
   int busy() const { return busy_; }
@@ -49,6 +55,7 @@ class Server {
  private:
   struct Job {
     double duration;
+    uint64_t stream;
     Engine::Callback done;
   };
 

@@ -118,13 +118,17 @@ Result<KvBuffer> BucketFileManager::TakeBucket(int bucket) {
     CHECK(!verdict.ok()) << "undetected injected corruption";
     ++metrics_->corruptions_detected;
     if (ev.torn) ++metrics_->torn_writes_detected;
-    if (gen >= plan_->config().max_corruption_retries) {
+    const sim::RetryPolicy& retry = plan_->config().corruption_retry;
+    if (gen >= retry.max_retries) {
       return Status::Corruption(
           "bucket " + std::to_string(bucket) + " of spill manager " +
           std::to_string(owner_) + ": corrupt beyond " +
-          std::to_string(plan_->config().max_corruption_retries) +
+          std::to_string(retry.max_retries) +
           " rebuilds: " + std::string(verdict.message()));
     }
+    trace_->Stall(retry.BackoffFor(gen, (owner_ << 20) ^
+                                            static_cast<uint64_t>(bucket)),
+                  OpTag::kReduceSpill);
     trace_->DiskWrite(result.bytes(), OpTag::kReduceSpill);
     trace_->DiskRead(result.bytes(), OpTag::kReduceSpill);
     metrics_->corruption_recovery_bytes += 2 * result.bytes();
@@ -176,13 +180,17 @@ Result<KvBuffer> BucketFileManager::TakeBucketCoded(int bucket) {
       CHECK(!verdict.ok()) << "undetected injected corruption";
       ++metrics_->corruptions_detected;
       if (ev.torn) ++metrics_->torn_writes_detected;
-      if (gen >= plan_->config().max_corruption_retries) {
+      const sim::RetryPolicy& retry = plan_->config().corruption_retry;
+      if (gen >= retry.max_retries) {
         return Status::Corruption(
             "bucket " + std::to_string(bucket) + " of spill manager " +
             std::to_string(owner_) + ": corrupt beyond " +
-            std::to_string(plan_->config().max_corruption_retries) +
+            std::to_string(retry.max_retries) +
             " rebuilds: " + std::string(verdict.message()));
       }
+      trace_->Stall(retry.BackoffFor(gen, (owner_ << 20) ^
+                                              static_cast<uint64_t>(bucket)),
+                    OpTag::kReduceSpill);
       trace_->DiskWrite(enc.size(), OpTag::kReduceSpill);
       trace_->DiskRead(enc.size(), OpTag::kReduceSpill);
       metrics_->corruption_recovery_bytes += 2 * enc.size();

@@ -73,7 +73,7 @@ class BucketFileManager {
   // when integrity checksums are on, and returns its contents, clearing
   // the stored file. FlushAll must have been called. Returns
   // Status::Corruption when the file is corrupt beyond the plan's
-  // max_corruption_retries rebuild budget.
+  // corruption_retry.max_retries rebuild budget.
   Result<KvBuffer> TakeBucket(int bucket);
 
   int num_buckets() const { return static_cast<int>(files_.size()); }

@@ -126,7 +126,7 @@ TEST(BucketManagerTest, ExhaustedRebuildBudgetIsCorruption) {
   IntegrityConfig integrity;
   sim::FaultConfig fc;
   fc.corruption_rate = 0.999999;
-  fc.max_corruption_retries = 0;  // no rebuilds allowed
+  fc.corruption_retry.max_retries = 0;  // no rebuilds allowed
   const sim::FaultPlan plan(fc, /*seed=*/5);
   BucketFileManager mgr(2, 64, &h.trace, &h.metrics, &integrity, &plan,
                         /*owner=*/7);

@@ -144,7 +144,7 @@ TEST(ConfigValidateTest, RejectsBadIntegrityConfig) {
   EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
 
   cfg = JobConfig();
-  cfg.faults.max_corruption_retries = -1;
+  cfg.faults.corruption_retry.max_retries = -1;
   EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
 
   // Corruption injection without checksums would be silent data loss:

@@ -155,7 +155,7 @@ TEST(IntegrityTest, UnreplicatedInputWithHighRateFailsWithCorruption) {
   const ChunkStore input = IntegrityInput(/*replication=*/1);
   JobConfig cfg = IntegrityConfigFor(EngineKind::kMRHash, 1);
   cfg.faults.corruption_rate = 0.999999;
-  cfg.faults.max_corruption_retries = 0;
+  cfg.faults.corruption_retry.max_retries = 0;
   auto r = LocalCluster::RunJob(ClickCountJob(), cfg, input);
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();

@@ -31,6 +31,44 @@ TEST(EngineTest, TiesBreakByInsertionOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
+// Simultaneous events order by (time, stream, seq): lower stream tags
+// first regardless of insertion order, then insertion order within a
+// stream. Multi-job replays lean on this — job j's events carry stream
+// j + 1, so cross-job ties resolve by job, not by scheduling accident.
+TEST(EngineTest, TiesBreakByStreamThenInsertion) {
+  Engine engine;
+  std::vector<int> order;
+  engine.ScheduleAtStream(1.0, 2, [&] { order.push_back(20); });
+  engine.ScheduleAtStream(1.0, 1, [&] { order.push_back(10); });
+  engine.ScheduleAtStream(1.0, 2, [&] { order.push_back(21); });
+  engine.ScheduleAtStream(1.0, 0, [&] { order.push_back(0); });
+  engine.ScheduleAtStream(1.0, 1, [&] { order.push_back(11); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 10, 11, 20, 21}));
+}
+
+// ScheduleAt / ScheduleAfter inherit the stream of the event whose
+// callback is currently running, so a job's whole causal chain stays in
+// its stream without tagging every call site.
+TEST(EngineTest, ScheduledCallbacksInheritCurrentStream) {
+  Engine engine;
+  std::vector<int> order;
+  engine.ScheduleAtStream(1.0, 2, [&] {
+    EXPECT_EQ(engine.current_stream(), 2u);
+    // Fires at t=2 from stream 2; must run after the stream-1 event
+    // scheduled below at the same time.
+    engine.ScheduleAfter(1.0, [&] {
+      EXPECT_EQ(engine.current_stream(), 2u);
+      order.push_back(2);
+    });
+  });
+  engine.ScheduleAtStream(1.0, 1, [&] {
+    engine.ScheduleAt(2.0, [&] { order.push_back(1); });
+  });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 TEST(EngineTest, CallbacksCanScheduleMore) {
   Engine engine;
   int fired = 0;
