@@ -44,7 +44,24 @@ struct Flags {
   // Block codec for spill/shuffle/bucket streams: "none" (default) or
   // "lz" (JobConfig::block_codec = kLz).
   std::string codec = "none";
+  // Batch data plane (DESIGN.md Â§5.8). --batch_size=N pins
+  // JobConfig::batch_records (0 = derive from codec_block_bytes);
+  // --batch_size=1 is the scalar-equivalent walk. --simd=scalar pins
+  // JobConfig::simd to kForceScalar so the hash kernels skip the
+  // vectorized tiers; --simd=auto (default) uses the detected tier.
+  uint64_t batch_size = 0;
+  std::string simd = "auto";
 };
+
+namespace detail {
+// Data-plane defaults recorded by ParseFlags (write-once in main) so
+// every bench's ScaledJobConfig picks up --threads/--codec/--batch_size/
+// --simd without each helper threading a Flags parameter through.
+inline Flags& DataPlaneDefaults() {
+  static Flags defaults;
+  return defaults;
+}
+}  // namespace detail
 
 inline Flags ParseFlags(int argc, char** argv) {
   Flags flags;
@@ -62,12 +79,17 @@ inline Flags ParseFlags(int argc, char** argv) {
       flags.threads = std::stoi(arg.substr(10));
     } else if (arg.rfind("--codec=", 0) == 0) {
       flags.codec = arg.substr(8);
+    } else if (arg.rfind("--batch_size=", 0) == 0) {
+      flags.batch_size = std::stoull(arg.substr(13));
+    } else if (arg.rfind("--simd=", 0) == 0) {
+      flags.simd = arg.substr(7);
     } else if (arg == "--plot" && i + 1 < argc) {
       flags.plot = argv[++i];
     } else if (arg.rfind("--plot=", 0) == 0) {
       flags.plot = arg.substr(7);
     }
   }
+  detail::DataPlaneDefaults() = flags;
   return flags;
 }
 
@@ -79,6 +101,41 @@ inline BlockCodecKind CodecFromFlag(const std::string& name) {
     std::fprintf(stderr, "unknown --codec=%s, using none\n", name.c_str());
   }
   return BlockCodecKind::kNone;
+}
+
+// Applies the data-plane flags (--threads/--codec/--batch_size/--simd) to a
+// job config. Every bench routes its config through here so the whole
+// suite exposes the same knobs.
+inline void ApplyDataPlaneFlags(const Flags& flags, JobConfig* cfg) {
+  cfg->data_plane_threads = flags.threads;
+  cfg->block_codec = CodecFromFlag(flags.codec);
+  cfg->batch_records = flags.batch_size;
+  if (flags.simd == "scalar") {
+    cfg->simd = JobConfig::SimdPolicy::kForceScalar;
+  } else {
+    if (flags.simd != "auto" && !flags.simd.empty()) {
+      std::fprintf(stderr, "unknown --simd=%s, using auto\n",
+                   flags.simd.c_str());
+    }
+    cfg->simd = JobConfig::SimdPolicy::kAuto;
+  }
+}
+
+// Headline throughput metric for the vectorized data plane: input tuples
+// per second per core of simulated work (map input records over the
+// simulated busy CPU time would need per-phase attribution, so we report
+// records / wall seconds / cores as the comparable cross-run figure).
+inline double TuplesPerSecPerCore(uint64_t records, double wall_s,
+                                  int cores) {
+  if (wall_s <= 0 || cores <= 0) return 0.0;
+  return static_cast<double>(records) / wall_s / cores;
+}
+
+inline std::string Tpsc(uint64_t records, double wall_s, int cores) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.0f tuples/s/core",
+                TuplesPerSecPerCore(records, wall_s, cores));
+  return buf;
 }
 
 // ---- the scaled paper cluster ----
@@ -124,6 +181,15 @@ inline JobConfig ScaledJobConfig(EngineKind engine) {
   cfg.costs.task_start_s = 0.010;
   cfg.costs.disk_seek_s = 0.4e-3;
   cfg.costs.map_output_retention_s = 0.1;
+  ApplyDataPlaneFlags(detail::DataPlaneDefaults(), &cfg);
+  return cfg;
+}
+
+// Scaled config with the data-plane flags applied — the form every bench
+// should prefer so --threads/--codec/--batch_size/--simd reach every run.
+inline JobConfig ScaledJobConfig(EngineKind engine, const Flags& flags) {
+  JobConfig cfg = ScaledJobConfig(engine);
+  ApplyDataPlaneFlags(flags, &cfg);
   return cfg;
 }
 

@@ -15,19 +15,30 @@
 //   Churn    — a hot window sliding over a large universe: hits on the
 //              window plus a steady stream of first-seen inserts, like
 //              DINC monitor turnover.
+//   ZipfCold — the same Zipf skew over a 16x larger universe, so the
+//              resident table outgrows the fast caches and probes are
+//              memory-bound: the regime the batched plane (Â§5.8) targets.
+//
+// BM_FlatBatch is the batched inner loop: whole-batch HashBatch digests,
+// probes prefetched kProbePrefetchDistance ahead. Its batch=1 argument
+// degenerates to BM_Flat (the scalar walk); the batch/simd args mirror
+// the job-level --batch_size=/--simd= flags.
 //
 // Run: bench_micro_hash_table [--benchmark_filter=...]
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/util/batch_hash.h"
 #include "src/util/flat_table.h"
 #include "src/util/hash.h"
 #include "src/util/random.h"
+#include "src/util/simd_dispatch.h"
 
 namespace onepass {
 namespace {
@@ -37,7 +48,7 @@ constexpr size_t kStreamLen = 1 << 20;
 constexpr uint64_t kChurnUniverse = 1 << 20;
 constexpr uint64_t kChurnWindow = 1 << 12;
 
-enum class StreamKind { kUniform, kZipf, kChurn };
+enum class StreamKind { kUniform, kZipf, kChurn, kZipfCold };
 
 std::string MakeKey(uint64_t id) {
   char buf[40];
@@ -64,6 +75,13 @@ const std::vector<uint32_t>& StreamIds(StreamKind kind) {
     for (auto& id : ids) id = static_cast<uint32_t>(z.Next(&rng));
     return ids;
   }();
+  static const std::vector<uint32_t> zipf_cold = [] {
+    Xoshiro256StarStar rng(45);
+    ZipfGenerator z(kChurnUniverse, 1.1);
+    std::vector<uint32_t> ids(kStreamLen);
+    for (auto& id : ids) id = static_cast<uint32_t>(z.Next(&rng));
+    return ids;
+  }();
   static const std::vector<uint32_t> churn = [] {
     Xoshiro256StarStar rng(44);
     std::vector<uint32_t> ids(kStreamLen);
@@ -85,6 +103,8 @@ const std::vector<uint32_t>& StreamIds(StreamKind kind) {
       return zipf;
     case StreamKind::kChurn:
       return churn;
+    case StreamKind::kZipfCold:
+      return zipf_cold;
   }
   return uniform;
 }
@@ -100,7 +120,9 @@ const std::vector<std::string>& Keys(StreamKind kind) {
     for (uint64_t i = 0; i < kChurnUniverse; ++i) keys[i] = MakeKey(i);
     return keys;
   }();
-  return kind == StreamKind::kChurn ? large : small;
+  return kind == StreamKind::kChurn || kind == StreamKind::kZipfCold
+             ? large
+             : small;
 }
 
 // 8-byte counter "state", combined by addition — the shape of every
@@ -167,17 +189,104 @@ void BM_Flat(benchmark::State& state) {
                           static_cast<int64_t>(ids.size()));
 }
 
+// The batched data plane on the same update pattern: digest the whole
+// batch with HashBatch, then probe with record i+kProbePrefetchDistance's
+// ctrl line already in flight. args: (stream, batch, simd 0/1).
+void BM_FlatBatch(benchmark::State& state) {
+  const auto kind = static_cast<StreamKind>(state.range(0));
+  const size_t batch = static_cast<size_t>(state.range(1));
+  const SimdTier tier =
+      state.range(2) != 0 ? CurrentSimdTier() : SimdTier::kScalar;
+  const auto& ids = StreamIds(kind);
+  const auto& keys = Keys(kind);
+  const UniversalHash h = UniversalHashFamily(20118011).At(2);
+  const std::string init(8, '\0');
+  std::string scratch;
+  std::vector<std::string_view> views(batch);
+  std::vector<uint64_t> digests(batch);
+  FlatTable table;
+  for (auto _ : state) {
+    table.Clear();
+    for (size_t base = 0; base < ids.size(); base += batch) {
+      const size_t n = std::min(batch, ids.size() - base);
+      // Staging a whole batch lets the gather overlap: prefetch every
+      // string object, then stage views while prefetching the key bytes
+      // HashBatch is about to read. Tuple-at-a-time has no such window —
+      // tiny batches get no overlap, so skip the extra prefetch traffic.
+      if (n >= 8) {
+        for (size_t i = 0; i < n; ++i) {
+          __builtin_prefetch(&keys[ids[base + i]], 0, 1);
+        }
+        for (size_t i = 0; i < n; ++i) {
+          views[i] = keys[ids[base + i]];
+          __builtin_prefetch(views[i].data(), 0, 1);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) views[i] = keys[ids[base + i]];
+      }
+      h.HashBatch(views.data(), n, digests.data(), tier);
+      constexpr size_t kD = kProbePrefetchDistance;
+      const auto probe_one = [&](size_t i) {
+        const std::string_view key = views[i];
+        const uint32_t found = table.Find(key, digests[i]);
+        if (found != FlatTable::kNoEntry) {
+          const std::string_view cur = table.value_at(found);
+          scratch.assign(cur.data(), cur.size());
+          CombineState(&scratch);
+          table.set_value(found, scratch);
+        } else {
+          bool inserted = false;
+          const uint32_t idx = table.FindOrInsert(key, digests[i], &inserted);
+          table.set_value(idx, init);
+        }
+      };
+      size_t i = 0;
+      if (n > 3 * kD) {
+        for (; i < n - 3 * kD; ++i) {
+          table.PrefetchProbe(digests[i + 3 * kD]);
+          table.PrefetchEntry(digests[i + 2 * kD]);
+          table.PrefetchKey(digests[i + kD]);
+          probe_one(i);
+        }
+      }
+      for (; i < n; ++i) {
+        if (i + 2 * kD < n) table.PrefetchEntry(digests[i + 2 * kD]);
+        if (i + kD < n) table.PrefetchKey(digests[i + kD]);
+        probe_one(i);
+      }
+    }
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ids.size()));
+  state.SetLabel("tier=" + std::string(SimdTierName(tier)));
+}
+
 BENCHMARK(BM_Legacy)
     ->Arg(static_cast<int>(StreamKind::kUniform))
     ->Arg(static_cast<int>(StreamKind::kZipf))
     ->Arg(static_cast<int>(StreamKind::kChurn))
+    ->Arg(static_cast<int>(StreamKind::kZipfCold))
     ->ArgName("stream")
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Flat)
     ->Arg(static_cast<int>(StreamKind::kUniform))
     ->Arg(static_cast<int>(StreamKind::kZipf))
     ->Arg(static_cast<int>(StreamKind::kChurn))
+    ->Arg(static_cast<int>(StreamKind::kZipfCold))
     ->ArgName("stream")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FlatBatch)
+    ->ArgNames({"stream", "batch", "simd"})
+    ->Args({static_cast<int>(StreamKind::kZipf), 1, 0})
+    ->Args({static_cast<int>(StreamKind::kZipf), 64, 0})
+    ->Args({static_cast<int>(StreamKind::kZipf), 64, 1})
+    ->Args({static_cast<int>(StreamKind::kZipfCold), 1, 0})
+    ->Args({static_cast<int>(StreamKind::kZipfCold), 64, 0})
+    ->Args({static_cast<int>(StreamKind::kZipfCold), 64, 1})
+    ->Args({static_cast<int>(StreamKind::kZipfCold), 128, 1})
+    ->Args({static_cast<int>(StreamKind::kZipfCold), 256, 1})
+    ->Args({static_cast<int>(StreamKind::kChurn), 64, 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

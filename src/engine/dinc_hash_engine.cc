@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/engine/batch_consume.h"
 #include "src/engine/inc_hash_engine.h"
 
 namespace onepass {
@@ -63,11 +64,17 @@ Status DincHashEngine::ConsumeFlat(const KvBuffer& segment) {
   const CostModel& costs = ctx_.config->costs;
   IncrementalReducer* inc = ctx_.inc;
   ctx_.out->set_streaming(true);
-  KvBufferReader reader(segment);
-  std::string_view key, value;
   uint64_t n = 0, combines = 0;
   std::string tmp_state;
-  while (reader.Next(&key, &value)) {
+  // Batched walk (§5.8): one h3 digest per tuple, computed a RecordBatch
+  // at a time and shared between the monitor-index probe and the
+  // spill-bucket route, with the sketch index's control word prefetched
+  // kProbePrefetchDistance tuples ahead.
+  ConsumeBatched(
+      segment, EffectiveBatchRecords(*ctx_.config), h3_,
+      ResolveSimdTier(ctx_.config->simd), ctx_.metrics, &digest_scratch_,
+      *sketch_,
+      [&](std::string_view key, std::string_view value, uint64_t digest) {
     ++n;
     // Tuples arrive as key-state pairs (init ran map-side); otherwise
     // initialize here.
@@ -76,9 +83,6 @@ Status DincHashEngine::ConsumeFlat(const KvBuffer& segment) {
       tmp_state = inc->Init(key, value);
       state = tmp_state;
     }
-    // One h3 digest per tuple, shared between the monitor-index probe and
-    // the spill-bucket route.
-    const uint64_t digest = h3_(key);
     const int found = sketch_->Find(key, digest);
     if (found >= 0) {
       // Monitored: combine in memory.
@@ -88,7 +92,7 @@ Status DincHashEngine::ConsumeFlat(const KvBuffer& segment) {
       ++combines;
       ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
                       /*d_reduce_work=*/1);
-      continue;
+      return;
     }
     if (!sketch_->HasFreeSlot()) {
       // Proactive eviction hook (§6.2): scan a few of the coldest slots
@@ -111,7 +115,7 @@ Status DincHashEngine::ConsumeFlat(const KvBuffer& segment) {
       ++combines;
       ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
                       /*d_reduce_work=*/1);
-      continue;
+      return;
     }
     if (sketch_->MinCount() == 0) {
       // Classic FREQUENT eviction: displace a zero-count slot; its state
@@ -127,14 +131,14 @@ Status DincHashEngine::ConsumeFlat(const KvBuffer& segment) {
       ++combines;
       ctx_.trace->Cpu(costs.combine_record_s, OpTag::kCombine,
                       /*d_reduce_work=*/1);
-      continue;
+      return;
     }
     // All counters > 0: decrement everyone, spill the tuple.
     sketch_->DecrementAll();
     buckets_->Add(static_cast<int>(FastRangeBucket(
                       digest, static_cast<uint64_t>(num_buckets_))),
                   key, state);
-  }
+  });
   ctx_.metrics->reduce_input_records += n;
   ctx_.metrics->combine_invocations += combines;
   ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(n),

@@ -75,6 +75,7 @@ class DincHashEngine : public GroupByEngine {
   bool use_flat_;
   std::unique_ptr<FrequentSketch> sketch_;
   std::vector<std::string> states_;  // slot id -> state bytes
+  std::vector<uint64_t> digest_scratch_;  // batch-plane digests (§5.8)
   uint64_t capacity_entries_ = 0;    // s
   int num_buckets_;                  // h
   std::unique_ptr<BucketFileManager> buckets_;

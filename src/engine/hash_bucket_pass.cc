@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "src/common/logging.h"
+#include "src/engine/batch_consume.h"
 #include "src/storage/bucket_manager.h"
 
 namespace onepass {
@@ -45,34 +46,37 @@ Status BucketPassProcessor::ProcessFlat(const KvBuffer& data, uint64_t level,
   table_.Clear();
   uint64_t bytes_used = 0, combines = 0;
   *overflow = false;
-  {
-    KvBufferReader reader(data);
-    std::string_view key, state;
-    while (reader.Next(&key, &state)) {
-      const uint64_t digest = h(key);
-      const uint32_t found = table_.Find(key, digest);
-      if (found != FlatTable::kNoEntry) {
-        const std::string_view cur = table_.value_at(found);
-        scratch_.assign(cur.data(), cur.size());
-        inc->Combine(key, &scratch_, state);
-        table_.set_value(found, scratch_);
-        ++combines;
-        continue;
-      }
-      const uint64_t entry = key.size() + inc->StateBytesHint() +
-                             cfg.resident_entry_overhead;
-      if (!force && bytes_used + entry > capacity_bytes_ &&
-          !table_.empty()) {
-        *overflow = true;
-        break;
-      }
-      bool inserted = false;
-      const uint32_t idx = table_.FindOrInsert(key, digest, &inserted);
-      table_.set_value(idx, state);
-      bytes_used += entry;
+  // Batched walk (§5.8): one digest per tuple at this level, computed a
+  // RecordBatch at a time and shared by every probe below. After an
+  // overflow the remaining records are skipped exactly as the scalar
+  // walk's break skipped them (they are re-read by the repartition pass).
+  ConsumeBatched(
+      data, EffectiveBatchRecords(cfg), h, ResolveSimdTier(cfg.simd),
+      ctx_->metrics, &digest_scratch_,
+      table_,
+      [&](std::string_view key, std::string_view state, uint64_t digest) {
+    if (*overflow) return;
+    const uint32_t found = table_.Find(key, digest);
+    if (found != FlatTable::kNoEntry) {
+      const std::string_view cur = table_.value_at(found);
+      scratch_.assign(cur.data(), cur.size());
+      inc->Combine(key, &scratch_, state);
+      table_.set_value(found, scratch_);
       ++combines;
+      return;
     }
-  }
+    const uint64_t entry = key.size() + inc->StateBytesHint() +
+                           cfg.resident_entry_overhead;
+    if (!force && bytes_used + entry > capacity_bytes_ && !table_.empty()) {
+      *overflow = true;
+      return;
+    }
+    bool inserted = false;
+    const uint32_t idx = table_.FindOrInsert(key, digest, &inserted);
+    table_.set_value(idx, state);
+    bytes_used += entry;
+    ++combines;
+  });
   // CPU for the attempt is spent either way.
   ctx_->trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()) +
                        costs.combine_record_s *
@@ -154,11 +158,16 @@ Status BucketPassProcessor::Repartition(KvBuffer data, uint64_t level,
                          ctx_->metrics, &cfg.integrity, ctx_->faults, owner,
                          &cfg.costs, cfg.block_codec, cfg.codec_block_bytes);
   const UniversalHash h = ctx_->hashes.At(level + 1);
-  KvBufferReader reader(data);
-  std::string_view key, state;
-  while (reader.Next(&key, &state)) {
-    subs.Add(static_cast<int>(h.Bucket(key, sub)), key, state);
-  }
+  // Batched route: FastRangeBucket(digest, sub) == h.Bucket(key, sub) by
+  // the hash.h identity, so sub-bucket assignment is unchanged.
+  ConsumeBatched(
+      data, EffectiveBatchRecords(cfg), h, ResolveSimdTier(cfg.simd),
+      ctx_->metrics, &digest_scratch_, NoProbePrefetch{},
+      [&](std::string_view key, std::string_view state, uint64_t digest) {
+        subs.Add(static_cast<int>(FastRangeBucket(
+                     digest, static_cast<uint64_t>(sub))),
+                 key, state);
+      });
   ctx_->trace->Cpu(
       cfg.costs.hash_record_s * static_cast<double>(data.count()),
       OpTag::kReduceFn);

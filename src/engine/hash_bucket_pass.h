@@ -22,6 +22,7 @@
 #define ONEPASS_ENGINE_HASH_BUCKET_PASS_H_
 
 #include <string>
+#include <vector>
 
 #include "src/engine/group_by_engine.h"
 #include "src/util/flat_table.h"
@@ -62,6 +63,7 @@ class BucketPassProcessor {
   bool use_flat_;
   FlatTable table_;
   std::string scratch_;
+  std::vector<uint64_t> digest_scratch_;  // batch-plane digests (§5.8)
 };
 
 }  // namespace onepass

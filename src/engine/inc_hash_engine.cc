@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/engine/batch_consume.h"
 
 namespace onepass {
 
@@ -78,14 +79,17 @@ Status IncHashEngine::ConsumeFlat(const KvBuffer& segment) {
   IncrementalReducer* inc = ctx_.inc;
   const uint64_t hint = inc->StateBytesHint();
   ctx_.out->set_streaming(true);
-  KvBufferReader reader(segment);
-  std::string_view key, value;
   uint64_t n = 0, combines = 0;
-  while (reader.Next(&key, &value)) {
+  // Batched walk: one h3 digest per tuple, computed a whole RecordBatch at
+  // a time, probing the state table with the control word for tuple i+D
+  // already prefetched; on overflow the digest routes the spill to the
+  // same bucket h3_.Bucket would pick.
+  ConsumeBatched(
+      segment, EffectiveBatchRecords(*ctx_.config), h3_,
+      ResolveSimdTier(ctx_.config->simd), ctx_.metrics, &digest_scratch_,
+      table_,
+      [&](std::string_view key, std::string_view value, uint64_t digest) {
     ++n;
-    // One h3 digest per tuple: probes the state table and, on overflow,
-    // routes the spill to the same bucket h3_.Bucket would pick.
-    const uint64_t digest = h3_(key);
     const uint32_t found = table_.Find(key, digest);
     if (found != FlatTable::kNoEntry) {
       const std::string_view cur = table_.value_at(found);
@@ -134,7 +138,7 @@ Status IncHashEngine::ConsumeFlat(const KvBuffer& segment) {
         }
       }
     }
-  }
+  });
   ctx_.metrics->reduce_input_records += n;
   ctx_.metrics->combine_invocations += combines;
   ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(n),

@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/engine/group_by_engine.h"
 #include "src/engine/hash_bucket_pass.h"
@@ -75,6 +76,7 @@ class IncHashEngine : public GroupByEngine {
   bool use_flat_;
   FlatTable table_;  // key -> state (kFlat)
   std::string scratch_state_;
+  std::vector<uint64_t> digest_scratch_;  // batch-plane digests (§5.8)
   std::unordered_map<std::string, std::string> states_;  // (kLegacy)
   uint64_t resident_bytes_ = 0;
   uint64_t capacity_bytes_ = 0;

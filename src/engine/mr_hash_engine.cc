@@ -1,5 +1,7 @@
 #include "src/engine/mr_hash_engine.h"
 
+#include "src/engine/batch_consume.h"
+
 #include <string>
 #include <unordered_map>
 
@@ -67,16 +69,22 @@ MRHashEngine::MRHashEngine(const EngineContext& ctx)
 
 Status MRHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
   const CostModel& costs = ctx_.config->costs;
-  KvBufferReader reader(segment);
-  std::string_view key, value;
   uint64_t n = 0;
-  while (reader.Next(&key, &value)) {
+  // Batched walk (§5.8): h2 digests for a whole RecordBatch at a time; the
+  // FastRangeBucket identity (hash.h) makes FastRangeBucket(h2(key), h+1)
+  // == h2_.Bucket(key, h+1) exactly, so routing is unchanged.
+  ConsumeBatched(
+      segment, EffectiveBatchRecords(*ctx_.config), h2_,
+      ResolveSimdTier(ctx_.config->simd), ctx_.metrics, &digest_scratch_,
+      NoProbePrefetch{},  // no table to warm: records route to buffers
+      [&](std::string_view key, std::string_view value, uint64_t digest) {
     ++n;
     // Bucket 0 is D1 (in memory); 1..h map to disk buckets.
     const uint64_t bucket =
         num_disk_buckets_ == 0
             ? 0
-            : h2_.Bucket(key, static_cast<uint64_t>(num_disk_buckets_) + 1);
+            : FastRangeBucket(digest,
+                              static_cast<uint64_t>(num_disk_buckets_) + 1);
     if (bucket == 0) {
       if (num_disk_buckets_ == 0) {
         // No disk buckets were provisioned; keep growing D1 (models an
@@ -103,7 +111,7 @@ Status MRHashEngine::Consume(const KvBuffer& segment, bool /*sorted*/) {
     } else {
       buckets_->Add(static_cast<int>(bucket - 1), key, value);
     }
-  }
+  });
   ctx_.metrics->reduce_input_records += n;
   ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(n),
                   OpTag::kShuffle);
@@ -154,10 +162,13 @@ void MRHashEngine::ProcessInMemoryFlat(const KvBuffer& data, uint64_t level) {
   group_table_.Reserve(static_cast<size_t>(data.count()));
   nodes_.clear();
   nodes_.reserve(static_cast<size_t>(data.count()));
-  KvBufferReader reader(data);
-  std::string_view key, value;
-  while (reader.Next(&key, &value)) {
-    const uint64_t digest = h(key);
+  // Batched walk (§5.8): the level hash for a whole RecordBatch at a time,
+  // group-table control words prefetched kProbePrefetchDistance ahead.
+  ConsumeBatched(
+      data, EffectiveBatchRecords(*ctx_.config), h,
+      ResolveSimdTier(ctx_.config->simd), ctx_.metrics, &digest_scratch_,
+      group_table_,
+      [&](std::string_view key, std::string_view value, uint64_t digest) {
     bool inserted = false;
     const uint32_t idx = group_table_.FindOrInsert(key, digest, &inserted);
     const uint32_t node = static_cast<uint32_t>(nodes_.size());
@@ -171,7 +182,7 @@ void MRHashEngine::ProcessInMemoryFlat(const KvBuffer& data, uint64_t level) {
       c.tail = node;
       group_table_.set_pod(idx, c);
     }
-  }
+  });
   ctx_.trace->Cpu(costs.hash_record_s * static_cast<double>(data.count()),
                   OpTag::kReduceFn);
   uint64_t fn_bytes = 0;

@@ -85,6 +85,7 @@ class MRHashEngine : public GroupByEngine {
   // Flat grouping scratch, recycled across passes.
   FlatTable group_table_;  // key -> ChainRef
   std::vector<ValueNode> nodes_;
+  std::vector<uint64_t> digest_scratch_;  // batch-plane digests (§5.8)
   std::vector<std::string_view> chain_scratch_;
 };
 

@@ -11,6 +11,7 @@
 #include "src/sim/fault_injector.h"
 #include "src/storage/block_format.h"
 #include "src/storage/framed_io.h"
+#include "src/util/simd_dispatch.h"
 
 namespace onepass {
 
@@ -106,6 +107,22 @@ struct JobConfig {
   // Hash-table implementation for the hot grouping paths (see HashCoreKind).
   HashCoreKind hash_core = HashCoreKind::kFlat;
 
+  // Batch data plane (DESIGN.md §5.8). Records per RecordBatch handed
+  // through MapBatch and the engines' consume loops. 0 derives the batch
+  // from codec_block_bytes (the ~48 KB block is the natural unit; see
+  // EffectiveBatchRecords). Any value — including 1, the degenerate
+  // scalar-equivalent plane — produces byte-identical outputs, schedules,
+  // and serialized metrics; the batch_equivalence test enforces this.
+  uint64_t batch_records = 0;
+
+  // SIMD policy for this job's inner loops (batch hash mixing). kAuto uses
+  // the process-wide detected tier; kForceScalar pins the portable scalar
+  // kernels — a testing knob, since every tier is bit-identical anyway.
+  // CRC32C framing dispatches on the process-wide tier (SetSimdTier)
+  // because checksums are tier-invariant by definition.
+  enum class SimdPolicy : uint8_t { kAuto = 0, kForceScalar = 1 };
+  SimdPolicy simd = SimdPolicy::kAuto;
+
   // Fault injection & recovery (simulated time plane; see
   // src/sim/fault_injector.h). Default: no faults.
   sim::FaultConfig faults;
@@ -165,6 +182,23 @@ struct JobConfig {
   // of LocalCluster::RunJob.
   Status Validate() const;
 };
+
+// Records per RecordBatch for this config: batch_records if set, else
+// derived from the codec block target (~48 KB / a nominal 64-byte record),
+// clamped to a sane range. Pure performance knob — see batch_records.
+inline uint64_t EffectiveBatchRecords(const JobConfig& cfg) {
+  if (cfg.batch_records > 0) return cfg.batch_records;
+  const uint64_t derived = cfg.codec_block_bytes / 64;
+  if (derived < 64) return 64;
+  if (derived > 4096) return 4096;
+  return derived;
+}
+
+// The SIMD tier this job's batch kernels run at (see JobConfig::simd).
+inline SimdTier ResolveSimdTier(JobConfig::SimdPolicy policy) {
+  return policy == JobConfig::SimdPolicy::kForceScalar ? SimdTier::kScalar
+                                                       : CurrentSimdTier();
+}
 
 }  // namespace onepass
 

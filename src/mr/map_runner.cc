@@ -10,6 +10,7 @@
 #include "src/storage/block_format.h"
 #include "src/storage/framed_io.h"
 #include "src/util/arena.h"
+#include "src/util/batch_hash.h"
 #include "src/util/crc32c.h"
 #include "src/util/flat_table.h"
 
@@ -66,13 +67,34 @@ class PartitionEmitter : public Emitter {
  public:
   PartitionEmitter(const UniversalHash* partitioner,
                    std::vector<KvBuffer>* partitions,
-                   IncrementalReducer* init_per_record)
+                   IncrementalReducer* init_per_record, SimdTier tier)
       : partitioner_(partitioner),
         partitions_(partitions),
-        init_(init_per_record) {}
+        init_(init_per_record),
+        tier_(tier) {}
 
   void Emit(std::string_view key, std::string_view value) override {
-    const auto part = partitioner_->Bucket(key, partitions_->size());
+    Route(key, value,
+          FastRangeBucket((*partitioner_)(key), partitions_->size()));
+  }
+
+  // Batch emit: partitioner digests for the whole run at once (§5.8).
+  // FastRangeBucket(digest, n) == partitioner.Bucket(key, n) exactly, and
+  // records route in batch order, so output is identical to per-emit.
+  void EmitBatch(const RecordBatch& batch) override {
+    if (digests_.size() < batch.size) digests_.resize(batch.size);
+    partitioner_->HashBatch(batch.keys, batch.size, digests_.data(), tier_);
+    for (size_t i = 0; i < batch.size; ++i) {
+      Route(batch.keys[i], batch.values[i],
+            FastRangeBucket(digests_[i], partitions_->size()));
+    }
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  void Route(std::string_view key, std::string_view value, uint64_t part) {
     if (init_ != nullptr) {
       const std::string state = init_->Init(key, value);
       (*partitions_)[part].Append(key, state);
@@ -84,13 +106,11 @@ class PartitionEmitter : public Emitter {
     ++records_;
   }
 
-  uint64_t bytes() const { return bytes_; }
-  uint64_t records() const { return records_; }
-
- private:
   const UniversalHash* partitioner_;
   std::vector<KvBuffer>* partitions_;
   IncrementalReducer* init_;
+  SimdTier tier_;
+  std::vector<uint64_t> digests_;
   uint64_t bytes_ = 0;
   uint64_t records_ = 0;
 };
@@ -107,25 +127,23 @@ class CombiningEmitter : public Emitter {
                    bool use_flat)
       : inc_(inc), partitioner_(partitioner), use_flat_(use_flat) {}
 
+  // Flat-core emits run through a small pending ring (§5.8): Emit hashes
+  // the record and prefetches its control word immediately, but the table
+  // update happens when the record leaves the ring — up to kRing emits
+  // later, by which time the prefetched line has arrived. Drain() empties
+  // the ring; MapRunner drains before every flush check, so the update
+  // sequence the table sees (and thus every flush boundary, byte count,
+  // and combine total) is exactly the per-emit order.
   void Emit(std::string_view key, std::string_view value) override {
     ++records_;
     if (use_flat_) {
-      const uint64_t digest = (*partitioner_)(key);
-      const uint32_t found = flat_.Find(key, digest);
-      if (found == FlatTable::kNoEntry) {
-        const std::string state = inc_->Init(key, value);
-        bytes_ += key.size() + state.size() + 32;
-        bool inserted = false;
-        const uint32_t idx = flat_.FindOrInsert(key, digest, &inserted);
-        flat_.set_value(idx, state);
-      } else {
-        const std::string state = inc_->Init(key, value);
-        const std::string_view cur = flat_.value_at(found);
-        scratch_.assign(cur.data(), cur.size());
-        inc_->Combine(key, &scratch_, state);
-        flat_.set_value(found, scratch_);
-        ++combines_;
-      }
+      if (pending_ == kRing) ProcessOldest();
+      Pending& p = ring_[(head_ + pending_) % kRing];
+      p.key.assign(key.data(), key.size());
+      p.value.assign(value.data(), value.size());
+      p.digest = (*partitioner_)(key);
+      flat_.PrefetchProbe(p.digest);
+      ++pending_;
       return;
     }
     auto it = table_.find(std::string(key));
@@ -140,10 +158,17 @@ class CombiningEmitter : public Emitter {
     }
   }
 
+  // Applies every ring-buffered emit to the table, in emit order.
+  void Drain() {
+    while (pending_ > 0) ProcessOldest();
+  }
+
   // Moves the table's contents into per-partition buffers and clears it.
+  // Callers must Drain() first (MapRunner's flush checks already do).
   void FlushTo(const UniversalHash& partitioner,
                std::vector<KvBuffer>* partitions, uint64_t* out_bytes,
                uint64_t* out_records) {
+    CHECK_EQ(pending_, 0u) << "FlushTo with undrained pending emits";
     if (use_flat_) {
       flat_.ForEach([&](uint32_t idx) {
         const std::string_view key = flat_.key_at(idx);
@@ -179,11 +204,47 @@ class CombiningEmitter : public Emitter {
   uint64_t combines() const { return combines_; }
 
  private:
+  // Ring depth: the probe prefetch distance — deep enough to hide a miss,
+  // shallow enough that the copied key/value stay L1-resident.
+  static constexpr size_t kRing = kProbePrefetchDistance;
+
+  struct Pending {
+    std::string key;
+    std::string value;
+    uint64_t digest = 0;
+  };
+
+  // Pops the oldest pending emit and applies the original per-emit table
+  // update with its precomputed digest.
+  void ProcessOldest() {
+    Pending& p = ring_[head_];
+    head_ = (head_ + 1) % kRing;
+    --pending_;
+    const uint32_t found = flat_.Find(p.key, p.digest);
+    if (found == FlatTable::kNoEntry) {
+      const std::string state = inc_->Init(p.key, p.value);
+      bytes_ += p.key.size() + state.size() + 32;
+      bool inserted = false;
+      const uint32_t idx = flat_.FindOrInsert(p.key, p.digest, &inserted);
+      flat_.set_value(idx, state);
+    } else {
+      const std::string state = inc_->Init(p.key, p.value);
+      const std::string_view cur = flat_.value_at(found);
+      scratch_.assign(cur.data(), cur.size());
+      inc_->Combine(p.key, &scratch_, state);
+      flat_.set_value(found, scratch_);
+      ++combines_;
+    }
+  }
+
   IncrementalReducer* inc_;
   const UniversalHash* partitioner_;
   bool use_flat_;
   FlatTable flat_;
   std::string scratch_;
+  Pending ring_[kRing];
+  size_t head_ = 0;
+  size_t pending_ = 0;
   std::unordered_map<std::string, std::string> table_;
   uint64_t bytes_ = 0;
   uint64_t records_ = 0;
@@ -329,10 +390,21 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
       std::vector<KvBuffer> parts(total_partitions_);
       PartitionEmitter emitter(
           &partitioner_, &parts,
-          mode_ == MapOutputMode::kHashInit ? inc_ : nullptr);
-      KvBufferReader reader(chunk);
-      std::string_view k, v;
-      while (reader.Next(&k, &v)) mapper_->Map(k, v, &emitter);
+          mode_ == MapOutputMode::kHashInit ? inc_ : nullptr,
+          ResolveSimdTier(config_.simd));
+      // Batch plane (§5.8): hand the mapper whole RecordBatches. These
+      // paths have no mid-stream thresholds, so any batch size yields the
+      // same emit sequence — MapBatch overrides included (they must
+      // preserve per-record order, and the default loops Map).
+      KvBatchReader reader(chunk, EffectiveBatchRecords(config_));
+      for (;;) {
+        const size_t bn = reader.Fill();
+        if (bn == 0) break;
+        const RecordBatch rb{reader.keys(), reader.values(), bn};
+        mapper_->MapBatch(rb, &emitter);
+        out.metrics.record_batches += 1;
+        out.metrics.batched_records += bn;
+      }
       trace.Cpu(map_fn_cost, OpTag::kMapFn);
       const double per_record =
           mode_ == MapOutputMode::kHashInit
@@ -360,13 +432,25 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
       CombiningEmitter emitter(inc_, &partitioner_,
                                config_.hash_core == HashCoreKind::kFlat);
       uint64_t out_bytes = 0, out_records = 0;
-      KvBufferReader reader(chunk);
-      std::string_view k, v;
-      while (reader.Next(&k, &v)) {
-        mapper_->Map(k, v, &emitter);
-        if (emitter.table_bytes() >= config_.map_buffer_bytes) {
-          emitter.FlushTo(partitioner_, &parts, &out_bytes, &out_records);
+      // The combiner's flush threshold is checked after every input record
+      // (a batched check would move flush boundaries and change output),
+      // so records still Map one at a time; batching buys the decoded
+      // view staging, and the emitter's pending ring buys probe prefetch
+      // within each record's emits. Drain before each check so
+      // table_bytes() reflects every emit so far, exactly as per-record.
+      KvBatchReader reader(chunk, EffectiveBatchRecords(config_));
+      for (;;) {
+        const size_t bn = reader.Fill();
+        if (bn == 0) break;
+        for (size_t i = 0; i < bn; ++i) {
+          mapper_->Map(reader.keys()[i], reader.values()[i], &emitter);
+          emitter.Drain();
+          if (emitter.table_bytes() >= config_.map_buffer_bytes) {
+            emitter.FlushTo(partitioner_, &parts, &out_bytes, &out_records);
+          }
         }
+        out.metrics.record_batches += 1;
+        out.metrics.batched_records += bn;
       }
       emitter.FlushTo(partitioner_, &parts, &out_bytes, &out_records);
       emitter.FlushStatsTo(&out.metrics);
@@ -511,8 +595,6 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
     }
   };
 
-  KvBufferReader reader(chunk);
-  std::string_view k, v;
   const double fn_per_record =
       chunk.count() > 0 ? map_fn_cost / static_cast<double>(chunk.count())
                         : 0.0;
@@ -520,12 +602,21 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
   if (config_.pipelining && config_.pipeline_push_bytes > 0) {
     cut_bytes = std::min(cut_bytes, config_.pipeline_push_bytes);
   }
-  while (reader.Next(&k, &v)) {
-    mapper_->Map(k, v, &emitter);
-    trace->Cpu(fn_per_record, OpTag::kMapFn);
-    if (emitter.bytes() >= cut_bytes) {
-      sort_and_cut(CutKind::kSpill);
+  // The spill cut is checked after every input record, so the sort path
+  // keeps per-record Map calls; batching covers the decode (§5.8).
+  KvBatchReader reader(chunk, EffectiveBatchRecords(config_));
+  for (;;) {
+    const size_t bn = reader.Fill();
+    if (bn == 0) break;
+    for (size_t i = 0; i < bn; ++i) {
+      mapper_->Map(reader.keys()[i], reader.values()[i], &emitter);
+      trace->Cpu(fn_per_record, OpTag::kMapFn);
+      if (emitter.bytes() >= cut_bytes) {
+        sort_and_cut(CutKind::kSpill);
+      }
     }
+    out->metrics.record_batches += 1;
+    out->metrics.batched_records += bn;
   }
   out->sorted = true;
 

@@ -109,6 +109,12 @@ class FrequentSketch {
   }
   int Find(std::string_view key, uint64_t hash) const;
 
+  // Warms the monitor index's control word for an upcoming Find (the batch
+  // plane issues this kProbePrefetchDistance tuples ahead; DESIGN.md §5.8).
+  void PrefetchProbe(uint64_t hash) const { index_.PrefetchProbe(hash); }
+  void PrefetchEntry(uint64_t hash) const { index_.PrefetchEntry(hash); }
+  void PrefetchKey(uint64_t hash) const { index_.PrefetchKey(hash); }
+
   // Effective (Misra–Gries) counter of a slot. An upper bound on the true
   // frequency error is offers()/(capacity()+1).
   uint64_t Count(int slot) const;

@@ -130,9 +130,14 @@ std::string EncodeKvStream(const KvBuffer& records, BlockEncoding encoding,
                            BlockCodecKind codec, uint64_t block_bytes,
                            CodecStats* stats) {
   BlockBuilder builder(encoding, codec, block_bytes, stats);
-  KvBufferReader reader(records);
-  std::string_view k, v;
-  while (reader.Next(&k, &v)) builder.Add(k, v);
+  // Batched decode (§5.8): stage a block's worth of views per Fill; the
+  // builder consumes them in order, so the stream is unchanged.
+  KvBatchReader reader(records, block_bytes >= 64 ? block_bytes / 64 : 64);
+  for (;;) {
+    const size_t n = reader.Fill();
+    if (n == 0) break;
+    builder.AddBatch(reader.keys(), reader.values(), n);
+  }
   return builder.Finish();
 }
 

@@ -2,6 +2,15 @@
 
 #include <array>
 #include <cstddef>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ONEPASS_CRC32C_X86 1
+#include <nmmintrin.h>
+#elif defined(__aarch64__)
+#define ONEPASS_CRC32C_ARM 1
+#include <arm_acle.h>
+#endif
 
 namespace onepass {
 namespace {
@@ -36,9 +45,62 @@ inline uint32_t Step(uint32_t crc, uint8_t byte) {
   return (crc >> 8) ^ kTables.t[0][(crc ^ byte) & 0xff];
 }
 
+#if defined(ONEPASS_CRC32C_X86)
+
+// Compiled with SSE4.2 enabled regardless of the baseline -march; only
+// reached after the runtime CPUID check in Crc32cHardwareAvailable().
+__attribute__((target("sse4.2"))) uint32_t Crc32cExtendHwImpl(
+    uint32_t crc, const uint8_t* p, size_t n) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = _mm_crc32_u64(c, w);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(c);
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+#elif defined(ONEPASS_CRC32C_ARM)
+
+__attribute__((target("+crc"))) uint32_t Crc32cExtendHwImpl(uint32_t crc,
+                                                            const uint8_t* p,
+                                                            size_t n) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    crc = __crc32cd(crc, w);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+#endif
+
 }  // namespace
 
-uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+uint32_t Crc32cExtendScalar(uint32_t crc, std::string_view data) {
   const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
   size_t n = data.size();
   crc = ~crc;
@@ -59,6 +121,32 @@ uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
     --n;
   }
   return ~crc;
+}
+
+bool Crc32cHardwareAvailable() {
+#if defined(ONEPASS_CRC32C_X86)
+  return SimdTierSupported(SimdTier::kSse42);
+#elif defined(ONEPASS_CRC32C_ARM)
+  return SimdTierSupported(SimdTier::kArmCrc);
+#else
+  return false;
+#endif
+}
+
+uint32_t Crc32cExtendHardware(uint32_t crc, std::string_view data) {
+#if defined(ONEPASS_CRC32C_X86) || defined(ONEPASS_CRC32C_ARM)
+  if (Crc32cHardwareAvailable()) {
+    return Crc32cExtendHwImpl(
+        crc, reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+#endif
+  return Crc32cExtendScalar(crc, data);
+}
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  return TierHasHardwareCrc(CurrentSimdTier())
+             ? Crc32cExtendHardware(crc, data)
+             : Crc32cExtendScalar(crc, data);
 }
 
 }  // namespace onepass

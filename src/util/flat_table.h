@@ -80,6 +80,42 @@ class FlatTable {
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  // Hints the cache that `hash`'s probe is coming soon. The batch plane
+  // (DESIGN.md §5.8) calls this kProbePrefetchDistance records ahead of the
+  // matching Find/FindOrInsert so the control word's cache line is resident
+  // by the time the probe runs. Touches nothing observable: no stats, no
+  // table state — byte-identical schedules with or without the hint.
+  void PrefetchProbe(uint64_t hash) const {
+    if (ctrl_mask_ != 0) {
+      __builtin_prefetch(ctrl_.data() + (hash & ctrl_mask_), /*rw=*/0,
+                         /*locality=*/1);
+    }
+  }
+
+  // Second pipeline stage: peeks the home control word — cheap once
+  // PrefetchProbe's line has arrived — and warms the entry it points at,
+  // the line the probe's tag-match will read. Only reads: no stats, no
+  // table state, so schedules stay byte-identical (DESIGN.md §5.8).
+  void PrefetchEntry(uint64_t hash) const {
+    if (ctrl_mask_ == 0) return;
+    const uint64_t c = ctrl_[hash & ctrl_mask_];
+    if (c == 0) return;
+    __builtin_prefetch(
+        entries_.data() + (static_cast<uint32_t>(c & 0xffffffffu) - 1),
+        /*rw=*/0, /*locality=*/1);
+  }
+
+  // Third pipeline stage: with ctrl word and entry both resident, warms
+  // the entry's key bytes for the probe's memcmp. Read-only like the
+  // stages before it.
+  void PrefetchKey(uint64_t hash) const {
+    if (ctrl_mask_ == 0) return;
+    const uint64_t c = ctrl_[hash & ctrl_mask_];
+    if (c == 0) return;
+    const Entry& e = entries_[static_cast<uint32_t>(c & 0xffffffffu) - 1];
+    __builtin_prefetch(e.key, /*rw=*/0, /*locality=*/1);
+  }
+
   // Returns the entry index for `key` (with its precomputed digest), or
   // kNoEntry if absent.
   uint32_t Find(std::string_view key, uint64_t hash) const {

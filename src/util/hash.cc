@@ -7,23 +7,7 @@ namespace onepass {
 uint64_t HashBytes(std::string_view data, uint64_t seed) {
   // FNV-1a over 8-byte words where possible, finished with Mix64. Not
   // cryptographic; fast and well distributed for short analytics keys.
-  uint64_t h = 0xcbf29ce484222325ULL ^ Mix64(seed);
-  const char* p = data.data();
-  size_t n = data.size();
-  while (n >= 8) {
-    uint64_t w;
-    __builtin_memcpy(&w, p, 8);
-    h = (h ^ w) * 0x100000001b3ULL;
-    p += 8;
-    n -= 8;
-  }
-  uint64_t last = 0;
-  for (size_t i = 0; i < n; ++i) {
-    last |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
-  }
-  h = (h ^ last ^ (static_cast<uint64_t>(data.size()) << 56)) *
-      0x100000001b3ULL;
-  return Mix64(h);
+  return Mix64(hash_internal::FnvCore(data, seed));
 }
 
 UniversalHash UniversalHashFamily::At(uint64_t level) const {

@@ -13,8 +13,11 @@
 #ifndef ONEPASS_UTIL_HASH_H_
 #define ONEPASS_UTIL_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
+
+#include "src/util/simd_dispatch.h"
 
 namespace onepass {
 
@@ -24,6 +27,33 @@ inline uint64_t Mix64(uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+namespace hash_internal {
+
+// FNV-1a over 8-byte words: the pre-finalizer core of HashBytes. Shared
+// between the scalar path and the batch path (batch_hash.cc) so the two
+// can never drift — HashBytes == Mix64(FnvCore) by construction.
+inline uint64_t FnvCore(std::string_view data, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ Mix64(seed);
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    h = (h ^ w) * 0x100000001b3ULL;
+    p += 8;
+    n -= 8;
+  }
+  uint64_t last = 0;
+  for (size_t i = 0; i < n; ++i) {
+    last |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  h = (h ^ last ^ (static_cast<uint64_t>(data.size()) << 56)) *
+      0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace hash_internal
 
 // 64-bit hash of a byte string with a seed (FNV-1a core + strong finalizer).
 // Deterministic across platforms.
@@ -54,6 +84,16 @@ class UniversalHash {
   // Hash reduced to a bucket index in [0, buckets).
   uint64_t Bucket(std::string_view key, uint64_t buckets) const {
     return FastRangeBucket((*this)(key), buckets);
+  }
+
+  // Digests for a whole batch: out[i] == (*this)(keys[i]) bit-for-bit at
+  // every tier (the batch_hash test enforces it). Splits the work into an
+  // FNV-core pass over the keys and a finalize pass (Mix64 + affine step)
+  // that vectorizes under the AVX2 tier. Implemented in batch_hash.cc.
+  void HashBatch(const std::string_view* keys, size_t n, uint64_t* out,
+                 SimdTier tier) const;
+  void HashBatch(const std::string_view* keys, size_t n, uint64_t* out) const {
+    HashBatch(keys, n, out, CurrentSimdTier());
   }
 
  private:

@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "src/util/coding.h"
 
@@ -116,6 +117,36 @@ class KvBufferReader {
 
  private:
   std::string_view rest_;
+};
+
+// Batch-at-a-time reader: decodes up to `capacity` records per Fill() into
+// parallel key/value view arrays (the RecordBatch layout, DESIGN.md §5.8).
+// Views point into the underlying buffer and stay valid for its lifetime,
+// so a whole batch can be hashed, prefetched, and probed without copying.
+// Record order is exactly KvBufferReader order — batch size only changes
+// how many views are staged at once, never what a consumer sees.
+class KvBatchReader {
+ public:
+  KvBatchReader(const KvBuffer& buf, size_t capacity)
+      : reader_(buf), keys_(capacity), values_(capacity) {}
+  KvBatchReader(std::string_view raw, size_t capacity)
+      : reader_(raw), keys_(capacity), values_(capacity) {}
+
+  // Decodes the next batch; returns the record count (0 at end of input).
+  size_t Fill() {
+    size_t n = 0;
+    while (n < keys_.size() && reader_.Next(&keys_[n], &values_[n])) ++n;
+    return n;
+  }
+
+  const std::string_view* keys() const { return keys_.data(); }
+  const std::string_view* values() const { return values_.data(); }
+  size_t capacity() const { return keys_.size(); }
+
+ private:
+  KvBufferReader reader_;
+  std::vector<std::string_view> keys_;
+  std::vector<std::string_view> values_;
 };
 
 // Serialized size of one record as KvBuffer stores it.

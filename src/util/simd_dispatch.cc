@@ -1,0 +1,117 @@
+#include "src/util/simd_dispatch.h"
+
+#include <atomic>
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
+namespace onepass {
+namespace {
+
+bool CpuHasSse42() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("sse4.2");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("sse4.2");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vl") && CpuHasAvx2();
+#else
+  return false;
+#endif
+}
+
+bool CpuHasArmCrc() {
+#if defined(__aarch64__) && defined(__linux__)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+  return true;  // baked into the target at compile time
+#else
+  return false;
+#endif
+}
+
+// 1 + tier so that 0 can mean "not yet initialized".
+std::atomic<uint8_t> g_active_tier{0};
+
+}  // namespace
+
+std::string_view SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse42:
+      return "sse4.2";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+    case SimdTier::kArmCrc:
+      return "armv8-crc";
+  }
+  return "unknown";
+}
+
+bool SimdTierSupported(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kSse42:
+      return CpuHasSse42();
+    case SimdTier::kAvx2:
+      return CpuHasAvx2();
+    case SimdTier::kAvx512:
+      return CpuHasAvx512();
+    case SimdTier::kArmCrc:
+      return CpuHasArmCrc();
+  }
+  return false;
+}
+
+SimdTier DetectSimdTier() {
+  if (CpuHasAvx512()) return SimdTier::kAvx512;
+  if (CpuHasAvx2()) return SimdTier::kAvx2;
+  if (CpuHasSse42()) return SimdTier::kSse42;
+  if (CpuHasArmCrc()) return SimdTier::kArmCrc;
+  return SimdTier::kScalar;
+}
+
+SimdTier CurrentSimdTier() {
+  uint8_t enc = g_active_tier.load(std::memory_order_relaxed);
+  if (enc == 0) {
+    const SimdTier detected = DetectSimdTier();
+    enc = static_cast<uint8_t>(detected) + 1;
+    uint8_t expected = 0;
+    if (!g_active_tier.compare_exchange_strong(expected, enc,
+                                               std::memory_order_relaxed)) {
+      enc = expected;  // another thread (or an override) won the race
+    }
+  }
+  return static_cast<SimdTier>(enc - 1);
+}
+
+SimdTier SetSimdTier(SimdTier tier) {
+  if (!SimdTierSupported(tier)) tier = DetectSimdTier();
+  g_active_tier.store(static_cast<uint8_t>(tier) + 1,
+                      std::memory_order_relaxed);
+  return tier;
+}
+
+}  // namespace onepass

@@ -1,0 +1,141 @@
+// CRC32C dispatch cross-check (DESIGN.md §5.8): the hardware CRC32C
+// instruction path and the portable slicing-by-8 path compute the same
+// fixed function, so they must agree bit-for-bit on every buffer. The
+// sweep covers every length 0..512 plus fuzzed offset/alignment/length
+// slices of a random buffer (the hardware path's align-to-8 pre-loop is
+// exactly what misaligned slices exercise), incremental extends split at
+// arbitrary points, the masked form, and the SetSimdTier override knob
+// the benches use to pin a path. Runs under asan/ubsan and tsan in CI.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/crc32c.h"
+#include "src/util/random.h"
+#include "src/util/simd_dispatch.h"
+
+namespace onepass {
+namespace {
+
+class Crc32cDispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_tier_ = CurrentSimdTier(); }
+  void TearDown() override { SetSimdTier(saved_tier_); }
+
+  SimdTier saved_tier_;
+};
+
+std::string RandomBuffer(size_t n, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  std::string buf(n, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    buf[i] = static_cast<char>(rng.Next() & 0xff);
+  }
+  return buf;
+}
+
+TEST_F(Crc32cDispatchTest, KnownVectors) {
+  // RFC 3720 §B.4 test vectors (CRC32C of 32 bytes).
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32cExtendScalar(0, zeros), 0x8a9136aau);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32cExtendScalar(0, ones), 0x62a8ab43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(Crc32cExtendScalar(0, ascending), 0x46dd794eu);
+  if (Crc32cHardwareAvailable()) {
+    EXPECT_EQ(Crc32cExtendHardware(0, zeros), 0x8a9136aau);
+    EXPECT_EQ(Crc32cExtendHardware(0, ones), 0x62a8ab43u);
+    EXPECT_EQ(Crc32cExtendHardware(0, ascending), 0x46dd794eu);
+  }
+}
+
+TEST_F(Crc32cDispatchTest, HardwareMatchesScalarOnAllShortLengths) {
+  if (!Crc32cHardwareAvailable()) {
+    GTEST_SKIP() << "no hardware CRC32C on this build/CPU";
+  }
+  const std::string buf = RandomBuffer(512, 0x5eed);
+  for (size_t len = 0; len <= 512; ++len) {
+    const std::string_view slice(buf.data(), len);
+    EXPECT_EQ(Crc32cExtendHardware(0, slice), Crc32cExtendScalar(0, slice))
+        << "len=" << len;
+    // A nonzero running crc exercises the continuation contract too.
+    EXPECT_EQ(Crc32cExtendHardware(0xdeadbeef, slice),
+              Crc32cExtendScalar(0xdeadbeef, slice))
+        << "len=" << len;
+  }
+}
+
+TEST_F(Crc32cDispatchTest, HardwareMatchesScalarOnFuzzedSlices) {
+  if (!Crc32cHardwareAvailable()) {
+    GTEST_SKIP() << "no hardware CRC32C on this build/CPU";
+  }
+  const std::string buf = RandomBuffer(8192, 0xfacade);
+  Xoshiro256StarStar rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Fuzzed offset (any alignment 0..7 relative to the allocation) and
+    // length, including lengths below / straddling the 8-byte fast loop.
+    const size_t offset = rng.NextBounded(buf.size());
+    const size_t len = rng.NextBounded(buf.size() - offset + 1);
+    const uint32_t seed_crc = static_cast<uint32_t>(rng.Next());
+    const std::string_view slice(buf.data() + offset, len);
+    ASSERT_EQ(Crc32cExtendHardware(seed_crc, slice),
+              Crc32cExtendScalar(seed_crc, slice))
+        << "offset=" << offset << " len=" << len;
+  }
+}
+
+TEST_F(Crc32cDispatchTest, IncrementalExtendsMatchOneShot) {
+  const std::string buf = RandomBuffer(1024, 0xc0ffee);
+  Xoshiro256StarStar rng(78);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t cut = rng.NextBounded(buf.size() + 1);
+    const std::string_view head(buf.data(), cut);
+    const std::string_view tail(buf.data() + cut, buf.size() - cut);
+    const uint32_t whole = Crc32cExtendScalar(0, buf);
+    EXPECT_EQ(Crc32cExtendScalar(Crc32cExtendScalar(0, head), tail), whole);
+    if (Crc32cHardwareAvailable()) {
+      // Split point mixes the two paths: scalar head, hardware tail and
+      // vice versa — a continuation crc is path-agnostic.
+      EXPECT_EQ(Crc32cExtendHardware(Crc32cExtendScalar(0, head), tail),
+                whole);
+      EXPECT_EQ(Crc32cExtendScalar(Crc32cExtendHardware(0, head), tail),
+                whole);
+    }
+  }
+}
+
+TEST_F(Crc32cDispatchTest, DispatchOverrideKnobPinsThePath) {
+  const std::string buf = RandomBuffer(257, 0xbead);
+  // Pinning scalar must always be honored.
+  EXPECT_EQ(SetSimdTier(SimdTier::kScalar), SimdTier::kScalar);
+  const uint32_t via_scalar = Crc32cExtend(0, buf);
+  EXPECT_EQ(via_scalar, Crc32cExtendScalar(0, buf));
+  // Requesting an unsupported tier clamps to a supported one, and the
+  // dispatched result never depends on the tier.
+  for (const SimdTier tier : {SimdTier::kSse42, SimdTier::kAvx2,
+                              SimdTier::kAvx512, SimdTier::kArmCrc,
+                              DetectSimdTier()}) {
+    const SimdTier installed = SetSimdTier(tier);
+    EXPECT_TRUE(SimdTierSupported(installed))
+        << "requested " << SimdTierName(tier);
+    EXPECT_EQ(Crc32cExtend(0, buf), via_scalar)
+        << "tier " << SimdTierName(installed);
+    EXPECT_EQ(Crc32cExtendWithTier(installed, 0, buf), via_scalar);
+  }
+}
+
+TEST_F(Crc32cDispatchTest, MaskRoundTrips) {
+  Xoshiro256StarStar rng(79);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const uint32_t crc = static_cast<uint32_t>(rng.Next());
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+  }
+}
+
+}  // namespace
+}  // namespace onepass
