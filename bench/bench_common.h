@@ -51,6 +51,11 @@ struct Flags {
   // vectorized tiers; --simd=auto (default) uses the detected tier.
   uint64_t batch_size = 0;
   std::string simd = "auto";
+  // Resident shuffle engine (DESIGN.md §5.9). --iterations=N sets
+  // JobConfig::iterations (chain length for iterative benches);
+  // --shuffle_mode=disk|resident sets JobConfig::shuffle_mode.
+  int iterations = 1;
+  std::string shuffle_mode = "disk";
 };
 
 namespace detail {
@@ -83,6 +88,10 @@ inline Flags ParseFlags(int argc, char** argv) {
       flags.batch_size = std::stoull(arg.substr(13));
     } else if (arg.rfind("--simd=", 0) == 0) {
       flags.simd = arg.substr(7);
+    } else if (arg.rfind("--iterations=", 0) == 0) {
+      flags.iterations = std::stoi(arg.substr(13));
+    } else if (arg.rfind("--shuffle_mode=", 0) == 0) {
+      flags.shuffle_mode = arg.substr(15);
     } else if (arg == "--plot" && i + 1 < argc) {
       flags.plot = argv[++i];
     } else if (arg.rfind("--plot=", 0) == 0) {
@@ -103,13 +112,26 @@ inline BlockCodecKind CodecFromFlag(const std::string& name) {
   return BlockCodecKind::kNone;
 }
 
-// Applies the data-plane flags (--threads/--codec/--batch_size/--simd) to a
-// job config. Every bench routes its config through here so the whole
-// suite exposes the same knobs.
+// Resolves a --shuffle_mode= flag value ("disk"/"resident") to the
+// config enum; unknown names fall back to kDisk with a warning.
+inline ShuffleMode ShuffleModeFromFlag(const std::string& name) {
+  if (name == "resident") return ShuffleMode::kResident;
+  if (name != "disk" && !name.empty()) {
+    std::fprintf(stderr, "unknown --shuffle_mode=%s, using disk\n",
+                 name.c_str());
+  }
+  return ShuffleMode::kDisk;
+}
+
+// Applies the data-plane flags (--threads/--codec/--batch_size/--simd/
+// --iterations/--shuffle_mode) to a job config. Every bench routes its
+// config through here so the whole suite exposes the same knobs.
 inline void ApplyDataPlaneFlags(const Flags& flags, JobConfig* cfg) {
   cfg->data_plane_threads = flags.threads;
   cfg->block_codec = CodecFromFlag(flags.codec);
   cfg->batch_records = flags.batch_size;
+  cfg->iterations = flags.iterations < 1 ? 1 : flags.iterations;
+  cfg->shuffle_mode = ShuffleModeFromFlag(flags.shuffle_mode);
   if (flags.simd == "scalar") {
     cfg->simd = JobConfig::SimdPolicy::kForceScalar;
   } else {

@@ -54,6 +54,17 @@ struct CostModel {
   // reducer wave when R exceeds the reduce slots; §3.2(3)).
   double map_output_retention_s = 60.0;
 
+  // Resident shuffle (DESIGN.md §5.9): seconds per byte of memory-resident
+  // segment handling — publishing a push segment into the node's resident
+  // cache, and serializing/adopting carried reduce state between chained
+  // jobs. Memory-bandwidth class (~2 GB/s conservative), vs. 80 MB/s +
+  // seeks for the disk path it replaces.
+  double resident_publish_byte_s = 0.5e-9;
+  // Seconds per byte of map input served from the M3R-style input cache
+  // when an iteration re-reads the chunk store the previous iteration
+  // already scanned on the same nodes (kResident chains only).
+  double cached_input_byte_s = 0.5e-9;
+
   // Sort CPU seconds for n records.
   double SortCost(uint64_t n) const;
   // k-way merge CPU seconds for n records (single pass).

@@ -60,7 +60,8 @@ Status RunDataPlaneTasks(ThreadPool* pool, size_t n,
 
 Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
                                              const JobConfig& config,
-                                             const ChunkStore& input) {
+                                             const ChunkStore& input,
+                                             const ResidentContext* resident) {
   RETURN_IF_ERROR(config.Validate());
   if (!spec.mapper) {
     return Status::InvalidArgument("job needs a mapper factory");
@@ -82,6 +83,27 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
   }
 
   const int total_reducers = cl.nodes * config.reducers_per_node;
+  const bool resident_mode = config.shuffle_mode == ShuffleMode::kResident;
+  // State carry-over applies to the engines whose reduce state *is* the
+  // answer-so-far (INC/DINC key->state tables); SM/MR-hash chains still
+  // get the resident shuffle and stable placement but start cold.
+  const bool carry_engine = config.engine == EngineKind::kIncHash ||
+                            config.engine == EngineKind::kDincHash;
+  const ResidentStateHandle* prior_state =
+      resident_mode && resident && carry_engine ? resident->prior_state
+                                                : nullptr;
+  if (prior_state && prior_state->empty()) prior_state = nullptr;
+  if (prior_state && prior_state->reducers() != total_reducers) {
+    return Status::InvalidArgument(
+        "resident state carries " + std::to_string(prior_state->reducers()) +
+        " reducers but the job runs " + std::to_string(total_reducers));
+  }
+  if (prior_state && (prior_state->engine != config.engine ||
+                      prior_state->seed != config.seed)) {
+    return Status::InvalidArgument(
+        "resident state engine/seed does not match the adopting job (the "
+        "hash family, and so the table layout, derives from both)");
+  }
   const UniversalHashFamily hashes(config.seed);
   const UniversalHash h1 = hashes.At(0);
   const MapOutputMode mode = SelectMapOutputMode(config, has_inc);
@@ -167,6 +189,22 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
     for (uint32_t p = 0; p < in.num_pushes; ++p) {
       in.gates[map_outs[m].pushes[p].gate_op] = p;
     }
+    // Chain locality (DESIGN.md §5.9): when this iteration re-reads the
+    // previous iteration's store, prefer the replica that produced the
+    // output last time — PickMapNode breaks load ties by replica order,
+    // so moving the prior winner to the front pins the map there whenever
+    // it holds a copy and is not overloaded.
+    if (resident_mode && resident && resident->placement &&
+        resident->prior_input == &input &&
+        resident->placement->map_node.size() == pj.map_ins.size()) {
+      const int prior_node = resident->placement->map_node[m];
+      auto prior_it =
+          std::find(in.replicas.begin(), in.replicas.end(), prior_node);
+      if (prior_it != in.replicas.end()) {
+        std::rotate(in.replicas.begin(), prior_it, prior_it + 1);
+        in.node = prior_node;
+      }
+    }
   }
 
   // ---- Phase 2: provisional replay fixes the delivery order ----
@@ -193,6 +231,78 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
     for (auto& [t, mp] : order) delivery_order.push_back(mp);
   }
 
+  // ---- Resident shuffle transform (DESIGN.md §5.9) ----
+  // Runs after phase 2 on purpose: the consumption-order contract is
+  // always computed from the disk-mode traces, so kDisk and kResident
+  // consume identical deliveries in identical order and outputs are
+  // byte-identical by construction. Only the phase-4 charges change here.
+  if (resident_mode) {
+    for (size_t m = 0; m < pj.map_ins.size(); ++m) {
+      Replayer::MapTaskIn& in = pj.map_ins[m];
+      in.resident.assign(in.num_pushes, 1);
+      in.push_bytes.assign(in.num_pushes, 0);
+      for (uint32_t p = 0; p < in.num_pushes; ++p) {
+        in.push_bytes[p] = map_outs[m].pushes[p].bytes;
+      }
+    }
+    // Admit segments in publish order against each producing node's byte
+    // budget; the oldest segments evicted under pressure lose residency.
+    // Eviction is write-through: a spilled push keeps its original gate
+    // disk write (the PR 5 block-codec spill image), so the backstop
+    // reuses the existing spill path and correctness never depends on the
+    // working set fitting.
+    ResidentSegmentCache cache(cl.nodes, config.resident_cache_bytes);
+    for (const auto& [m, p] : delivery_order) {
+      for (const auto& [em, ep] : cache.Admit(
+               pj.map_ins[m].node, m, p, pj.map_ins[m].push_bytes[p])) {
+        pj.map_ins[em].resident[ep] = 0;
+      }
+    }
+    // A resident push's publish write becomes a memory-speed CPU op in
+    // place (same op index, so the replayer's gate bookkeeping and the
+    // progress deltas riding on the op are untouched).
+    for (size_t m = 0; m < pj.map_ins.size(); ++m) {
+      Replayer::MapTaskIn& in = pj.map_ins[m];
+      for (const auto& [gate, p] : in.gates) {
+        if (!in.resident[p]) {
+          result.metrics.resident_spilled_segments += 1;
+          result.metrics.resident_spilled_bytes += in.push_bytes[p];
+          continue;
+        }
+        TraceOp& op = pj.map_traces[m].ops[gate];
+        op.resource = OpResource::kCpu;
+        op.cpu_s = config.costs.resident_publish_byte_s *
+                   static_cast<double>(op.bytes);
+        op.bytes = 0;
+        op.requests = 0;
+        op.is_read = false;
+        result.metrics.resident_publish_segments += 1;
+        result.metrics.resident_publish_bytes += in.push_bytes[p];
+      }
+    }
+    // M3R input caching: an iteration re-reading the store the previous
+    // iteration already scanned serves map input from memory. (The cache
+    // is modeled per input store, not per replica: a map rescheduled off
+    // its prior node still gets the memory rate — placement makes that
+    // the rare case, not the model.)
+    if (resident && resident->prior_input == &input) {
+      for (CostTrace& t : pj.map_traces) {
+        for (TraceOp& op : t.ops) {
+          if (op.tag == OpTag::kMapInput &&
+              op.resource == OpResource::kDisk && op.is_read) {
+            result.metrics.resident_cached_input_bytes += op.bytes;
+            op.resource = OpResource::kCpu;
+            op.cpu_s = config.costs.cached_input_byte_s *
+                       static_cast<double>(op.bytes);
+            op.bytes = 0;
+            op.requests = 0;
+            op.is_read = false;
+          }
+        }
+      }
+    }
+  }
+
   // ---- Phase 3: reduce data plane ----
   // With the delivery order fixed by the provisional replay, every reduce
   // task's engine run is independent: it reads the (now immutable) map
@@ -209,6 +319,8 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
     std::vector<DeliveryRef> deliveries;
     std::vector<CheckpointMark> checkpoints;
     std::vector<Record> outputs;  // task-local; concatenated in r order
+    KvBuffer saved_state;         // pre-Finish engine image (chains only)
+    uint64_t saved_raw_bytes = 0;
   };
   std::vector<std::unique_ptr<ReduceTaskData>> reduce_tasks(total_reducers);
   std::vector<Status> reduce_statuses(total_reducers, Status::OK());
@@ -244,6 +356,27 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
           return;
         }
         task->engine = std::move(engine).value();
+
+        // State adoption (DESIGN.md §5.9): seed the fresh engine with the
+        // prior iteration's table before any delivery, so unchanged keys
+        // are never re-aggregated. The adopt cost is charged inside the
+        // first replayed section below (ops before the first section mark
+        // never replay).
+        double adopt_cpu_s = 0;
+        if (prior_state != nullptr) {
+          CheckpointReader prior_reader(prior_state->states[r]);
+          const Status adopted =
+              task->engine->RestoreCheckpoint(&prior_reader);
+          if (!adopted.ok()) {
+            reduce_statuses[ri] = adopted;
+            return;
+          }
+          task->metrics.resident_state_restores += 1;
+          task->metrics.resident_state_restored_bytes +=
+              prior_state->raw_bytes[r];
+          adopt_cpu_s = config.costs.resident_publish_byte_s *
+                        static_cast<double>(prior_state->raw_bytes[r]);
+        }
 
         // Snapshot thresholds (§3.3(4)): after each 1/(N+1) of deliveries.
         std::vector<size_t> snapshot_at;
@@ -306,6 +439,12 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
           trace.BeginSection();
           trace.Net(wire_bytes, OpTag::kShuffle,
                     /*d_shuffle_bytes=*/wire_bytes);
+          if (adopt_cpu_s > 0) {
+            // First delivery section, right after its net op (the
+            // replayer requires a section's first op to be the fetch).
+            trace.Cpu(adopt_cpu_s, OpTag::kCheckpoint);
+            adopt_cpu_s = 0;
+          }
           if (coded) {
             trace.Cpu(config.costs.decompress_byte_s *
                           static_cast<double>(segment->bytes()),
@@ -383,6 +522,30 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
           }
         }
         trace.BeginSection();
+        if (adopt_cpu_s > 0) {
+          // No deliveries reached this reducer; charge the adopt in the
+          // final section instead (fully replayed, no first-op rule).
+          trace.Cpu(adopt_cpu_s, OpTag::kCheckpoint);
+          adopt_cpu_s = 0;
+        }
+        // State carry-over capture: serialize the pre-Finish engine image
+        // for the next iteration (Finish drains the spill buckets, so it
+        // must run after the save; SaveCheckpoint is non-destructive).
+        if (resident_mode && resident != nullptr &&
+            resident->save_state != nullptr && carry_engine) {
+          CheckpointWriter w;
+          const Status saved = task->engine->SaveCheckpoint(&w);
+          if (!saved.ok()) {
+            reduce_statuses[ri] = saved;
+            return;
+          }
+          task->saved_raw_bytes = w.fields().bytes();
+          task->saved_state = w.Take();
+          trace.Cpu(config.costs.resident_publish_byte_s *
+                        static_cast<double>(task->saved_raw_bytes),
+                    OpTag::kCheckpoint);
+          task->metrics.resident_state_saved_bytes += task->saved_raw_bytes;
+        }
         const Status finished = task->engine->Finish();
         if (!finished.ok()) {
           reduce_statuses[ri] = finished;
@@ -411,9 +574,33 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
   for (size_t r = 0; r < reduce_tasks.size(); ++r) {
     pj.reduce_ins[r].node =
         static_cast<int>(r) / config.reducers_per_node;
+    // Partition-stable placement: pin each reduce partition to the node
+    // that finished it last iteration, so adopted state and resident
+    // segments are local to the task that reuses them.
+    if (resident_mode && resident && resident->placement &&
+        resident->placement->reduce_node.size() == reduce_tasks.size()) {
+      const int prior_node = resident->placement->reduce_node[r];
+      if (prior_node >= 0 && prior_node < cl.nodes) {
+        pj.reduce_ins[r].node = prior_node;
+      }
+    }
     pj.reduce_ins[r].trace = &pj.reduce_traces[r];
     pj.reduce_ins[r].deliveries = std::move(reduce_tasks[r]->deliveries);
     pj.reduce_ins[r].checkpoints = std::move(reduce_tasks[r]->checkpoints);
+  }
+  if (resident_mode && resident != nullptr &&
+      resident->save_state != nullptr && carry_engine) {
+    ResidentStateHandle& handle = *resident->save_state;
+    handle.states.clear();
+    handle.raw_bytes.clear();
+    handle.states.reserve(reduce_tasks.size());
+    handle.raw_bytes.reserve(reduce_tasks.size());
+    for (auto& task : reduce_tasks) {
+      handle.states.push_back(std::move(task->saved_state));
+      handle.raw_bytes.push_back(task->saved_raw_bytes);
+    }
+    handle.engine = config.engine;
+    handle.seed = config.seed;
   }
 
   auto scan_trace = [&](const CostTrace& t) {

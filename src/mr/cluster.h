@@ -45,6 +45,7 @@
 #include "src/mr/cost_trace.h"
 #include "src/mr/metrics.h"
 #include "src/mr/replayer.h"
+#include "src/mr/resident.h"
 #include "src/mr/types.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/timeline.h"
@@ -144,9 +145,19 @@ class LocalCluster {
   // Runs the data plane only (steps 1–3) and returns the replay inputs.
   // The caller owns when and where the time plane runs — solo (RunJob) or
   // interleaved with other jobs on a shared SlotPool (JobManager).
+  //
+  // `resident` (may be null) carries one iteration's worth of chain state
+  // under shuffle_mode == kResident (DESIGN.md §5.9): prior reduce state
+  // to adopt, the placement to pin tasks to, where to save this job's
+  // state, and the previous input store for input caching. It never
+  // changes the data plane's outputs — phases 1-3 consume the same bytes
+  // in the same order either way; only the recorded time-plane charges and
+  // task placement differ.
   static Result<PreparedJob> PrepareJob(const JobSpec& spec,
                                         const JobConfig& config,
-                                        const ChunkStore& input);
+                                        const ChunkStore& input,
+                                        const ResidentContext* resident =
+                                            nullptr);
 };
 
 }  // namespace onepass

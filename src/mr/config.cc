@@ -18,6 +18,16 @@ std::string_view EngineKindName(EngineKind kind) {
   return "unknown";
 }
 
+std::string_view ShuffleModeName(ShuffleMode mode) {
+  switch (mode) {
+    case ShuffleMode::kDisk:
+      return "disk";
+    case ShuffleMode::kResident:
+      return "resident";
+  }
+  return "unknown";
+}
+
 Status JobConfig::Validate() const {
   if (cluster.nodes < 1 || cluster.cores_per_node < 1 ||
       cluster.map_slots < 1 || cluster.reduce_slots < 1) {
@@ -68,6 +78,16 @@ Status JobConfig::Validate() const {
     return Status::InvalidArgument(
         "corruption injection requires integrity.checksums: silent "
         "corruption is undetectable without them");
+  }
+  if (resident_cache_bytes != 0 && resident_cache_bytes < 4096) {
+    return Status::InvalidArgument(
+        "resident_cache_bytes must be 0 (unbounded) or >= 4096: a budget "
+        "below one segment would spill everything, got " +
+        std::to_string(resident_cache_bytes));
+  }
+  if (iterations < 1 || iterations > 64) {
+    return Status::InvalidArgument(
+        "iterations must be in [1, 64], got " + std::to_string(iterations));
   }
   if (checkpoint_interval_segments > 0 || checkpoint_interval_bytes > 0) {
     if (checkpoint_replication < 1 ||

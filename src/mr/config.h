@@ -25,6 +25,22 @@ enum class EngineKind : uint8_t {
 
 std::string_view EngineKindName(EngineKind kind);
 
+// How map output reaches the reducers (DESIGN.md §5.9). kDisk is the
+// paper's path: every push segment is written to the mapper's local disk
+// and served from memory only within the retention window. kResident is
+// the M3R-style path for iterative/repeated jobs: push segments stay
+// pinned in a per-node ResidentSegmentCache and are served from memory for
+// the whole job; segments evicted under the cache's byte budget fall back
+// to the ordinary disk spill path, so correctness never depends on
+// fitting. Outputs are byte-identical between the two modes — only the
+// time plane's charges differ.
+enum class ShuffleMode : uint8_t {
+  kDisk,
+  kResident,
+};
+
+std::string_view ShuffleModeName(ShuffleMode mode);
+
 // Which hash-table implementation backs the hot grouping structures
 // (engine state tables, sketch indexes, the map-side combiner). kFlat is
 // the arena-backed open-addressing FlatTable (src/util/flat_table.h);
@@ -140,6 +156,20 @@ struct JobConfig {
   uint64_t checkpoint_interval_segments = 0;
   uint64_t checkpoint_interval_bytes = 0;
   int checkpoint_replication = 2;
+
+  // Shuffle delivery mode (see ShuffleMode). Resident mode changes only
+  // what the time plane charges for publishing and re-reading map output;
+  // the data plane, delivery order, and outputs are identical to kDisk.
+  ShuffleMode shuffle_mode = ShuffleMode::kDisk;
+  // Per-node byte budget for the resident segment cache. 0 = unbounded
+  // (every segment stays resident); otherwise the oldest segments on a
+  // node spill to disk until the node is back under budget. Ignored under
+  // kDisk.
+  uint64_t resident_cache_bytes = 0;
+  // Iteration count for JobBuilder::Iterate / RunChain: how many times the
+  // job is run as a chained sequence with partition-stable placement and
+  // (for INC/DINC) reduce-state carry-over. 1 = an ordinary single job.
+  int iterations = 1;
 
   // Block codec for every spill/shuffle/bucket stream (DESIGN.md §5.5).
   // kNone keeps the raw varint record format on disk and on the wire —

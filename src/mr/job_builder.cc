@@ -1,5 +1,9 @@
 #include "src/mr/job_builder.h"
 
+#include <vector>
+
+#include "src/mr/job_chain.h"
+
 namespace onepass {
 
 Status JobBuilder::Validate() const {
@@ -66,6 +70,18 @@ Status JobBuilder::Validate() const {
 Result<JobResult> JobBuilder::Run(const ChunkStore& input) const {
   RETURN_IF_ERROR(Validate());
   return LocalCluster::RunJob(spec_, config_, input);
+}
+
+Result<ChainResult> JobBuilder::RunChain(const ChunkStore& input) const {
+  RETURN_IF_ERROR(Validate());
+  const int n = config_.iterations < 1 ? 1 : config_.iterations;
+  std::vector<ChainStage> stages(static_cast<size_t>(n));
+  for (ChainStage& st : stages) {
+    st.spec = spec_;
+    st.config = config_;
+    st.input = &input;
+  }
+  return RunJobChain(stages);
 }
 
 }  // namespace onepass

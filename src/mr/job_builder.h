@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "src/mr/cluster.h"
+#include "src/mr/job_chain.h"
 
 namespace onepass {
 
@@ -106,6 +107,23 @@ class JobBuilder {
     return *this;
   }
 
+  // --- resident shuffle & iteration (DESIGN.md §5.9) ---
+  JobBuilder& ShuffleMode(onepass::ShuffleMode mode) {
+    config_.shuffle_mode = mode;
+    return *this;
+  }
+  JobBuilder& ResidentCacheBytes(uint64_t bytes) {
+    config_.resident_cache_bytes = bytes;
+    return *this;
+  }
+  // Run the job `n` times as a chain (RunChain): under kResident each
+  // iteration inherits the previous one's placement, cached input, and
+  // (INC/DINC) reduce state.
+  JobBuilder& Iterate(int n) {
+    config_.iterations = n;
+    return *this;
+  }
+
   // --- misc ---
   JobBuilder& Costs(const CostModel& costs) {
     config_.costs = costs;
@@ -129,6 +147,12 @@ class JobBuilder {
 
   // Validates, then runs on the simulated cluster.
   Result<JobResult> Run(const ChunkStore& input) const;
+
+  // Validates, then runs the job config_.iterations times as a chain
+  // over the same input (DESIGN.md §5.9). Under ShuffleMode::kResident
+  // each iteration reuses the previous one's placement, cached input,
+  // and (INC/DINC engines) reduce state.
+  Result<ChainResult> RunChain(const ChunkStore& input) const;
 
  private:
   JobSpec spec_;

@@ -335,6 +335,36 @@ ManagerResult ManagerRun::Collect() {
     ts.p99_latency_s = NearestRank(lat, 0.99);
     ts.max_latency_s = lat.back();
   }
+  // Tenant-level Definition 1 progress: the mean of the tenant's completed
+  // jobs' reduce-progress curves, sampled on the union of their step
+  // times. Per-job curves are recorded in absolute cluster time and a
+  // StepSeries reads 0 before its first point and holds 100 after its
+  // last, so the mean is exactly "how far along is this tenant's finished
+  // work at instant t".
+  for (size_t t = 0; t < out.tenants.size(); ++t) {
+    std::vector<const sim::StepSeries*> curves;
+    for (const JobOutcome& jo : out.jobs) {
+      if (jo.tenant == static_cast<int>(t) &&
+          jo.state == JobOutcomeState::kCompleted) {
+        curves.push_back(&jo.result.reduce_progress);
+      }
+    }
+    if (curves.empty()) continue;
+    std::vector<double> times;
+    for (const sim::StepSeries* c : curves) {
+      times.insert(times.end(), c->times.begin(), c->times.end());
+    }
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+    TenantStats& ts = out.tenants[t];
+    for (double at : times) {
+      double total = 0;
+      for (const sim::StepSeries* c : curves) total += c->ValueAt(at);
+      ts.progress.Add(at, total / static_cast<double>(curves.size()));
+    }
+    ts.mean_progress_at_makespan_half =
+        ts.progress.ValueAt(out.makespan / 2);
+  }
   sim::BinnedSeries iowait;
   pool_.ExportUtilization(mc_.timeline_bin_s,
                           std::max(out.makespan, mc_.timeline_bin_s),
@@ -388,6 +418,11 @@ Result<ManagerResult> JobManager::Run(const ManagerConfig& config,
                                       const std::vector<JobSubmission>& jobs) {
   ManagerRun run(config, jobs);
   return run.Run();
+}
+
+Result<ChainResult> JobManager::RunChain(
+    const std::vector<ChainStage>& stages) {
+  return RunJobChain(stages);
 }
 
 }  // namespace onepass

@@ -38,6 +38,7 @@
 #include "src/common/status.h"
 #include "src/dfs/chunk_store.h"
 #include "src/mr/cluster.h"
+#include "src/mr/job_chain.h"
 #include "src/mr/slot_pool.h"
 #include "src/sim/retry_policy.h"
 #include "src/sim/timeline.h"
@@ -133,6 +134,13 @@ struct TenantStats {
   double p50_latency_s = 0;
   double p99_latency_s = 0;
   double max_latency_s = 0;
+  // Definition 1 progress aggregated across the tenant's *completed* jobs
+  // in absolute cluster time: at each sample instant, the mean of the
+  // jobs' reduce-progress curves (a job contributes 0 before its start
+  // and 100 after its finish, so the series climbs from 0 to 100 as the
+  // tenant's work drains). Empty when the tenant completed nothing.
+  sim::StepSeries progress;
+  double mean_progress_at_makespan_half = 0;  // the curve sampled midway
 };
 
 struct ManagerResult {
@@ -155,6 +163,14 @@ class JobManager {
   // outcomes, not in the returned Status.
   static Result<ManagerResult> Run(const ManagerConfig& config,
                                    const std::vector<JobSubmission>& jobs);
+
+  // Runs an iterative job sequence with M3R-style reuse between stages
+  // (DESIGN.md §5.9). Chains are solo by construction — each stage's
+  // placement must be honored exactly, which a multi-tenant pool cannot
+  // promise — so this delegates to RunJobChain rather than the shared
+  // SlotPool. See JobBuilder::Iterate for the common same-job-n-times
+  // form.
+  static Result<ChainResult> RunChain(const std::vector<ChainStage>& stages);
 };
 
 }  // namespace onepass

@@ -52,6 +52,17 @@ void JobMetrics::Merge(const JobMetrics& o) {
   checkpoint_segments_skipped += o.checkpoint_segments_skipped;
   checkpoint_skipped_bytes += o.checkpoint_skipped_bytes;
   shuffle_refetched_bytes += o.shuffle_refetched_bytes;
+  resident_publish_segments += o.resident_publish_segments;
+  resident_publish_bytes += o.resident_publish_bytes;
+  resident_spilled_segments += o.resident_spilled_segments;
+  resident_spilled_bytes += o.resident_spilled_bytes;
+  resident_hit_bytes += o.resident_hit_bytes;
+  resident_invalidated_segments += o.resident_invalidated_segments;
+  resident_invalidated_bytes += o.resident_invalidated_bytes;
+  resident_state_restores += o.resident_state_restores;
+  resident_state_restored_bytes += o.resident_state_restored_bytes;
+  resident_state_saved_bytes += o.resident_state_saved_bytes;
+  resident_cached_input_bytes += o.resident_cached_input_bytes;
   codec_map_spill_raw_bytes += o.codec_map_spill_raw_bytes;
   codec_map_spill_encoded_bytes += o.codec_map_spill_encoded_bytes;
   codec_shuffle_raw_bytes += o.codec_shuffle_raw_bytes;
@@ -134,6 +145,17 @@ std::string JobMetrics::Serialize() const {
   put_u64("checkpoint_segments_skipped", checkpoint_segments_skipped);
   put_u64("checkpoint_skipped_bytes", checkpoint_skipped_bytes);
   put_u64("shuffle_refetched_bytes", shuffle_refetched_bytes);
+  put_u64("resident_publish_segments", resident_publish_segments);
+  put_u64("resident_publish_bytes", resident_publish_bytes);
+  put_u64("resident_spilled_segments", resident_spilled_segments);
+  put_u64("resident_spilled_bytes", resident_spilled_bytes);
+  put_u64("resident_hit_bytes", resident_hit_bytes);
+  put_u64("resident_invalidated_segments", resident_invalidated_segments);
+  put_u64("resident_invalidated_bytes", resident_invalidated_bytes);
+  put_u64("resident_state_restores", resident_state_restores);
+  put_u64("resident_state_restored_bytes", resident_state_restored_bytes);
+  put_u64("resident_state_saved_bytes", resident_state_saved_bytes);
+  put_u64("resident_cached_input_bytes", resident_cached_input_bytes);
   put_u64("codec_map_spill_raw_bytes", codec_map_spill_raw_bytes);
   put_u64("codec_map_spill_encoded_bytes", codec_map_spill_encoded_bytes);
   put_u64("codec_shuffle_raw_bytes", codec_shuffle_raw_bytes);
@@ -258,6 +280,26 @@ std::string JobMetrics::ToString() const {
         static_cast<unsigned long long>(checkpoint_full_replays),
         static_cast<unsigned long long>(checkpoint_segments_skipped),
         static_cast<unsigned long long>(checkpoint_skipped_bytes));
+    out += buf;
+  }
+  // The resident-shuffle block appears only when resident mode ran.
+  if (resident_publish_segments + resident_state_restores > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nresident:        %llu segments published (%llu bytes, %llu "
+        "spilled / %llu bytes), %llu hit bytes, %llu invalidated\n"
+        "state carry:     %llu adoptions (%llu bytes in, %llu bytes "
+        "saved), %llu cached input bytes",
+        static_cast<unsigned long long>(resident_publish_segments),
+        static_cast<unsigned long long>(resident_publish_bytes),
+        static_cast<unsigned long long>(resident_spilled_segments),
+        static_cast<unsigned long long>(resident_spilled_bytes),
+        static_cast<unsigned long long>(resident_hit_bytes),
+        static_cast<unsigned long long>(resident_invalidated_segments),
+        static_cast<unsigned long long>(resident_state_restores),
+        static_cast<unsigned long long>(resident_state_restored_bytes),
+        static_cast<unsigned long long>(resident_state_saved_bytes),
+        static_cast<unsigned long long>(resident_cached_input_bytes));
     out += buf;
   }
   // The integrity block appears only when checksums were verified or a

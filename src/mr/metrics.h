@@ -85,6 +85,29 @@ struct JobMetrics {
   // checkpoint bench's >= 3x recovery-work assertion compares this.
   uint64_t shuffle_refetched_bytes = 0;
 
+  // --- Resident shuffle (DESIGN.md §5.9) ---
+  // Push segments admitted to the per-node resident cache vs. spilled to
+  // the disk backstop under the byte budget, counted at publish time.
+  uint64_t resident_publish_segments = 0;
+  uint64_t resident_publish_bytes = 0;
+  uint64_t resident_spilled_segments = 0;
+  uint64_t resident_spilled_bytes = 0;
+  // Shuffle fetch bytes served from resident segments (vs. the retention-
+  // window disk re-reads they avoid), and segments lost to node crashes
+  // (re-materialized through ordinary map re-execution).
+  uint64_t resident_hit_bytes = 0;
+  uint64_t resident_invalidated_segments = 0;
+  uint64_t resident_invalidated_bytes = 0;
+  // Chain state carry-over: reducers that adopted a prior iteration's
+  // engine state instead of starting cold, and the state bytes moved at
+  // save/adopt time.
+  uint64_t resident_state_restores = 0;
+  uint64_t resident_state_restored_bytes = 0;
+  uint64_t resident_state_saved_bytes = 0;
+  // Map input bytes served from the M3R-style input cache (iteration re-
+  // reading the previous iteration's chunk store on the same nodes).
+  uint64_t resident_cached_input_bytes = 0;
+
   // --- Block codec (DESIGN.md §5.5) ---
   // Raw (KvBuffer-serialized) vs encoded (block-stream) bytes per stream
   // kind. All zero under block_codec == kNone (the encoder never runs).

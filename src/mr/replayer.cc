@@ -43,6 +43,8 @@ Replayer::Replayer(sim::Engine* engine, SlotPool* pool,
       pool_(pool) {
   CHECK_EQ(pool_->num_nodes(), config.cluster.nodes);
   dead_.assign(static_cast<size_t>(pool_->num_nodes()), 0);
+  map_winner_.assign(maps_.size(), -1);
+  reduce_winner_.assign(reduces_.size(), -1);
   map_states_.resize(maps_.size());
   reduce_states_.resize(reduces_.size());
   preempt_count_.assign(maps_.size(), 0);
@@ -159,6 +161,9 @@ void Replayer::ExportFaultMetrics(JobMetrics* m) const {
   m->checkpoint_segments_skipped += checkpoint_segments_skipped_;
   m->checkpoint_skipped_bytes += checkpoint_skipped_bytes_;
   m->shuffle_refetched_bytes += shuffle_refetched_bytes_;
+  m->resident_hit_bytes += resident_hit_bytes_;
+  m->resident_invalidated_segments += resident_invalidated_segments_;
+  m->resident_invalidated_bytes += resident_invalidated_bytes_;
 }
 
 void Replayer::ExportSeries(JobResult* result) const {
@@ -900,6 +905,14 @@ void Replayer::CrashNode(int n) {
         push_ready_[m][p] = -1.0;
         push_src_[m][p] = -1;
         lost_any = true;
+        // A resident push that dies with its node is a cache invalidation:
+        // the segment falls back to re-execution through the ordinary
+        // lost-output recovery below.
+        if (!maps_[m].resident.empty() && maps_[m].resident[p]) {
+          ++resident_invalidated_segments_;
+          resident_invalidated_bytes_ +=
+              p < maps_[m].push_bytes.size() ? maps_[m].push_bytes[p] : 0;
+        }
       }
     }
     if (lost_any && OutputNeeded(static_cast<int>(m))) {
@@ -1042,6 +1055,7 @@ void Replayer::MapDone(int m, int a) {
   st.completed = true;
   if (first) {
     ++maps_completed_;
+    map_winner_[static_cast<size_t>(m)] = node;
     last_map_finish_ = std::max(last_map_finish_, engine_->now());
     map_progress_.Add(engine_->now(),
                       100.0 * static_cast<double>(maps_completed_) /
@@ -1135,8 +1149,13 @@ void Replayer::StartFetch(int r, int a) {
   }
   // Fetch penalty: an attempt that was not yet running when the map
   // output was published (a second-wave or restarted reducer) finds it
-  // evicted from the holder's memory and re-reads it from disk.
-  if (d.bytes > 0 &&
+  // evicted from the holder's memory and re-reads it from disk. A
+  // resident push is exempt: the segment cache pins it in the holder's
+  // memory for the whole job, so there is no retention window to miss.
+  const bool resident_push =
+      !maps_[static_cast<size_t>(d.map_task)].resident.empty() &&
+      maps_[static_cast<size_t>(d.map_task)].resident[d.push];
+  if (d.bytes > 0 && !resident_push &&
       at.start > ready + config_.costs.map_output_retention_s) {
     shuffle_from_disk_bytes_ += d.bytes;
     TraceOp read;
@@ -1251,6 +1270,10 @@ void Replayer::FetchOverNet(int r, int a, uint32_t s) {
         // later (restarted or speculative) attempt pulls is recovery
         // re-fetch traffic.
         if (a > 0) shuffle_refetched_bytes_ += d.bytes;
+        if (!maps_[static_cast<size_t>(d.map_task)].resident.empty() &&
+            maps_[static_cast<size_t>(d.map_task)].resident[d.push]) {
+          resident_hit_bytes_ += d.bytes;
+        }
         att.fetched[s] = true;
         ++att.fetch_section;
         StartFetch(r, a);
@@ -1338,7 +1361,10 @@ void Replayer::ReduceDone(int r, int a) {
   }
   const bool first = !st.done;
   st.done = true;
-  if (first) ++reduces_done_;
+  if (first) {
+    ++reduces_done_;
+    reduce_winner_[static_cast<size_t>(r)] = node;
+  }
   pool_->ReleaseSlot(opts_.job_id, node, /*is_map=*/false);
   MaybeSpeculate(TaskKind::kReduce);
   CheckCompletion();

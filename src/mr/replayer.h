@@ -80,6 +80,12 @@ class Replayer {
     // gate op index -> push index, for push-ready bookkeeping.
     std::map<uint32_t, uint32_t> gates;
     uint32_t num_pushes = 0;
+    // Resident shuffle (DESIGN.md §5.9): per-push flags set by PrepareJob's
+    // resident transform. A resident push's retention-window re-read is
+    // skipped (it is served from the node's segment cache), and losing its
+    // node counts as a cache invalidation. Empty under kDisk.
+    std::vector<char> resident;
+    std::vector<uint64_t> push_bytes;  // total bytes per push (all parts)
   };
   struct ReduceTaskIn {
     int node = 0;
@@ -145,6 +151,15 @@ class Replayer {
   }
   uint64_t shuffle_from_disk_bytes() const {
     return shuffle_from_disk_bytes_;
+  }
+  // Placement capture for resident chains: the node whose attempt won each
+  // task (first finisher under speculation/recovery), or -1 if the job did
+  // not complete that task.
+  int map_winner_node(int m) const {
+    return map_winner_[static_cast<size_t>(m)];
+  }
+  int reduce_winner_node(int r) const {
+    return reduce_winner_[static_cast<size_t>(r)];
   }
 
   // Folds attempt/recovery counters into `m` (full replay only; the
@@ -387,6 +402,12 @@ class Replayer {
   uint64_t checkpoint_segments_skipped_ = 0;
   uint64_t checkpoint_skipped_bytes_ = 0;
   uint64_t shuffle_refetched_bytes_ = 0;
+  uint64_t resident_hit_bytes_ = 0;
+  uint64_t resident_invalidated_segments_ = 0;
+  uint64_t resident_invalidated_bytes_ = 0;
+
+  std::vector<int> map_winner_;
+  std::vector<int> reduce_winner_;
 
   uint64_t cum_shuffle_ = 0, cum_work_ = 0, cum_output_ = 0;
   sim::StepSeries map_progress_, reduce_progress_;

@@ -1,0 +1,21 @@
+#include "src/mr/resident.h"
+
+namespace onepass {
+
+std::vector<std::pair<int, uint32_t>> ResidentSegmentCache::Admit(
+    int node, int map_task, uint32_t partition, uint64_t bytes) {
+  std::vector<std::pair<int, uint32_t>> evicted;
+  auto& q = segments_[node];
+  q.push_back(Seg{map_task, partition, bytes});
+  bytes_[node] += bytes;
+  if (budget_ == 0) return evicted;
+  while (bytes_[node] > budget_ && !q.empty()) {
+    const Seg victim = q.front();
+    q.pop_front();
+    bytes_[node] -= victim.bytes;
+    evicted.emplace_back(victim.map_task, victim.partition);
+  }
+  return evicted;
+}
+
+}  // namespace onepass

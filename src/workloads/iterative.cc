@@ -1,0 +1,136 @@
+#include "src/workloads/iterative.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/util/coding.h"
+
+namespace onepass {
+
+std::string EncodeLabel(uint32_t label) {
+  std::string out;
+  out.reserve(4);
+  PutFixed32(&out, label);
+  return out;
+}
+
+bool DecodeLabel(std::string_view data, uint32_t* label) {
+  if (data.size() < 4) return false;
+  *label = DecodeFixed32(data.data());
+  return true;
+}
+
+void MinLabelMapper::Map(std::string_view /*key*/, std::string_view value,
+                         Emitter* out) {
+  Click c;
+  if (!DecodeClick(value, &c)) return;
+  out->Emit(UserKey(c.user), EncodeLabel(c.url));
+}
+
+std::string MinLabelIncReducer::Init(std::string_view /*key*/,
+                                     std::string_view value) {
+  return std::string(value);
+}
+
+void MinLabelIncReducer::Combine(std::string_view /*key*/, std::string* state,
+                                 std::string_view other) {
+  uint32_t mine = 0;
+  uint32_t theirs = 0;
+  if (!DecodeLabel(*state, &mine) || !DecodeLabel(other, &theirs)) return;
+  if (theirs < mine) *state = EncodeLabel(theirs);
+}
+
+void MinLabelIncReducer::Finalize(std::string_view key,
+                                  std::string_view state, Emitter* out) {
+  out->Emit(key, state);
+}
+
+void MinLabelListReducer::Reduce(std::string_view key, ValueIterator* values,
+                                 Emitter* out) {
+  uint32_t best = 0;
+  bool have = false;
+  std::string_view v;
+  while (values->Next(&v)) {
+    uint32_t label = 0;
+    if (!DecodeLabel(v, &label)) continue;
+    if (!have || label < best) {
+      best = label;
+      have = true;
+    }
+  }
+  if (have) out->Emit(key, EncodeLabel(best));
+}
+
+JobSpec LabelPropagationJob() {
+  JobSpec spec;
+  spec.name = "label propagation";
+  spec.mapper = []() { return std::make_unique<MinLabelMapper>(); };
+  spec.reducer = []() { return std::make_unique<MinLabelListReducer>(); };
+  spec.inc = []() { return std::make_unique<MinLabelIncReducer>(); };
+  return spec;
+}
+
+GrowingLog MakeGrowingClickLog(const ClickStreamConfig& config,
+                               int iterations, double growth_fraction,
+                               uint64_t chunk_bytes, int nodes,
+                               int replication) {
+  iterations = std::max(1, iterations);
+  growth_fraction = std::clamp(growth_fraction, 0.0, 1.0);
+
+  ChunkStore all(chunk_bytes, nodes, replication);
+  GenerateClickStream(config, &all);
+
+  const uint64_t total = all.total_records();
+  uint64_t delta = iterations > 1
+                       ? static_cast<uint64_t>(
+                             static_cast<double>(total) * growth_fraction)
+                       : 0;
+  if (iterations > 1) {
+    delta = std::max<uint64_t>(1, delta);
+    // Keep at least one record in the base round.
+    const uint64_t rounds = static_cast<uint64_t>(iterations - 1);
+    if (delta * rounds >= total) {
+      delta = std::max<uint64_t>(1, (total - 1) / rounds);
+    }
+  }
+  // bounds[i] = number of records visible after round i.
+  std::vector<uint64_t> bounds(static_cast<size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    bounds[static_cast<size_t>(i)] =
+        i + 1 == iterations
+            ? total
+            : total - delta * static_cast<uint64_t>(iterations - 1 - i);
+  }
+
+  GrowingLog log;
+  for (int i = 0; i < iterations; ++i) {
+    log.deltas.push_back(
+        std::make_unique<ChunkStore>(chunk_bytes, nodes, replication));
+    log.fulls.push_back(
+        std::make_unique<ChunkStore>(chunk_bytes, nodes, replication));
+  }
+
+  uint64_t idx = 0;
+  for (const Chunk& chunk : all.chunks()) {
+    KvBufferReader reader(chunk.records);
+    std::string_view k;
+    std::string_view v;
+    while (reader.Next(&k, &v)) {
+      size_t round = 0;
+      while (round + 1 < bounds.size() && idx >= bounds[round]) ++round;
+      log.deltas[round]->Append(k, v);
+      for (size_t i = round; i < bounds.size(); ++i) {
+        log.fulls[i]->Append(k, v);
+      }
+      ++idx;
+    }
+  }
+  for (int i = 0; i < iterations; ++i) {
+    log.deltas[static_cast<size_t>(i)]->Seal();
+    log.fulls[static_cast<size_t>(i)]->Seal();
+  }
+  return log;
+}
+
+}  // namespace onepass

@@ -1,0 +1,97 @@
+// Iterative and repeated-job workloads for the resident shuffle engine
+// (DESIGN.md §5.9).
+//
+// Two shapes of repetition show up in one-pass analytics pipelines:
+//
+//  * The *same* job re-run over the *same* input — label propagation
+//    (connected-components style): each user's label is the minimum url
+//    id it ever clicked, recomputed every round. min is idempotent and
+//    algebraic, so a resident chain re-running the job is byte-exact
+//    against a cold run, while reusing the cached input, the pinned
+//    placement, and (INC/DINC) the prior reduce state.
+//
+//  * The same job re-run over a *growing* input — repeated
+//    sessionization / counting over a log that gains a delta of new
+//    records between rounds. A resident chain feeds only the delta to
+//    iteration i+1 and restores iteration i's reduce state; a cold job
+//    must rescan the whole log. MakeGrowingClickLog builds the matched
+//    pair of views (per-round deltas and cumulative fulls) from one
+//    generated stream so warm and cold runs see identical records.
+//
+// For algebraic workloads (counting, min-label) the chain's final
+// iteration emits exactly what one cold job over the full log emits —
+// the basis of the exactness checks in tests/job_chain_test.cc and
+// bench_iterative.
+
+#ifndef ONEPASS_WORKLOADS_ITERATIVE_H_
+#define ONEPASS_WORKLOADS_ITERATIVE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/mr/cluster.h"
+#include "src/workloads/clickstream.h"
+
+namespace onepass {
+
+// Label state: [label: fixed32].
+std::string EncodeLabel(uint32_t label);
+bool DecodeLabel(std::string_view data, uint32_t* label);
+
+// Map: click -> (user key, label state of the clicked url).
+class MinLabelMapper : public Mapper {
+ public:
+  void Map(std::string_view key, std::string_view value,
+           Emitter* out) override;
+};
+
+// init = identity, cb = min, fn = emit the minimum label.
+class MinLabelIncReducer : public IncrementalReducer {
+ public:
+  std::string Init(std::string_view key, std::string_view value) override;
+  void Combine(std::string_view key, std::string* state,
+               std::string_view other) override;
+  void Finalize(std::string_view key, std::string_view state,
+                Emitter* out) override;
+  // min is algebraic: a resident state must merge with spilled fragments.
+  bool FlushResidentStatesAtEnd() const override { return true; }
+  uint64_t StateBytesHint() const override { return 4; }
+};
+
+// Values-list form (sort-merge / MR-hash): min over the value list.
+class MinLabelListReducer : public Reducer {
+ public:
+  void Reduce(std::string_view key, ValueIterator* values,
+              Emitter* out) override;
+};
+
+// Connected-components-style label propagation over the clickstream
+// graph: every engine contract is provided, so the job runs on all four
+// engines and in resident chains.
+JobSpec LabelPropagationJob();
+
+// A click log that grows by a fixed delta between analysis rounds.
+// deltas[0] is the base log; deltas[i>0] holds only round i's new
+// records; fulls[i] is the cumulative log after round i (base plus
+// deltas 1..i). fulls.back() contains every generated record. All
+// stores are sealed and share chunk geometry, so a warm chain over the
+// deltas and a cold job over fulls[i] consume identical record bytes.
+struct GrowingLog {
+  std::vector<std::unique_ptr<ChunkStore>> deltas;
+  std::vector<std::unique_ptr<ChunkStore>> fulls;
+};
+
+// Generates one click stream and splits it into `iterations` rounds.
+// growth_fraction is the share of total records arriving per round after
+// the first (clamped so the base keeps at least one record).
+GrowingLog MakeGrowingClickLog(const ClickStreamConfig& config,
+                               int iterations, double growth_fraction,
+                               uint64_t chunk_bytes, int nodes,
+                               int replication = 1);
+
+}  // namespace onepass
+
+#endif  // ONEPASS_WORKLOADS_ITERATIVE_H_

@@ -174,6 +174,39 @@ TEST(CostModelTest, PaperConstants) {
   EXPECT_DOUBLE_EQ(c.task_start_s, 0.100);
 }
 
+TEST(ConfigValidateTest, ResidentShuffleKnobs) {
+  JobConfig cfg;
+  cfg.shuffle_mode = ShuffleMode::kResident;
+  EXPECT_TRUE(cfg.Validate().ok());
+
+  // The cache budget is either unbounded (0) or a real budget (>= 4 KB) —
+  // a few-byte budget would evict every segment and silently degrade to
+  // disk mode.
+  cfg.resident_cache_bytes = 1000;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg.resident_cache_bytes = 4096;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.resident_cache_bytes = 0;
+  EXPECT_TRUE(cfg.Validate().ok());
+
+  cfg = JobConfig();
+  cfg.iterations = 0;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg.iterations = 65;  // chain length cap
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg.iterations = 64;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.iterations = 1;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, ShuffleModeNamesAreDistinct) {
+  EXPECT_NE(ShuffleModeName(ShuffleMode::kDisk),
+            ShuffleModeName(ShuffleMode::kResident));
+  EXPECT_EQ(ShuffleModeName(ShuffleMode::kDisk), "disk");
+  EXPECT_EQ(ShuffleModeName(ShuffleMode::kResident), "resident");
+}
+
 TEST(CostModelTest, SortCostIsNLogN) {
   CostModel c;
   EXPECT_DOUBLE_EQ(c.SortCost(0), 0.0);

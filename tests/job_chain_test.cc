@@ -1,0 +1,244 @@
+// Resident job chains (DESIGN.md §5.9): an iterative sequence where each
+// stage adopts the previous stage's reduce state, placement, and input
+// cache. The contract under test: for algebraic workloads the chain's
+// final iteration emits exactly what one cold job over the union of all
+// consumed input emits — incremental refresh is exact, not approximate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/mr/job_builder.h"
+#include "src/mr/job_chain.h"
+#include "src/mr/job_manager.h"
+#include "src/workloads/iterative.h"
+#include "src/workloads/jobs.h"
+
+namespace onepass {
+namespace {
+
+std::string SortedOutputs(const JobResult& r) {
+  std::vector<std::string> lines;
+  lines.reserve(r.outputs.size());
+  for (const Record& rec : r.outputs) {
+    lines.push_back(rec.key + "=" + rec.value);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+JobConfig ChainConfig(EngineKind engine) {
+  JobConfig cfg;
+  cfg.engine = engine;
+  cfg.shuffle_mode = ShuffleMode::kResident;
+  cfg.cluster.nodes = 4;
+  cfg.cluster.cores_per_node = 2;
+  cfg.cluster.map_slots = 2;
+  cfg.cluster.reduce_slots = 2;
+  cfg.reducers_per_node = 2;
+  cfg.chunk_bytes = 64 << 10;
+  cfg.reduce_memory_bytes = 64 << 10;
+  cfg.map_side_combine = true;
+  cfg.collect_outputs = true;
+  return cfg;
+}
+
+GrowingLog MakeLog(int iterations) {
+  ClickStreamConfig clicks;
+  clicks.num_clicks = 24'000;
+  clicks.num_users = 1'200;
+  clicks.user_skew = 0.8;
+  clicks.seed = 17;
+  return MakeGrowingClickLog(clicks, iterations, /*growth_fraction=*/0.15,
+                             /*chunk_bytes=*/64 << 10, /*nodes=*/4);
+}
+
+class JobChainExactness : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(JobChainExactness, GrowingLogChainEqualsColdJobOverUnion) {
+  const int kIters = 4;
+  const GrowingLog log = MakeLog(kIters);
+  const JobConfig cfg = ChainConfig(GetParam());
+
+  std::vector<ChainStage> stages(kIters);
+  for (int i = 0; i < kIters; ++i) {
+    stages[static_cast<size_t>(i)] = {ClickCountJob(), cfg,
+                                      log.deltas[static_cast<size_t>(i)].get()};
+  }
+  auto chain = JobManager::RunChain(stages);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  ASSERT_EQ(chain->iterations.size(), static_cast<size_t>(kIters));
+
+  // State carry is an INC/DINC feature; every engine still gets the
+  // resident shuffle itself. With carry the final stage's answer covers
+  // the whole log; without it each stage is an independent job over its
+  // delta, so the cold reference is the final delta alone.
+  const bool carries = GetParam() == EngineKind::kIncHash ||
+                       GetParam() == EngineKind::kDincHash;
+  JobConfig cold_cfg = cfg;
+  cold_cfg.shuffle_mode = ShuffleMode::kDisk;
+  auto cold = LocalCluster::RunJob(
+      ClickCountJob(), cold_cfg,
+      carries ? *log.fulls.back() : *log.deltas.back());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  EXPECT_EQ(SortedOutputs(chain->iterations.back()), SortedOutputs(*cold))
+      << "chain refresh diverged from the cold reference job";
+  const JobMetrics& warm = chain->iterations.back().metrics;
+  if (carries) {
+    EXPECT_GT(warm.resident_state_restores, 0u);
+    EXPECT_GT(warm.resident_state_restored_bytes, 0u);
+    // Stage 0 has no prior state but must save its own.
+    EXPECT_EQ(chain->iterations[0].metrics.resident_state_restores, 0u);
+    EXPECT_GT(chain->iterations[0].metrics.resident_state_saved_bytes, 0u);
+  } else {
+    EXPECT_EQ(warm.resident_state_restores, 0u);
+  }
+  EXPECT_GT(warm.resident_publish_segments +
+                warm.resident_spilled_segments,
+            0u);
+
+  // Placement was captured from the authoritative replay: every partition
+  // landed on a real node.
+  EXPECT_FALSE(chain->placement.empty());
+  for (const int node : chain->placement.reduce_node) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, cfg.cluster.nodes);
+  }
+  for (const int node : chain->placement.map_node) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, cfg.cluster.nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, JobChainExactness,
+    ::testing::Values(EngineKind::kSortMerge, EngineKind::kMRHash,
+                      EngineKind::kIncHash, EngineKind::kDincHash),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      std::string name(EngineKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(JobChainTest, RepeatedSameInputChainIsExactAndCachesInput) {
+  // Idempotent aggregate (min label) re-run over the same store: every
+  // warm iteration's answer equals the cold one, and iterations after the
+  // first serve map input from the resident input cache.
+  ClickStreamConfig clicks;
+  clicks.num_clicks = 20'000;
+  clicks.num_users = 1'000;
+  clicks.seed = 23;
+  ChunkStore input(64 << 10, 4);
+  GenerateClickStream(clicks, &input);
+
+  const JobConfig cfg = ChainConfig(EngineKind::kIncHash);
+  auto chain = JobBuilder("min label chain")
+                   .WithMapper(LabelPropagationJob().mapper)
+                   .WithIncrementalReducer(LabelPropagationJob().inc)
+                   .Engine(EngineKind::kIncHash)
+                   .Cluster(4, 2, 2, 2)
+                   .ReducersPerNode(2)
+                   .ChunkBytes(64 << 10)
+                   .MapSideCombine(true)
+                   .CollectOutputs(true)
+                   .ShuffleMode(ShuffleMode::kResident)
+                   .Iterate(3)
+                   .RunChain(input);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  ASSERT_EQ(chain->iterations.size(), 3u);
+
+  JobConfig cold_cfg = cfg;
+  cold_cfg.shuffle_mode = ShuffleMode::kDisk;
+  auto cold = LocalCluster::RunJob(LabelPropagationJob(), cold_cfg, input);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  const std::string want = SortedOutputs(*cold);
+  for (const JobResult& iter : chain->iterations) {
+    EXPECT_EQ(SortedOutputs(iter), want);
+  }
+  EXPECT_EQ(chain->iterations[0].metrics.resident_cached_input_bytes, 0u);
+  EXPECT_GT(chain->iterations[1].metrics.resident_cached_input_bytes, 0u);
+  EXPECT_GT(chain->iterations[2].metrics.resident_state_restores, 0u);
+}
+
+TEST(JobChainTest, DiskModeChainRunsColdEveryIteration) {
+  const GrowingLog log = MakeLog(2);
+  JobConfig cfg = ChainConfig(EngineKind::kIncHash);
+  cfg.shuffle_mode = ShuffleMode::kDisk;
+  std::vector<ChainStage> stages = {
+      {ClickCountJob(), cfg, log.deltas[0].get()},
+      {ClickCountJob(), cfg, log.deltas[1].get()},
+  };
+  auto chain = RunJobChain(stages);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  for (const JobResult& iter : chain->iterations) {
+    EXPECT_EQ(iter.metrics.resident_publish_segments, 0u);
+    EXPECT_EQ(iter.metrics.resident_state_restores, 0u);
+    EXPECT_EQ(iter.metrics.resident_cached_input_bytes, 0u);
+  }
+}
+
+TEST(JobChainTest, RejectsMalformedChains) {
+  const GrowingLog log = MakeLog(2);
+  const JobConfig cfg = ChainConfig(EngineKind::kIncHash);
+
+  // Empty chain.
+  EXPECT_FALSE(RunJobChain({}).ok());
+
+  // Missing input store.
+  {
+    std::vector<ChainStage> stages = {{ClickCountJob(), cfg, nullptr}};
+    EXPECT_FALSE(RunJobChain(stages).ok());
+  }
+
+  // Too many stages.
+  {
+    std::vector<ChainStage> stages(
+        65, ChainStage{ClickCountJob(), cfg, log.deltas[0].get()});
+    EXPECT_FALSE(RunJobChain(stages).ok());
+  }
+
+  // Consecutive resident stages must agree on the engine.
+  {
+    JobConfig other = cfg;
+    other.engine = EngineKind::kDincHash;
+    std::vector<ChainStage> stages = {
+        {ClickCountJob(), cfg, log.deltas[0].get()},
+        {ClickCountJob(), other, log.deltas[1].get()},
+    };
+    EXPECT_FALSE(RunJobChain(stages).ok());
+  }
+
+  // ... and on the seed (the hash family derives from it).
+  {
+    JobConfig other = cfg;
+    other.seed += 1;
+    std::vector<ChainStage> stages = {
+        {ClickCountJob(), cfg, log.deltas[0].get()},
+        {ClickCountJob(), other, log.deltas[1].get()},
+    };
+    EXPECT_FALSE(RunJobChain(stages).ok());
+  }
+
+  // State carry-over requires the flat hash core.
+  {
+    JobConfig legacy = cfg;
+    legacy.hash_core = HashCoreKind::kLegacy;
+    std::vector<ChainStage> stages = {
+        {ClickCountJob(), legacy, log.deltas[0].get()}};
+    EXPECT_FALSE(RunJobChain(stages).ok());
+  }
+}
+
+}  // namespace
+}  // namespace onepass

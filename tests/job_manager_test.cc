@@ -341,6 +341,32 @@ TEST(JobManagerTest, PreemptionHelpsLateArrival) {
   // bench_multitenant, not here.)
 }
 
+TEST(JobManagerTest, TenantProgressAggregatesCompletedJobs) {
+  // Definition 1 progress rolled up per tenant: the curve climbs from 0
+  // to 100 across the tenant's completed jobs, in absolute cluster time,
+  // and the midpoint sample is consistent with the curve itself.
+  const ChunkStore input = SmallInput(/*replication=*/1);
+  const JobConfig cfg = SmallJobConfig(1);
+  ManagerConfig mc = SmallManagerConfig(cfg);
+  auto mr = JobManager::Run(
+      mc, {Submit(input, cfg, /*tenant=*/0, /*arrival=*/0),
+           Submit(input, cfg, /*tenant=*/0, /*arrival=*/0.5)});
+  ASSERT_TRUE(mr.ok()) << mr.status().ToString();
+  ASSERT_EQ(mr->tenants.size(), 1u);
+  const TenantStats& ts = mr->tenants[0];
+  ASSERT_EQ(ts.jobs_completed, 2);
+  ASSERT_FALSE(ts.progress.times.empty());
+  // Monotone non-decreasing from ~0 to 100.
+  for (size_t i = 1; i < ts.progress.values.size(); ++i) {
+    EXPECT_GE(ts.progress.values[i], ts.progress.values[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(ts.progress.FinalValue(), 100.0);
+  EXPECT_DOUBLE_EQ(ts.mean_progress_at_makespan_half,
+                   ts.progress.ValueAt(mr->makespan / 2));
+  EXPECT_GT(ts.mean_progress_at_makespan_half, 0.0);
+  EXPECT_LE(ts.mean_progress_at_makespan_half, 100.0);
+}
+
 TEST(JobManagerTest, OutcomeStateNames) {
   EXPECT_EQ(JobOutcomeStateName(JobOutcomeState::kCompleted), "completed");
   EXPECT_EQ(JobOutcomeStateName(JobOutcomeState::kRejected), "rejected");

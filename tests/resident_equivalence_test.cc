@@ -1,0 +1,213 @@
+// The resident shuffle engine must be invisible to the answer (DESIGN.md
+// §5.9): with shuffle_mode = kResident every engine produces exactly the
+// records it produces under kDisk — on clean runs, under fault schedules,
+// at every data-plane thread count, with and without the block codec, and
+// when the segment cache budget forces mid-job spills. Residency is a
+// time-plane property: phases 1-3 consume the same bytes in the same
+// order either way.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/mr/cluster.h"
+#include "src/mr/resident.h"
+#include "src/workloads/clickstream.h"
+#include "src/workloads/jobs.h"
+
+namespace onepass {
+namespace {
+
+// Canonical rendering of a job's answer: record order is a scheduling
+// artifact, so compare the sorted multiset.
+std::string SortedOutputs(const JobResult& r) {
+  std::vector<std::string> lines;
+  lines.reserve(r.outputs.size());
+  for (const Record& rec : r.outputs) {
+    lines.push_back(rec.key + "=" + rec.value);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+ChunkStore MakeClickStore(int replication = 1) {
+  ClickStreamConfig clicks;
+  clicks.num_clicks = 30'000;
+  clicks.num_users = 1'500;
+  clicks.user_skew = 0.8;
+  clicks.seed = 11;
+  ChunkStore input(64 << 10, 5, replication);
+  GenerateClickStream(clicks, &input);
+  return input;
+}
+
+JobConfig BaseConfig(EngineKind engine) {
+  JobConfig cfg;
+  cfg.engine = engine;
+  cfg.cluster.nodes = 5;
+  cfg.cluster.cores_per_node = 2;
+  cfg.cluster.map_slots = 2;
+  cfg.cluster.reduce_slots = 2;
+  cfg.reducers_per_node = 2;
+  cfg.chunk_bytes = 64 << 10;
+  cfg.reduce_memory_bytes = 8 << 10;  // tight: spills on every engine
+  cfg.merge_factor = 4;
+  cfg.bucket_page_bytes = 1024;
+  cfg.map_side_combine = true;
+  cfg.collect_outputs = true;
+  cfg.expected_keys_per_reducer = 150;
+  cfg.expected_bytes_per_reducer = 64 << 10;
+  return cfg;
+}
+
+// Runs the job under kDisk and kResident (at the given cache budget) for
+// every codec x thread-count combination and compares the answers.
+// Cross-mode comparison is outputs-only: the resident counters make
+// Serialize() differ between modes by design.
+void ExpectResidentInvisible(const JobSpec& job, const JobConfig& base,
+                             const ChunkStore& input,
+                             uint64_t cache_bytes = 0) {
+  for (const BlockCodecKind codec :
+       {BlockCodecKind::kNone, BlockCodecKind::kLz}) {
+    for (const int threads : {1, 8}) {
+      JobConfig disk = base;
+      disk.block_codec = codec;
+      disk.data_plane_threads = threads;
+      disk.shuffle_mode = ShuffleMode::kDisk;
+      auto cold = LocalCluster::RunJob(job, disk, input);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+      JobConfig res = disk;
+      res.shuffle_mode = ShuffleMode::kResident;
+      res.resident_cache_bytes = cache_bytes;
+      auto warm = LocalCluster::RunJob(job, res, input);
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+      EXPECT_EQ(SortedOutputs(*warm), SortedOutputs(*cold))
+          << "kResident changed the answer (codec="
+          << (codec == BlockCodecKind::kLz ? "lz" : "none")
+          << " threads=" << threads << ")";
+      // Residency engaged, and kDisk runs charge none of its counters.
+      EXPECT_GT(warm->metrics.resident_publish_segments +
+                    warm->metrics.resident_spilled_segments,
+                0u);
+      EXPECT_EQ(cold->metrics.resident_publish_segments, 0u);
+      EXPECT_EQ(cold->metrics.resident_hit_bytes, 0u);
+      EXPECT_EQ(cold->metrics.resident_spilled_segments, 0u);
+    }
+  }
+}
+
+class ResidentEquivalence : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ResidentEquivalence, CleanRunSameAnswer) {
+  const ChunkStore input = MakeClickStore();
+  ExpectResidentInvisible(ClickCountJob(), BaseConfig(GetParam()), input);
+}
+
+TEST_P(ResidentEquivalence, FaultedRunSameAnswer) {
+  // Crashes invalidate resident segments; recovery re-executes through
+  // the disk-backed replica path and must converge to the same answer.
+  const ChunkStore input = MakeClickStore(/*replication=*/2);
+  JobConfig cfg = BaseConfig(GetParam());
+  cfg.replication = 2;
+  cfg.faults.crashes.push_back({.node = 2, .at_map_fraction = 0.5});
+  cfg.faults.disk_error_rate = 0.05;
+  cfg.faults.fetch_failure_rate = 0.05;
+  cfg.faults.corruption_rate = 0.01;
+  cfg.faults.torn_writes = true;
+  ExpectResidentInvisible(ClickCountJob(), cfg, input);
+}
+
+TEST_P(ResidentEquivalence, CachePressureSpillsMidJobSameAnswer) {
+  // A 4 KB budget can hold only a segment or two per node, so the cache
+  // write-through backstop spills most segments mid-job — the answer must
+  // not move, and the spill counters must show the pressure.
+  const ChunkStore input = MakeClickStore();
+  const JobConfig base = BaseConfig(GetParam());
+  ExpectResidentInvisible(ClickCountJob(), base, input,
+                          /*cache_bytes=*/4096);
+
+  JobConfig res = base;
+  res.shuffle_mode = ShuffleMode::kResident;
+  res.resident_cache_bytes = 4096;
+  auto warm = LocalCluster::RunJob(ClickCountJob(), res, input);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_GT(warm->metrics.resident_spilled_segments, 0u);
+}
+
+TEST_P(ResidentEquivalence, ResidentRunByteIdenticalAcrossThreadCounts) {
+  // Within kResident the whole run — every counter in Serialize() plus
+  // the answer — must be byte-identical at any thread count.
+  const ChunkStore input = MakeClickStore();
+  JobConfig cfg = BaseConfig(GetParam());
+  cfg.shuffle_mode = ShuffleMode::kResident;
+  cfg.data_plane_threads = 1;
+  auto sequential = LocalCluster::RunJob(ClickCountJob(), cfg, input);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  const std::string want =
+      sequential->metrics.Serialize() + SortedOutputs(*sequential);
+  for (int threads : {2, 8}) {
+    cfg.data_plane_threads = threads;
+    auto parallel = LocalCluster::RunJob(ClickCountJob(), cfg, input);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(parallel->metrics.Serialize() + SortedOutputs(*parallel), want)
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(ResidentEquivalence, SessionizationSameAnswer) {
+  // A stateful streaming workload (order-sensitive inside the bounded
+  // buffer): residency must not perturb the delivery order phases 1-3
+  // fixed.
+  const ChunkStore input = MakeClickStore();
+  JobConfig cfg = BaseConfig(GetParam());
+  cfg.map_side_combine = false;
+  cfg.reduce_memory_bytes = 64 << 10;
+  ExpectResidentInvisible(SessionizationJob(), cfg, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ResidentEquivalence,
+    ::testing::Values(EngineKind::kSortMerge, EngineKind::kMRHash,
+                      EngineKind::kIncHash, EngineKind::kDincHash),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      std::string name(EngineKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ResidentSegmentCacheTest, EvictsOldestBeyondBudget) {
+  ResidentSegmentCache cache(/*nodes=*/2, /*budget_bytes=*/1000);
+  EXPECT_TRUE(cache.Admit(0, 0, 0, 400).empty());
+  EXPECT_TRUE(cache.Admit(0, 0, 1, 400).empty());
+  // Third segment pushes node 0 over budget: the oldest goes.
+  const auto evicted = cache.Admit(0, 1, 0, 400);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, 0);
+  EXPECT_EQ(evicted[0].second, 0u);
+  EXPECT_EQ(cache.resident_bytes(0), 800u);
+  // Budgets are per producing node: node 1 is untouched.
+  EXPECT_TRUE(cache.Admit(1, 2, 0, 900).empty());
+  EXPECT_EQ(cache.resident_bytes(1), 900u);
+}
+
+TEST(ResidentSegmentCacheTest, ZeroBudgetIsUnbounded) {
+  ResidentSegmentCache cache(/*nodes=*/1, /*budget_bytes=*/0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(cache.Admit(0, i, 0, 1 << 20).empty());
+  }
+  EXPECT_EQ(cache.resident_bytes(0), 100u << 20);
+}
+
+}  // namespace
+}  // namespace onepass
