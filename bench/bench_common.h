@@ -56,6 +56,12 @@ struct Flags {
   // --shuffle_mode=disk|resident sets JobConfig::shuffle_mode.
   int iterations = 1;
   std::string shuffle_mode = "disk";
+  // Node combine tier (DESIGN.md §5.10). --combine_scope=task|node sets
+  // JobConfig::combine_scope; --node_combine_budget=N bytes bounds one
+  // node's combine tier (0 = unbounded; shards over their share degrade
+  // to the FREQUENT sketch).
+  std::string combine_scope = "task";
+  uint64_t node_combine_budget = 0;
 };
 
 namespace detail {
@@ -92,6 +98,10 @@ inline Flags ParseFlags(int argc, char** argv) {
       flags.iterations = std::stoi(arg.substr(13));
     } else if (arg.rfind("--shuffle_mode=", 0) == 0) {
       flags.shuffle_mode = arg.substr(15);
+    } else if (arg.rfind("--combine_scope=", 0) == 0) {
+      flags.combine_scope = arg.substr(16);
+    } else if (arg.rfind("--node_combine_budget=", 0) == 0) {
+      flags.node_combine_budget = std::stoull(arg.substr(22));
     } else if (arg == "--plot" && i + 1 < argc) {
       flags.plot = argv[++i];
     } else if (arg.rfind("--plot=", 0) == 0) {
@@ -112,6 +122,17 @@ inline BlockCodecKind CodecFromFlag(const std::string& name) {
   return BlockCodecKind::kNone;
 }
 
+// Resolves a --combine_scope= flag value ("task"/"node") to the config
+// enum; unknown names fall back to kTask with a warning.
+inline CombineScope CombineScopeFromFlag(const std::string& name) {
+  if (name == "node") return CombineScope::kNode;
+  if (name != "task" && !name.empty()) {
+    std::fprintf(stderr, "unknown --combine_scope=%s, using task\n",
+                 name.c_str());
+  }
+  return CombineScope::kTask;
+}
+
 // Resolves a --shuffle_mode= flag value ("disk"/"resident") to the
 // config enum; unknown names fall back to kDisk with a warning.
 inline ShuffleMode ShuffleModeFromFlag(const std::string& name) {
@@ -124,14 +145,17 @@ inline ShuffleMode ShuffleModeFromFlag(const std::string& name) {
 }
 
 // Applies the data-plane flags (--threads/--codec/--batch_size/--simd/
-// --iterations/--shuffle_mode) to a job config. Every bench routes its
-// config through here so the whole suite exposes the same knobs.
+// --iterations/--shuffle_mode/--combine_scope/--node_combine_budget) to a
+// job config. Every bench routes its config through here so the whole
+// suite exposes the same knobs.
 inline void ApplyDataPlaneFlags(const Flags& flags, JobConfig* cfg) {
   cfg->data_plane_threads = flags.threads;
   cfg->block_codec = CodecFromFlag(flags.codec);
   cfg->batch_records = flags.batch_size;
   cfg->iterations = flags.iterations < 1 ? 1 : flags.iterations;
   cfg->shuffle_mode = ShuffleModeFromFlag(flags.shuffle_mode);
+  cfg->combine_scope = CombineScopeFromFlag(flags.combine_scope);
+  cfg->node_combine_budget_bytes = flags.node_combine_budget;
   if (flags.simd == "scalar") {
     cfg->simd = JobConfig::SimdPolicy::kForceScalar;
   } else {

@@ -50,6 +50,12 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   JobConfig base = bench::ScaledJobConfig(EngineKind::kSortMerge);
+  if (base.combine_scope == CombineScope::kNode) {
+    // The node tier needs a combine function on sort-merge; timings then
+    // measure sessionization with map-side combine enabled.
+    base.map_side_combine = true;
+    std::printf("(--combine_scope=node: map-side combine enabled)\n\n");
+  }
   base.reduce_memory_bytes = 64 << 10;
   base.costs = CostModel();
   base.costs.task_start_s = 0.010;
@@ -147,6 +153,11 @@ int main(int argc, char** argv) {
        {HashCoreKind::kFlat, HashCoreKind::kLegacy}) {
     JobConfig cfg = inc_cfg;
     cfg.hash_core = core;
+    // The node tier requires the flat core's reproducible iteration
+    // order; the legacy-core baseline runs at task scope regardless.
+    if (core == HashCoreKind::kLegacy) {
+      cfg.combine_scope = CombineScope::kTask;
+    }
     auto r = bench::MustRun(ClickCountJob(), cfg, inc_input);
     if (!r.ok()) return 1;
     const uint64_t fp = OutputFingerprint(r->outputs);

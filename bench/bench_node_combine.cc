@@ -1,0 +1,170 @@
+// Node combine tier (DESIGN.md §5.10): shuffle bytes and reduce time,
+// combine_scope = task vs node, across key skew — the tier's win grows
+// with skew because hot keys repeat across every co-located map task and
+// collapse to one entry per (node, partition) at the barrier.
+//
+// The baseline is the strongest pre-tier configuration: map-side combine
+// plus the lz block codec. The CI gate at the bottom requires the Zipf-1.2
+// click-count shuffle-byte drop over that baseline to hold a 2x floor
+// (EXPERIMENTS.md records the measured value, target >= 3x); the bench
+// exits non-zero if the floor is missed.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/workloads/documents.h"
+#include "src/workloads/jobs.h"
+
+namespace {
+
+struct RunStats {
+  double total_s = 0;
+  double reduce_tail_s = 0;  // last map done -> job done
+  uint64_t shuffle_bytes = 0;
+  int map_tasks = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace onepass;
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+
+  std::printf("=== node combine tier: shuffle bytes vs combine scope "
+              "===\n\n");
+
+  // Many small chunks put many map tasks on every node — the regime the
+  // tier targets (one combined push replaces one push per task).
+  auto base_config = [&](EngineKind engine) {
+    JobConfig cfg = bench::ScaledJobConfig(engine, flags);
+    cfg.chunk_bytes = 64 << 10;
+    cfg.map_side_combine = true;
+    // The stated baseline is combiner+codec; --codec only strengthens it.
+    if (cfg.block_codec == BlockCodecKind::kNone) {
+      cfg.block_codec = BlockCodecKind::kLz;
+    }
+    return cfg;
+  };
+
+  auto run = [&](const JobSpec& job, JobConfig cfg, const ChunkStore& input,
+                 CombineScope scope) {
+    cfg.combine_scope = scope;
+    RunStats s;
+    auto r = bench::MustRun(job, cfg, input);
+    if (!r.ok()) return s;
+    s.total_s = r->running_time;
+    s.reduce_tail_s = r->running_time - r->map_finish_time;
+    s.shuffle_bytes = r->metrics.shuffle_bytes;
+    s.map_tasks = r->map_tasks;
+    return s;
+  };
+
+  std::printf("%-10s %5s %6s %12s %12s %10s %8s\n", "workload", "skew",
+              "scope", "shuffle(MB)", "reduce(s)", "total(s)", "ratio");
+
+  double clicks_12_ratio = 0.0;
+  double trigram_12_ratio = 0.0;
+  int maps_per_node = 0;
+
+  for (const double skew : {0.0, 0.8, 1.2}) {
+    ClickStreamConfig clicks = bench::ScaledClicks(flags.scale);
+    clicks.user_skew = skew;
+    JobConfig cfg = base_config(EngineKind::kIncHash);
+    ChunkStore input(cfg.chunk_bytes, cfg.cluster.nodes);
+    GenerateClickStream(clicks, &input);
+
+    const RunStats task =
+        run(ClickCountJob(), cfg, input, CombineScope::kTask);
+    const RunStats node =
+        run(ClickCountJob(), cfg, input, CombineScope::kNode);
+    const double ratio =
+        node.shuffle_bytes ? static_cast<double>(task.shuffle_bytes) /
+                                 static_cast<double>(node.shuffle_bytes)
+                           : 0.0;
+    if (skew == 1.2) clicks_12_ratio = ratio;
+    maps_per_node = task.map_tasks / cfg.cluster.nodes;
+
+    std::printf("%-10s %5.1f %6s %12s %12.2f %10.2f %8s\n", "clicks", skew,
+                "task", bench::Mb(task.shuffle_bytes).c_str(),
+                task.reduce_tail_s, task.total_s, "");
+    std::printf("%-10s %5.1f %6s %12s %12.2f %10.2f %7.2fx\n", "clicks",
+                skew, "node", bench::Mb(node.shuffle_bytes).c_str(),
+                node.reduce_tail_s, node.total_s, ratio);
+  }
+
+  double words_12_ratio = 0.0;
+  {
+    DocumentCorpusConfig docs = bench::ScaledDocs(flags.scale);
+    docs.word_skew = 1.2;
+    JobConfig cfg = base_config(EngineKind::kIncHash);
+    ChunkStore input(cfg.chunk_bytes, cfg.cluster.nodes);
+    GenerateDocuments(docs, &input);
+
+    // Word count: hot words repeat across every co-located task, the
+    // tier's target regime. Trigram count over the same corpus is the
+    // counter-regime — the trigram key space is so sparse that most keys
+    // are node-unique and no combiner tier can collapse them; it is here
+    // to show the tier degrades gracefully, not to meet the gate.
+    struct WorkloadRow {
+      const char* name;
+      JobSpec job;
+      double* ratio;
+    };
+    const WorkloadRow rows[] = {
+        {"words", WordCountJob(), &words_12_ratio},
+        {"trigrams", TrigramCountJob(/*threshold=*/0), &trigram_12_ratio},
+    };
+    for (const WorkloadRow& w : rows) {
+      const RunStats task = run(w.job, cfg, input, CombineScope::kTask);
+      const RunStats node = run(w.job, cfg, input, CombineScope::kNode);
+      *w.ratio =
+          node.shuffle_bytes ? static_cast<double>(task.shuffle_bytes) /
+                                   static_cast<double>(node.shuffle_bytes)
+                             : 0.0;
+      std::printf("%-10s %5.1f %6s %12s %12.2f %10.2f %8s\n", w.name, 1.2,
+                  "task", bench::Mb(task.shuffle_bytes).c_str(),
+                  task.reduce_tail_s, task.total_s, "");
+      std::printf("%-10s %5.1f %6s %12s %12.2f %10.2f %7.2fx\n", w.name,
+                  1.2, "node", bench::Mb(node.shuffle_bytes).c_str(),
+                  node.reduce_tail_s, node.total_s, *w.ratio);
+    }
+  }
+
+  // Budget pressure: the same Zipf-1.2 click job under a small budget
+  // still beats kTask even with every busy shard degraded to the sketch.
+  {
+    ClickStreamConfig clicks = bench::ScaledClicks(flags.scale);
+    clicks.user_skew = 1.2;
+    JobConfig cfg = base_config(EngineKind::kIncHash);
+    cfg.node_combine_budget_bytes = 64 << 10;
+    ChunkStore input(cfg.chunk_bytes, cfg.cluster.nodes);
+    GenerateClickStream(clicks, &input);
+    const RunStats task =
+        run(ClickCountJob(), cfg, input, CombineScope::kTask);
+    const RunStats node =
+        run(ClickCountJob(), cfg, input, CombineScope::kNode);
+    const double ratio =
+        node.shuffle_bytes ? static_cast<double>(task.shuffle_bytes) /
+                                 static_cast<double>(node.shuffle_bytes)
+                           : 0.0;
+    std::printf("%-10s %5.1f %6s %12s %12.2f %10.2f %7.2fx  (64 KB "
+                "budget)\n",
+                "clicks", 1.2, "node", bench::Mb(node.shuffle_bytes).c_str(),
+                node.reduce_tail_s, node.total_s, ratio);
+  }
+
+  std::printf("\n~%d map tasks per node (the tier folds that many pushes "
+              "per partition into one).\n",
+              maps_per_node);
+
+  const double kFloor = 2.0;
+  const bool pass = clicks_12_ratio >= kFloor && words_12_ratio >= kFloor;
+  std::printf("\nnode-combine gate: Zipf-1.2 shuffle-byte drop clicks "
+              "%.2fx, words %.2fx (trigrams %.2fx, ungated) vs %.1fx "
+              "floor  [%s]\n",
+              clicks_12_ratio, words_12_ratio, trigram_12_ratio, kFloor,
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -22,6 +22,10 @@ struct Row {
 
 Row Run(int r_per_node, BlockCodecKind codec, const ChunkStore& input) {
   JobConfig cfg = bench::ScaledJobConfig(EngineKind::kSortMerge);
+  // The node tier needs a combine function on sort-merge; under
+  // --combine_scope=node the rows measure sessionization with map-side
+  // combine enabled.
+  if (cfg.combine_scope == CombineScope::kNode) cfg.map_side_combine = true;
   cfg.merge_factor = 32;  // optimized merge, like the paper's experiment
   cfg.reduce_memory_bytes = 128 << 10;
   cfg.reducers_per_node = r_per_node;
@@ -41,6 +45,9 @@ Row Run(int r_per_node, BlockCodecKind codec, const ChunkStore& input) {
 double RunInc(int r_per_node, HashCoreKind core, const ChunkStore& input) {
   JobConfig cfg = bench::ScaledJobConfig(EngineKind::kIncHash);
   cfg.hash_core = core;
+  // The node tier requires the flat core's reproducible iteration order;
+  // the legacy-core baseline runs at task scope regardless.
+  if (core == HashCoreKind::kLegacy) cfg.combine_scope = CombineScope::kTask;
   cfg.reduce_memory_bytes = 128 << 10;
   cfg.reducers_per_node = r_per_node;
   cfg.map_side_combine = true;

@@ -65,6 +65,12 @@ struct CostModel {
   // already scanned on the same nodes (kResident chains only).
   double cached_input_byte_s = 0.5e-9;
 
+  // Node combine tier (DESIGN.md §5.10): seconds per byte of handing a map
+  // task's partitioned output to the node-scope combiner. The feed never
+  // leaves the node's memory (same class as resident_publish_byte_s), vs.
+  // the disk write + network push it replaces.
+  double node_combine_byte_s = 0.5e-9;
+
   // Sort CPU seconds for n records.
   double SortCost(uint64_t n) const;
   // k-way merge CPU seconds for n records (single pass).

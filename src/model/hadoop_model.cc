@@ -24,8 +24,12 @@ double LambdaF(double n, double b, double f) {
 ByteCosts HadoopModel::Bytes(const HadoopSettings& s) const {
   ByteCosts u;
   const double n = h_.n_nodes;
+  // The node combine tier collapses the shuffled volume *before* it is
+  // pushed, so everything downstream of the map (U3, and the reduce
+  // buffer pressure behind U4) sees the shrunken stream.
+  const double shuffled = w_.d_bytes * w_.k_m * eff_.node_combine;
   u.map_input = w_.d_bytes / n;                              // U1
-  u.map_output = w_.d_bytes * w_.k_m / n;                    // U3
+  u.map_output = shuffled / n;                               // U3
   u.reduce_output = w_.d_bytes * w_.k_m * w_.k_r / n;        // U5
 
   // U2: map internal spills (external sort) when C*K_m > B_m.
@@ -38,7 +42,7 @@ ByteCosts HadoopModel::Bytes(const HadoopSettings& s) const {
   // U4: reduce internal spills from the multi-pass merge. The paper's model
   // assumes no combine function, so reduce input rarely fits in memory; when
   // it does (beta <= 1) there is no spill.
-  const double beta = w_.d_bytes * w_.k_m / (n * s.r * h_.b_r);
+  const double beta = shuffled / (n * s.r * h_.b_r);
   if (beta > 1.0) {
     u.reduce_spill = 2.0 * s.r * LambdaF(beta, h_.b_r, s.f);
   }

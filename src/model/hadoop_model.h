@@ -59,6 +59,11 @@ struct EffectiveBytes {
   double map_spill = 1.0;     // scales U2 (sorted-run streams)
   double map_output = 1.0;    // scales U3 (shuffle segment streams)
   double reduce_spill = 1.0;  // scales U4 (reduce runs + bucket files)
+  // Node combine tier (DESIGN.md §5.10): combined/raw record-volume ratio
+  // of the node-scope combiner, in (0, 1] with 1.0 = combine_scope kTask.
+  // Unlike the codec ratios it shrinks the *raw* shuffle volume, so it
+  // scales U3 and the reduce-side buffer pressure beta that drives U4.
+  double node_combine = 1.0;
 };
 
 // Per-node byte I/O decomposition (Table 2's five U_i types).

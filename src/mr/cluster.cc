@@ -14,6 +14,7 @@
 #include "src/engine/group_by_engine.h"
 #include "src/mr/cost_trace.h"
 #include "src/mr/map_runner.h"
+#include "src/mr/node_combine.h"
 #include "src/mr/output.h"
 #include "src/mr/slot_pool.h"
 #include "src/sim/event_queue.h"
@@ -80,6 +81,12 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
       !spec.reducer && !(has_inc && config.map_side_combine)) {
     return Status::InvalidArgument(
         "sort-merge / MR-hash need a Reducer factory");
+  }
+  const bool node_combine = config.combine_scope == CombineScope::kNode;
+  if (node_combine && !has_inc) {
+    return Status::InvalidArgument(
+        "combine_scope=kNode needs an IncrementalReducer factory (the node "
+        "tier folds co-located map outputs with its combine function)");
   }
 
   const int total_reducers = cl.nodes * config.reducers_per_node;
@@ -169,8 +176,11 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
   // Map traces move into the PreparedJob now (phase 3 needs only the
   // partition payloads left behind in map_outs); the replay inputs point
   // into pj.map_traces, which later moves of the PreparedJob never
-  // relocate.
-  pj.map_traces.reserve(map_outs.size());
+  // relocate. Reserve room for the node combine tier's virtual tasks (one
+  // per occupied node, appended below) so those pointers survive the
+  // appends too.
+  pj.map_traces.reserve(map_outs.size() +
+                        (node_combine ? static_cast<size_t>(cl.nodes) : 0));
   for (auto& mo : map_outs) pj.map_traces.push_back(std::move(mo.trace));
   pj.map_ins.resize(map_outs.size());
   for (size_t m = 0; m < map_outs.size(); ++m) {
@@ -203,6 +213,77 @@ Result<PreparedJob> LocalCluster::PrepareJob(const JobSpec& spec,
       if (prior_it != in.replicas.end()) {
         std::rotate(in.replicas.begin(), prior_it, prior_it + 1);
         in.node = prior_node;
+      }
+    }
+  }
+
+  // ---- Node combine stage (DESIGN.md §5.10) ----
+  // Between the map plane and the provisional replay: map tasks under
+  // combine_scope == kNode produced node feeds instead of pushes, so group
+  // them by their placement node and run one NodeCombiner per occupied
+  // node, merging feeds in task-id order (node-level determinism barrier).
+  // Each combiner's result is appended as a *virtual map task*: its trace
+  // replays like any map task's, its single combined push carries the
+  // node's whole output, and its `deps` list makes the push lineage of
+  // every contributing task for fault recovery.
+  if (node_combine) {
+    std::vector<std::vector<int>> node_tasks(
+        static_cast<size_t>(cl.nodes));
+    for (size_t m = 0; m < num_maps; ++m) {
+      node_tasks[static_cast<size_t>(pj.map_ins[m].node)].push_back(
+          static_cast<int>(m));
+    }
+    std::vector<int> combine_nodes;
+    for (int n = 0; n < cl.nodes; ++n) {
+      if (!node_tasks[static_cast<size_t>(n)].empty()) {
+        combine_nodes.push_back(n);
+      }
+    }
+    const bool sorted_feeds = mode == MapOutputMode::kSortCombine;
+    std::vector<NodeCombineOutput> combine_outs(combine_nodes.size());
+    std::vector<Status> combine_statuses(combine_nodes.size(), Status::OK());
+    const double combine_start = WallSeconds();
+    RETURN_IF_ERROR(RunDataPlaneTasks(
+        pool ? &*pool : nullptr, combine_nodes.size(),
+        [&](size_t i) {
+          const int n = combine_nodes[i];
+          std::unique_ptr<IncrementalReducer> inc = spec.inc();
+          NodeCombiner combiner(config, h1, total_reducers, inc.get());
+          std::vector<const MapTaskOutput*> feeds;
+          for (int m : node_tasks[static_cast<size_t>(n)]) {
+            feeds.push_back(&map_outs[static_cast<size_t>(m)]);
+          }
+          combine_outs[i] = combiner.Run(feeds, sorted_feeds);
+        },
+        combine_statuses));
+    result.map_plane_wall_s += WallSeconds() - combine_start;
+    for (size_t i = 0; i < combine_nodes.size(); ++i) {
+      const int n = combine_nodes[i];
+      NodeCombineOutput& co = combine_outs[i];
+      result.metrics.Merge(co.metrics);
+      MapTaskOutput virt;
+      virt.sorted = sorted_feeds;
+      virt.pushes.push_back(std::move(co.push));
+      const size_t c = map_outs.size();
+      map_outs.push_back(std::move(virt));
+      pj.map_traces.push_back(std::move(co.trace));
+      pj.map_ins.emplace_back();
+      Replayer::MapTaskIn& in = pj.map_ins[c];
+      // Home node first, then every other node: the combine is not bound
+      // to an input chunk, so after a crash it can re-run anywhere once
+      // its deps' contributions are re-materialized.
+      in.node = n;
+      in.replicas.push_back(n);
+      for (int o = 0; o < cl.nodes; ++o) {
+        if (o != n) in.replicas.push_back(o);
+      }
+      in.trace = &pj.map_traces[c];
+      in.num_pushes = 1;
+      in.gates[map_outs[c].pushes[0].gate_op] = 0;
+      in.deps = node_tasks[static_cast<size_t>(n)];
+      // The feeds are folded into the combined push; drop the buffers.
+      for (int m : node_tasks[static_cast<size_t>(n)]) {
+        map_outs[static_cast<size_t>(m)].node_feed.clear();
       }
     }
   }

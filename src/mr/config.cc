@@ -28,6 +28,16 @@ std::string_view ShuffleModeName(ShuffleMode mode) {
   return "unknown";
 }
 
+std::string_view CombineScopeName(CombineScope scope) {
+  switch (scope) {
+    case CombineScope::kTask:
+      return "task";
+    case CombineScope::kNode:
+      return "node";
+  }
+  return "unknown";
+}
+
 Status JobConfig::Validate() const {
   if (cluster.nodes < 1 || cluster.cores_per_node < 1 ||
       cluster.map_slots < 1 || cluster.reduce_slots < 1) {
@@ -88,6 +98,32 @@ Status JobConfig::Validate() const {
   if (iterations < 1 || iterations > 64) {
     return Status::InvalidArgument(
         "iterations must be in [1, 64], got " + std::to_string(iterations));
+  }
+  if (combine_scope == CombineScope::kNode) {
+    if (pipelining) {
+      return Status::InvalidArgument(
+          "combine_scope=kNode is incompatible with pipelining: eager "
+          "per-spill pushes defeat the node combine barrier");
+    }
+    if ((engine == EngineKind::kSortMerge || engine == EngineKind::kMRHash) &&
+        !map_side_combine) {
+      return Status::InvalidArgument(
+          "combine_scope=kNode needs a combine function: enable "
+          "map_side_combine (values-list reducers alone cannot merge "
+          "partial aggregates at the node tier)");
+    }
+    if (hash_core == HashCoreKind::kLegacy) {
+      return Status::InvalidArgument(
+          "combine_scope=kNode requires the flat hash core: the node tier "
+          "merges shards in FlatTable insertion order");
+    }
+  }
+  if (node_combine_budget_bytes != 0 && node_combine_budget_bytes < 4096) {
+    return Status::InvalidArgument(
+        "node_combine_budget_bytes must be 0 (unbounded) or >= 4096: a "
+        "budget below one table block degrades every shard to the sketch, "
+        "got " +
+        std::to_string(node_combine_budget_bytes));
   }
   if (checkpoint_interval_segments > 0 || checkpoint_interval_bytes > 0) {
     if (checkpoint_replication < 1 ||

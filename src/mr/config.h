@@ -41,6 +41,23 @@ enum class ShuffleMode : uint8_t {
 
 std::string_view ShuffleModeName(ShuffleMode mode);
 
+// Where combining happens before map output is pushed (DESIGN.md §5.10).
+// kTask is the classic map-side combiner: each map task collapses its own
+// duplicates and pushes one segment per task — byte-identical to the
+// pre-node-tier platform. kNode adds the in-node aggregation tier: map
+// tasks scheduled on the same simulated node feed a shared flat-table
+// combiner instead of pushing directly, and the node emits ONE combined,
+// codec-encoded push per (node, partition) at the node barrier, so hot
+// keys collapse across co-located tasks. The final answer is the same
+// multiset of records either way; only segment boundaries (and hence
+// per-task counters and the delivery schedule) differ.
+enum class CombineScope : uint8_t {
+  kTask,
+  kNode,
+};
+
+std::string_view CombineScopeName(CombineScope scope);
+
 // Which hash-table implementation backs the hot grouping structures
 // (engine state tables, sketch indexes, the map-side combiner). kFlat is
 // the arena-backed open-addressing FlatTable (src/util/flat_table.h);
@@ -100,6 +117,24 @@ struct JobConfig {
   // Output"). Off for workloads whose state does not compress (e.g.
   // sessionization, where every click must be kept).
   bool map_side_combine = false;
+
+  // Combine scope (see CombineScope). kNode requires an IncrementalReducer
+  // (the combine function) and is incompatible with pipelining, whose
+  // eager per-spill pushes would defeat the node barrier. Like any
+  // combiner tier, kNode assumes the combine function is commutative and
+  // associative: the node barrier folds co-located task states in task-id
+  // order, not reducer delivery order, so an order-sensitive combine
+  // (e.g. sessionization's bounded session buffer) may legally produce
+  // different state bytes than kTask. Validate() cannot check this.
+  CombineScope combine_scope = CombineScope::kTask;
+  // Memory budget for one node's combine tier, bytes, measured with
+  // Arena::ApproxMemoryUsage through FlatTable::ApproxMemoryUsage. 0 =
+  // unbounded. When a (node, partition) shard exceeds its share of the
+  // budget, the shard degrades to a FREQUENT-sketch bounded-memory
+  // combiner (DINC's discipline, PAPER.md §4.3): hot keys keep combining
+  // in the monitored slots, everything else passes through uncombined.
+  // Exactness is preserved — reducers re-combine the passthrough records.
+  uint64_t node_combine_budget_bytes = 0;
 
   // Engine knobs.
   // Write-buffer page per disk bucket. Engines clamp the effective page so

@@ -49,6 +49,7 @@ enum class OpTag : uint8_t {
   kReduceFn,       // reduce()/finalize() work (user-visible progress)
   kOutput,         // writing reduce output
   kCheckpoint,     // reduce-state checkpoint write/replicate/restore
+  kNodeCombine,    // node-scope combiner: merge co-located map feeds
 };
 
 struct TraceOp {
@@ -176,6 +177,7 @@ inline bool IsMapTag(OpTag tag) {
     case OpTag::kMapSpill:
     case OpTag::kMapMerge:
     case OpTag::kMapOutput:
+    case OpTag::kNodeCombine:
       return true;
     default:
       return false;

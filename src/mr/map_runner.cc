@@ -294,8 +294,8 @@ MapRunner::MapRunner(const JobConfig& config, MapOutputMode mode,
   if (ModeProducesStates(mode)) CHECK(inc != nullptr);
 }
 
-void MapRunner::StampPushCrcs(PushSegment* push) const {
-  if (!config_.integrity.checksums) return;
+void StampPushSegmentCrcs(const JobConfig& config, PushSegment* push) {
+  if (!config.integrity.checksums) return;
   if (!push->encoded.empty()) {
     // Codec path: the wire/disk image is the encoded block stream, so the
     // CRC covers post-compression bytes (DESIGN.md §5.5).
@@ -311,9 +311,10 @@ void MapRunner::StampPushCrcs(PushSegment* push) const {
   }
 }
 
-void MapRunner::EncodePush(PushSegment* push, bool sorted,
-                           TraceRecorder* trace, JobMetrics* metrics) const {
-  if (config_.block_codec == BlockCodecKind::kNone) return;
+void EncodePushSegment(const JobConfig& config, PushSegment* push,
+                       bool sorted, OpTag tag, TraceRecorder* trace,
+                       JobMetrics* metrics) {
+  if (config.block_codec == BlockCodecKind::kNone) return;
   const uint64_t raw_bytes = push->bytes;
   const BlockEncoding encoding =
       sorted ? BlockEncoding::kPrefix : BlockEncoding::kGrouped;
@@ -323,19 +324,54 @@ void MapRunner::EncodePush(PushSegment* push, bool sorted,
   for (KvBuffer& part : push->partitions) {
     std::string enc;
     if (!part.empty()) {
-      enc = EncodeKvStream(part, encoding, config_.block_codec,
-                           config_.codec_block_bytes, &stats);
+      enc = EncodeKvStream(part, encoding, config.block_codec,
+                           config.codec_block_bytes, &stats);
     }
     encoded_total += enc.size();
     push->encoded.push_back(std::move(enc));
     part = KvBuffer();  // the encoded image supersedes the raw partition
   }
-  trace->Cpu(config_.costs.compress_byte_s * static_cast<double>(raw_bytes),
-             OpTag::kMapOutput);
+  trace->Cpu(config.costs.compress_byte_s * static_cast<double>(raw_bytes),
+             tag);
   metrics->codec_shuffle_raw_bytes += raw_bytes;
   metrics->codec_shuffle_encoded_bytes += encoded_total;
   metrics->compress_ns += stats.compress_ns;
   push->bytes = encoded_total;
+}
+
+void MapRunner::StampPushCrcs(PushSegment* push) const {
+  StampPushSegmentCrcs(config_, push);
+}
+
+void MapRunner::EncodePush(PushSegment* push, bool sorted,
+                           TraceRecorder* trace, JobMetrics* metrics) const {
+  EncodePushSegment(config_, push, sorted, OpTag::kMapOutput, trace, metrics);
+}
+
+void MapRunner::PublishOrFeed(std::vector<KvBuffer> parts, uint64_t bytes,
+                              uint64_t records, bool sorted,
+                              TraceRecorder* trace, MapTaskOutput* out) const {
+  if (config_.combine_scope == CombineScope::kNode) {
+    trace->Cpu(
+        config_.costs.node_combine_byte_s * static_cast<double>(bytes),
+        OpTag::kNodeCombine);
+    out->node_feed = std::move(parts);
+    out->node_feed_bytes = bytes;
+    out->node_feed_records = records;
+    out->metrics.node_combine_input_records += records;
+    out->metrics.node_combine_input_bytes += bytes;
+    return;
+  }
+  PushSegment push;
+  push.partitions = std::move(parts);
+  push.bytes = bytes;
+  EncodePush(&push, sorted, trace, &out->metrics);
+  trace->DiskWrite(push.bytes, OpTag::kMapOutput, WriteRequests(push.bytes));
+  out->metrics.map_output_bytes += push.bytes;
+  out->metrics.map_output_records += records;
+  push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
+  StampPushCrcs(&push);
+  out->pushes.push_back(std::move(push));
 }
 
 Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
@@ -412,18 +448,8 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
               : costs.hash_record_s;
       trace.Cpu(per_record * static_cast<double>(emitter.records()),
                 OpTag::kMapFn);
-      const uint64_t bytes = emitter.bytes();
-      PushSegment push;
-      push.partitions = std::move(parts);
-      push.bytes = bytes;
-      EncodePush(&push, /*sorted=*/false, &trace, &out.metrics);
-      trace.DiskWrite(push.bytes, OpTag::kMapOutput,
-                      WriteRequests(push.bytes));
-      out.metrics.map_output_bytes += push.bytes;
-      out.metrics.map_output_records += emitter.records();
-      push.gate_op = static_cast<uint32_t>(out.trace.ops.size() - 1);
-      StampPushCrcs(&push);
-      out.pushes.push_back(std::move(push));
+      PublishOrFeed(std::move(parts), emitter.bytes(), emitter.records(),
+                    /*sorted=*/false, &trace, &out);
       out.sorted = false;
       break;
     }
@@ -458,17 +484,8 @@ Result<MapTaskOutput> MapRunner::Run(const KvBuffer& chunk,
       trace.Cpu((costs.hash_record_s + costs.combine_record_s) *
                     static_cast<double>(emitter.records()),
                 OpTag::kMapFn);
-      PushSegment push;
-      push.partitions = std::move(parts);
-      push.bytes = out_bytes;
-      EncodePush(&push, /*sorted=*/false, &trace, &out.metrics);
-      trace.DiskWrite(push.bytes, OpTag::kMapOutput,
-                      WriteRequests(push.bytes));
-      out.metrics.map_output_bytes += push.bytes;
-      out.metrics.map_output_records += out_records;
-      push.gate_op = static_cast<uint32_t>(out.trace.ops.size() - 1);
-      StampPushCrcs(&push);
-      out.pushes.push_back(std::move(push));
+      PublishOrFeed(std::move(parts), out_bytes, out_records,
+                    /*sorted=*/false, &trace, &out);
       out.sorted = false;
       break;
     }
@@ -543,17 +560,8 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
     const bool publish =
         config_.pipelining || kind == CutKind::kFinalOutput;
     if (publish) {
-      PushSegment push;
-      push.partitions = std::move(parts);
-      push.bytes = bytes;
-      EncodePush(&push, /*sorted=*/true, trace, &out->metrics);
-      trace->DiskWrite(push.bytes, OpTag::kMapOutput,
-                       WriteRequests(push.bytes));
-      out->metrics.map_output_bytes += push.bytes;
-      out->metrics.map_output_records += records;
-      push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
-      StampPushCrcs(&push);
-      out->pushes.push_back(std::move(push));
+      PublishOrFeed(std::move(parts), bytes, records, /*sorted=*/true, trace,
+                    out);
     } else {
       uint64_t disk_bytes = bytes;
       if (coded) {
@@ -803,16 +811,8 @@ Status MapRunner::RunSortPath(const KvBuffer& chunk, double map_fn_cost,
           OpTag::kMapMerge);
     }
   }
-  PushSegment push;
-  push.partitions = std::move(final_parts);
-  push.bytes = out_bytes;
-  EncodePush(&push, /*sorted=*/true, trace, &out->metrics);
-  trace->DiskWrite(push.bytes, OpTag::kMapOutput, WriteRequests(push.bytes));
-  out->metrics.map_output_bytes += push.bytes;
-  out->metrics.map_output_records += out_records;
-  push.gate_op = static_cast<uint32_t>(out->trace.ops.size() - 1);
-  StampPushCrcs(&push);
-  out->pushes.push_back(std::move(push));
+  PublishOrFeed(std::move(final_parts), out_bytes, out_records,
+                /*sorted=*/true, trace, out);
   return Status::OK();
 }
 

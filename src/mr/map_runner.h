@@ -75,11 +75,34 @@ struct PushSegment {
   std::vector<uint32_t> crcs;
 };
 
+// Shared push-finishing steps, used by MapRunner and the node combine tier
+// (DESIGN.md §5.10). EncodePushSegment: under an active block codec,
+// encodes push->partitions into per-partition block streams (prefix-coded
+// when `sorted`, run-length key-grouped otherwise), charges the codec CPU
+// to `trace` at `tag`, updates the codec shuffle counters, releases the
+// raw partitions, and rewrites push->bytes to the encoded total; no-op
+// under kNone. Call before charging the push's disk write.
+// StampPushSegmentCrcs fills push->crcs from the bytes the push actually
+// carries (encoded streams under a codec, raw partitions otherwise) when
+// integrity checksums are on.
+void EncodePushSegment(const JobConfig& config, PushSegment* push,
+                       bool sorted, OpTag tag, TraceRecorder* trace,
+                       JobMetrics* metrics);
+void StampPushSegmentCrcs(const JobConfig& config, PushSegment* push);
+
 struct MapTaskOutput {
   CostTrace trace;
   JobMetrics metrics;
   std::vector<PushSegment> pushes;
   bool sorted = false;  // segments are key-ordered (sort path)
+
+  // Node combine tier (combine_scope == kNode; DESIGN.md §5.10): instead
+  // of pushing, the task hands its raw per-partition output to the node's
+  // combiner. The feed never touches disk or the codec — the node barrier
+  // task does that once for the whole node. Empty under kTask.
+  std::vector<KvBuffer> node_feed;
+  uint64_t node_feed_bytes = 0;
+  uint64_t node_feed_records = 0;
 };
 
 class MapRunner {
@@ -107,6 +130,14 @@ class MapRunner {
  private:
   Status RunSortPath(const KvBuffer& chunk, double map_fn_cost,
                      TraceRecorder* trace, MapTaskOutput* out) const;
+  // Terminal step for a task's final per-partition output: under kTask,
+  // encode + charge the disk write and append a PushSegment (the
+  // historical path, byte-identical); under kNode, charge the memory-speed
+  // handoff at OpTag::kNodeCombine and store the raw partitions as the
+  // task's node_feed — the node barrier task publishes instead.
+  void PublishOrFeed(std::vector<KvBuffer> parts, uint64_t bytes,
+                     uint64_t records, bool sorted, TraceRecorder* trace,
+                     MapTaskOutput* out) const;
   // Fills push.crcs from the bytes the push actually carries (encoded
   // block streams under a codec, raw partitions otherwise) when integrity
   // checksums are on.

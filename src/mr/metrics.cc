@@ -63,6 +63,13 @@ void JobMetrics::Merge(const JobMetrics& o) {
   resident_state_restored_bytes += o.resident_state_restored_bytes;
   resident_state_saved_bytes += o.resident_state_saved_bytes;
   resident_cached_input_bytes += o.resident_cached_input_bytes;
+  node_combine_input_records += o.node_combine_input_records;
+  node_combine_input_bytes += o.node_combine_input_bytes;
+  node_combine_output_records += o.node_combine_output_records;
+  node_combine_output_bytes += o.node_combine_output_bytes;
+  node_combine_tasks += o.node_combine_tasks;
+  node_combine_passthrough_records += o.node_combine_passthrough_records;
+  node_combine_sketch_shards += o.node_combine_sketch_shards;
   codec_map_spill_raw_bytes += o.codec_map_spill_raw_bytes;
   codec_map_spill_encoded_bytes += o.codec_map_spill_encoded_bytes;
   codec_shuffle_raw_bytes += o.codec_shuffle_raw_bytes;
@@ -156,6 +163,14 @@ std::string JobMetrics::Serialize() const {
   put_u64("resident_state_restored_bytes", resident_state_restored_bytes);
   put_u64("resident_state_saved_bytes", resident_state_saved_bytes);
   put_u64("resident_cached_input_bytes", resident_cached_input_bytes);
+  put_u64("node_combine_input_records", node_combine_input_records);
+  put_u64("node_combine_input_bytes", node_combine_input_bytes);
+  put_u64("node_combine_output_records", node_combine_output_records);
+  put_u64("node_combine_output_bytes", node_combine_output_bytes);
+  put_u64("node_combine_tasks", node_combine_tasks);
+  put_u64("node_combine_passthrough_records",
+          node_combine_passthrough_records);
+  put_u64("node_combine_sketch_shards", node_combine_sketch_shards);
   put_u64("codec_map_spill_raw_bytes", codec_map_spill_raw_bytes);
   put_u64("codec_map_spill_encoded_bytes", codec_map_spill_encoded_bytes);
   put_u64("codec_shuffle_raw_bytes", codec_shuffle_raw_bytes);
@@ -300,6 +315,22 @@ std::string JobMetrics::ToString() const {
         static_cast<unsigned long long>(resident_state_restored_bytes),
         static_cast<unsigned long long>(resident_state_saved_bytes),
         static_cast<unsigned long long>(resident_cached_input_bytes));
+    out += buf;
+  }
+  // The node-combine block appears only when the node tier ran.
+  if (node_combine_tasks > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nnode combine:    %llu in records (%llu bytes) -> %llu out "
+        "(%llu bytes) over %llu node tasks, %llu passthrough, %llu "
+        "sketch shards",
+        static_cast<unsigned long long>(node_combine_input_records),
+        static_cast<unsigned long long>(node_combine_input_bytes),
+        static_cast<unsigned long long>(node_combine_output_records),
+        static_cast<unsigned long long>(node_combine_output_bytes),
+        static_cast<unsigned long long>(node_combine_tasks),
+        static_cast<unsigned long long>(node_combine_passthrough_records),
+        static_cast<unsigned long long>(node_combine_sketch_shards));
     out += buf;
   }
   // The integrity block appears only when checksums were verified or a

@@ -108,6 +108,22 @@ struct JobMetrics {
   // reading the previous iteration's chunk store on the same nodes).
   uint64_t resident_cached_input_bytes = 0;
 
+  // --- Node combine tier (DESIGN.md §5.10) ---
+  // Records/bytes fed into the node-scope combiner by co-located map
+  // tasks, and what came out as combined pushes. All zero under
+  // combine_scope == kTask (the tier never runs). The input/output ratio
+  // is the tier's collapse factor, multiplicative with the codec's.
+  uint64_t node_combine_input_records = 0;
+  uint64_t node_combine_input_bytes = 0;
+  uint64_t node_combine_output_records = 0;
+  uint64_t node_combine_output_bytes = 0;
+  uint64_t node_combine_tasks = 0;  // virtual node-barrier combine tasks
+  // Records that bypassed the combiner uncombined because the shard had
+  // degraded to the FREQUENT-sketch under node_combine_budget_bytes, and
+  // how many (node, partition) shards degraded.
+  uint64_t node_combine_passthrough_records = 0;
+  uint64_t node_combine_sketch_shards = 0;
+
   // --- Block codec (DESIGN.md §5.5) ---
   // Raw (KvBuffer-serialized) vs encoded (block-stream) bytes per stream
   // kind. All zero under block_codec == kNone (the encoder never runs).

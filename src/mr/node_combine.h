@@ -1,0 +1,85 @@
+// Node combine tier (DESIGN.md §5.10): collapse hot keys across
+// co-located map tasks before the partition push.
+//
+// Under JobConfig::combine_scope == kNode, map tasks scheduled on the same
+// simulated node do not push their partitioned output directly. Each task
+// hands its raw per-partition buffers (MapTaskOutput::node_feed) to the
+// node's combiner, and at the node barrier — all co-located tasks done —
+// the combiner merges the feeds IN TASK-ID ORDER (the parallel data
+// plane's determinism discipline, DESIGN.md §5.3) and emits ONE combined,
+// codec-encoded push for the whole node. Hot keys that appear in many
+// co-located tasks cross the wire once, multiplicative with the block
+// codec (fewer records, then compressed).
+//
+// Two merge disciplines, matching the map output organization:
+//   * hash feeds (kHashInit / kHashCombine): per partition, a FlatTable
+//     keyed by the partitioner digest combines duplicate states; output is
+//     table insertion order — deterministic for the fixed task-id feed
+//     order.
+//   * sorted feeds (kSortCombine): per partition, a SortedKvMerger streams
+//     the key-ordered feeds and combines key groups; output stays sorted,
+//     which the sort-merge reduce engine expects.
+//
+// Bounded memory (node_combine_budget_bytes > 0): each (node, partition)
+// shard owns budget/partitions bytes, measured with
+// FlatTable::ApproxMemoryUsage (which wires Arena::ApproxMemoryUsage into
+// the accounting). A shard that crosses its share degrades to DINC's
+// FREQUENT sketch (PAPER.md §4.3): the table's entries flush to the
+// output as partial aggregates, and from then on only the sketch's
+// monitored slots keep combining — evicted and rejected records pass
+// through uncombined. Exactness is preserved: every input record's
+// aggregate contribution appears exactly once in the output, and the
+// reducers re-combine duplicates. The sorted discipline streams and never
+// degrades (its memory is one merge heap).
+//
+// The combiner runs on the data plane (parallelizable across nodes; each
+// node's combine is independent and share-nothing) and produces the
+// virtual combine task's CostTrace: startup, per-record combine CPU at
+// OpTag::kNodeCombine, codec compress, and the publish DiskWrite gate.
+
+#ifndef ONEPASS_MR_NODE_COMBINE_H_
+#define ONEPASS_MR_NODE_COMBINE_H_
+
+#include <vector>
+
+#include "src/mr/api.h"
+#include "src/mr/config.h"
+#include "src/mr/cost_trace.h"
+#include "src/mr/map_runner.h"
+#include "src/util/hash.h"
+
+namespace onepass {
+
+// The virtual combine task one node emits: its trace (replayed like any
+// map task), the data-plane counters it accrued, and the single combined
+// push (gate_op indexes into `trace`).
+struct NodeCombineOutput {
+  CostTrace trace;
+  JobMetrics metrics;
+  PushSegment push;
+};
+
+class NodeCombiner {
+ public:
+  // `partitioner` is h1 (digests match the feeds' FastRangeBucket
+  // routing); `inc` is the combine function — required, PrepareJob rejects
+  // kNode without one.
+  NodeCombiner(const JobConfig& config, const UniversalHash& partitioner,
+               int total_partitions, IncrementalReducer* inc);
+
+  // Merges the node_feeds of one node's map tasks, given in task-id
+  // order. `sorted` = the feeds are key-ordered (sort path). Const and
+  // reentrant: concurrent Run calls over distinct nodes share nothing.
+  NodeCombineOutput Run(const std::vector<const MapTaskOutput*>& feeds,
+                        bool sorted) const;
+
+ private:
+  const JobConfig& config_;
+  const UniversalHash& partitioner_;
+  int total_partitions_;
+  IncrementalReducer* inc_;
+};
+
+}  // namespace onepass
+
+#endif  // ONEPASS_MR_NODE_COMBINE_H_

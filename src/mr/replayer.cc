@@ -66,6 +66,13 @@ Replayer::Replayer(sim::Engine* engine, SlotPool* pool,
     map_states_[m].attempts.reserve(
         static_cast<size_t>(config.faults.max_attempts));
   }
+  contrib_src_.assign(maps_.size(), -1);
+  dependents_.resize(maps_.size());
+  for (size_t m = 0; m < maps_.size(); ++m) {
+    for (int d : maps_[m].deps) {
+      dependents_[static_cast<size_t>(d)].push_back(static_cast<int>(m));
+    }
+  }
   reduce_delta_applied_.resize(reduces_.size());
   ckpt_gates_.resize(reduces_.size());
   for (size_t r = 0; r < reduces_.size(); ++r) {
@@ -90,6 +97,10 @@ void Replayer::Start(std::function<void(const Status&)> on_done) {
   // grants must not interleave with enqueueing (the historical event
   // creation order, which the solo byte-identity goldens pin down).
   for (size_t m = 0; m < maps_.size(); ++m) {
+    // Combine tasks wait for their contributors: the pool drops popped
+    // non-runnable map entries, so queueing one before its deps finish
+    // would lose it. The last dep's MapDone schedules it instead.
+    if (!maps_[m].deps.empty()) continue;
     map_states_[m].queued = true;
     pool_->QueueMap(opts_.job_id, maps_[m].node,
                     {static_cast<int>(m), false});
@@ -383,6 +394,22 @@ bool Replayer::AllPushesIntact(int m) const {
   return true;
 }
 
+bool Replayer::DepsReady(int m) const {
+  for (int d : maps_[static_cast<size_t>(m)].deps) {
+    if (!map_states_[static_cast<size_t>(d)].completed ||
+        contrib_src_[static_cast<size_t>(d)] < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Replayer::OutputIntact(int m) const {
+  if (!AllPushesIntact(m)) return false;
+  return dependents_[static_cast<size_t>(m)].empty() ||
+         contrib_src_[static_cast<size_t>(m)] >= 0;
+}
+
 // ---- slots and scheduling ----
 
 int Replayer::PickMapNode(int m, int exclude) const {
@@ -430,11 +457,14 @@ void Replayer::QueueEntryPopped(bool is_map, const PendingTask& p) {
 bool Replayer::MapEntryRunnable(const PendingTask& p) const {
   const MapTaskState& st = map_states_[static_cast<size_t>(p.task)];
   if (!tracker_.CanStart(TaskKind::kMap, p.task)) return false;
+  // A combine attempt (original or backup) reads its deps' node feeds; it
+  // cannot start while any contribution is missing.
+  if (!DepsReady(p.task)) return false;
   if (p.speculative) {
     return !st.completed && AliveMapAttempts(p.task) == 1;
   }
   if (AliveMapAttempts(p.task) > 0) return false;
-  return !(st.completed && AllPushesIntact(p.task));
+  return !(st.completed && OutputIntact(p.task));
 }
 
 bool Replayer::ReduceEntryRunnable(const PendingTask& p) const {
@@ -494,7 +524,21 @@ void Replayer::ScheduleMapRun(int m) {
   if (failed_) return;
   MapTaskState& st = map_states_[static_cast<size_t>(m)];
   if (st.queued || AliveMapAttempts(m) > 0) return;
-  if (st.completed && AllPushesIntact(m)) return;
+  if (st.completed && OutputIntact(m)) return;
+  if (!DepsReady(m)) {
+    // Generalized lost-output rule (DESIGN.md §5.10): a combined push is
+    // the output of every contributing map task, so re-materializing it
+    // first re-runs any dep whose node-feed contribution died with its
+    // node. The last dep's MapDone re-triggers this combine.
+    for (int d : maps_[static_cast<size_t>(m)].deps) {
+      if (!map_states_[static_cast<size_t>(d)].completed ||
+          contrib_src_[static_cast<size_t>(d)] < 0) {
+        ScheduleMapRun(d);
+        if (failed_) return;
+      }
+    }
+    return;
+  }
   if (!tracker_.CanStart(TaskKind::kMap, m)) {
     Fail(Status::ResourceExhausted("map task " + std::to_string(m) +
                                    " exceeded max_attempts"));
@@ -920,6 +964,21 @@ void Replayer::CrashNode(int n) {
       if (failed_) return;
     }
   }
+  // Node-feed contributions held on n are gone (node combine tier): any
+  // running combine attempt that was consuming one dies with its input.
+  // The restart scan below re-runs what is still needed — a killed or
+  // push-lost combine reschedules through ScheduleMapRun, which first
+  // re-materializes the missing contributions (generalized lineage).
+  for (size_t m = 0; m < maps_.size(); ++m) {
+    if (contrib_src_[m] != n) continue;
+    contrib_src_[m] = -1;
+    for (int c : dependents_[m]) {
+      MapTaskState& cs = map_states_[static_cast<size_t>(c)];
+      for (size_t a = 0; a < cs.attempts.size(); ++a) {
+        if (cs.attempts[a].alive) KillMapAttempt(c, static_cast<int>(a));
+      }
+    }
+  }
   // Restart whatever the crash left without a running or queued
   // execution.
   for (size_t r = 0; r < reduces_.size(); ++r) {
@@ -1061,7 +1120,16 @@ void Replayer::MapDone(int m, int a) {
                       100.0 * static_cast<double>(maps_completed_) /
                           static_cast<double>(maps_.size()));
   }
+  // The winner's node now holds this task's node-feed contribution (set
+  // before the slot release so a pumped combine entry already sees its
+  // deps ready); once every dep of a dependent combine task is in, the
+  // combine is scheduled.
+  contrib_src_[static_cast<size_t>(m)] = node;
   pool_->ReleaseSlot(opts_.job_id, node, /*is_map=*/true);
+  for (int c : dependents_[static_cast<size_t>(m)]) {
+    if (failed_) break;
+    if (DepsReady(c)) ScheduleMapRun(c);
+  }
   MaybeSpeculate(TaskKind::kMap);
   CheckCompletion();
   if (first) FireFractionCrashes();

@@ -86,6 +86,13 @@ class Replayer {
     // node counts as a cache invalidation. Empty under kDisk.
     std::vector<char> resident;
     std::vector<uint64_t> push_bytes;  // total bytes per push (all parts)
+    // Node combine tier (DESIGN.md §5.10): a virtual combine task lists
+    // the co-located map tasks whose node feeds it merges. It is not
+    // queued in the initial wave (the pool drops popped non-runnable
+    // entries); the last dep's MapDone schedules it. Its combined push is
+    // lineage of every dep: losing a dep's node-feed contribution to a
+    // crash re-runs that dep before the combine can (re-)execute.
+    std::vector<int> deps;
   };
   struct ReduceTaskIn {
     int node = 0;
@@ -303,6 +310,13 @@ class Replayer {
   int AliveMapAttempts(int m) const;
   int AliveReduceAttempts(int r) const;
   bool AllPushesIntact(int m) const;
+  // All of m's deps completed with their node-feed contributions intact
+  // (trivially true for ordinary maps). A combine task may only start —
+  // initially, after a crash, or speculatively — while this holds.
+  bool DepsReady(int m) const;
+  // Pushes intact and, for a combine contributor, its contribution too: a
+  // completed task re-runs when either is lost and still needed.
+  bool OutputIntact(int m) const;
 
   int PickMapNode(int m, int exclude) const;
   int PickReduceNode(int exclude) const;
@@ -367,6 +381,11 @@ class Replayer {
   // this counter.
   std::vector<std::vector<int>> push_gen_;
   std::vector<std::vector<uint32_t>> gate_of_;  // push -> gate op index
+  // Node combine tier: node holding task m's node-feed contribution (-1 =
+  // not produced or lost with its node), and the reverse dep index —
+  // which combine tasks consume m's contribution.
+  std::vector<int> contrib_src_;
+  std::vector<std::vector<int>> dependents_;
   // Waiting fetch streams, keyed by (map task, push): (reduce, attempt).
   std::map<std::pair<int, uint32_t>, std::vector<std::pair<int, int>>>
       push_waiters_;

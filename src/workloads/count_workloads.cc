@@ -77,6 +77,18 @@ void TrigramMapper::Map(std::string_view /*key*/, std::string_view value,
   }
 }
 
+void WordMapper::Map(std::string_view /*key*/, std::string_view value,
+                     Emitter* out) {
+  const std::string one = EncodeCountState(1, false);
+  size_t start = 0;
+  for (size_t i = 0; i <= value.size(); ++i) {
+    if (i == value.size() || value[i] == ' ') {
+      if (i > start) out->Emit(value.substr(start, i - start), one);
+      start = i + 1;
+    }
+  }
+}
+
 std::string CountingIncReducer::Init(std::string_view /*key*/,
                                      std::string_view value) {
   // Values already carry the count-state encoding.

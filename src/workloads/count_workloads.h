@@ -65,6 +65,14 @@ class TrigramMapper : public Mapper {
            Emitter* out) override;
 };
 
+// Map for word counting: splits a whitespace-separated document line into
+// words and emits each one as a key.
+class WordMapper : public Mapper {
+ public:
+  void Map(std::string_view key, std::string_view value,
+           Emitter* out) override;
+};
+
 // init/cb/fn counting reducer with optional threshold early output.
 class CountingIncReducer : public IncrementalReducer {
  public:

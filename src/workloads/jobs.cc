@@ -74,6 +74,15 @@ JobSpec WindowedClickCountJob(uint64_t window_seconds,
   return spec;
 }
 
+JobSpec WordCountJob() {
+  JobSpec spec;
+  spec.name = "word counting";
+  spec.mapper = []() { return std::make_unique<WordMapper>(); };
+  spec.reducer = []() { return std::make_unique<CountingListReducer>(0); };
+  spec.inc = []() { return std::make_unique<CountingIncReducer>(0); };
+  return spec;
+}
+
 JobSpec TrigramCountJob(uint64_t threshold) {
   JobSpec spec;
   spec.name = "trigram counting";

@@ -28,6 +28,9 @@ JobSpec PageFrequencyJob();
 // Word trigrams appearing at least `threshold` times (paper: 1000).
 JobSpec TrigramCountJob(uint64_t threshold = 1000);
 
+// Count occurrences of each word in the document corpus.
+JobSpec WordCountJob();
+
 // Tumbling-window clicks-per-user over the stream (the paper's §8
 // future-work direction, built on INC/DINC-hash). Closed windows stream
 // out while the job is still reading input.

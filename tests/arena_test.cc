@@ -91,6 +91,35 @@ TEST(ArenaTest, ApproxMemoryUsageTracksReservedBytes) {
   EXPECT_LT(arena.ApproxMemoryUsage(), many_blocks);
 }
 
+TEST(ArenaTest, ApproxMemoryUsageWithinTwiceActualGrowth) {
+  // The node-combine budget check (config.h: node_combine_budget_bytes)
+  // trusts ApproxMemoryUsage as its measure of a shard's footprint, so the
+  // estimate must track real growth: never below the bytes handed out, and
+  // never more than 2x of them once the arena has grown past its first
+  // block. Mixed allocation sizes exercise both the bump path and the
+  // oversized-block path.
+  for (const size_t block_size : {size_t{4096}, Arena::kDefaultBlockSize}) {
+    Arena arena(block_size);
+    size_t allocated = 0;
+    int i = 0;
+    while (allocated < 4 * Arena::kDefaultBlockSize) {
+      // Mostly small bump allocations, with a periodic oversized one that
+      // takes the dedicated-block path.
+      const size_t n =
+          (i % 64 == 63) ? block_size + 123 : 17 + (i * 37) % 900;
+      arena.Allocate(n);
+      allocated += n;
+      ++i;
+      if (allocated < 2 * block_size) continue;  // one-block noise floor
+      EXPECT_GE(arena.ApproxMemoryUsage(), allocated);
+      EXPECT_LE(arena.ApproxMemoryUsage(), 2 * allocated)
+          << "block_size=" << block_size << " after " << allocated
+          << " bytes allocated";
+    }
+    EXPECT_EQ(arena.bytes_allocated(), allocated);
+  }
+}
+
 TEST(ArenaTest, AllocationsAfterResetAreWritable) {
   Arena arena(128);
   std::vector<std::string_view> views;

@@ -200,6 +200,69 @@ TEST(ConfigValidateTest, ResidentShuffleKnobs) {
   EXPECT_TRUE(cfg.Validate().ok());
 }
 
+TEST(ConfigTest, CombineScopeValidation) {
+  JobConfig cfg;
+  cfg.engine = EngineKind::kIncHash;
+  cfg.combine_scope = CombineScope::kNode;
+  EXPECT_TRUE(cfg.Validate().ok());
+
+  // The node barrier holds combined pushes until every co-located map task
+  // finishes; pipelining's eager per-spill pushes contradict that.
+  cfg.pipelining = true;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg.pipelining = false;
+
+  // SM/MR-hash only carry partial aggregates when map_side_combine is on;
+  // without it there is no combine function for the node tier to apply.
+  for (const EngineKind e : {EngineKind::kSortMerge, EngineKind::kMRHash}) {
+    cfg.engine = e;
+    cfg.map_side_combine = false;
+    EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+    cfg.map_side_combine = true;
+    EXPECT_TRUE(cfg.Validate().ok());
+  }
+
+  // INC/DINC always combine; map_side_combine is not required.
+  cfg.engine = EngineKind::kDincHash;
+  cfg.map_side_combine = false;
+  EXPECT_TRUE(cfg.Validate().ok());
+
+  // The legacy hash core's iteration order is not reproducible enough for
+  // the node tier's deterministic shard merge.
+  cfg.hash_core = HashCoreKind::kLegacy;
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg.hash_core = HashCoreKind::kFlat;
+  EXPECT_TRUE(cfg.Validate().ok());
+
+  // kTask is the default and never constrained by any of the above.
+  JobConfig task;
+  task.pipelining = true;
+  task.hash_core = HashCoreKind::kLegacy;
+  EXPECT_EQ(task.combine_scope, CombineScope::kTask);
+  EXPECT_TRUE(task.Validate().ok());
+}
+
+TEST(ConfigTest, NodeCombineBudgetValidation) {
+  JobConfig cfg;
+  cfg.engine = EngineKind::kIncHash;
+  cfg.combine_scope = CombineScope::kNode;
+  cfg.node_combine_budget_bytes = 0;  // unbounded
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.node_combine_budget_bytes = 4095;  // below one table block
+  EXPECT_TRUE(cfg.Validate().IsInvalidArgument());
+  cfg.node_combine_budget_bytes = 4096;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.node_combine_budget_bytes = 1 << 20;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, CombineScopeNamesAreDistinct) {
+  EXPECT_NE(CombineScopeName(CombineScope::kTask),
+            CombineScopeName(CombineScope::kNode));
+  EXPECT_EQ(CombineScopeName(CombineScope::kTask), "task");
+  EXPECT_EQ(CombineScopeName(CombineScope::kNode), "node");
+}
+
 TEST(ConfigTest, ShuffleModeNamesAreDistinct) {
   EXPECT_NE(ShuffleModeName(ShuffleMode::kDisk),
             ShuffleModeName(ShuffleMode::kResident));

@@ -22,7 +22,8 @@ class VectorEmitter : public Emitter {
 TEST(JobsTest, AllSpecsProvideFactories) {
   for (const JobSpec& spec :
        {SessionizationJob(), ClickCountJob(), FrequentUserJob(),
-        PageFrequencyJob(), TrigramCountJob(), WindowedClickCountJob()}) {
+        PageFrequencyJob(), TrigramCountJob(), WordCountJob(),
+        WindowedClickCountJob()}) {
     EXPECT_FALSE(spec.name.empty());
     ASSERT_TRUE(static_cast<bool>(spec.mapper)) << spec.name;
     ASSERT_TRUE(static_cast<bool>(spec.inc)) << spec.name;
